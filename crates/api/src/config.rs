@@ -1,0 +1,139 @@
+//! Secret, ConfigMap and ServiceAccount objects.
+//!
+//! These are three of the twelve resource kinds the syncer populates
+//! downward: pods reference them at runtime, so they must exist in the super
+//! cluster before the kubelet starts the pod. Secrets additionally carry the
+//! tenant kubeconfigs the tenant operator stores in the super cluster.
+
+use crate::meta::ObjectMeta;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Type of a secret, mirroring the `type` field in Kubernetes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SecretType {
+    /// Arbitrary user data.
+    #[default]
+    Opaque,
+    /// Service-account token secret.
+    ServiceAccountToken,
+    /// Kubeconfig credential for a tenant control plane (VirtualCluster
+    /// specific; written by the tenant operator).
+    Kubeconfig,
+    /// TLS certificate + key pair.
+    Tls,
+}
+
+/// A Secret object.
+///
+/// # Examples
+///
+/// ```
+/// use vc_api::config::Secret;
+///
+/// let s = Secret::new("default", "db-creds").with_entry("password", b"hunter2".to_vec());
+/// assert_eq!(s.data["password"], b"hunter2".to_vec());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Secret {
+    /// Standard metadata.
+    pub meta: ObjectMeta,
+    /// Secret type.
+    pub secret_type: SecretType,
+    /// Binary payload entries.
+    pub data: BTreeMap<String, Vec<u8>>,
+}
+
+impl Secret {
+    /// Creates an empty opaque secret.
+    pub fn new(namespace: impl Into<String>, name: impl Into<String>) -> Self {
+        Secret { meta: ObjectMeta::namespaced(namespace, name), ..Default::default() }
+    }
+
+    /// Adds a data entry (builder style).
+    pub fn with_entry(mut self, key: impl Into<String>, value: Vec<u8>) -> Self {
+        self.data.insert(key.into(), value);
+        self
+    }
+
+    /// Sets the secret type (builder style).
+    pub fn with_type(mut self, secret_type: SecretType) -> Self {
+        self.secret_type = secret_type;
+        self
+    }
+}
+
+/// A ConfigMap object.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ConfigMap {
+    /// Standard metadata.
+    pub meta: ObjectMeta,
+    /// String payload entries.
+    pub data: BTreeMap<String, String>,
+}
+
+impl ConfigMap {
+    /// Creates an empty config map.
+    pub fn new(namespace: impl Into<String>, name: impl Into<String>) -> Self {
+        ConfigMap { meta: ObjectMeta::namespaced(namespace, name), ..Default::default() }
+    }
+
+    /// Adds a data entry (builder style).
+    pub fn with_entry(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.data.insert(key.into(), value.into());
+        self
+    }
+}
+
+/// A ServiceAccount object.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServiceAccount {
+    /// Standard metadata.
+    pub meta: ObjectMeta,
+    /// Names of token secrets bound to this account.
+    pub secrets: Vec<String>,
+}
+
+impl ServiceAccount {
+    /// Creates a service account with no token secrets.
+    pub fn new(namespace: impl Into<String>, name: impl Into<String>) -> Self {
+        ServiceAccount { meta: ObjectMeta::namespaced(namespace, name), secrets: Vec::new() }
+    }
+}
+
+/// Name of the service account every namespace gets automatically.
+pub const DEFAULT_SERVICE_ACCOUNT: &str = "default";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secret_builder() {
+        let s = Secret::new("ns", "s")
+            .with_entry("a", vec![1, 2, 3])
+            .with_type(SecretType::Kubeconfig);
+        assert_eq!(s.secret_type, SecretType::Kubeconfig);
+        assert_eq!(s.data.len(), 1);
+    }
+
+    #[test]
+    fn configmap_builder() {
+        let cm = ConfigMap::new("ns", "cm").with_entry("k", "v");
+        assert_eq!(cm.data["k"], "v");
+    }
+
+    #[test]
+    fn service_account_default() {
+        let sa = ServiceAccount::new("ns", DEFAULT_SERVICE_ACCOUNT);
+        assert_eq!(sa.meta.name, "default");
+        assert!(sa.secrets.is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Secret::new("ns", "s").with_entry("bin", vec![0, 255]);
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(s, serde_json::from_str::<Secret>(&json).unwrap());
+    }
+}

@@ -1,0 +1,134 @@
+//! CustomResourceDefinitions and dynamic custom objects.
+//!
+//! A key VirtualCluster benefit is that tenants can install CRDs in their
+//! own control plane without super-cluster negotiation (paper §I,
+//! "management inconvenience"). The VirtualCluster `VC` object itself is a
+//! CRD in the super cluster. CRD *synchronization* is paper future work and
+//! implemented here behind [`CustomResourceDefinition::sync_to_super`].
+
+use crate::meta::ObjectMeta;
+use serde::{Deserialize, Serialize};
+
+/// Scope of a custom resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CrdScope {
+    /// Instances live in namespaces.
+    #[default]
+    Namespaced,
+    /// Instances are cluster-scoped.
+    Cluster,
+}
+
+/// A CustomResourceDefinition object (cluster-scoped).
+///
+/// # Examples
+///
+/// ```
+/// use vc_api::crd::CustomResourceDefinition;
+///
+/// let crd = CustomResourceDefinition::new("tensorjobs.ai.example.com", "TensorJob");
+/// assert_eq!(crd.kind, "TensorJob");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CustomResourceDefinition {
+    /// Standard metadata; the name is `plural.group`.
+    pub meta: ObjectMeta,
+    /// Kind of the defined resource.
+    pub kind: String,
+    /// API group.
+    pub group: String,
+    /// Resource scope.
+    pub scope: CrdScope,
+    /// Whether the syncer should propagate instances of this CRD to the
+    /// super cluster (the paper's future-work extension, implemented here).
+    pub sync_to_super: bool,
+}
+
+impl CustomResourceDefinition {
+    /// Creates a namespaced CRD. `name` must be `plural.group`.
+    pub fn new(name: impl Into<String>, kind: impl Into<String>) -> Self {
+        let name = name.into();
+        let group = name.split_once('.').map(|(_, g)| g.to_string()).unwrap_or_default();
+        CustomResourceDefinition {
+            meta: ObjectMeta::cluster_scoped(name),
+            kind: kind.into(),
+            group,
+            scope: CrdScope::Namespaced,
+            sync_to_super: false,
+        }
+    }
+
+    /// Marks instances for downward synchronization (builder style).
+    pub fn with_sync_to_super(mut self) -> Self {
+        self.sync_to_super = true;
+        self
+    }
+}
+
+/// An instance of a custom resource, carrying an unstructured JSON payload.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CustomObject {
+    /// Standard metadata.
+    pub meta: ObjectMeta,
+    /// The CRD kind this object instantiates.
+    pub kind: String,
+    /// Unstructured spec payload (JSON text; kept as a string so the object
+    /// stays `Eq`/`Hash`-friendly).
+    pub payload: String,
+}
+
+impl CustomObject {
+    /// Creates a custom object of `kind` with a JSON `payload`.
+    pub fn new(
+        namespace: impl Into<String>,
+        name: impl Into<String>,
+        kind: impl Into<String>,
+        payload: impl Into<String>,
+    ) -> Self {
+        CustomObject {
+            meta: ObjectMeta::namespaced(namespace, name),
+            kind: kind.into(),
+            payload: payload.into(),
+        }
+    }
+
+    /// Parses the payload as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error when the payload is not
+    /// valid JSON.
+    pub fn payload_json(&self) -> Result<serde_json::Value, serde_json::Error> {
+        serde_json::from_str(&self.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crd_group_derived_from_name() {
+        let crd = CustomResourceDefinition::new("tensorjobs.ai.example.com", "TensorJob");
+        assert_eq!(crd.group, "ai.example.com");
+        assert_eq!(crd.scope, CrdScope::Namespaced);
+        assert!(!crd.sync_to_super);
+        assert!(crd.with_sync_to_super().sync_to_super);
+    }
+
+    #[test]
+    fn custom_object_payload_json() {
+        let obj = CustomObject::new("ns", "job-1", "TensorJob", r#"{"gpus": 4}"#);
+        let v = obj.payload_json().unwrap();
+        assert_eq!(v["gpus"], 4);
+        let bad = CustomObject::new("ns", "job-2", "TensorJob", "not json");
+        assert!(bad.payload_json().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let obj = CustomObject::new("ns", "o", "K", "{}");
+        let json = serde_json::to_string(&obj).unwrap();
+        assert_eq!(obj, serde_json::from_str::<CustomObject>(&json).unwrap());
+    }
+}

@@ -1,0 +1,265 @@
+//! API error model mirroring the Kubernetes `StatusError` reasons.
+//!
+//! Every fallible operation in the apiserver, client and controllers returns
+//! [`ApiError`]. The variants mirror the HTTP status reasons a real
+//! Kubernetes apiserver produces, which controllers key their retry behavior
+//! on (e.g. a [`ApiError::Conflict`] triggers a re-read + retry, while
+//! [`ApiError::NotFound`] usually terminates a reconcile).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result alias used throughout the workspace.
+pub type ApiResult<T> = Result<T, ApiError>;
+
+/// An error returned by an apiserver operation.
+///
+/// # Examples
+///
+/// ```
+/// use vc_api::error::ApiError;
+///
+/// let err = ApiError::not_found("Pod", "default/web-0");
+/// assert!(err.is_not_found());
+/// assert_eq!(err.to_string(), "pods \"default/web-0\" not found");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant field names are self-describing
+pub enum ApiError {
+    /// The referenced object does not exist.
+    NotFound { kind: String, name: String },
+    /// An object with the same key already exists.
+    AlreadyExists { kind: String, name: String },
+    /// Optimistic-concurrency failure: the provided `resource_version` is
+    /// stale.
+    Conflict { kind: String, name: String, message: String },
+    /// The object failed validation or admission.
+    Invalid { kind: String, name: String, message: String },
+    /// The authenticated user is not allowed to perform the operation.
+    Forbidden { user: String, verb: String, resource: String, message: String },
+    /// The client exceeded a server-side rate or inflight limit.
+    TooManyRequests { message: String, retry_after_ms: u64 },
+    /// A watch client fell too far behind and its start revision was
+    /// compacted away; it must re-list.
+    Expired { message: String },
+    /// The operation exceeded its deadline.
+    Timeout { message: String },
+    /// The target component is shutting down or not yet serving.
+    Unavailable { message: String },
+    /// Catch-all for internal invariant violations.
+    Internal { message: String },
+}
+
+impl ApiError {
+    /// Creates a `NotFound` error for `kind` and the object key `name`.
+    pub fn not_found(kind: impl Into<String>, name: impl Into<String>) -> Self {
+        ApiError::NotFound { kind: kind.into(), name: name.into() }
+    }
+
+    /// Creates an `AlreadyExists` error.
+    pub fn already_exists(kind: impl Into<String>, name: impl Into<String>) -> Self {
+        ApiError::AlreadyExists { kind: kind.into(), name: name.into() }
+    }
+
+    /// Creates a `Conflict` (stale `resource_version`) error.
+    pub fn conflict(
+        kind: impl Into<String>,
+        name: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        ApiError::Conflict { kind: kind.into(), name: name.into(), message: message.into() }
+    }
+
+    /// Creates an `Invalid` (validation/admission rejection) error.
+    pub fn invalid(
+        kind: impl Into<String>,
+        name: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        ApiError::Invalid { kind: kind.into(), name: name.into(), message: message.into() }
+    }
+
+    /// Creates a `Forbidden` (authorization denial) error.
+    pub fn forbidden(
+        user: impl Into<String>,
+        verb: impl Into<String>,
+        resource: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        ApiError::Forbidden {
+            user: user.into(),
+            verb: verb.into(),
+            resource: resource.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Creates a `TooManyRequests` error with a retry hint.
+    pub fn too_many_requests(message: impl Into<String>, retry_after_ms: u64) -> Self {
+        ApiError::TooManyRequests { message: message.into(), retry_after_ms }
+    }
+
+    /// Creates an `Expired` (compacted watch revision) error.
+    pub fn expired(message: impl Into<String>) -> Self {
+        ApiError::Expired { message: message.into() }
+    }
+
+    /// Creates a `Timeout` error.
+    pub fn timeout(message: impl Into<String>) -> Self {
+        ApiError::Timeout { message: message.into() }
+    }
+
+    /// Creates an `Unavailable` error.
+    pub fn unavailable(message: impl Into<String>) -> Self {
+        ApiError::Unavailable { message: message.into() }
+    }
+
+    /// Creates an `Internal` error.
+    pub fn internal(message: impl Into<String>) -> Self {
+        ApiError::Internal { message: message.into() }
+    }
+
+    /// Returns `true` if this is a `NotFound` error.
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, ApiError::NotFound { .. })
+    }
+
+    /// Returns `true` if this is an `AlreadyExists` error.
+    pub fn is_already_exists(&self) -> bool {
+        matches!(self, ApiError::AlreadyExists { .. })
+    }
+
+    /// Returns `true` if this is a `Conflict` error.
+    pub fn is_conflict(&self) -> bool {
+        matches!(self, ApiError::Conflict { .. })
+    }
+
+    /// Returns `true` if this is a `Forbidden` error.
+    pub fn is_forbidden(&self) -> bool {
+        matches!(self, ApiError::Forbidden { .. })
+    }
+
+    /// Returns `true` if this is an `Expired` error (watch must re-list).
+    pub fn is_expired(&self) -> bool {
+        matches!(self, ApiError::Expired { .. })
+    }
+
+    /// Returns `true` if the operation may succeed if retried verbatim
+    /// (rate limits, timeouts, unavailability, conflicts).
+    pub fn is_retriable(&self) -> bool {
+        matches!(
+            self,
+            ApiError::Conflict { .. }
+                | ApiError::TooManyRequests { .. }
+                | ApiError::Timeout { .. }
+                | ApiError::Unavailable { .. }
+        )
+    }
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::NotFound { kind, name } => {
+                write!(f, "{} \"{}\" not found", plural(kind), name)
+            }
+            ApiError::AlreadyExists { kind, name } => {
+                write!(f, "{} \"{}\" already exists", plural(kind), name)
+            }
+            ApiError::Conflict { kind, name, message } => {
+                write!(f, "operation cannot be fulfilled on {} \"{}\": {}", plural(kind), name, message)
+            }
+            ApiError::Invalid { kind, name, message } => {
+                write!(f, "{} \"{}\" is invalid: {}", plural(kind), name, message)
+            }
+            ApiError::Forbidden { user, verb, resource, message } => {
+                write!(f, "user \"{}\" cannot {} {}: {}", user, verb, resource, message)
+            }
+            ApiError::TooManyRequests { message, retry_after_ms } => {
+                write!(f, "too many requests: {} (retry after {}ms)", message, retry_after_ms)
+            }
+            ApiError::Expired { message } => write!(f, "resource version expired: {}", message),
+            ApiError::Timeout { message } => write!(f, "request timed out: {}", message),
+            ApiError::Unavailable { message } => write!(f, "server unavailable: {}", message),
+            ApiError::Internal { message } => write!(f, "internal error: {}", message),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// Lower-cases and pluralizes a kind the way `kubectl` prints it
+/// (`Pod` -> `pods`, `StorageClass` -> `storageclasses`).
+fn plural(kind: &str) -> String {
+    let lower = kind.to_ascii_lowercase();
+    if lower.ends_with('s') {
+        format!("{lower}es")
+    } else if lower.ends_with('y') {
+        format!("{}ies", &lower[..lower.len() - 1])
+    } else {
+        format!("{lower}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_found_display_and_predicate() {
+        let err = ApiError::not_found("Pod", "ns/a");
+        assert!(err.is_not_found());
+        assert!(!err.is_conflict());
+        assert_eq!(err.to_string(), "pods \"ns/a\" not found");
+    }
+
+    #[test]
+    fn plural_rules() {
+        assert_eq!(plural("Pod"), "pods");
+        assert_eq!(plural("StorageClass"), "storageclasses");
+        assert_eq!(plural("NetworkPolicy"), "networkpolicies");
+        assert_eq!(plural("Endpoints"), "endpointses");
+    }
+
+    #[test]
+    fn conflict_is_retriable() {
+        let err = ApiError::conflict("Pod", "ns/a", "rv mismatch");
+        assert!(err.is_conflict());
+        assert!(err.is_retriable());
+    }
+
+    #[test]
+    fn forbidden_is_not_retriable() {
+        let err = ApiError::forbidden("t1-user", "list", "namespaces", "RBAC denied");
+        assert!(err.is_forbidden());
+        assert!(!err.is_retriable());
+    }
+
+    #[test]
+    fn expired_predicate() {
+        assert!(ApiError::expired("revision 5 compacted").is_expired());
+        assert!(!ApiError::timeout("x").is_expired());
+    }
+
+    #[test]
+    fn errors_roundtrip_serde() {
+        let err = ApiError::too_many_requests("client qps", 250);
+        let json = serde_json::to_string(&err).unwrap();
+        let back: ApiError = serde_json::from_str(&json).unwrap();
+        assert_eq!(err, back);
+    }
+
+    #[test]
+    fn display_is_lowercase_without_trailing_period() {
+        for err in [
+            ApiError::timeout("deadline"),
+            ApiError::unavailable("shutting down"),
+            ApiError::internal("bug"),
+            ApiError::expired("compacted"),
+        ] {
+            let s = err.to_string();
+            assert!(!s.ends_with('.'), "{s}");
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! The Event object.
+//!
+//! Events are synchronized **upward** by the syncer so tenants can `kubectl
+//! describe` their pods and see scheduling or kubelet events that actually
+//! happened in the super cluster.
+
+use crate::meta::ObjectMeta;
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// Severity of an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum EventType {
+    /// Expected lifecycle progress.
+    #[default]
+    Normal,
+    /// Something went wrong.
+    Warning,
+}
+
+/// Reference to the object an event is about.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ObjectReference {
+    /// Kind of the referenced object.
+    pub kind: String,
+    /// Namespace of the referenced object.
+    pub namespace: String,
+    /// Name of the referenced object.
+    pub name: String,
+}
+
+/// A complete Event object.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Event {
+    /// Standard metadata.
+    pub meta: ObjectMeta,
+    /// The involved object.
+    pub involved_object: ObjectReference,
+    /// Severity.
+    pub event_type: EventType,
+    /// Machine-readable reason (`Scheduled`, `FailedScheduling`, …).
+    pub reason: String,
+    /// Human-readable message.
+    pub message: String,
+    /// Component that emitted the event.
+    pub source: String,
+    /// Number of occurrences (deduplicated events increment this).
+    pub count: u32,
+    /// First occurrence.
+    pub first_seen: Timestamp,
+    /// Latest occurrence.
+    pub last_seen: Timestamp,
+}
+
+impl Event {
+    /// Creates a single-occurrence event about the given object.
+    pub fn about(
+        namespace: impl Into<String>,
+        name: impl Into<String>,
+        involved: ObjectReference,
+        reason: impl Into<String>,
+        message: impl Into<String>,
+        now: Timestamp,
+    ) -> Self {
+        Event {
+            meta: ObjectMeta::namespaced(namespace, name),
+            involved_object: involved,
+            event_type: EventType::Normal,
+            reason: reason.into(),
+            message: message.into(),
+            source: String::new(),
+            count: 1,
+            first_seen: now,
+            last_seen: now,
+        }
+    }
+
+    /// Records another occurrence at `now`.
+    pub fn bump(&mut self, now: Timestamp) {
+        self.count += 1;
+        self.last_seen = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn about_and_bump() {
+        let mut ev = Event::about(
+            "ns",
+            "web-0.scheduled",
+            ObjectReference { kind: "Pod".into(), namespace: "ns".into(), name: "web-0".into() },
+            "Scheduled",
+            "assigned to node-1",
+            Timestamp::from_millis(100),
+        );
+        assert_eq!(ev.count, 1);
+        ev.bump(Timestamp::from_millis(200));
+        assert_eq!(ev.count, 2);
+        assert_eq!(ev.first_seen, Timestamp::from_millis(100));
+        assert_eq!(ev.last_seen, Timestamp::from_millis(200));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ev = Event::about(
+            "ns",
+            "e1",
+            ObjectReference::default(),
+            "Reason",
+            "msg",
+            Timestamp::ZERO,
+        );
+        let json = serde_json::to_string(&ev).unwrap();
+        assert_eq!(ev, serde_json::from_str::<Event>(&json).unwrap());
+    }
+}

@@ -1,0 +1,256 @@
+//! Label maps and label selectors.
+//!
+//! Implements the Kubernetes `LabelSelector` semantics: `matchLabels`
+//! equality plus `matchExpressions` with the `In`, `NotIn`, `Exists` and
+//! `DoesNotExist` operators. Services select their endpoint pods, the
+//! scheduler evaluates (anti-)affinity terms, and listers filter caches with
+//! these selectors.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An ordered label map (`BTreeMap` so serialization and equality are
+/// deterministic).
+pub type Labels = BTreeMap<String, String>;
+
+/// Builds a [`Labels`] map from `key=value` pairs.
+///
+/// # Examples
+///
+/// ```
+/// use vc_api::labels::labels;
+///
+/// let l = labels(&[("app", "web"), ("tier", "frontend")]);
+/// assert_eq!(l.get("app").map(String::as_str), Some("web"));
+/// ```
+pub fn labels(pairs: &[(&str, &str)]) -> Labels {
+    pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+}
+
+/// Operator of a single selector requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operator {
+    /// Label value must be one of the given values.
+    In,
+    /// Label value must not be any of the given values (absent keys match).
+    NotIn,
+    /// Label key must be present.
+    Exists,
+    /// Label key must be absent.
+    DoesNotExist,
+}
+
+/// One `matchExpressions` entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Requirement {
+    /// The label key the requirement applies to.
+    pub key: String,
+    /// The matching operator.
+    pub operator: Operator,
+    /// Values for `In` / `NotIn`; must be empty for `Exists` /
+    /// `DoesNotExist`.
+    pub values: Vec<String>,
+}
+
+impl Requirement {
+    /// Creates an `In` requirement.
+    pub fn in_values(key: impl Into<String>, values: &[&str]) -> Self {
+        Requirement {
+            key: key.into(),
+            operator: Operator::In,
+            values: values.iter().map(|v| v.to_string()).collect(),
+        }
+    }
+
+    /// Creates a `NotIn` requirement.
+    pub fn not_in(key: impl Into<String>, values: &[&str]) -> Self {
+        Requirement {
+            key: key.into(),
+            operator: Operator::NotIn,
+            values: values.iter().map(|v| v.to_string()).collect(),
+        }
+    }
+
+    /// Creates an `Exists` requirement.
+    pub fn exists(key: impl Into<String>) -> Self {
+        Requirement { key: key.into(), operator: Operator::Exists, values: Vec::new() }
+    }
+
+    /// Creates a `DoesNotExist` requirement.
+    pub fn does_not_exist(key: impl Into<String>) -> Self {
+        Requirement { key: key.into(), operator: Operator::DoesNotExist, values: Vec::new() }
+    }
+
+    /// Returns `true` if the label map satisfies this requirement.
+    pub fn matches(&self, labels: &Labels) -> bool {
+        match self.operator {
+            Operator::In => {
+                labels.get(&self.key).is_some_and(|v| self.values.iter().any(|x| x == v))
+            }
+            Operator::NotIn => {
+                labels.get(&self.key).is_none_or(|v| !self.values.iter().any(|x| x == v))
+            }
+            Operator::Exists => labels.contains_key(&self.key),
+            Operator::DoesNotExist => !labels.contains_key(&self.key),
+        }
+    }
+}
+
+/// A label selector: the conjunction of `match_labels` equalities and
+/// `match_expressions` requirements.
+///
+/// An **empty selector matches everything** and a selector is printed in
+/// `kubectl` set-based syntax by its [`fmt::Display`] impl.
+///
+/// # Examples
+///
+/// ```
+/// use vc_api::labels::{labels, Selector, Requirement};
+///
+/// let sel = Selector::from_map(labels(&[("app", "web")]))
+///     .with_requirement(Requirement::not_in("env", &["dev"]));
+/// assert!(sel.matches(&labels(&[("app", "web"), ("env", "prod")])));
+/// assert!(!sel.matches(&labels(&[("app", "web"), ("env", "dev")])));
+/// assert!(!sel.matches(&labels(&[("env", "prod")])));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Selector {
+    /// Equality requirements: every entry must be present with exactly this
+    /// value.
+    pub match_labels: Labels,
+    /// Set-based requirements, all of which must hold.
+    pub match_expressions: Vec<Requirement>,
+}
+
+impl Selector {
+    /// The selector that matches every object.
+    pub fn everything() -> Self {
+        Selector::default()
+    }
+
+    /// Creates an equality-only selector from a label map.
+    pub fn from_map(match_labels: Labels) -> Self {
+        Selector { match_labels, match_expressions: Vec::new() }
+    }
+
+    /// Creates an equality-only selector from `key=value` pairs.
+    pub fn from_pairs(pairs: &[(&str, &str)]) -> Self {
+        Selector::from_map(labels(pairs))
+    }
+
+    /// Adds a requirement, returning the modified selector (builder style).
+    pub fn with_requirement(mut self, req: Requirement) -> Self {
+        self.match_expressions.push(req);
+        self
+    }
+
+    /// Returns `true` if this selector selects everything.
+    pub fn is_empty(&self) -> bool {
+        self.match_labels.is_empty() && self.match_expressions.is_empty()
+    }
+
+    /// Returns `true` if `labels` satisfies every part of the selector.
+    pub fn matches(&self, labels: &Labels) -> bool {
+        for (k, v) in &self.match_labels {
+            if labels.get(k) != Some(v) {
+                return false;
+            }
+        }
+        self.match_expressions.iter().all(|r| r.matches(labels))
+    }
+}
+
+impl fmt::Display for Selector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> =
+            self.match_labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        for r in &self.match_expressions {
+            parts.push(match r.operator {
+                Operator::In => format!("{} in ({})", r.key, r.values.join(",")),
+                Operator::NotIn => format!("{} notin ({})", r.key, r.values.join(",")),
+                Operator::Exists => r.key.clone(),
+                Operator::DoesNotExist => format!("!{}", r.key),
+            });
+        }
+        if parts.is_empty() {
+            write!(f, "<everything>")
+        } else {
+            write!(f, "{}", parts.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_selector_matches_everything() {
+        let sel = Selector::everything();
+        assert!(sel.is_empty());
+        assert!(sel.matches(&Labels::new()));
+        assert!(sel.matches(&labels(&[("a", "b")])));
+    }
+
+    #[test]
+    fn equality_matching() {
+        let sel = Selector::from_pairs(&[("app", "web"), ("tier", "fe")]);
+        assert!(sel.matches(&labels(&[("app", "web"), ("tier", "fe"), ("x", "y")])));
+        assert!(!sel.matches(&labels(&[("app", "web")])));
+        assert!(!sel.matches(&labels(&[("app", "db"), ("tier", "fe")])));
+    }
+
+    #[test]
+    fn in_operator() {
+        let r = Requirement::in_values("env", &["prod", "staging"]);
+        assert!(r.matches(&labels(&[("env", "prod")])));
+        assert!(r.matches(&labels(&[("env", "staging")])));
+        assert!(!r.matches(&labels(&[("env", "dev")])));
+        assert!(!r.matches(&Labels::new()), "absent key never satisfies In");
+    }
+
+    #[test]
+    fn not_in_operator_absent_key_matches() {
+        let r = Requirement::not_in("env", &["dev"]);
+        assert!(r.matches(&Labels::new()));
+        assert!(r.matches(&labels(&[("env", "prod")])));
+        assert!(!r.matches(&labels(&[("env", "dev")])));
+    }
+
+    #[test]
+    fn exists_and_does_not_exist() {
+        assert!(Requirement::exists("gpu").matches(&labels(&[("gpu", "")])));
+        assert!(!Requirement::exists("gpu").matches(&Labels::new()));
+        assert!(Requirement::does_not_exist("gpu").matches(&Labels::new()));
+        assert!(!Requirement::does_not_exist("gpu").matches(&labels(&[("gpu", "1")])));
+    }
+
+    #[test]
+    fn conjunction_of_expressions() {
+        let sel = Selector::everything()
+            .with_requirement(Requirement::exists("app"))
+            .with_requirement(Requirement::not_in("app", &["legacy"]));
+        assert!(sel.matches(&labels(&[("app", "web")])));
+        assert!(!sel.matches(&labels(&[("app", "legacy")])));
+        assert!(!sel.matches(&Labels::new()));
+    }
+
+    #[test]
+    fn display_format() {
+        let sel = Selector::from_pairs(&[("app", "web")])
+            .with_requirement(Requirement::in_values("env", &["a", "b"]))
+            .with_requirement(Requirement::does_not_exist("gpu"));
+        assert_eq!(sel.to_string(), "app=web,env in (a,b),!gpu");
+        assert_eq!(Selector::everything().to_string(), "<everything>");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let sel = Selector::from_pairs(&[("a", "1")])
+            .with_requirement(Requirement::exists("b"));
+        let json = serde_json::to_string(&sel).unwrap();
+        let back: Selector = serde_json::from_str(&json).unwrap();
+        assert_eq!(sel, back);
+    }
+}

@@ -1,0 +1,334 @@
+//! Lightweight metrics primitives used by every component.
+//!
+//! The experiment harnesses (Figures 7–11, Table I) are built on these:
+//! [`Histogram`] records latency distributions with configurable buckets and
+//! exact-percentile support, [`Counter`] and [`Gauge`] track rates and
+//! levels, and [`BusyTimer`] accumulates per-thread busy time for the
+//! Fig 10 CPU-usage accounting.
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Monotonically increasing counter.
+///
+/// # Examples
+///
+/// ```
+/// use vc_api::metrics::Counter;
+///
+/// let c = Counter::new();
+/// c.inc();
+/// c.add(4);
+/// assert_eq!(c.get(), 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A level that can go up and down (queue depths, cache sizes).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements by one.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets an absolute value.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A latency histogram with exact percentiles.
+///
+/// Samples are recorded in milliseconds. In addition to configurable
+/// bucket counts (used to print the paper's histogram figures and Table I),
+/// all raw samples are retained so percentiles are exact rather than
+/// interpolated — the experiments record at most a few hundred thousand
+/// samples, so memory is not a concern.
+///
+/// # Examples
+///
+/// ```
+/// use vc_api::metrics::Histogram;
+///
+/// let h = Histogram::new();
+/// for ms in [10, 20, 30, 40, 50] {
+///     h.observe_ms(ms);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.percentile(0.5), 30);
+/// assert_eq!(h.max(), 50);
+/// ```
+#[derive(Debug, Default)]
+pub struct Histogram {
+    samples: Mutex<Vec<u64>>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram { samples: Mutex::new(Vec::new()) }
+    }
+
+    /// Records a sample in milliseconds.
+    pub fn observe_ms(&self, ms: u64) {
+        self.samples.lock().push(ms);
+    }
+
+    /// Records a [`Duration`] sample.
+    pub fn observe(&self, d: Duration) {
+        self.observe_ms(d.as_millis() as u64);
+    }
+
+    /// Returns the number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.lock().len()
+    }
+
+    /// Returns the exact `q`-quantile (0.0 ..= 1.0) in milliseconds, or 0 if
+    /// empty. Uses the nearest-rank method.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let mut samples = self.samples.lock().clone();
+        if samples.is_empty() {
+            return 0;
+        }
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        samples[rank - 1]
+    }
+
+    /// Returns the arithmetic mean in milliseconds (0 if empty).
+    pub fn mean(&self) -> f64 {
+        let samples = self.samples.lock();
+        if samples.is_empty() {
+            return 0.0;
+        }
+        samples.iter().sum::<u64>() as f64 / samples.len() as f64
+    }
+
+    /// Returns the maximum sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.samples.lock().iter().copied().max().unwrap_or(0)
+    }
+
+    /// Returns the minimum sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        self.samples.lock().iter().copied().min().unwrap_or(0)
+    }
+
+    /// Buckets the samples by `width_ms`, returning counts for
+    /// `[0,w), [w,2w), …` up to and including the bucket holding the max.
+    ///
+    /// This is the representation used by the paper's Fig 7 histograms and
+    /// Table I bucket counts (bucket unit = 2 seconds there).
+    pub fn buckets(&self, width_ms: u64) -> Vec<usize> {
+        assert!(width_ms > 0, "bucket width must be positive");
+        let samples = self.samples.lock();
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        let max = samples.iter().copied().max().unwrap_or(0);
+        let n = (max / width_ms + 1) as usize;
+        let mut buckets = vec![0usize; n];
+        for &s in samples.iter() {
+            buckets[(s / width_ms) as usize] += 1;
+        }
+        buckets
+    }
+
+    /// Returns a copy of the raw samples.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.samples.lock().clone()
+    }
+
+    /// Removes all samples.
+    pub fn reset(&self) {
+        self.samples.lock().clear();
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1}ms p50={}ms p99={}ms max={}ms",
+            self.count(),
+            self.mean(),
+            self.percentile(0.5),
+            self.percentile(0.99),
+            self.max()
+        )
+    }
+}
+
+/// Accumulates busy time across threads.
+///
+/// Workers wrap each unit of work in [`BusyTimer::record`]; the total
+/// approximates the process CPU time the paper reports in Fig 10 (the
+/// simulation performs its "work" as timed sections, so busy time is the
+/// faithful analog of accumulated CPU time).
+#[derive(Debug, Default)]
+pub struct BusyTimer {
+    busy_micros: AtomicU64,
+}
+
+impl BusyTimer {
+    /// Creates a timer at zero.
+    pub fn new() -> Self {
+        BusyTimer { busy_micros: AtomicU64::new(0) }
+    }
+
+    /// Adds an already-measured busy duration.
+    pub fn add(&self, d: Duration) {
+        self.busy_micros.fetch_add(d.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Runs `f`, recording its wall time as busy time, and returns its
+    /// result.
+    pub fn record<T>(&self, f: impl FnOnce() -> T) -> T {
+        let start = std::time::Instant::now();
+        let out = f();
+        self.add(start.elapsed());
+        out
+    }
+
+    /// Returns the accumulated busy time.
+    pub fn total(&self) -> Duration {
+        Duration::from_micros(self.busy_micros.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge() {
+        let c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        g.add(-3);
+        assert_eq!(g.get(), -2);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_percentiles_exact() {
+        let h = Histogram::new();
+        for ms in 1..=100 {
+            h.observe_ms(ms);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile(0.5), 50);
+        assert_eq!(h.percentile(0.99), 99);
+        assert_eq!(h.percentile(1.0), 100);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.buckets(1000).is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_table1_style() {
+        let h = Histogram::new();
+        // 3 samples in [0,2s), 2 in [2s,4s), 1 in [4s,6s).
+        for ms in [100, 500, 1999, 2000, 3999, 4000] {
+            h.observe_ms(ms);
+        }
+        assert_eq!(h.buckets(2000), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn histogram_reset_and_snapshot() {
+        let h = Histogram::new();
+        h.observe(Duration::from_millis(7));
+        assert_eq!(h.snapshot(), vec![7]);
+        h.reset();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn histogram_zero_bucket_width_panics() {
+        let h = Histogram::new();
+        h.observe_ms(1);
+        let _ = h.buckets(0);
+    }
+
+    #[test]
+    fn busy_timer_accumulates() {
+        let t = BusyTimer::new();
+        t.add(Duration::from_millis(5));
+        let out = t.record(|| 42);
+        assert_eq!(out, 42);
+        assert!(t.total() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn histogram_display_nonempty() {
+        let h = Histogram::new();
+        h.observe_ms(3);
+        let s = h.to_string();
+        assert!(s.contains("n=1"), "{s}");
+    }
+}

@@ -1,0 +1,80 @@
+//! The Namespace object.
+//!
+//! Namespaces are cluster-scoped, which is the root of the information-leak
+//! problem the paper describes (§I): the namespace List API cannot filter by
+//! tenant identity. In VirtualCluster every tenant owns its namespaces in a
+//! dedicated control plane; the syncer copies them to the super cluster
+//! under a per-tenant prefix.
+
+use crate::meta::ObjectMeta;
+use serde::{Deserialize, Serialize};
+
+/// Namespace lifecycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum NamespacePhase {
+    /// Accepting new objects.
+    #[default]
+    Active,
+    /// Deletion requested; contents are being garbage-collected and no new
+    /// objects may be created in it.
+    Terminating,
+}
+
+/// A complete Namespace object.
+///
+/// # Examples
+///
+/// ```
+/// use vc_api::namespace::Namespace;
+///
+/// let ns = Namespace::new("team-a");
+/// assert!(ns.is_active());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Namespace {
+    /// Standard metadata (cluster-scoped).
+    pub meta: ObjectMeta,
+    /// Lifecycle phase.
+    pub phase: NamespacePhase,
+}
+
+impl Namespace {
+    /// Creates an active namespace.
+    pub fn new(name: impl Into<String>) -> Self {
+        Namespace { meta: ObjectMeta::cluster_scoped(name), phase: NamespacePhase::Active }
+    }
+
+    /// Returns `true` if new objects may be created in this namespace.
+    pub fn is_active(&self) -> bool {
+        self.phase == NamespacePhase::Active && !self.meta.is_terminating()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+
+    #[test]
+    fn active_by_default() {
+        assert!(Namespace::new("ns").is_active());
+    }
+
+    #[test]
+    fn terminating_is_not_active() {
+        let mut ns = Namespace::new("ns");
+        ns.phase = NamespacePhase::Terminating;
+        assert!(!ns.is_active());
+
+        let mut ns2 = Namespace::new("ns2");
+        ns2.meta.deletion_timestamp = Some(Timestamp::from_millis(1));
+        assert!(!ns2.is_active());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ns = Namespace::new("team-a");
+        let json = serde_json::to_string(&ns).unwrap();
+        assert_eq!(ns, serde_json::from_str::<Namespace>(&json).unwrap());
+    }
+}

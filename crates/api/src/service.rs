@@ -1,0 +1,186 @@
+//! Service and Endpoints objects.
+//!
+//! Cluster-IP services are the data-plane mechanism the paper's enhanced
+//! kubeproxy restores in VPC environments: a virtual IP plus a set of
+//! endpoint pod IPs, realized as DNAT rules in (guest) iptables.
+
+use crate::labels::{Labels, Selector};
+use crate::meta::ObjectMeta;
+use crate::pod::Protocol;
+use serde::{Deserialize, Serialize};
+
+/// How a service is exposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ServiceType {
+    /// Virtual IP routable only inside the cluster.
+    #[default]
+    ClusterIp,
+    /// Exposed on each node's IP at a static port.
+    NodePort,
+    /// Provisioned through a cloud load balancer.
+    LoadBalancer,
+    /// No virtual IP; DNS returns endpoint IPs directly.
+    Headless,
+}
+
+/// One exposed service port.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServicePort {
+    /// Port name (unique within the service when several ports exist).
+    pub name: String,
+    /// Port on the cluster IP.
+    pub port: u16,
+    /// Port on the endpoint pods.
+    pub target_port: u16,
+    /// Transport protocol.
+    pub protocol: Protocol,
+}
+
+impl ServicePort {
+    /// Creates a TCP service port forwarding `port` to `target_port`.
+    pub fn tcp(port: u16, target_port: u16) -> Self {
+        ServicePort { name: String::new(), port, target_port, protocol: Protocol::Tcp }
+    }
+}
+
+/// Service desired state.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServiceSpec {
+    /// Exposure type.
+    pub service_type: ServiceType,
+    /// Pod selector; pods matching it become endpoints.
+    pub selector: Labels,
+    /// Virtual IP, allocated by the service IP allocator (empty until
+    /// allocated, `"None"` never occurs here — headless is a type).
+    pub cluster_ip: String,
+    /// Exposed ports.
+    pub ports: Vec<ServicePort>,
+}
+
+/// Service observed state.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServiceStatus {
+    /// Load-balancer ingress IP, when `service_type` is `LoadBalancer`.
+    pub load_balancer_ip: String,
+}
+
+/// A complete Service object.
+///
+/// # Examples
+///
+/// ```
+/// use vc_api::labels::labels;
+/// use vc_api::service::{Service, ServicePort};
+///
+/// let svc = Service::new("default", "web")
+///     .with_selector(labels(&[("app", "web")]))
+///     .with_port(ServicePort::tcp(80, 8080));
+/// assert!(svc.spec.cluster_ip.is_empty(), "IP allocated by the controller");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Service {
+    /// Standard metadata.
+    pub meta: ObjectMeta,
+    /// Desired state.
+    pub spec: ServiceSpec,
+    /// Observed state.
+    pub status: ServiceStatus,
+}
+
+impl Service {
+    /// Creates a cluster-IP service with no ports.
+    pub fn new(namespace: impl Into<String>, name: impl Into<String>) -> Self {
+        Service { meta: ObjectMeta::namespaced(namespace, name), ..Default::default() }
+    }
+
+    /// Sets the pod selector (builder style).
+    pub fn with_selector(mut self, selector: Labels) -> Self {
+        self.spec.selector = selector;
+        self
+    }
+
+    /// Adds a port (builder style).
+    pub fn with_port(mut self, port: ServicePort) -> Self {
+        self.spec.ports.push(port);
+        self
+    }
+
+    /// Returns the selector as a [`Selector`] value.
+    pub fn selector(&self) -> Selector {
+        Selector::from_map(self.spec.selector.clone())
+    }
+}
+
+/// One endpoint address behind a service.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EndpointAddress {
+    /// Pod IP.
+    pub ip: String,
+    /// Name of the backing pod.
+    pub target_pod: String,
+    /// Node hosting the pod.
+    pub node_name: String,
+}
+
+/// The Endpoints object tracking ready pod IPs for a same-named service.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Endpoints {
+    /// Standard metadata (name matches the service).
+    pub meta: ObjectMeta,
+    /// Ready addresses.
+    pub addresses: Vec<EndpointAddress>,
+    /// Ports mirrored from the service.
+    pub ports: Vec<ServicePort>,
+}
+
+impl Endpoints {
+    /// Creates an empty endpoints object for the service `name`.
+    pub fn new(namespace: impl Into<String>, name: impl Into<String>) -> Self {
+        Endpoints { meta: ObjectMeta::namespaced(namespace, name), ..Default::default() }
+    }
+
+    /// Returns `true` if no addresses are ready.
+    pub fn is_empty(&self) -> bool {
+        self.addresses.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::labels;
+
+    #[test]
+    fn service_builder_and_selector() {
+        let svc = Service::new("ns", "web")
+            .with_selector(labels(&[("app", "web")]))
+            .with_port(ServicePort::tcp(80, 8080));
+        assert_eq!(svc.spec.ports.len(), 1);
+        assert!(svc.selector().matches(&labels(&[("app", "web"), ("x", "y")])));
+        assert!(!svc.selector().matches(&labels(&[("app", "db")])));
+    }
+
+    #[test]
+    fn endpoints_emptiness() {
+        let mut eps = Endpoints::new("ns", "web");
+        assert!(eps.is_empty());
+        eps.addresses.push(EndpointAddress {
+            ip: "10.0.0.5".into(),
+            target_pod: "web-0".into(),
+            node_name: "n1".into(),
+        });
+        assert!(!eps.is_empty());
+    }
+
+    #[test]
+    fn default_type_is_cluster_ip() {
+        assert_eq!(Service::new("ns", "s").spec.service_type, ServiceType::ClusterIp);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let svc = Service::new("ns", "s").with_port(ServicePort::tcp(443, 8443));
+        let json = serde_json::to_string(&svc).unwrap();
+        assert_eq!(svc, serde_json::from_str::<Service>(&json).unwrap());
+    }
+}

@@ -1,0 +1,141 @@
+//! PersistentVolume, PersistentVolumeClaim and StorageClass objects.
+//!
+//! Three of the syncer's twelve kinds: claims flow downward with the pods
+//! that mount them, volumes and their binding statuses flow back up.
+
+use crate::meta::ObjectMeta;
+use crate::quantity::Quantity;
+use serde::{Deserialize, Serialize};
+
+/// Volume access mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AccessMode {
+    /// Mounted read-write by a single node.
+    #[default]
+    ReadWriteOnce,
+    /// Mounted read-only by many nodes.
+    ReadOnlyMany,
+    /// Mounted read-write by many nodes.
+    ReadWriteMany,
+}
+
+/// Claim/volume binding phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum VolumePhase {
+    /// Not yet bound.
+    #[default]
+    Pending,
+    /// Bound to a counterpart.
+    Bound,
+    /// Volume released by its claim but not reclaimed.
+    Released,
+}
+
+/// A PersistentVolumeClaim object.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PersistentVolumeClaim {
+    /// Standard metadata.
+    pub meta: ObjectMeta,
+    /// Requested capacity.
+    pub requested: Quantity,
+    /// Requested access mode.
+    pub access_mode: AccessMode,
+    /// Storage class name.
+    pub storage_class: String,
+    /// Binding phase.
+    pub phase: VolumePhase,
+    /// Name of the bound volume, once bound.
+    pub volume_name: String,
+}
+
+impl PersistentVolumeClaim {
+    /// Creates a pending claim.
+    pub fn new(
+        namespace: impl Into<String>,
+        name: impl Into<String>,
+        requested: Quantity,
+    ) -> Self {
+        PersistentVolumeClaim {
+            meta: ObjectMeta::namespaced(namespace, name),
+            requested,
+            ..Default::default()
+        }
+    }
+}
+
+/// A PersistentVolume object (cluster-scoped).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PersistentVolume {
+    /// Standard metadata.
+    pub meta: ObjectMeta,
+    /// Provisioned capacity.
+    pub capacity: Quantity,
+    /// Supported access mode.
+    pub access_mode: AccessMode,
+    /// Storage class name.
+    pub storage_class: String,
+    /// Binding phase.
+    pub phase: VolumePhase,
+    /// `namespace/name` of the bound claim, once bound.
+    pub claim_ref: String,
+}
+
+impl PersistentVolume {
+    /// Creates an unbound volume.
+    pub fn new(name: impl Into<String>, capacity: Quantity) -> Self {
+        PersistentVolume {
+            meta: ObjectMeta::cluster_scoped(name),
+            capacity,
+            ..Default::default()
+        }
+    }
+}
+
+/// A StorageClass object (cluster-scoped).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StorageClass {
+    /// Standard metadata.
+    pub meta: ObjectMeta,
+    /// Provisioner identifier (e.g. `csi.alicloud.com/disk`).
+    pub provisioner: String,
+    /// Whether volume binding waits for the first consumer pod.
+    pub wait_for_first_consumer: bool,
+}
+
+impl StorageClass {
+    /// Creates a storage class.
+    pub fn new(name: impl Into<String>, provisioner: impl Into<String>) -> Self {
+        StorageClass {
+            meta: ObjectMeta::cluster_scoped(name),
+            provisioner: provisioner.into(),
+            wait_for_first_consumer: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_starts_pending() {
+        let pvc = PersistentVolumeClaim::new("ns", "data", Quantity::from_whole(10));
+        assert_eq!(pvc.phase, VolumePhase::Pending);
+        assert!(pvc.volume_name.is_empty());
+    }
+
+    #[test]
+    fn volume_and_class() {
+        let pv = PersistentVolume::new("pv-1", Quantity::from_whole(100));
+        assert_eq!(pv.phase, VolumePhase::Pending);
+        let sc = StorageClass::new("fast", "csi.example.com");
+        assert_eq!(sc.provisioner, "csi.example.com");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let pvc = PersistentVolumeClaim::new("ns", "d", Quantity::from_whole(1));
+        let json = serde_json::to_string(&pvc).unwrap();
+        assert_eq!(pvc, serde_json::from_str::<PersistentVolumeClaim>(&json).unwrap());
+    }
+}

@@ -1,0 +1,153 @@
+//! Deployment and ReplicaSet workload objects.
+//!
+//! Tenant control planes run the full controller-manager, so tenants deploy
+//! workloads exactly as on upstream Kubernetes: a Deployment creates a
+//! ReplicaSet, the ReplicaSet controller creates Pods, and only the Pods are
+//! synchronized to the super cluster. This is what "full API compatibility"
+//! means in practice and the examples exercise it end-to-end.
+
+use crate::labels::Selector;
+use crate::meta::ObjectMeta;
+use crate::pod::PodSpec;
+use serde::{Deserialize, Serialize};
+
+/// Template stamped out for each replica pod.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PodTemplate {
+    /// Labels applied to created pods (must satisfy the selector).
+    pub labels: crate::labels::Labels,
+    /// Pod spec for created pods.
+    pub spec: PodSpec,
+}
+
+/// A ReplicaSet object.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ReplicaSet {
+    /// Standard metadata.
+    pub meta: ObjectMeta,
+    /// Desired replica count.
+    pub replicas: u32,
+    /// Pod selector.
+    pub selector: Selector,
+    /// Pod template.
+    pub template: PodTemplate,
+    /// Observed status.
+    pub status: ReplicaSetStatus,
+}
+
+/// ReplicaSet observed state.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ReplicaSetStatus {
+    /// Pods currently owned.
+    pub replicas: u32,
+    /// Owned pods that are Ready.
+    pub ready_replicas: u32,
+}
+
+impl ReplicaSet {
+    /// Creates a replica set.
+    pub fn new(
+        namespace: impl Into<String>,
+        name: impl Into<String>,
+        replicas: u32,
+        selector: Selector,
+        template: PodTemplate,
+    ) -> Self {
+        ReplicaSet {
+            meta: ObjectMeta::namespaced(namespace, name),
+            replicas,
+            selector,
+            template,
+            status: ReplicaSetStatus::default(),
+        }
+    }
+
+    /// Returns `true` when every desired replica is ready.
+    pub fn is_ready(&self) -> bool {
+        self.status.ready_replicas >= self.replicas
+    }
+}
+
+/// A Deployment object.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Deployment {
+    /// Standard metadata.
+    pub meta: ObjectMeta,
+    /// Desired replica count.
+    pub replicas: u32,
+    /// Pod selector (propagated to the replica set).
+    pub selector: Selector,
+    /// Pod template (propagated to the replica set).
+    pub template: PodTemplate,
+    /// Observed status.
+    pub status: DeploymentStatus,
+}
+
+/// Deployment observed state.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DeploymentStatus {
+    /// Total pods across owned replica sets.
+    pub replicas: u32,
+    /// Ready pods across owned replica sets.
+    pub ready_replicas: u32,
+    /// Spec generation last acted upon.
+    pub observed_generation: u64,
+}
+
+impl Deployment {
+    /// Creates a deployment.
+    pub fn new(
+        namespace: impl Into<String>,
+        name: impl Into<String>,
+        replicas: u32,
+        selector: Selector,
+        template: PodTemplate,
+    ) -> Self {
+        Deployment {
+            meta: ObjectMeta::namespaced(namespace, name),
+            replicas,
+            selector,
+            template,
+            status: DeploymentStatus::default(),
+        }
+    }
+
+    /// Returns `true` when every desired replica is ready.
+    pub fn is_ready(&self) -> bool {
+        self.status.ready_replicas >= self.replicas && self.replicas > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::labels;
+
+    fn template() -> PodTemplate {
+        PodTemplate { labels: labels(&[("app", "web")]), spec: PodSpec::default() }
+    }
+
+    #[test]
+    fn replicaset_readiness() {
+        let mut rs = ReplicaSet::new("ns", "web-rs", 3, Selector::from_pairs(&[("app", "web")]), template());
+        assert!(!rs.is_ready());
+        rs.status.ready_replicas = 3;
+        assert!(rs.is_ready());
+    }
+
+    #[test]
+    fn deployment_readiness_requires_nonzero() {
+        let mut d = Deployment::new("ns", "web", 0, Selector::everything(), template());
+        assert!(!d.is_ready(), "zero-replica deployment is never 'ready'");
+        d.replicas = 2;
+        d.status.ready_replicas = 2;
+        assert!(d.is_ready());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = Deployment::new("ns", "web", 2, Selector::from_pairs(&[("app", "web")]), template());
+        let json = serde_json::to_string(&d).unwrap();
+        assert_eq!(d, serde_json::from_str::<Deployment>(&json).unwrap());
+    }
+}

@@ -1,0 +1,325 @@
+//! Admission plugins: mutate/validate objects between authorization and
+//! persistence.
+
+use std::fmt;
+use vc_api::error::{ApiError, ApiResult};
+use vc_api::namespace::NamespacePhase;
+use vc_api::object::{Object, ResourceKind};
+use vc_store::Store;
+
+/// The operation being admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionOp {
+    /// Object creation.
+    Create,
+    /// Object replacement.
+    Update,
+}
+
+/// A chain-of-responsibility admission plugin.
+///
+/// Plugins may mutate the object in place and/or reject the request. They
+/// run in registration order; the first rejection wins.
+pub trait AdmissionPlugin: Send + Sync + fmt::Debug {
+    /// Plugin name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Admits (and possibly mutates) `obj`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Invalid`] or [`ApiError::Forbidden`] to reject.
+    fn admit(&self, op: AdmissionOp, obj: &mut Object, store: &Store) -> ApiResult<()>;
+}
+
+/// Rejects creation of namespaced objects whose namespace is absent or
+/// terminating, mirroring the `NamespaceLifecycle` plugin.
+#[derive(Debug, Default)]
+pub struct NamespaceLifecycle;
+
+impl AdmissionPlugin for NamespaceLifecycle {
+    fn name(&self) -> &str {
+        "NamespaceLifecycle"
+    }
+
+    fn admit(&self, op: AdmissionOp, obj: &mut Object, store: &Store) -> ApiResult<()> {
+        if op != AdmissionOp::Create || obj.kind().is_cluster_scoped() {
+            return Ok(());
+        }
+        let ns = obj.meta().namespace.clone();
+        let stored = store.get(ResourceKind::Namespace, &ns).ok_or_else(|| {
+            ApiError::invalid(
+                obj.kind().as_str(),
+                obj.key(),
+                format!("namespace {ns:?} not found"),
+            )
+        })?;
+        let namespace = stored.as_namespace().expect("namespace kind");
+        if namespace.phase == NamespacePhase::Terminating || namespace.meta.is_terminating() {
+            return Err(ApiError::forbidden(
+                "",
+                "create",
+                obj.kind().as_str(),
+                format!("namespace {ns:?} is terminating"),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Defaults `spec.service_account_name` on pods to `default`, mirroring the
+/// `ServiceAccount` admission plugin.
+#[derive(Debug, Default)]
+pub struct ServiceAccountDefaulter;
+
+impl AdmissionPlugin for ServiceAccountDefaulter {
+    fn name(&self) -> &str {
+        "ServiceAccountDefaulter"
+    }
+
+    fn admit(&self, op: AdmissionOp, obj: &mut Object, _store: &Store) -> ApiResult<()> {
+        if op != AdmissionOp::Create {
+            return Ok(());
+        }
+        if let Object::Pod(pod) = obj {
+            if pod.spec.service_account_name.is_empty() {
+                pod.spec.service_account_name = vc_api::config::DEFAULT_SERVICE_ACCOUNT.into();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Caps the number of pods per namespace (a minimal `ResourceQuota`).
+#[derive(Debug)]
+pub struct PodQuota {
+    /// Maximum pods allowed per namespace.
+    pub max_pods_per_namespace: usize,
+}
+
+impl AdmissionPlugin for PodQuota {
+    fn name(&self) -> &str {
+        "PodQuota"
+    }
+
+    fn admit(&self, op: AdmissionOp, obj: &mut Object, store: &Store) -> ApiResult<()> {
+        if op != AdmissionOp::Create || obj.kind() != ResourceKind::Pod {
+            return Ok(());
+        }
+        let ns = obj.meta().namespace.clone();
+        let (pods, _) = store.list(ResourceKind::Pod, Some(&ns));
+        if pods.len() >= self.max_pods_per_namespace {
+            return Err(ApiError::forbidden(
+                "",
+                "create",
+                "Pod",
+                format!(
+                    "pod quota exceeded in namespace {ns:?}: limit {}",
+                    self.max_pods_per_namespace
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Rejects pods that name more than `max_containers` containers — a
+/// stand-in for schema-size validation.
+#[derive(Debug)]
+pub struct PodValidator {
+    /// Maximum total containers (init + workload).
+    pub max_containers: usize,
+}
+
+impl Default for PodValidator {
+    fn default() -> Self {
+        PodValidator { max_containers: 64 }
+    }
+}
+
+impl AdmissionPlugin for PodValidator {
+    fn name(&self) -> &str {
+        "PodValidator"
+    }
+
+    fn admit(&self, _op: AdmissionOp, obj: &mut Object, _store: &Store) -> ApiResult<()> {
+        if let Object::Pod(pod) = obj {
+            let total = pod.spec.containers.len() + pod.spec.init_containers.len();
+            if total > self.max_containers {
+                return Err(ApiError::invalid(
+                    "Pod",
+                    pod.meta.full_name(),
+                    format!("too many containers: {total} > {}", self.max_containers),
+                ));
+            }
+            let mut names: Vec<&str> = pod
+                .spec
+                .containers
+                .iter()
+                .chain(&pod.spec.init_containers)
+                .map(|c| c.name.as_str())
+                .collect();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            if names.len() != before {
+                return Err(ApiError::invalid(
+                    "Pod",
+                    pod.meta.full_name(),
+                    "duplicate container names",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_api::namespace::Namespace;
+    use vc_api::pod::{Container, Pod};
+
+    fn store_with_ns(name: &str) -> Store {
+        let store = Store::new();
+        store.insert(Namespace::new(name).into()).unwrap();
+        store
+    }
+
+    #[test]
+    fn namespace_lifecycle_requires_existing_namespace() {
+        let store = store_with_ns("ok");
+        let plugin = NamespaceLifecycle;
+        let mut pod: Object = Pod::new("ok", "p").into();
+        assert!(plugin.admit(AdmissionOp::Create, &mut pod, &store).is_ok());
+        let mut orphan: Object = Pod::new("missing", "p").into();
+        let err = plugin.admit(AdmissionOp::Create, &mut orphan, &store).unwrap_err();
+        assert!(matches!(err, ApiError::Invalid { .. }));
+    }
+
+    #[test]
+    fn namespace_lifecycle_blocks_terminating() {
+        let store = Store::new();
+        let mut ns = Namespace::new("dying");
+        ns.phase = NamespacePhase::Terminating;
+        store.insert(ns.into()).unwrap();
+        let plugin = NamespaceLifecycle;
+        let mut pod: Object = Pod::new("dying", "p").into();
+        let err = plugin.admit(AdmissionOp::Create, &mut pod, &store).unwrap_err();
+        assert!(err.is_forbidden());
+    }
+
+    #[test]
+    fn namespace_lifecycle_skips_updates_and_cluster_scoped() {
+        let store = Store::new();
+        let plugin = NamespaceLifecycle;
+        let mut pod: Object = Pod::new("missing", "p").into();
+        assert!(plugin.admit(AdmissionOp::Update, &mut pod, &store).is_ok());
+        let mut ns: Object = Namespace::new("new").into();
+        assert!(plugin.admit(AdmissionOp::Create, &mut ns, &store).is_ok());
+    }
+
+    #[test]
+    fn service_account_defaulted() {
+        let store = Store::new();
+        let plugin = ServiceAccountDefaulter;
+        let mut pod: Object = Pod::new("ns", "p").into();
+        plugin.admit(AdmissionOp::Create, &mut pod, &store).unwrap();
+        assert_eq!(pod.as_pod().unwrap().spec.service_account_name, "default");
+
+        // Explicit account preserved.
+        let mut p = Pod::new("ns", "q");
+        p.spec.service_account_name = "builder".into();
+        let mut obj: Object = p.into();
+        plugin.admit(AdmissionOp::Create, &mut obj, &store).unwrap();
+        assert_eq!(obj.as_pod().unwrap().spec.service_account_name, "builder");
+    }
+
+    #[test]
+    fn pod_quota_enforced() {
+        let store = store_with_ns("ns");
+        store.insert(Pod::new("ns", "existing").into()).unwrap();
+        let plugin = PodQuota { max_pods_per_namespace: 1 };
+        let mut pod: Object = Pod::new("ns", "new").into();
+        let err = plugin.admit(AdmissionOp::Create, &mut pod, &store).unwrap_err();
+        assert!(err.is_forbidden());
+        // Other namespaces unaffected.
+        let mut other: Object = Pod::new("other", "new").into();
+        assert!(plugin.admit(AdmissionOp::Create, &mut other, &store).is_ok());
+    }
+
+    #[test]
+    fn pod_validator_rejects_duplicates_and_excess() {
+        let store = Store::new();
+        let plugin = PodValidator { max_containers: 2 };
+        let mut dup: Object = Pod::new("ns", "p")
+            .with_container(Container::new("c", "img"))
+            .with_container(Container::new("c", "img"))
+            .into();
+        assert!(plugin.admit(AdmissionOp::Create, &mut dup, &store).is_err());
+
+        let mut excess: Object = Pod::new("ns", "p")
+            .with_container(Container::new("a", "img"))
+            .with_container(Container::new("b", "img"))
+            .with_container(Container::new("c", "img"))
+            .into();
+        assert!(plugin.admit(AdmissionOp::Create, &mut excess, &store).is_err());
+
+        let mut ok: Object = Pod::new("ns", "p")
+            .with_container(Container::new("a", "img"))
+            .into();
+        assert!(plugin.admit(AdmissionOp::Create, &mut ok, &store).is_ok());
+    }
+}
+
+/// Mutates pods carrying a marker annotation to use the Kata sandbox
+/// runtime — the paper's threat model: "containers are not safe. To
+/// prevent the containers from obtaining the node root privileges, the
+/// service provider needs to run them using sandbox runtime." Installed on
+/// the super cluster keyed on the syncer's ownership annotation, it forces
+/// every synced tenant pod into a sandbox regardless of what the tenant
+/// requested.
+#[derive(Debug)]
+pub struct SandboxEnforcer {
+    /// Pods carrying this annotation key are forced to the Kata runtime.
+    pub marker_annotation: String,
+}
+
+impl AdmissionPlugin for SandboxEnforcer {
+    fn name(&self) -> &str {
+        "SandboxEnforcer"
+    }
+
+    fn admit(&self, _op: AdmissionOp, obj: &mut Object, _store: &Store) -> ApiResult<()> {
+        if let Object::Pod(pod) = obj {
+            if pod.meta.annotations.contains_key(&self.marker_annotation) {
+                pod.spec.runtime_class = vc_api::pod::RuntimeClass::Kata;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod sandbox_tests {
+    use super::*;
+    use vc_api::pod::{Pod, RuntimeClass};
+
+    #[test]
+    fn tenant_pods_forced_into_sandbox() {
+        let store = Store::new();
+        let plugin = SandboxEnforcer { marker_annotation: "virtualcluster.io/cluster".into() };
+        // A synced tenant pod that asked for runc is overridden…
+        let mut tenant_pod = Pod::new("t-ns", "p");
+        tenant_pod.meta.annotations.insert("virtualcluster.io/cluster".into(), "t".into());
+        tenant_pod.spec.runtime_class = RuntimeClass::Runc;
+        let mut obj: Object = tenant_pod.into();
+        plugin.admit(AdmissionOp::Create, &mut obj, &store).unwrap();
+        assert_eq!(obj.as_pod().unwrap().spec.runtime_class, RuntimeClass::Kata);
+
+        // …while unmarked (system) pods keep their runtime.
+        let mut system_pod: Object = Pod::new("kube-system", "infra").into();
+        plugin.admit(AdmissionOp::Create, &mut system_pod, &store).unwrap();
+        assert_eq!(system_pod.as_pod().unwrap().spec.runtime_class, RuntimeClass::Runc);
+    }
+}

@@ -1,0 +1,212 @@
+//! RBAC-lite authorization.
+//!
+//! A deliberately faithful miniature of Kubernetes RBAC, including its
+//! multi-tenant shortcoming the paper highlights (§I "lack of API
+//! supports"): authorization is per-verb/kind/namespace, so a tenant that is
+//! granted `list` on the cluster-scoped `Namespace` kind sees **every**
+//! namespace in the cluster — the List API cannot filter by tenant identity.
+//! The isolation integration tests demonstrate exactly this leak on a
+//! shared control plane, and its absence under VirtualCluster.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use vc_api::object::ResourceKind;
+
+/// API verbs subject to authorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verb {
+    /// Read one object.
+    Get,
+    /// Read a collection.
+    List,
+    /// Open a watch.
+    Watch,
+    /// Create an object.
+    Create,
+    /// Replace an object.
+    Update,
+    /// Remove an object.
+    Delete,
+}
+
+impl Verb {
+    /// Returns the lowercase verb name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verb::Get => "get",
+            Verb::List => "list",
+            Verb::Watch => "watch",
+            Verb::Create => "create",
+            Verb::Update => "update",
+            Verb::Delete => "delete",
+        }
+    }
+}
+
+/// One authorization rule: the cartesian product of verbs × kinds, limited
+/// to `namespaces` (empty = all namespaces, which is also how cluster-scoped
+/// kinds are granted).
+#[derive(Debug, Clone)]
+pub struct PolicyRule {
+    /// Allowed verbs; empty means every verb.
+    pub verbs: Vec<Verb>,
+    /// Allowed kinds; empty means every kind.
+    pub kinds: Vec<ResourceKind>,
+    /// Namespaces the rule applies to; empty means all (and cluster scope).
+    pub namespaces: Vec<String>,
+}
+
+impl PolicyRule {
+    /// Allows every operation (cluster-admin).
+    pub fn allow_all() -> Self {
+        PolicyRule { verbs: Vec::new(), kinds: Vec::new(), namespaces: Vec::new() }
+    }
+
+    /// Allows all verbs on all kinds within the given namespaces.
+    pub fn namespace_admin(namespaces: &[&str]) -> Self {
+        PolicyRule {
+            verbs: Vec::new(),
+            kinds: Vec::new(),
+            namespaces: namespaces.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Allows specific verbs on specific kinds cluster-wide.
+    pub fn cluster_rule(verbs: &[Verb], kinds: &[ResourceKind]) -> Self {
+        PolicyRule { verbs: verbs.to_vec(), kinds: kinds.to_vec(), namespaces: Vec::new() }
+    }
+
+    fn permits(&self, verb: Verb, kind: ResourceKind, namespace: &str) -> bool {
+        let verb_ok = self.verbs.is_empty() || self.verbs.contains(&verb);
+        let kind_ok = self.kinds.is_empty() || self.kinds.contains(&kind);
+        let ns_ok = if self.namespaces.is_empty() {
+            true
+        } else if kind.is_cluster_scoped() {
+            // Namespace-limited rules never grant cluster-scoped kinds
+            // (paper: tenants cannot freely create namespaces/CRDs on a
+            // shared cluster).
+            false
+        } else {
+            self.namespaces.iter().any(|n| n == namespace)
+        };
+        verb_ok && kind_ok && ns_ok
+    }
+}
+
+/// User → rules authorizer.
+///
+/// Disabled by default (everything allowed) so substrate tests and the
+/// dedicated tenant control planes — where the tenant *is* cluster-admin —
+/// stay permissive; the shared-cluster scenarios enable it.
+#[derive(Debug, Default)]
+pub struct Authorizer {
+    enabled: RwLock<bool>,
+    bindings: RwLock<HashMap<String, Vec<PolicyRule>>>,
+}
+
+impl Authorizer {
+    /// Creates a disabled (allow-all) authorizer.
+    pub fn new() -> Self {
+        Authorizer::default()
+    }
+
+    /// Enables enforcement.
+    pub fn enable(&self) {
+        *self.enabled.write() = true;
+    }
+
+    /// Returns `true` if enforcement is on.
+    pub fn is_enabled(&self) -> bool {
+        *self.enabled.read()
+    }
+
+    /// Grants `rule` to `user`.
+    pub fn bind(&self, user: impl Into<String>, rule: PolicyRule) {
+        self.bindings.write().entry(user.into()).or_default().push(rule);
+    }
+
+    /// Removes all of `user`'s rules.
+    pub fn unbind_all(&self, user: &str) {
+        self.bindings.write().remove(user);
+    }
+
+    /// Checks whether `user` may perform `verb` on `kind` in `namespace`
+    /// (empty namespace for cluster-scoped objects).
+    pub fn authorize(&self, user: &str, verb: Verb, kind: ResourceKind, namespace: &str) -> bool {
+        if !self.is_enabled() {
+            return true;
+        }
+        self.bindings
+            .read()
+            .get(user)
+            .is_some_and(|rules| rules.iter().any(|r| r.permits(verb, kind, namespace)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_allows_everything() {
+        let auth = Authorizer::new();
+        assert!(auth.authorize("anyone", Verb::Delete, ResourceKind::Node, ""));
+    }
+
+    #[test]
+    fn enabled_denies_unknown_user() {
+        let auth = Authorizer::new();
+        auth.enable();
+        assert!(!auth.authorize("stranger", Verb::Get, ResourceKind::Pod, "ns"));
+    }
+
+    #[test]
+    fn namespace_admin_scoped() {
+        let auth = Authorizer::new();
+        auth.enable();
+        auth.bind("tenant-a", PolicyRule::namespace_admin(&["team-a"]));
+        assert!(auth.authorize("tenant-a", Verb::Create, ResourceKind::Pod, "team-a"));
+        assert!(!auth.authorize("tenant-a", Verb::Create, ResourceKind::Pod, "team-b"));
+        // Cluster-scoped kinds are NOT granted by namespace rules.
+        assert!(!auth.authorize("tenant-a", Verb::Create, ResourceKind::Namespace, ""));
+        assert!(!auth.authorize("tenant-a", Verb::List, ResourceKind::Namespace, ""));
+    }
+
+    #[test]
+    fn cluster_rule_grants_cluster_scope() {
+        let auth = Authorizer::new();
+        auth.enable();
+        auth.bind(
+            "tenant-a",
+            PolicyRule::cluster_rule(&[Verb::List], &[ResourceKind::Namespace]),
+        );
+        // The paper's leak: list on namespaces is all-or-nothing.
+        assert!(auth.authorize("tenant-a", Verb::List, ResourceKind::Namespace, ""));
+        assert!(!auth.authorize("tenant-a", Verb::Create, ResourceKind::Namespace, ""));
+    }
+
+    #[test]
+    fn allow_all_is_cluster_admin() {
+        let auth = Authorizer::new();
+        auth.enable();
+        auth.bind("admin", PolicyRule::allow_all());
+        assert!(auth.authorize("admin", Verb::Delete, ResourceKind::Node, ""));
+        assert!(auth.authorize("admin", Verb::Create, ResourceKind::Pod, "any"));
+    }
+
+    #[test]
+    fn unbind_revokes() {
+        let auth = Authorizer::new();
+        auth.enable();
+        auth.bind("u", PolicyRule::allow_all());
+        assert!(auth.authorize("u", Verb::Get, ResourceKind::Pod, "ns"));
+        auth.unbind_all("u");
+        assert!(!auth.authorize("u", Verb::Get, ResourceKind::Pod, "ns"));
+    }
+
+    #[test]
+    fn verb_names() {
+        assert_eq!(Verb::List.as_str(), "list");
+        assert_eq!(Verb::Create.as_str(), "create");
+    }
+}

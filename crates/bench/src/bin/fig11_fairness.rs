@@ -1,0 +1,154 @@
+//! Fig 11 — The impact of fair queuing on fairness.
+//!
+//! Ten greedy tenants issue 900 pod creations concurrently; forty regular
+//! tenants send 10 creations sequentially. With fair queuing the regular
+//! users' average pod creation time stays under ~2 s while greedy users
+//! bear the queueing cost; with the shared FIFO, regular users are starved
+//! behind the greedy burst.
+//!
+//! Run: `cargo run --release -p vc-bench --bin fig11_fairness`
+
+use std::time::{Duration, Instant};
+use vc_api::object::ResourceKind;
+use vc_api::pod::PodConditionType;
+use vc_bench::calibration::{paper_framework, scaled};
+use vc_bench::load::{provision_tenants, stress_pod};
+use vc_bench::report::{heading, paper_vs_measured};
+use vc_controllers::util::wait_until;
+use vc_core::framework::Framework;
+
+const GREEDY: usize = 10;
+const REGULAR: usize = 40;
+
+struct FairnessOutcome {
+    greedy_avg_ms: Vec<u64>,
+    regular_avg_ms: Vec<u64>,
+}
+
+fn run_mode(fair: bool) -> FairnessOutcome {
+    let greedy_pods = scaled(900);
+    let regular_pods = 10usize;
+    let fw = Framework::start(paper_framework(100, 20, 100, fair));
+    let tenants = provision_tenants(&fw, GREEDY + REGULAR);
+    let (greedy, regular) = tenants.split_at(GREEDY);
+
+    let total = GREEDY * greedy_pods + REGULAR * regular_pods;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for tenant in greedy {
+            let client = fw.tenant_client(tenant, "greedy-load");
+            scope.spawn(move || {
+                // Burst: fire all requests as fast as the client allows.
+                for i in 0..greedy_pods {
+                    client.create(stress_pod("default", &format!("g{i}")).into()).unwrap();
+                }
+            });
+        }
+        for tenant in regular {
+            let client = fw.tenant_client(tenant, "regular-load");
+            scope.spawn(move || {
+                // Sequential: one request at a time, small pauses.
+                for i in 0..regular_pods {
+                    client.create(stress_pod("default", &format!("r{i}")).into()).unwrap();
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            });
+        }
+    });
+
+    let clients: Vec<_> = tenants.iter().map(|t| fw.tenant_client(t, "observer")).collect();
+    let deadline = Duration::from_secs(180) + Duration::from_millis(total as u64 * 10);
+    let done = wait_until(deadline, Duration::from_millis(250), || {
+        clients
+            .iter()
+            .map(|c| {
+                c.list(ResourceKind::Pod, Some("default"))
+                    .map(|(pods, _)| {
+                        pods.iter()
+                            .filter(|p| p.as_pod().is_some_and(|p| p.status.is_ready()))
+                            .count()
+                    })
+                    .unwrap_or(0)
+            })
+            .sum::<usize>()
+            >= total
+    });
+    assert!(done, "fairness burst did not finish in {:?}", start.elapsed());
+
+    let avg_for = |client: &vc_client::Client| -> u64 {
+        let (pods, _) = client.list(ResourceKind::Pod, Some("default")).unwrap();
+        let latencies: Vec<u64> = pods
+            .iter()
+            .filter_map(|obj| {
+                let pod = obj.as_pod()?;
+                let ready = pod.status.condition(PodConditionType::Ready)?;
+                ready
+                    .status
+                    .then(|| ready.last_transition.duration_since(pod.meta.creation_timestamp))
+                    .map(|d| d.as_millis() as u64)
+            })
+            .collect();
+        (latencies.iter().sum::<u64>() as f64 / latencies.len().max(1) as f64) as u64
+    };
+
+    let outcome = FairnessOutcome {
+        greedy_avg_ms: clients[..GREEDY].iter().map(avg_for).collect(),
+        regular_avg_ms: clients[GREEDY..].iter().map(avg_for).collect(),
+    };
+    fw.shutdown();
+    outcome
+}
+
+fn stats(values: &[u64]) -> (u64, u64, u64) {
+    let min = values.iter().copied().min().unwrap_or(0);
+    let max = values.iter().copied().max().unwrap_or(0);
+    let mean = values.iter().sum::<u64>() / values.len().max(1) as u64;
+    (min, mean, max)
+}
+
+fn main() {
+    println!(
+        "Fig 11 — fair queuing: {GREEDY} greedy tenants x {} burst pods, {REGULAR} regular tenants x 10 sequential pods",
+        scaled(900)
+    );
+
+    for fair in [true, false] {
+        heading(if fair { "(a) fair queuing ENABLED" } else { "(b) fair queuing DISABLED" });
+        let outcome = run_mode(fair);
+        let (gmin, gmean, gmax) = stats(&outcome.greedy_avg_ms);
+        let (rmin, rmean, rmax) = stats(&outcome.regular_avg_ms);
+        println!(
+            "  greedy tenants  avg pod creation: min={:.1}s mean={:.1}s max={:.1}s",
+            gmin as f64 / 1000.0,
+            gmean as f64 / 1000.0,
+            gmax as f64 / 1000.0
+        );
+        println!(
+            "  regular tenants avg pod creation: min={:.1}s mean={:.1}s max={:.1}s",
+            rmin as f64 / 1000.0,
+            rmean as f64 / 1000.0,
+            rmax as f64 / 1000.0
+        );
+        if fair {
+            paper_vs_measured(
+                "regular users protected",
+                "avg < 2s, greedy much higher",
+                &format!(
+                    "regular mean {:.1}s vs greedy mean {:.1}s",
+                    rmean as f64 / 1000.0,
+                    gmean as f64 / 1000.0
+                ),
+            );
+        } else {
+            paper_vs_measured(
+                "regular users starved behind burst",
+                "significantly delayed",
+                &format!(
+                    "regular mean {:.1}s (vs <2s with FQ)",
+                    rmean as f64 / 1000.0
+                ),
+            );
+        }
+    }
+    println!("\npaper observation: 'without a centralized syncer, it would be challenging to implement fair queuing.'");
+}

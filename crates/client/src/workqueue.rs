@@ -1,0 +1,333 @@
+//! FIFO work queue with client-go's exact deduplication semantics.
+//!
+//! The dirty/processing-set protocol matters for the paper's analysis: "the
+//! client-go worker queue has the capability of deduplicating the incoming
+//! requests, \[so\] the memory consumptions of the worker queues are unlikely
+//! to grow infinitely" (§III-C). Concretely:
+//!
+//! * an item `add`ed while already pending (dirty) is dropped,
+//! * an item `add`ed while being processed is remembered and re-queued when
+//!   its processing finishes (`done`),
+//! * `get` marks the item processing and removes it from dirty.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashSet, VecDeque};
+use std::hash::Hash;
+use std::time::{Duration, Instant};
+use vc_api::metrics::Counter;
+
+#[derive(Debug)]
+struct State<T> {
+    queue: VecDeque<T>,
+    dirty: HashSet<T>,
+    processing: HashSet<T>,
+    shutting_down: bool,
+}
+
+/// A deduplicating FIFO work queue.
+///
+/// # Examples
+///
+/// ```
+/// use vc_client::workqueue::WorkQueue;
+///
+/// let q: WorkQueue<String> = WorkQueue::new();
+/// q.add("a".to_string());
+/// q.add("a".to_string()); // deduplicated
+/// assert_eq!(q.len(), 1);
+/// let item = q.get().unwrap();
+/// q.done(&item);
+/// ```
+#[derive(Debug)]
+pub struct WorkQueue<T: Eq + Hash + Clone> {
+    state: Mutex<State<T>>,
+    cond: Condvar,
+    /// Items accepted (post-dedup).
+    pub adds: Counter,
+    /// Items dropped by deduplication.
+    pub deduped: Counter,
+    /// Items handed to workers.
+    pub gets: Counter,
+}
+
+impl<T: Eq + Hash + Clone> Default for WorkQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Eq + Hash + Clone> WorkQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        WorkQueue {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                dirty: HashSet::new(),
+                processing: HashSet::new(),
+                shutting_down: false,
+            }),
+            cond: Condvar::new(),
+            adds: Counter::new(),
+            deduped: Counter::new(),
+            gets: Counter::new(),
+        }
+    }
+
+    /// Adds an item, applying dedup semantics.
+    pub fn add(&self, item: T) {
+        let mut state = self.state.lock();
+        if state.shutting_down {
+            return;
+        }
+        if state.dirty.contains(&item) {
+            self.deduped.inc();
+            return;
+        }
+        state.dirty.insert(item.clone());
+        self.adds.inc();
+        if state.processing.contains(&item) {
+            // Re-queued by done() once processing finishes.
+            return;
+        }
+        state.queue.push_back(item);
+        self.cond.notify_one();
+    }
+
+    /// Blocks for the next item; returns `None` once the queue is shut down
+    /// and drained.
+    pub fn get(&self) -> Option<T> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                state.dirty.remove(&item);
+                state.processing.insert(item.clone());
+                self.gets.inc();
+                return Some(item);
+            }
+            if state.shutting_down {
+                return None;
+            }
+            self.cond.wait(&mut state);
+        }
+    }
+
+    /// Non-blocking variant of [`WorkQueue::get`].
+    pub fn try_get(&self) -> Option<T> {
+        let mut state = self.state.lock();
+        let item = state.queue.pop_front()?;
+        state.dirty.remove(&item);
+        state.processing.insert(item.clone());
+        self.gets.inc();
+        Some(item)
+    }
+
+    /// Blocks up to `timeout` for the next item.
+    pub fn get_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock();
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                state.dirty.remove(&item);
+                state.processing.insert(item.clone());
+                self.gets.inc();
+                return Some(item);
+            }
+            if state.shutting_down {
+                return None;
+            }
+            if self.cond.wait_until(&mut state, deadline).timed_out() {
+                return None;
+            }
+        }
+    }
+
+    /// Marks an item's processing finished, re-queueing it if it was
+    /// re-added meanwhile.
+    pub fn done(&self, item: &T) {
+        let mut state = self.state.lock();
+        state.processing.remove(item);
+        if state.dirty.contains(item) {
+            state.queue.push_back(item.clone());
+            self.cond.notify_one();
+        }
+    }
+
+    /// Number of pending (queued, not processing) items.
+    pub fn len(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// Returns `true` if no items are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of items currently being processed.
+    pub fn processing_count(&self) -> usize {
+        self.state.lock().processing.len()
+    }
+
+    /// Shuts the queue down; blocked `get`s drain the backlog then return
+    /// `None`, and further `add`s are ignored.
+    pub fn shutdown(&self) {
+        let mut state = self.state.lock();
+        state.shutting_down = true;
+        self.cond.notify_all();
+    }
+
+    /// Returns `true` once shutdown was requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.state.lock().shutting_down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = WorkQueue::new();
+        q.add(1);
+        q.add(2);
+        q.add(3);
+        assert_eq!(q.get(), Some(1));
+        assert_eq!(q.get(), Some(2));
+        assert_eq!(q.get(), Some(3));
+    }
+
+    #[test]
+    fn dedup_while_pending() {
+        let q = WorkQueue::new();
+        q.add("x");
+        q.add("x");
+        q.add("x");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.deduped.get(), 2);
+    }
+
+    #[test]
+    fn readd_while_processing_requeues_on_done() {
+        let q = WorkQueue::new();
+        q.add("x");
+        let item = q.get().unwrap();
+        assert_eq!(q.len(), 0);
+        // Re-added while processing: not queued yet.
+        q.add("x");
+        assert_eq!(q.len(), 0, "deferred until done()");
+        q.done(&item);
+        assert_eq!(q.len(), 1, "requeued after done");
+        let again = q.get().unwrap();
+        q.done(&again);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn done_without_readd_leaves_queue_empty() {
+        let q = WorkQueue::new();
+        q.add(7);
+        let item = q.get().unwrap();
+        q.done(&item);
+        assert!(q.is_empty());
+        assert_eq!(q.processing_count(), 0);
+    }
+
+    #[test]
+    fn shutdown_drains_then_none() {
+        let q = Arc::new(WorkQueue::new());
+        q.add(1);
+        q.shutdown();
+        q.add(2); // ignored
+        assert_eq!(q.get(), Some(1));
+        assert_eq!(q.get(), None);
+        assert!(q.is_shutting_down());
+    }
+
+    #[test]
+    fn get_timeout_expires() {
+        let q: WorkQueue<u32> = WorkQueue::new();
+        let start = Instant::now();
+        assert_eq!(q.get_timeout(Duration::from_millis(30)), None);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn blocking_get_wakes_on_add() {
+        let q = Arc::new(WorkQueue::new());
+        let q2 = Arc::clone(&q);
+        let handle = std::thread::spawn(move || q2.get());
+        std::thread::sleep(Duration::from_millis(20));
+        q.add(42);
+        assert_eq!(handle.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_process_everything() {
+        let q = Arc::new(WorkQueue::new());
+        let processed = Arc::new(Mutex::new(HashSet::new()));
+        let mut workers = Vec::new();
+        for _ in 0..4 {
+            let q = Arc::clone(&q);
+            let processed = Arc::clone(&processed);
+            workers.push(std::thread::spawn(move || {
+                while let Some(item) = q.get() {
+                    processed.lock().insert(item);
+                    q.done(&item);
+                }
+            }));
+        }
+        let mut producers = Vec::new();
+        for t in 0..4 {
+            let q = Arc::clone(&q);
+            producers.push(std::thread::spawn(move || {
+                for i in 0..250 {
+                    q.add(t * 1000 + i);
+                }
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        // Wait for drain, then stop workers.
+        while !q.is_empty() || q.processing_count() > 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        q.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(processed.lock().len(), 1000);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Under any interleaving of adds, every added item is eventually
+        /// delivered at least once, and never delivered while a previous
+        /// delivery of it is still being processed.
+        #[test]
+        fn prop_no_concurrent_processing_of_same_item(items in proptest::collection::vec(0u8..10, 1..100)) {
+            let q = WorkQueue::new();
+            for &i in &items {
+                q.add(i);
+            }
+            let mut in_flight = HashSet::new();
+            let mut delivered = HashSet::new();
+            while let Some(item) = q.try_get() {
+                prop_assert!(!in_flight.contains(&item), "item processed twice concurrently");
+                in_flight.insert(item);
+                delivered.insert(item);
+                // Finish processing immediately.
+                q.done(&item);
+                in_flight.remove(&item);
+            }
+            let unique: HashSet<u8> = items.iter().copied().collect();
+            prop_assert_eq!(delivered, unique);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # vc-controllers — Kubernetes built-in controllers and cluster assembly
+//!
+//! The control-plane machinery above the apiserver:
+//!
+//! * [`scheduler`] — sequential single-queue pod scheduler (the paper's
+//!   super-cluster bottleneck), with predicates (resources, selectors,
+//!   taints, inter-pod (anti-)affinity) and least-allocated scoring,
+//! * [`kubelet`] — node agent, in virtual-kubelet mock-instant mode (the
+//!   paper's experiment setup) or full CRI mode (runc/Kata),
+//! * [`service`] — cluster-IP allocation + endpoints maintenance,
+//! * [`workload`] — Deployment and ReplicaSet controllers,
+//! * [`namespace_gc`] — namespace drain controller,
+//! * [`volume`] — persistent-volume binder with dynamic provisioning,
+//! * [`garbage`] — owner-reference cascade collector,
+//! * [`node_lifecycle`] — heartbeat monitoring,
+//! * [`cluster`] — assemble a super cluster or tenant control plane.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod garbage;
+pub mod kubelet;
+pub mod namespace_gc;
+pub mod node_lifecycle;
+pub mod scheduler;
+pub mod service;
+pub mod util;
+pub mod volume;
+pub mod workload;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use kubelet::{Kubelet, KubeletConfig, KubeletMode};
+pub use scheduler::SchedulerConfig;
+pub use util::ControllerHandle;

@@ -1,0 +1,407 @@
+//! Multiple super clusters (paper §V, future work — implemented).
+//!
+//! "In cases where worker nodes cannot be automatically added to or removed
+//! from a super cluster, supporting multiple super clusters is an option to
+//! break through the capacity limitation of a single super cluster. …
+//! In VirtualCluster, the users would not be aware of multiple super
+//! clusters" — unlike Kubernetes federation, where users explicitly manage
+//! all member clusters.
+//!
+//! [`MultiSuperFramework`] runs N independent super clusters (each with its
+//! own scheduler, nodes and syncer) and places each tenant on one of them
+//! at provisioning time. Tenants keep using their own control plane; the
+//! placement is invisible to them.
+
+use crate::registry::{generate_cert, TenantHandle, TenantRegistry};
+use crate::syncer::{Syncer, SyncerConfig};
+use crate::vc_object::VirtualClusterSpec;
+use crate::mapping;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use vc_api::error::{ApiError, ApiResult};
+use vc_api::meta::Uid;
+use vc_api::time::{Clock, RealClock};
+use vc_client::Client;
+use vc_controllers::{Cluster, ClusterConfig};
+
+/// How tenants are placed onto super clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// The super cluster currently hosting the fewest tenants.
+    #[default]
+    LeastTenants,
+    /// Strict rotation.
+    RoundRobin,
+}
+
+/// Configuration for a multi-super deployment.
+#[derive(Clone)]
+pub struct MultiSuperConfig {
+    /// Number of super clusters (shards).
+    pub shards: usize,
+    /// Nodes per super cluster.
+    pub nodes_per_shard: u32,
+    /// Super-cluster template.
+    pub super_template: ClusterConfig,
+    /// Tenant control-plane template.
+    pub tenant_template: ClusterConfig,
+    /// Syncer settings (one syncer per shard).
+    pub syncer: SyncerConfig,
+    /// Placement policy.
+    pub placement: PlacementPolicy,
+}
+
+impl std::fmt::Debug for MultiSuperConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiSuperConfig")
+            .field("shards", &self.shards)
+            .field("nodes_per_shard", &self.nodes_per_shard)
+            .field("placement", &self.placement)
+            .finish()
+    }
+}
+
+impl Default for MultiSuperConfig {
+    fn default() -> Self {
+        MultiSuperConfig {
+            shards: 2,
+            nodes_per_shard: 2,
+            super_template: ClusterConfig::super_cluster("super").with_zero_latency(),
+            tenant_template: ClusterConfig::tenant("tenant").with_zero_latency(),
+            syncer: SyncerConfig {
+                downward_workers: 4,
+                upward_workers: 4,
+                ..SyncerConfig::default()
+            },
+            placement: PlacementPolicy::LeastTenants,
+        }
+    }
+}
+
+/// One super cluster + its syncer.
+pub struct Shard {
+    /// Shard index.
+    pub index: usize,
+    /// The super cluster.
+    pub cluster: Arc<Cluster>,
+    /// The shard's syncer.
+    pub syncer: Arc<Syncer>,
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard").field("index", &self.index).finish()
+    }
+}
+
+/// A deployment spanning several super clusters.
+pub struct MultiSuperFramework {
+    shards: Vec<Shard>,
+    /// Global tenant registry (tenant names are unique across shards).
+    pub registry: Arc<TenantRegistry>,
+    assignments: Mutex<HashMap<String, usize>>,
+    next_round_robin: Mutex<usize>,
+    clock: Arc<dyn Clock>,
+    config: MultiSuperConfig,
+}
+
+impl std::fmt::Debug for MultiSuperFramework {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiSuperFramework")
+            .field("shards", &self.shards.len())
+            .field("tenants", &self.registry.len())
+            .finish()
+    }
+}
+
+impl MultiSuperFramework {
+    /// Starts `config.shards` super clusters, each with nodes and a syncer.
+    pub fn start(config: MultiSuperConfig) -> MultiSuperFramework {
+        assert!(config.shards >= 1, "at least one super cluster");
+        let clock: Arc<dyn Clock> = RealClock::shared();
+        let mut shards = Vec::new();
+        for index in 0..config.shards {
+            let mut cluster_config = config.super_template.clone();
+            cluster_config.name = format!("super-{index}");
+            let cluster =
+                Arc::new(Cluster::start_with_clock(cluster_config, Arc::clone(&clock)));
+            cluster.add_mock_nodes(config.nodes_per_shard).expect("register shard nodes");
+            let syncer = Syncer::start(
+                cluster.system_client("vc-syncer"),
+                config.syncer.clone(),
+            );
+            shards.push(Shard { index, cluster, syncer });
+        }
+        MultiSuperFramework {
+            shards,
+            registry: TenantRegistry::new(),
+            assignments: Mutex::new(HashMap::new()),
+            next_round_robin: Mutex::new(0),
+            clock,
+            config,
+        }
+    }
+
+    /// The shards.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Which shard hosts `tenant` (provisioned tenants only).
+    pub fn shard_of(&self, tenant: &str) -> Option<usize> {
+        self.assignments.lock().get(tenant).copied()
+    }
+
+    /// Provisions a tenant on a shard chosen by the placement policy. The
+    /// tenant's API experience is identical regardless of the shard — the
+    /// placement is invisible.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::AlreadyExists`] when the tenant name is taken.
+    pub fn create_tenant(&self, name: &str, spec: VirtualClusterSpec) -> ApiResult<Arc<TenantHandle>> {
+        if self.registry.get(name).is_some() {
+            return Err(ApiError::already_exists("VirtualCluster", name));
+        }
+        let shard_index = self.place();
+        let shard = &self.shards[shard_index];
+
+        let mut tenant_config = self.config.tenant_template.clone();
+        tenant_config.name = name.to_string();
+        let cluster =
+            Arc::new(Cluster::start_with_clock(tenant_config, Arc::clone(&self.clock)));
+        let (cert, cert_hash) = generate_cert(name);
+        let handle = Arc::new(TenantHandle {
+            name: name.to_string(),
+            prefix: mapping::namespace_prefix(name, &Uid::generate()),
+            cluster,
+            cert,
+            cert_hash,
+            weight: spec.weight.max(1),
+            sync_crds: spec.sync_crds,
+        });
+        self.registry.insert(Arc::clone(&handle));
+        self.assignments.lock().insert(name.to_string(), shard_index);
+        shard.syncer.register_tenant(Arc::clone(&handle));
+        Ok(handle)
+    }
+
+    /// Removes a tenant from its shard.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::NotFound`] for unknown tenants.
+    pub fn delete_tenant(&self, name: &str) -> ApiResult<()> {
+        let shard_index = self
+            .assignments
+            .lock()
+            .remove(name)
+            .ok_or_else(|| ApiError::not_found("VirtualCluster", name))?;
+        let shard = &self.shards[shard_index];
+        shard.syncer.unregister_tenant(name);
+        if let Some(handle) = self.registry.remove(name) {
+            handle.cluster.shutdown();
+            // Clean the shard's prefixed namespaces.
+            let admin = shard.cluster.system_client("vc-multi-admin");
+            if let Ok((namespaces, _)) = admin.list(vc_api::ResourceKind::Namespace, None) {
+                for ns in namespaces {
+                    if mapping::owner_cluster(&ns) == Some(name) {
+                        let _ = admin.delete(vc_api::ResourceKind::Namespace, "", &ns.meta().name);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A client to a tenant's control plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown tenants.
+    pub fn tenant_client(&self, tenant: &str, user: impl Into<String>) -> Client {
+        self.registry.get(tenant).expect("tenant provisioned").client(user)
+    }
+
+    /// Number of tenants per shard, indexed by shard.
+    pub fn tenants_per_shard(&self) -> Vec<usize> {
+        let assignments = self.assignments.lock();
+        let mut counts = vec![0usize; self.shards.len()];
+        for shard in assignments.values() {
+            counts[*shard] += 1;
+        }
+        counts
+    }
+
+    /// Stops every shard and tenant.
+    pub fn shutdown(&self) {
+        for tenant in self.registry.list() {
+            tenant.cluster.shutdown();
+        }
+        for shard in &self.shards {
+            shard.syncer.stop();
+            shard.cluster.shutdown();
+        }
+    }
+
+    fn place(&self) -> usize {
+        match self.config.placement {
+            PlacementPolicy::LeastTenants => {
+                let counts = self.tenants_per_shard();
+                counts
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, c)| **c)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            }
+            PlacementPolicy::RoundRobin => {
+                let mut next = self.next_round_robin.lock();
+                let index = *next % self.shards.len();
+                *next += 1;
+                index
+            }
+        }
+    }
+}
+
+impl Drop for MultiSuperFramework {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use vc_api::pod::{Container, Pod};
+    use vc_api::ResourceKind;
+    use vc_controllers::util::wait_until;
+
+    fn fast_multi(shards: usize, placement: PlacementPolicy) -> MultiSuperFramework {
+        let mut config = MultiSuperConfig { shards, placement, ..Default::default() };
+        config.syncer.scan_interval = Some(Duration::from_millis(500));
+        // Bare tenant apiservers keep the test light.
+        config.tenant_template = crate::framework::minimal_tenant_template();
+        MultiSuperFramework::start(config)
+    }
+
+    fn ready(client: &Client, name: &str) -> bool {
+        client
+            .get(ResourceKind::Pod, "default", name)
+            .is_ok_and(|o| o.as_pod().unwrap().status.is_ready())
+    }
+
+    #[test]
+    fn tenants_spread_across_shards() {
+        let multi = fast_multi(3, PlacementPolicy::LeastTenants);
+        for i in 0..6 {
+            multi.create_tenant(&format!("t{i}"), VirtualClusterSpec::default()).unwrap();
+        }
+        assert_eq!(multi.tenants_per_shard(), vec![2, 2, 2]);
+        multi.shutdown();
+    }
+
+    #[test]
+    fn round_robin_placement() {
+        let multi = fast_multi(2, PlacementPolicy::RoundRobin);
+        for i in 0..4 {
+            multi.create_tenant(&format!("t{i}"), VirtualClusterSpec::default()).unwrap();
+        }
+        assert_eq!(multi.shard_of("t0"), Some(0));
+        assert_eq!(multi.shard_of("t1"), Some(1));
+        assert_eq!(multi.shard_of("t2"), Some(0));
+        assert_eq!(multi.shard_of("t3"), Some(1));
+        multi.shutdown();
+    }
+
+    #[test]
+    fn pods_run_end_to_end_on_each_shard() {
+        let multi = fast_multi(2, PlacementPolicy::RoundRobin);
+        multi.create_tenant("even", VirtualClusterSpec::default()).unwrap();
+        multi.create_tenant("odd", VirtualClusterSpec::default()).unwrap();
+        assert_ne!(multi.shard_of("even"), multi.shard_of("odd"));
+
+        // The tenant experience is identical on both shards.
+        for tenant in ["even", "odd"] {
+            let client = multi.tenant_client(tenant, "user");
+            client
+                .create(Pod::new("default", "probe").with_container(Container::new("c", "i")).into())
+                .unwrap();
+            assert!(
+                wait_until(Duration::from_secs(30), Duration::from_millis(50), || {
+                    ready(&client, "probe")
+                }),
+                "tenant {tenant} pod never became ready"
+            );
+        }
+        // Each pod landed in ITS shard's super cluster only.
+        let shard_pods = |shard: &Shard| {
+            shard
+                .cluster
+                .system_client("observer")
+                .list(ResourceKind::Pod, None)
+                .unwrap()
+                .0
+                .len()
+        };
+        assert_eq!(shard_pods(&multi.shards()[0]), 1);
+        assert_eq!(shard_pods(&multi.shards()[1]), 1);
+        multi.shutdown();
+    }
+
+    #[test]
+    fn duplicate_tenant_rejected_and_delete_cleans_shard() {
+        let multi = fast_multi(2, PlacementPolicy::LeastTenants);
+        multi.create_tenant("dup", VirtualClusterSpec::default()).unwrap();
+        assert!(multi
+            .create_tenant("dup", VirtualClusterSpec::default())
+            .unwrap_err()
+            .is_already_exists());
+
+        let client = multi.tenant_client("dup", "user");
+        client
+            .create(Pod::new("default", "p").with_container(Container::new("c", "i")).into())
+            .unwrap();
+        assert!(wait_until(Duration::from_secs(30), Duration::from_millis(50), || {
+            ready(&client, "p")
+        }));
+        let shard = multi.shard_of("dup").unwrap();
+        multi.delete_tenant("dup").unwrap();
+        assert!(multi.registry.get("dup").is_none());
+        assert!(wait_until(Duration::from_secs(20), Duration::from_millis(100), || {
+            multi.shards()[shard]
+                .cluster
+                .system_client("observer")
+                .list(ResourceKind::Pod, None)
+                .unwrap()
+                .0
+                .is_empty()
+        }));
+        assert!(multi.delete_tenant("dup").unwrap_err().is_not_found());
+        multi.shutdown();
+    }
+
+    #[test]
+    fn capacity_scales_with_shards() {
+        // The point of multi-super: total capacity grows with shards while
+        // tenants stay oblivious.
+        let multi = fast_multi(2, PlacementPolicy::RoundRobin);
+        let total_nodes: usize = multi
+            .shards()
+            .iter()
+            .map(|s| {
+                s.cluster
+                    .system_client("observer")
+                    .list(ResourceKind::Node, None)
+                    .unwrap()
+                    .0
+                    .len()
+            })
+            .sum();
+        assert_eq!(total_nodes, 4, "2 shards x 2 nodes");
+        multi.shutdown();
+    }
+}

@@ -1,0 +1,185 @@
+//! Registry of provisioned tenant control planes.
+//!
+//! The tenant operator populates it; the syncer and vn-agents consult it.
+//! The vn-agent looks tenants up **by certificate hash** — "the tenant who
+//! sends the request can be found by comparing the hash of its TLS
+//! certificate with the one saved in each VC object" (paper §III-B(3)).
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use vc_api::sha256::sha256_hex;
+use vc_client::Client;
+use vc_controllers::Cluster;
+
+/// A provisioned tenant control plane.
+pub struct TenantHandle {
+    /// Tenant (VC object) name.
+    pub name: String,
+    /// Namespace prefix in the super cluster.
+    pub prefix: String,
+    /// The tenant control plane.
+    pub cluster: Arc<Cluster>,
+    /// The tenant's TLS client certificate (simulated DER bytes).
+    pub cert: Vec<u8>,
+    /// SHA-256 of `cert`, as stored in the VC status.
+    pub cert_hash: String,
+    /// Syncer fair-queuing weight.
+    pub weight: u32,
+    /// Whether CRD instances marked `sync_to_super` are synced.
+    pub sync_crds: bool,
+}
+
+impl std::fmt::Debug for TenantHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantHandle")
+            .field("name", &self.name)
+            .field("prefix", &self.prefix)
+            .field("weight", &self.weight)
+            .finish()
+    }
+}
+
+impl TenantHandle {
+    /// A client to the tenant apiserver acting as `user` (tenant-grade
+    /// rate limits).
+    pub fn client(&self, user: impl Into<String>) -> Client {
+        self.cluster.client(user)
+    }
+
+    /// An unthrottled client for the syncer's control loops.
+    pub fn system_client(&self, user: impl Into<String>) -> Client {
+        self.cluster.system_client(user)
+    }
+}
+
+/// Thread-safe registry of live tenants.
+#[derive(Debug, Default)]
+pub struct TenantRegistry {
+    by_name: RwLock<HashMap<String, Arc<TenantHandle>>>,
+    by_cert_hash: RwLock<HashMap<String, Arc<TenantHandle>>>,
+}
+
+impl TenantRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Arc<Self> {
+        Arc::new(TenantRegistry::default())
+    }
+
+    /// Registers a tenant.
+    pub fn insert(&self, handle: Arc<TenantHandle>) {
+        self.by_name.write().insert(handle.name.clone(), Arc::clone(&handle));
+        self.by_cert_hash.write().insert(handle.cert_hash.clone(), handle);
+    }
+
+    /// Removes a tenant by name, returning its handle.
+    pub fn remove(&self, name: &str) -> Option<Arc<TenantHandle>> {
+        let handle = self.by_name.write().remove(name)?;
+        self.by_cert_hash.write().remove(&handle.cert_hash);
+        Some(handle)
+    }
+
+    /// Looks a tenant up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<TenantHandle>> {
+        self.by_name.read().get(name).cloned()
+    }
+
+    /// Looks a tenant up by the hash of a presented certificate (the
+    /// vn-agent path).
+    pub fn identify_by_cert(&self, cert: &[u8]) -> Option<Arc<TenantHandle>> {
+        self.by_cert_hash.read().get(&sha256_hex(cert)).cloned()
+    }
+
+    /// All registered tenants.
+    pub fn list(&self) -> Vec<Arc<TenantHandle>> {
+        self.by_name.read().values().cloned().collect()
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.by_name.read().len()
+    }
+
+    /// Returns `true` when no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Generates a simulated TLS client certificate for a tenant: random bytes
+/// with a recognizable header. Returns `(cert, hash)`.
+pub fn generate_cert(tenant: &str) -> (Vec<u8>, String) {
+    let mut cert = format!("CERTIFICATE:{tenant}:").into_bytes();
+    let nonce: [u8; 32] = rand::random();
+    cert.extend_from_slice(&nonce);
+    let hash = sha256_hex(&cert);
+    (cert, hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_controllers::ClusterConfig;
+
+    fn handle(name: &str) -> Arc<TenantHandle> {
+        let (cert, cert_hash) = generate_cert(name);
+        let mut config = ClusterConfig::tenant(name).with_zero_latency();
+        // Bare apiserver is enough for registry tests.
+        config.workload_controllers = false;
+        config.service_controller = false;
+        config.namespace_controller = false;
+        config.garbage_collector = false;
+        Arc::new(TenantHandle {
+            name: name.into(),
+            prefix: format!("{name}-abc123"),
+            cluster: Arc::new(Cluster::start(config)),
+            cert,
+            cert_hash,
+            weight: 1,
+            sync_crds: false,
+        })
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let registry = TenantRegistry::new();
+        registry.insert(handle("tenant-a"));
+        assert_eq!(registry.len(), 1);
+        assert!(registry.get("tenant-a").is_some());
+        assert!(registry.remove("tenant-a").is_some());
+        assert!(registry.is_empty());
+        assert!(registry.remove("tenant-a").is_none());
+    }
+
+    #[test]
+    fn cert_identification() {
+        let registry = TenantRegistry::new();
+        let a = handle("tenant-a");
+        let b = handle("tenant-b");
+        let cert_a = a.cert.clone();
+        registry.insert(a);
+        registry.insert(b);
+        let identified = registry.identify_by_cert(&cert_a).unwrap();
+        assert_eq!(identified.name, "tenant-a");
+        // A forged/unknown certificate identifies nobody.
+        assert!(registry.identify_by_cert(b"forged cert").is_none());
+    }
+
+    #[test]
+    fn cert_removed_with_tenant() {
+        let registry = TenantRegistry::new();
+        let a = handle("tenant-a");
+        let cert = a.cert.clone();
+        registry.insert(a);
+        registry.remove("tenant-a");
+        assert!(registry.identify_by_cert(&cert).is_none());
+    }
+
+    #[test]
+    fn generated_certs_unique() {
+        let (c1, h1) = generate_cert("t");
+        let (c2, h2) = generate_cert("t");
+        assert_ne!(c1, c2);
+        assert_ne!(h1, h2);
+    }
+}

@@ -1,0 +1,804 @@
+//! The resource syncer (paper §III-C) — VirtualCluster's core controller.
+//!
+//! One **centralized** syncer serves all tenant control planes: it
+//! populates tenant objects used in pod provision **downward** to the super
+//! cluster and back-populates statuses **upward**, using per-resource
+//! reconcilers that compare states against informer caches. Tenant events
+//! flow through per-tenant sub-queues dispatched by weighted round-robin
+//! ([`vc_client::WeightedFairQueue`]), so a bursty tenant cannot starve
+//! others. A periodic scanner remediates any state mismatch left behind by
+//! rare races by resending objects to the worker queues.
+
+pub mod phases;
+pub mod vnode;
+
+mod downward;
+mod upward;
+
+use crate::mapping;
+use crate::registry::TenantHandle;
+use parking_lot::{Mutex, RwLock};
+use phases::PhaseTracker;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+use vc_api::metrics::{BusyTimer, Counter, Histogram};
+use vc_api::object::ResourceKind;
+use vc_api::pod::PodConditionType;
+use vc_client::{Client, InformerConfig, InformerEvent, SharedInformer, WeightedFairQueue, WorkQueue};
+use vc_controllers::util::ControllerHandle;
+use vnode::VNodeManager;
+
+/// One unit of synchronization work.
+///
+/// For downward items `key` is the tenant-side object key; for upward items
+/// it is the super-cluster key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WorkItem {
+    /// Owning tenant (VC name).
+    pub tenant: String,
+    /// Resource kind.
+    pub kind: ResourceKind,
+    /// Object key.
+    pub key: String,
+}
+
+/// Syncer configuration.
+#[derive(Debug, Clone)]
+pub struct SyncerConfig {
+    /// Downward worker threads (paper default: 20 — more does not help
+    /// because the super-cluster scheduler is the bottleneck).
+    pub downward_workers: usize,
+    /// Upward worker threads (paper default: 100 — the tenant control
+    /// planes have no bottleneck in absorbing status updates).
+    pub upward_workers: usize,
+    /// Per-tenant fair queuing on the downward path (Fig 11 toggles this).
+    pub fair_queuing: bool,
+    /// Resource kinds synchronized downward.
+    pub downward_kinds: Vec<ResourceKind>,
+    /// Periodic mismatch scan interval (`None` disables the scanner).
+    pub scan_interval: Option<Duration>,
+    /// vNode heartbeat broadcast interval.
+    pub vnode_heartbeat_interval: Duration,
+    /// Poll interval for tenant informers (kept modest: 100 tenants ×
+    /// kinds informer threads share the machine).
+    pub tenant_informer_poll: Duration,
+    /// Simulated per-item downward reconcile cost under congestion (deep
+    /// copies, serialization, contended locks, TLS round-trips to the
+    /// super apiserver). The effective cost scales with queue depth —
+    /// near zero when the queue is empty (the paper's 1–2 ms added delay
+    /// under normal load), approaching this full value under bursts, where
+    /// it caps downward capacity at `workers / cost` items per second.
+    pub downward_process_cost: Duration,
+    /// Simulated per-item upward reconcile cost under congestion.
+    pub upward_process_cost: Duration,
+}
+
+impl Default for SyncerConfig {
+    fn default() -> Self {
+        SyncerConfig {
+            downward_workers: 20,
+            upward_workers: 100,
+            fair_queuing: true,
+            downward_kinds: vec![
+                ResourceKind::Namespace,
+                ResourceKind::Pod,
+                ResourceKind::Service,
+                ResourceKind::Endpoints,
+                ResourceKind::Secret,
+                ResourceKind::ConfigMap,
+                ResourceKind::ServiceAccount,
+                ResourceKind::PersistentVolumeClaim,
+                ResourceKind::CustomObject,
+            ],
+            scan_interval: Some(Duration::from_secs(60)),
+            vnode_heartbeat_interval: Duration::from_secs(10),
+            tenant_informer_poll: Duration::from_millis(50),
+            downward_process_cost: Duration::ZERO,
+            upward_process_cost: Duration::ZERO,
+        }
+    }
+}
+
+impl SyncerConfig {
+    /// A minimal configuration syncing only pods and namespaces — used by
+    /// the large-scale benches (matches the paper's stress workload, which
+    /// only creates pods).
+    pub fn pods_only() -> Self {
+        SyncerConfig {
+            downward_kinds: vec![ResourceKind::Namespace, ResourceKind::Pod],
+            ..Default::default()
+        }
+    }
+}
+
+/// Kinds synchronized upward (super → tenant).
+pub const UPWARD_KINDS: [ResourceKind; 6] = [
+    ResourceKind::Pod,
+    ResourceKind::Service,
+    ResourceKind::Event,
+    ResourceKind::PersistentVolume,
+    ResourceKind::PersistentVolumeClaim,
+    ResourceKind::StorageClass,
+];
+
+/// Per-tenant syncer state.
+pub struct TenantState {
+    /// Registry handle (control plane, prefix, weight, cert).
+    pub handle: Arc<TenantHandle>,
+    /// Tenant-side informers per downward kind.
+    pub informers: HashMap<ResourceKind, Arc<SharedInformer>>,
+    /// Syncer's client to the tenant apiserver.
+    pub client: Client,
+}
+
+impl TenantState {
+    /// The tenant-side cache for `kind` (must be a configured downward
+    /// kind).
+    pub fn cache(&self, kind: ResourceKind) -> &Arc<vc_client::Cache> {
+        self.informers.get(&kind).map(|i| i.cache()).expect("downward kind informer")
+    }
+}
+
+/// Syncer metrics, feeding Figs 8–11 and Table I.
+#[derive(Debug, Default)]
+pub struct SyncerMetrics {
+    /// Busy time across downward workers (Fig 10 CPU accounting).
+    pub downward_busy: BusyTimer,
+    /// Busy time across upward workers.
+    pub upward_busy: BusyTimer,
+    /// Objects created in the super cluster.
+    pub downward_creates: Counter,
+    /// Objects updated in the super cluster.
+    pub downward_updates: Counter,
+    /// Objects deleted from the super cluster.
+    pub downward_deletes: Counter,
+    /// Tenant statuses updated.
+    pub upward_updates: Counter,
+    /// Tenant objects deleted due to super-side deletion.
+    pub upward_deletes: Counter,
+    /// Mismatches repaired by the periodic scanner.
+    pub scan_requeues: Counter,
+    /// Scan pass durations (ms).
+    pub scan_duration: Histogram,
+    /// Completed scan passes.
+    pub scans: Counter,
+    /// Write conflicts encountered (races).
+    pub conflicts: Counter,
+    /// Tenants hibernated.
+    pub hibernations: Counter,
+    /// Wake-from-hibernation latencies (ms) — the re-list cost.
+    pub wake_latency: Histogram,
+}
+
+/// The centralized resource syncer.
+pub struct Syncer {
+    pub(crate) config: SyncerConfig,
+    pub(crate) super_client: Client,
+    pub(crate) super_informers: HashMap<ResourceKind, Arc<SharedInformer>>,
+    pub(crate) tenants: RwLock<HashMap<String, Arc<TenantState>>>,
+    pub(crate) downward: Arc<WeightedFairQueue<WorkItem>>,
+    pub(crate) upward: Arc<WorkQueue<WorkItem>>,
+    /// Super-side deletions awaiting upward processing: key → tenant uid.
+    pub(crate) recent_super_deletions: Mutex<HashMap<String, String>>,
+    /// Failed items awaiting delayed retry (prevents hot requeue loops
+    /// while a dependency — e.g. a namespace — settles).
+    pub(crate) retry_buffer: Mutex<Vec<(std::time::Instant, WorkItem)>>,
+    /// Hibernated (idle) tenants: informers stopped, caches released
+    /// (paper §V: "reducing the cost of running tenant control planes").
+    pub(crate) hibernated: Mutex<HashMap<String, Arc<TenantHandle>>>,
+    /// vNode bookkeeping.
+    pub vnodes: VNodeManager,
+    /// Pod latency phase tracking.
+    pub phases: PhaseTracker,
+    /// Counters and busy timers.
+    pub metrics: SyncerMetrics,
+    handle: Mutex<Option<ControllerHandle>>,
+}
+
+impl std::fmt::Debug for Syncer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Syncer")
+            .field("tenants", &self.tenants.read().len())
+            .field("downward_len", &self.downward.len())
+            .field("upward_len", &self.upward.len())
+            .finish()
+    }
+}
+
+impl Syncer {
+    /// Starts a syncer against the super cluster reachable via
+    /// `super_client`.
+    pub fn start(super_client: Client, config: SyncerConfig) -> Arc<Syncer> {
+        let mut super_kinds: Vec<ResourceKind> = config.downward_kinds.clone();
+        for kind in UPWARD_KINDS.iter().chain([ResourceKind::Node].iter()) {
+            if !super_kinds.contains(kind) {
+                super_kinds.push(*kind);
+            }
+        }
+
+        let mut super_informers = HashMap::new();
+        for kind in &super_kinds {
+            let informer = SharedInformer::new(
+                super_client.clone(),
+                InformerConfig::new(*kind),
+            );
+            super_informers.insert(*kind, informer);
+        }
+
+        let syncer = Arc::new(Syncer {
+            downward: Arc::new(WeightedFairQueue::new(config.fair_queuing)),
+            upward: Arc::new(WorkQueue::new()),
+            config,
+            super_client,
+            super_informers,
+            tenants: RwLock::new(HashMap::new()),
+            recent_super_deletions: Mutex::new(HashMap::new()),
+            retry_buffer: Mutex::new(Vec::new()),
+            hibernated: Mutex::new(HashMap::new()),
+            vnodes: VNodeManager::new(),
+            phases: PhaseTracker::new(),
+            metrics: SyncerMetrics::default(),
+            handle: Mutex::new(None),
+        });
+
+        // Register super-side handlers (upward triggers), then start.
+        for (kind, informer) in &syncer.super_informers {
+            let weak = Arc::downgrade(&syncer);
+            let kind = *kind;
+            informer.add_handler(Box::new(move |event| {
+                if let Some(syncer) = weak.upgrade() {
+                    syncer.on_super_event(kind, event);
+                }
+            }));
+        }
+        let mut handle = ControllerHandle::new("vc-syncer");
+        for informer in syncer.super_informers.values() {
+            let started = SharedInformer::start(Arc::clone(informer));
+            started.wait_for_sync(Duration::from_secs(30));
+            handle.add_informer(started);
+        }
+
+        // Downward workers.
+        for worker_id in 0..syncer.config.downward_workers.max(1) {
+            let syncer_ref = Arc::clone(&syncer);
+            let stop = handle.stop_flag();
+            handle.add_thread(
+                std::thread::Builder::new()
+                    .name(format!("syncer-dws-{worker_id}"))
+                    .spawn(move || {
+                        while let Some(item) = syncer_ref.downward.get() {
+                            if stop.is_set() {
+                                syncer_ref.downward.done(&item);
+                                break;
+                            }
+                            if item.kind == ResourceKind::Pod {
+                                syncer_ref.phases.record_dws_dequeued(&item.tenant, &item.key);
+                            }
+                            syncer_ref.metrics.downward_busy.record(|| {
+                                let cost = congestion_cost(
+                                    syncer_ref.config.downward_process_cost,
+                                    syncer_ref.downward.len(),
+                                );
+                                if !cost.is_zero() {
+                                    std::thread::sleep(cost);
+                                }
+                                downward::reconcile(&syncer_ref, &item)
+                            });
+                            syncer_ref.downward.done(&item);
+                        }
+                    })
+                    .expect("spawn downward worker"),
+            );
+        }
+        // Upward workers.
+        for worker_id in 0..syncer.config.upward_workers.max(1) {
+            let syncer_ref = Arc::clone(&syncer);
+            let stop = handle.stop_flag();
+            handle.add_thread(
+                std::thread::Builder::new()
+                    .name(format!("syncer-uws-{worker_id}"))
+                    .spawn(move || {
+                        while let Some(item) = syncer_ref.upward.get() {
+                            if stop.is_set() {
+                                syncer_ref.upward.done(&item);
+                                break;
+                            }
+                            // (Pod phase stamps happen inside the upward
+                            // reconciler, which knows whether the super pod
+                            // is Ready.)
+                            syncer_ref.metrics.upward_busy.record(|| {
+                                let cost = congestion_cost(
+                                    syncer_ref.config.upward_process_cost,
+                                    syncer_ref.upward.len(),
+                                );
+                                if !cost.is_zero() {
+                                    std::thread::sleep(cost);
+                                }
+                                upward::reconcile(&syncer_ref, &item)
+                            });
+                            syncer_ref.upward.done(&item);
+                        }
+                    })
+                    .expect("spawn upward worker"),
+            );
+        }
+        // Periodic mismatch scanner.
+        if let Some(interval) = syncer.config.scan_interval {
+            let syncer_ref = Arc::clone(&syncer);
+            let stop = handle.stop_flag();
+            handle.add_thread(
+                std::thread::Builder::new()
+                    .name("syncer-scanner".into())
+                    .spawn(move || loop {
+                        let mut slept = Duration::ZERO;
+                        while slept < interval {
+                            if stop.is_set() {
+                                return;
+                            }
+                            let step = Duration::from_millis(50).min(interval - slept);
+                            std::thread::sleep(step);
+                            slept += step;
+                        }
+                        syncer_ref.scan_all();
+                    })
+                    .expect("spawn scanner"),
+            );
+        }
+        // vNode heartbeat broadcaster.
+        {
+            let syncer_ref = Arc::clone(&syncer);
+            let interval = syncer.config.vnode_heartbeat_interval;
+            let stop = handle.stop_flag();
+            handle.add_thread(
+                std::thread::Builder::new()
+                    .name("syncer-vnode-heartbeats".into())
+                    .spawn(move || loop {
+                        let mut slept = Duration::ZERO;
+                        while slept < interval {
+                            if stop.is_set() {
+                                return;
+                            }
+                            let step = Duration::from_millis(50).min(interval - slept);
+                            std::thread::sleep(step);
+                            slept += step;
+                        }
+                        let tenants: Vec<Arc<TenantHandle>> = syncer_ref
+                            .tenants
+                            .read()
+                            .values()
+                            .map(|t| Arc::clone(&t.handle))
+                            .collect();
+                        if let Some(cache) = syncer_ref.super_cache(ResourceKind::Node) {
+                            syncer_ref.vnodes.broadcast_heartbeats(&tenants, cache);
+                        }
+                    })
+                    .expect("spawn vnode heartbeat thread"),
+            );
+        }
+        // Delayed-retry pump: moves due retry items back into the
+        // downward queue.
+        {
+            let syncer_ref = Arc::clone(&syncer);
+            let stop = handle.stop_flag();
+            handle.add_thread(
+                std::thread::Builder::new()
+                    .name("syncer-retry-pump".into())
+                    .spawn(move || {
+                        while !stop.is_set() {
+                            let now = std::time::Instant::now();
+                            let due: Vec<WorkItem> = {
+                                let mut buffer = syncer_ref.retry_buffer.lock();
+                                let (ready, waiting): (Vec<_>, Vec<_>) =
+                                    buffer.drain(..).partition(|(at, _)| *at <= now);
+                                *buffer = waiting;
+                                ready.into_iter().map(|(_, item)| item).collect()
+                            };
+                            for item in due {
+                                syncer_ref.downward.add(&item.tenant.clone(), item);
+                            }
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                    })
+                    .expect("spawn retry pump"),
+            );
+        }
+        {
+            let downward = Arc::clone(&syncer.downward);
+            let upward = Arc::clone(&syncer.upward);
+            handle.on_stop(move || {
+                downward.shutdown();
+                upward.shutdown();
+            });
+        }
+        *syncer.handle.lock() = Some(handle);
+        syncer
+    }
+
+    /// Hibernates an idle tenant (paper §V future work, implemented):
+    /// stops its informers and releases their caches, freeing the
+    /// syncer-side memory the tenant was costing. Already-synced super-
+    /// cluster objects keep running; the tenant's own control plane stays
+    /// up but unwatched. Returns `false` for unknown tenants.
+    pub fn hibernate_tenant(&self, name: &str) -> bool {
+        let Some(state) = self.tenants.write().remove(name) else { return false };
+        for informer in state.informers.values() {
+            informer.stop();
+        }
+        let _ = self.downward.remove_tenant(name);
+        self.hibernated.lock().insert(name.to_string(), Arc::clone(&state.handle));
+        self.metrics.hibernations.inc();
+        true
+    }
+
+    /// Wakes a hibernated tenant: re-lists its control plane into fresh
+    /// informer caches (the wake cost) and resumes synchronization.
+    /// Returns the wake latency, or `None` for tenants not hibernated.
+    pub fn wake_tenant(self: &Arc<Self>, name: &str) -> Option<Duration> {
+        let handle = self.hibernated.lock().remove(name)?;
+        let start = std::time::Instant::now();
+        self.register_tenant(handle);
+        let elapsed = start.elapsed();
+        self.metrics.wake_latency.observe(elapsed);
+        Some(elapsed)
+    }
+
+    /// Names of currently hibernated tenants.
+    pub fn hibernated_tenants(&self) -> Vec<String> {
+        self.hibernated.lock().keys().cloned().collect()
+    }
+
+    /// Schedules a failed downward item for retry after a short delay.
+    pub(crate) fn requeue_downward(&self, item: WorkItem) {
+        self.retry_buffer
+            .lock()
+            .push((std::time::Instant::now() + Duration::from_millis(100), item));
+    }
+
+    /// Attaches a tenant control plane: starts its informers and begins
+    /// synchronizing. Safe to call for many tenants; one syncer serves all
+    /// of them (§III-C's centralized design).
+    pub fn register_tenant(self: &Arc<Self>, handle: Arc<TenantHandle>) {
+        let client = handle.system_client("vc-syncer");
+        let mut informers = HashMap::new();
+        for kind in &self.config.downward_kinds {
+            let mut config = InformerConfig::new(*kind);
+            config.poll_interval = self.config.tenant_informer_poll;
+            let informer = SharedInformer::new(client.clone(), config);
+            let weak = Arc::downgrade(self);
+            let tenant_name = handle.name.clone();
+            let kind = *kind;
+            informer.add_handler(Box::new(move |event| {
+                if let Some(syncer) = weak.upgrade() {
+                    syncer.on_tenant_event(&tenant_name, kind, event);
+                }
+            }));
+            let informer = SharedInformer::start(informer);
+            informer.wait_for_sync(Duration::from_secs(30));
+            informers.insert(kind, informer);
+        }
+        self.downward.set_weight(&handle.name, handle.weight.max(1));
+        let state =
+            Arc::new(TenantState { handle: Arc::clone(&handle), informers, client });
+        self.tenants.write().insert(handle.name.clone(), state);
+
+        // Existing storage classes flow to the new tenant immediately.
+        if let Some(cache) = self.super_cache(ResourceKind::StorageClass) {
+            for sc in cache.list() {
+                self.upward.add(WorkItem {
+                    tenant: handle.name.clone(),
+                    kind: ResourceKind::StorageClass,
+                    key: sc.key(),
+                });
+            }
+        }
+    }
+
+    /// Detaches a tenant: stops its informers and drops its sub-queue.
+    pub fn unregister_tenant(&self, name: &str) {
+        let state = self.tenants.write().remove(name);
+        if let Some(state) = state {
+            for informer in state.informers.values() {
+                informer.stop();
+            }
+        }
+        // The sub-queue may still hold items; they become no-ops once the
+        // tenant is gone, so force removal after drain attempts.
+        let _ = self.downward.remove_tenant(name);
+    }
+
+    /// The registered tenants.
+    pub fn tenant_names(&self) -> Vec<String> {
+        self.tenants.read().keys().cloned().collect()
+    }
+
+    /// Looks a tenant state up.
+    pub fn tenant(&self, name: &str) -> Option<Arc<TenantState>> {
+        self.tenants.read().get(name).cloned()
+    }
+
+    /// The super-cluster informer cache for `kind`, if watched.
+    pub fn super_cache(&self, kind: ResourceKind) -> Option<&Arc<vc_client::Cache>> {
+        self.super_informers.get(&kind).map(|i| i.cache())
+    }
+
+    /// Pending items in the downward queue.
+    pub fn downward_len(&self) -> usize {
+        self.downward.len()
+    }
+
+    /// Pending items in the upward queue.
+    pub fn upward_len(&self) -> usize {
+        self.upward.len()
+    }
+
+    /// Total estimated bytes held in informer caches (super + all
+    /// tenants) — the syncer's dominant memory consumer (Fig 10).
+    pub fn cache_bytes(&self) -> usize {
+        let mut total: i64 = 0;
+        for informer in self.super_informers.values() {
+            total += informer.cache().bytes.get();
+        }
+        for tenant in self.tenants.read().values() {
+            for informer in tenant.informers.values() {
+                total += informer.cache().bytes.get();
+            }
+        }
+        total.max(0) as usize
+    }
+
+    /// Runs one full mismatch scan across all tenants (also called
+    /// periodically when `scan_interval` is set). Super-cluster caches are
+    /// indexed by owning tenant once per pass; per-tenant scan threads run
+    /// in parallel, one per tenant, as in the paper's evaluation. Returns
+    /// the wall-clock duration.
+    pub fn scan_all(&self) -> Duration {
+        let start = std::time::Instant::now();
+        let tenants: Vec<Arc<TenantState>> = self.tenants.read().values().cloned().collect();
+
+        // Index super objects by owner once (kind -> tenant -> objects),
+        // instead of every tenant thread rescanning the full caches.
+        let mut by_owner: HashMap<ResourceKind, HashMap<String, Vec<vc_api::Object>>> =
+            HashMap::new();
+        let mut scan_kinds = self.config.downward_kinds.clone();
+        if !scan_kinds.contains(&ResourceKind::Pod) {
+            scan_kinds.push(ResourceKind::Pod);
+        }
+        for kind in &scan_kinds {
+            let Some(cache) = self.super_cache(*kind) else { continue };
+            let per_tenant: &mut HashMap<String, Vec<vc_api::Object>> =
+                by_owner.entry(*kind).or_default();
+            for obj in cache.list() {
+                if let Some(owner) = mapping::owner_cluster(&obj) {
+                    per_tenant.entry(owner.to_string()).or_default().push(obj);
+                }
+            }
+        }
+
+        std::thread::scope(|scope| {
+            for tenant in &tenants {
+                let by_owner = &by_owner;
+                scope.spawn(move || self.scan_tenant(tenant, by_owner));
+            }
+        });
+        let elapsed = start.elapsed();
+        self.metrics.scans.inc();
+        self.metrics.scan_duration.observe(elapsed);
+        elapsed
+    }
+
+    fn scan_tenant(
+        &self,
+        tenant: &TenantState,
+        by_owner: &HashMap<ResourceKind, HashMap<String, Vec<vc_api::Object>>>,
+    ) {
+        let prefix = &tenant.handle.prefix;
+        let owned = |kind: ResourceKind| -> &[vc_api::Object] {
+            by_owner
+                .get(&kind)
+                .and_then(|m| m.get(&tenant.handle.name))
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
+        };
+        for kind in &self.config.downward_kinds {
+            if self.super_cache(*kind).is_none() {
+                continue;
+            }
+            let tenant_cache = tenant.cache(*kind);
+            // Tenant objects whose super copy is missing or diverged.
+            for obj in tenant_cache.list() {
+                if !downward::in_sync(self, tenant, *kind, &obj) {
+                    self.metrics.scan_requeues.inc();
+                    self.downward.add(
+                        &tenant.handle.name,
+                        WorkItem {
+                            tenant: tenant.handle.name.clone(),
+                            kind: *kind,
+                            key: obj.key(),
+                        },
+                    );
+                }
+            }
+            // Super objects owned by this tenant whose tenant source is
+            // gone (orphans to delete).
+            for obj in owned(*kind) {
+                let Some(tenant_key) = mapping::super_key_to_tenant(prefix, *kind, &obj.key())
+                else {
+                    continue;
+                };
+                if tenant_cache.get(&tenant_key).is_none() {
+                    self.metrics.scan_requeues.inc();
+                    self.downward.add(
+                        &tenant.handle.name,
+                        WorkItem {
+                            tenant: tenant.handle.name.clone(),
+                            kind: *kind,
+                            key: tenant_key,
+                        },
+                    );
+                }
+            }
+        }
+        // Upward repair: super pods whose status the tenant hasn't seen.
+        if self.config.downward_kinds.contains(&ResourceKind::Pod) {
+            for obj in owned(ResourceKind::Pod) {
+                let Some(pod) = obj.as_pod() else { continue };
+                let Some(tenant_key) =
+                    mapping::super_key_to_tenant(prefix, ResourceKind::Pod, &obj.key())
+                else {
+                    continue;
+                };
+                let tenant_pod = tenant.cache(ResourceKind::Pod).get(&tenant_key);
+                let diverged = match tenant_pod {
+                    Some(t_obj) => t_obj.as_pod().is_some_and(|tp| {
+                        tp.status != pod.status || tp.spec.node_name != pod.spec.node_name
+                    }),
+                    None => false, // downward scan handles orphan deletion
+                };
+                if diverged {
+                    self.metrics.scan_requeues.inc();
+                    self.upward.add(WorkItem {
+                        tenant: tenant.handle.name.clone(),
+                        kind: ResourceKind::Pod,
+                        key: obj.key(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Stops workers, scanner, broadcaster and all informers.
+    pub fn stop(&self) {
+        // Stop tenant informers first so no new work arrives.
+        let tenants: Vec<Arc<TenantState>> = self.tenants.read().values().cloned().collect();
+        for tenant in tenants {
+            for informer in tenant.informers.values() {
+                informer.stop();
+            }
+        }
+        if let Some(mut handle) = self.handle.lock().take() {
+            handle.stop();
+        }
+    }
+
+    fn on_tenant_event(&self, tenant: &str, kind: ResourceKind, event: &InformerEvent) {
+        let obj = event.object();
+        if kind == ResourceKind::Pod {
+            if let InformerEvent::Added(_) = event {
+                self.phases.record_created(tenant, &obj.key());
+            }
+        }
+        self.downward.add(
+            tenant,
+            WorkItem { tenant: tenant.to_string(), kind, key: obj.key() },
+        );
+    }
+
+    fn on_super_event(&self, kind: ResourceKind, event: &InformerEvent) {
+        let obj = event.object();
+        match kind {
+            ResourceKind::Node => {} // heartbeat broadcaster reads the cache
+            ResourceKind::StorageClass => {
+                // Broadcast to every tenant.
+                for tenant in self.tenants.read().keys() {
+                    self.upward.add(WorkItem {
+                        tenant: tenant.clone(),
+                        kind,
+                        key: obj.key(),
+                    });
+                }
+            }
+            _ => {
+                let Some(tenant) = self.tenant_for_super_object(kind, obj) else { return };
+                if kind == ResourceKind::Pod {
+                    if let InformerEvent::Deleted(deleted) = event {
+                        if let Some(uid) = mapping::tenant_uid(deleted) {
+                            self.recent_super_deletions
+                                .lock()
+                                .insert(deleted.key(), uid.to_string());
+                        }
+                    }
+                    // The Super-Sched phase ends when the super pod turns
+                    // Ready.
+                    if let Some(pod) = obj.as_pod() {
+                        if pod
+                            .status
+                            .condition(PodConditionType::Ready)
+                            .is_some_and(|c| c.status)
+                        {
+                            if let Some(tenant_key) = self.tenant_key_for(&tenant, kind, &obj.key())
+                            {
+                                self.phases.record_super_ready(&tenant, &tenant_key);
+                            }
+                        }
+                    }
+                }
+                // Only kinds with an upward reconciler are queued upward.
+                if UPWARD_KINDS.contains(&kind) {
+                    self.upward.add(WorkItem { tenant, kind, key: obj.key() });
+                }
+            }
+        }
+    }
+
+    /// Finds which tenant a super-cluster object belongs to, via the
+    /// cluster annotation or (for events) the namespace prefix.
+    fn tenant_for_super_object(&self, _kind: ResourceKind, obj: &vc_api::Object) -> Option<String> {
+        if let Some(owner) = mapping::owner_cluster(obj) {
+            let owner = owner.to_string();
+            return self.tenants.read().contains_key(&owner).then_some(owner);
+        }
+        // Objects created by super-cluster controllers (events, endpoints,
+        // PVs) carry no annotation; match the namespace prefix.
+        let ns = &obj.meta().namespace;
+        if !ns.is_empty() {
+            for (name, state) in self.tenants.read().iter() {
+                if mapping::super_ns_to_tenant(&state.handle.prefix, ns).is_some() {
+                    return Some(name.clone());
+                }
+            }
+        }
+        // Cluster-scoped PVs: match via claim_ref prefix.
+        if let vc_api::Object::PersistentVolume(pv) = obj {
+            if let Some((claim_ns, _)) = pv.claim_ref.split_once('/') {
+                for (name, state) in self.tenants.read().iter() {
+                    if mapping::super_ns_to_tenant(&state.handle.prefix, claim_ns).is_some() {
+                        return Some(name.clone());
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Maps a super key back to a tenant key for the given tenant name.
+    pub(crate) fn tenant_key_for(
+        &self,
+        tenant: &str,
+        kind: ResourceKind,
+        super_key: &str,
+    ) -> Option<String> {
+        let tenants = self.tenants.read();
+        let state = tenants.get(tenant)?;
+        mapping::super_key_to_tenant(&state.handle.prefix, kind, super_key)
+    }
+}
+
+/// Congestion model for per-item processing cost: near zero on an idle
+/// queue, saturating toward `full` as the backlog grows (lock contention
+/// and allocator pressure only bite under load). `depth / (depth + 50)`
+/// reaches 90% of the full cost at a backlog of 450 items.
+fn congestion_cost(full: Duration, depth: usize) -> Duration {
+    if full.is_zero() || depth == 0 {
+        return Duration::ZERO;
+    }
+    full.mul_f64(depth as f64 / (depth as f64 + 50.0))
+}
+
+impl Drop for Syncer {
+    fn drop(&mut self) {
+        if let Some(mut handle) = self.handle.lock().take() {
+            handle.stop();
+        }
+    }
+}

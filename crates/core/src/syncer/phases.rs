@@ -1,0 +1,288 @@
+//! Per-pod latency phase tracking (paper Fig 8 / Table I).
+//!
+//! The paper divides end-to-end Pod creation latency into five phases:
+//!
+//! 1. **DWS-Queue** — time in the downward worker queue,
+//! 2. **DWS-Process** — downward synchronization time,
+//! 3. **Super-Sched** — time in the super cluster until the pod is Ready,
+//! 4. **UWS-Queue** — time in the upward worker queue,
+//! 5. **UWS-Process** — upward synchronization time.
+//!
+//! The tracker stamps each transition once (first occurrence wins, so
+//! requeues and dedup don't distort the numbers).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// The five phases of a synchronized pod creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Downward queue wait.
+    DwsQueue,
+    /// Downward reconcile execution.
+    DwsProcess,
+    /// Super-cluster schedule + run time.
+    SuperSched,
+    /// Upward queue wait.
+    UwsQueue,
+    /// Upward reconcile execution.
+    UwsProcess,
+}
+
+impl Phase {
+    /// All phases in chronological order.
+    pub const ALL: [Phase; 5] =
+        [Phase::DwsQueue, Phase::DwsProcess, Phase::SuperSched, Phase::UwsQueue, Phase::UwsProcess];
+
+    /// The paper's label for this phase.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::DwsQueue => "DWS-Queue",
+            Phase::DwsProcess => "DWS-Process",
+            Phase::SuperSched => "Super-Sched",
+            Phase::UwsQueue => "UWS-Queue",
+            Phase::UwsProcess => "UWS-Process",
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct Timeline {
+    created: Option<Instant>,
+    dws_dequeued: Option<Instant>,
+    dws_done: Option<Instant>,
+    super_ready: Option<Instant>,
+    uws_dequeued: Option<Instant>,
+    uws_done: Option<Instant>,
+}
+
+/// One pod's finished phase breakdown, all in milliseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PodPhases {
+    /// Per-phase durations, indexed like [`Phase::ALL`].
+    pub phases: [u64; 5],
+    /// End-to-end creation time.
+    pub total_ms: u64,
+}
+
+/// Records phase transitions for pods flowing through the syncer.
+#[derive(Debug, Default)]
+pub struct PhaseTracker {
+    timelines: Mutex<HashMap<(String, String), Timeline>>,
+}
+
+fn set_once(slot: &mut Option<Instant>) {
+    if slot.is_none() {
+        *slot = Some(Instant::now());
+    }
+}
+
+impl PhaseTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        PhaseTracker::default()
+    }
+
+    fn with<R>(&self, tenant: &str, pod: &str, f: impl FnOnce(&mut Timeline) -> R) -> R {
+        let mut map = self.timelines.lock();
+        f(map.entry((tenant.to_string(), pod.to_string())).or_default())
+    }
+
+    /// Pod entered the downward queue (tenant informer saw the creation).
+    pub fn record_created(&self, tenant: &str, pod: &str) {
+        self.with(tenant, pod, |t| set_once(&mut t.created));
+    }
+
+    /// A downward worker picked the pod up.
+    pub fn record_dws_dequeued(&self, tenant: &str, pod: &str) {
+        self.with(tenant, pod, |t| set_once(&mut t.dws_dequeued));
+    }
+
+    /// Downward synchronization (create in super) finished.
+    pub fn record_dws_done(&self, tenant: &str, pod: &str) {
+        self.with(tenant, pod, |t| set_once(&mut t.dws_done));
+    }
+
+    /// The super cluster reported the pod Ready (upward enqueue).
+    pub fn record_super_ready(&self, tenant: &str, pod: &str) {
+        self.with(tenant, pod, |t| set_once(&mut t.super_ready));
+    }
+
+    /// An upward worker picked the ready pod up.
+    pub fn record_uws_dequeued(&self, tenant: &str, pod: &str) {
+        self.with(tenant, pod, |t| set_once(&mut t.uws_dequeued));
+    }
+
+    /// Upward synchronization (tenant status write) finished.
+    pub fn record_uws_done(&self, tenant: &str, pod: &str) {
+        self.with(tenant, pod, |t| set_once(&mut t.uws_done));
+    }
+
+    /// Number of pods with a complete timeline.
+    pub fn completed(&self) -> usize {
+        self.timelines.lock().values().filter(|t| t.uws_done.is_some()).count()
+    }
+
+    /// Number of pods tracked at all.
+    pub fn tracked(&self) -> usize {
+        self.timelines.lock().len()
+    }
+
+    /// Extracts per-pod phase breakdowns for completed pods.
+    pub fn report(&self) -> Vec<PodPhases> {
+        let map = self.timelines.lock();
+        map.values()
+            .filter_map(|t| {
+                let created = t.created?;
+                let dws_deq = t.dws_dequeued?;
+                let dws_done = t.dws_done?;
+                let ready = t.super_ready?;
+                let uws_deq = t.uws_dequeued?;
+                let uws_done = t.uws_done?;
+                let ms = |d: Duration| d.as_millis() as u64;
+                let span = |a: Instant, b: Instant| {
+                    ms(b.saturating_duration_since(a))
+                };
+                Some(PodPhases {
+                    phases: [
+                        span(created, dws_deq),
+                        span(dws_deq, dws_done),
+                        span(dws_done, ready),
+                        span(ready, uws_deq),
+                        span(uws_deq, uws_done),
+                    ],
+                    total_ms: span(created, uws_done),
+                })
+            })
+            .collect()
+    }
+
+    /// Clears all recorded timelines.
+    pub fn reset(&self) {
+        self.timelines.lock().clear();
+    }
+
+    /// Describes incomplete timelines (which stamps are missing), for
+    /// diagnostics.
+    pub fn pending_summary(&self) -> Vec<String> {
+        let map = self.timelines.lock();
+        map.iter()
+            .filter(|(_, t)| t.uws_done.is_none())
+            .map(|((tenant, pod), t)| {
+                format!(
+                    "{tenant}/{pod}: created={} dws_deq={} dws_done={} ready={} uws_deq={} uws_done={}",
+                    t.created.is_some(),
+                    t.dws_dequeued.is_some(),
+                    t.dws_done.is_some(),
+                    t.super_ready.is_some(),
+                    t.uws_dequeued.is_some(),
+                    t.uws_done.is_some()
+                )
+            })
+            .collect()
+    }
+}
+
+/// Aggregates a report into mean per-phase milliseconds, ordered like
+/// [`Phase::ALL`].
+pub fn mean_phases(report: &[PodPhases]) -> [f64; 5] {
+    let mut sums = [0f64; 5];
+    if report.is_empty() {
+        return sums;
+    }
+    for pod in report {
+        for (i, v) in pod.phases.iter().enumerate() {
+            sums[i] += *v as f64;
+        }
+    }
+    for v in &mut sums {
+        *v /= report.len() as f64;
+    }
+    sums
+}
+
+/// Buckets one phase's durations by `width_ms` over `buckets` buckets,
+/// counting overflow into the last bucket (the paper's Table I layout).
+pub fn phase_buckets(report: &[PodPhases], phase: Phase, width_ms: u64, buckets: usize) -> Vec<usize> {
+    let index = Phase::ALL.iter().position(|p| *p == phase).expect("known phase");
+    let mut counts = vec![0usize; buckets];
+    for pod in report {
+        let v = pod.phases[index];
+        let slot = ((v / width_ms) as usize).min(buckets - 1);
+        counts[slot] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_timeline_produces_report() {
+        let tracker = PhaseTracker::new();
+        tracker.record_created("t", "ns/p");
+        tracker.record_dws_dequeued("t", "ns/p");
+        tracker.record_dws_done("t", "ns/p");
+        tracker.record_super_ready("t", "ns/p");
+        tracker.record_uws_dequeued("t", "ns/p");
+        tracker.record_uws_done("t", "ns/p");
+        assert_eq!(tracker.completed(), 1);
+        let report = tracker.report();
+        assert_eq!(report.len(), 1);
+        // Instant stamps are monotone, so all spans are finite and small.
+        assert!(report[0].total_ms < 1000);
+    }
+
+    #[test]
+    fn incomplete_timeline_excluded() {
+        let tracker = PhaseTracker::new();
+        tracker.record_created("t", "ns/p");
+        tracker.record_dws_dequeued("t", "ns/p");
+        assert_eq!(tracker.tracked(), 1);
+        assert_eq!(tracker.completed(), 0);
+        assert!(tracker.report().is_empty());
+    }
+
+    #[test]
+    fn first_stamp_wins() {
+        let tracker = PhaseTracker::new();
+        tracker.record_created("t", "ns/p");
+        let first = tracker.timelines.lock()[&("t".into(), "ns/p".into())].created;
+        std::thread::sleep(Duration::from_millis(5));
+        tracker.record_created("t", "ns/p");
+        let second = tracker.timelines.lock()[&("t".into(), "ns/p".into())].created;
+        assert_eq!(first, second, "re-recording must not move the stamp");
+    }
+
+    #[test]
+    fn mean_and_buckets() {
+        let report = vec![
+            PodPhases { phases: [100, 0, 200, 50, 0], total_ms: 350 },
+            PodPhases { phases: [300, 0, 200, 150, 0], total_ms: 650 },
+        ];
+        let means = mean_phases(&report);
+        assert_eq!(means[0], 200.0);
+        assert_eq!(means[2], 200.0);
+        // Bucket width 100ms, 3 buckets; DWS-Queue values 100 and 300 →
+        // [0, 1, 1(overflow)].
+        let counts = phase_buckets(&report, Phase::DwsQueue, 100, 3);
+        assert_eq!(counts, vec![0, 1, 1]);
+        assert_eq!(mean_phases(&[]), [0.0; 5]);
+    }
+
+    #[test]
+    fn phase_labels() {
+        assert_eq!(Phase::DwsQueue.label(), "DWS-Queue");
+        assert_eq!(Phase::ALL.len(), 5);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let tracker = PhaseTracker::new();
+        tracker.record_created("t", "p");
+        tracker.reset();
+        assert_eq!(tracker.tracked(), 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Upward synchronization: super-cluster state → tenant control planes.
+//!
+//! Back-populates "the object statuses" (paper §III-C): pod bindings and
+//! statuses (creating vNodes as needed), service statuses, events,
+//! persistent volumes and storage classes.
+
+use super::{Syncer, TenantState, WorkItem};
+use crate::mapping;
+use std::sync::Arc;
+use vc_api::object::{Object, ResourceKind};
+use vc_api::pod::Pod;
+use vc_controllers::util::retry_on_conflict;
+
+/// Reconciles one upward work item.
+pub(crate) fn reconcile(syncer: &Syncer, item: &WorkItem) {
+    let Some(tenant) = syncer.tenant(&item.tenant) else { return };
+    match item.kind {
+        ResourceKind::Pod => pod(syncer, &tenant, item),
+        ResourceKind::Service => service(syncer, &tenant, item),
+        ResourceKind::Event => event(syncer, &tenant, item),
+        ResourceKind::PersistentVolume => persistent_volume(syncer, &tenant, item),
+        ResourceKind::PersistentVolumeClaim => claim_status(syncer, &tenant, item),
+        ResourceKind::StorageClass => storage_class(syncer, &tenant, item),
+        _ => {}
+    }
+}
+
+fn pod(syncer: &Syncer, tenant: &Arc<TenantState>, item: &WorkItem) {
+    let Some(super_cache) = syncer.super_cache(ResourceKind::Pod) else { return };
+    let Some(tenant_key) = syncer.tenant_key_for(&item.tenant, ResourceKind::Pod, &item.key)
+    else {
+        return;
+    };
+    let Some((tenant_ns, tenant_name)) = split_key(&tenant_key) else { return };
+
+    match super_cache.get(&item.key) {
+        None => {
+            // Deleted in the super cluster (eviction, namespace drain, …):
+            // propagate to the tenant — but only if the tenant pod is still
+            // the same incarnation the super copy mirrored.
+            let expected_uid = syncer.recent_super_deletions.lock().remove(&item.key);
+            if let Ok(existing) = tenant.client.get(ResourceKind::Pod, tenant_ns, tenant_name) {
+                let same_incarnation = expected_uid
+                    .as_deref()
+                    .is_none_or(|uid| uid == existing.meta().uid.as_str());
+                if same_incarnation && !existing.meta().is_terminating() {
+                    if tenant.client.delete(ResourceKind::Pod, tenant_ns, tenant_name).is_ok() {
+                        syncer.metrics.upward_deletes.inc();
+                    }
+                }
+            }
+            syncer.vnodes.release(&tenant.handle, &item.key);
+        }
+        Some(super_obj) => {
+            let Some(super_pod) = super_obj.as_pod() else { return };
+            // Phase stamp: the UWS-Queue phase ends when a worker picks up
+            // the *ready* pod (pre-ready status items don't count).
+            if super_pod.status.is_ready() {
+                syncer.phases.record_uws_dequeued(&item.tenant, &tenant_key);
+            }
+            // Binding: materialize the vNode before exposing the binding.
+            if super_pod.spec.is_bound() {
+                if let Some(node_cache) = syncer.super_cache(ResourceKind::Node) {
+                    syncer.vnodes.bind(
+                        &tenant.handle,
+                        node_cache,
+                        &super_pod.spec.node_name,
+                        &item.key,
+                    );
+                }
+            }
+            let expected_tenant_uid = mapping::tenant_uid(&super_obj).map(str::to_string);
+            let node_name = super_pod.spec.node_name.clone();
+            let status = super_pod.status.clone();
+            let result = retry_on_conflict(5, || {
+                let fresh = match tenant.client.get(ResourceKind::Pod, tenant_ns, tenant_name) {
+                    Ok(obj) => obj,
+                    Err(e) if e.is_not_found() => return Ok(false),
+                    Err(e) => return Err(e),
+                };
+                let mut fresh: Pod = fresh.try_into()?;
+                if let Some(expected) = &expected_tenant_uid {
+                    if fresh.meta.uid.as_str() != expected {
+                        return Ok(false); // different incarnation
+                    }
+                }
+                if fresh.spec.node_name == node_name && fresh.status == status {
+                    return Ok(false); // already in sync
+                }
+                fresh.spec.node_name = node_name.clone();
+                fresh.status = status.clone();
+                tenant.client.update(fresh.into()).map(|_| true)
+            });
+            match result {
+                Ok(true) => {
+                    syncer.metrics.upward_updates.inc();
+                    if super_pod.status.is_ready() {
+                        syncer.phases.record_uws_done(&item.tenant, &tenant_key);
+                    }
+                }
+                Ok(false) => {
+                    if super_pod.status.is_ready() {
+                        // Someone already wrote it; still complete the
+                        // timeline.
+                        syncer.phases.record_uws_done(&item.tenant, &tenant_key);
+                    }
+                }
+                Err(e) => {
+                    if e.is_conflict() {
+                        syncer.metrics.conflicts.inc();
+                    }
+                    syncer.upward.add(item.clone());
+                }
+            }
+        }
+    }
+}
+
+fn service(syncer: &Syncer, tenant: &Arc<TenantState>, item: &WorkItem) {
+    let Some(super_cache) = syncer.super_cache(ResourceKind::Service) else { return };
+    let Some(super_obj) = super_cache.get(&item.key) else { return };
+    let Some(super_svc) = super_obj.as_service() else { return };
+    if super_svc.status.load_balancer_ip.is_empty() {
+        return;
+    }
+    let Some(tenant_key) = syncer.tenant_key_for(&item.tenant, ResourceKind::Service, &item.key)
+    else {
+        return;
+    };
+    let Some((ns, name)) = split_key(&tenant_key) else { return };
+    let status = super_svc.status.clone();
+    let result = retry_on_conflict(3, || {
+        let fresh = match tenant.client.get(ResourceKind::Service, ns, name) {
+            Ok(obj) => obj,
+            Err(e) if e.is_not_found() => return Ok(false),
+            Err(e) => return Err(e),
+        };
+        let mut fresh: vc_api::service::Service = fresh.try_into()?;
+        if fresh.status == status {
+            return Ok(false);
+        }
+        fresh.status = status.clone();
+        tenant.client.update(fresh.into()).map(|_| true)
+    });
+    if matches!(result, Ok(true)) {
+        syncer.metrics.upward_updates.inc();
+    }
+}
+
+fn event(syncer: &Syncer, tenant: &Arc<TenantState>, item: &WorkItem) {
+    let Some(super_cache) = syncer.super_cache(ResourceKind::Event) else { return };
+    let Some(super_obj) = super_cache.get(&item.key) else { return };
+    let Object::Event(super_event) = &super_obj else { return };
+    let Some(tenant_ns) =
+        mapping::super_ns_to_tenant(&tenant.handle.prefix, &super_event.meta.namespace)
+    else {
+        return;
+    };
+    let mut copy = super_event.clone();
+    copy.meta.namespace = tenant_ns.clone();
+    copy.meta.resource_version = 0;
+    copy.meta.uid = Default::default();
+    copy.involved_object.namespace = tenant_ns;
+    match tenant.client.create(copy.into()) {
+        Ok(_) => syncer.metrics.upward_updates.inc(),
+        Err(e) if e.is_already_exists() => {}
+        Err(_) => {}
+    }
+}
+
+fn persistent_volume(syncer: &Syncer, tenant: &Arc<TenantState>, item: &WorkItem) {
+    let Some(super_cache) = syncer.super_cache(ResourceKind::PersistentVolume) else { return };
+    let Some(super_obj) = super_cache.get(&item.key) else { return };
+    let Object::PersistentVolume(super_pv) = &super_obj else { return };
+    // Only volumes bound to this tenant's claims flow upward.
+    let Some((claim_ns, claim_name)) = super_pv.claim_ref.split_once('/') else { return };
+    let Some(tenant_ns) = mapping::super_ns_to_tenant(&tenant.handle.prefix, claim_ns) else {
+        return;
+    };
+    let mut copy = super_pv.clone();
+    copy.meta.resource_version = 0;
+    copy.meta.uid = Default::default();
+    copy.claim_ref = format!("{tenant_ns}/{claim_name}");
+    upsert(syncer, tenant, copy.into());
+}
+
+/// Back-populates claim binding status (phase + bound volume name) set by
+/// the super cluster's volume binder.
+fn claim_status(syncer: &Syncer, tenant: &Arc<TenantState>, item: &WorkItem) {
+    let Some(super_cache) = syncer.super_cache(ResourceKind::PersistentVolumeClaim) else {
+        return;
+    };
+    let Some(super_obj) = super_cache.get(&item.key) else { return };
+    let Object::PersistentVolumeClaim(super_claim) = &super_obj else { return };
+    let Some(tenant_key) =
+        syncer.tenant_key_for(&item.tenant, ResourceKind::PersistentVolumeClaim, &item.key)
+    else {
+        return;
+    };
+    let Some((ns, name)) = split_key(&tenant_key) else { return };
+    let (phase, volume_name) = (super_claim.phase, super_claim.volume_name.clone());
+    let result = retry_on_conflict(3, || {
+        let fresh = match tenant.client.get(ResourceKind::PersistentVolumeClaim, ns, name) {
+            Ok(obj) => obj,
+            Err(e) if e.is_not_found() => return Ok(false),
+            Err(e) => return Err(e),
+        };
+        let mut fresh: vc_api::storage::PersistentVolumeClaim = fresh.try_into()?;
+        if fresh.phase == phase && fresh.volume_name == volume_name {
+            return Ok(false);
+        }
+        fresh.phase = phase;
+        fresh.volume_name = volume_name.clone();
+        tenant.client.update(fresh.into()).map(|_| true)
+    });
+    if matches!(result, Ok(true)) {
+        syncer.metrics.upward_updates.inc();
+    }
+}
+
+fn storage_class(syncer: &Syncer, tenant: &Arc<TenantState>, item: &WorkItem) {
+    let Some(super_cache) = syncer.super_cache(ResourceKind::StorageClass) else { return };
+    match super_cache.get(&item.key) {
+        Some(super_obj) => {
+            let mut copy = super_obj.clone();
+            copy.meta_mut().resource_version = 0;
+            copy.meta_mut().uid = Default::default();
+            upsert(syncer, tenant, copy);
+        }
+        None => {
+            // Deleted in super: remove the tenant copy.
+            let _ = tenant.client.delete(ResourceKind::StorageClass, "", &item.key);
+        }
+    }
+}
+
+fn upsert(syncer: &Syncer, tenant: &Arc<TenantState>, obj: Object) {
+    let kind = obj.kind();
+    let meta = obj.meta().clone();
+    match tenant.client.create(obj.clone()) {
+        Ok(_) => syncer.metrics.upward_updates.inc(),
+        Err(e) if e.is_already_exists() => {
+            let result = retry_on_conflict(3, || {
+                let fresh = tenant.client.get(kind, &meta.namespace, &meta.name)?;
+                if fresh.same_desired_state(&obj) {
+                    return Ok(false);
+                }
+                let mut updated = obj.clone();
+                updated.meta_mut().resource_version = fresh.meta().resource_version;
+                tenant.client.update(updated).map(|_| true)
+            });
+            if matches!(result, Ok(true)) {
+                syncer.metrics.upward_updates.inc();
+            }
+        }
+        Err(_) => {}
+    }
+}
+
+fn split_key(key: &str) -> Option<(&str, &str)> {
+    key.split_once('/')
+}

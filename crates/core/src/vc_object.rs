@@ -1,0 +1,192 @@
+//! The `VirtualCluster` (VC) custom resource (paper §III-B(1)).
+//!
+//! A VC object describes one tenant control plane. It is stored in the
+//! super cluster as a [`CustomObject`] of kind `VirtualCluster` in the
+//! [`VC_MANAGER_NAMESPACE`], managed only by the super-cluster
+//! administrator — "tenants are disallowed to access the super cluster".
+
+use serde::{Deserialize, Serialize};
+use vc_api::crd::CustomObject;
+use vc_api::error::{ApiError, ApiResult};
+use vc_api::meta::ObjectMeta;
+
+/// Namespace in the super cluster holding VC objects and tenant
+/// kubeconfig secrets.
+pub const VC_MANAGER_NAMESPACE: &str = "vc-manager";
+
+/// Kind string of the VC custom resource.
+pub const VC_KIND: &str = "VirtualCluster";
+
+/// How the tenant control plane is provisioned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ProvisionMode {
+    /// In-process control plane managed by the operator.
+    #[default]
+    Local,
+    /// Simulated managed cloud control plane (ACK/EKS): provisioning pays
+    /// an extra latency but is otherwise identical.
+    Cloud,
+}
+
+/// Desired state of a tenant control plane.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VirtualClusterSpec {
+    /// Kubernetes version of the tenant apiserver.
+    pub apiserver_version: String,
+    /// Provisioning mode.
+    pub mode: ProvisionMode,
+    /// Fair-queuing weight of this tenant in the syncer (paper future
+    /// work: custom weights — implemented here).
+    pub weight: u32,
+    /// Whether instances of tenant CRDs marked `sync_to_super` are
+    /// synchronized downward (paper future work: CRD synchronization).
+    pub sync_crds: bool,
+}
+
+impl Default for VirtualClusterSpec {
+    fn default() -> Self {
+        VirtualClusterSpec {
+            apiserver_version: "v1.18-sim".into(),
+            mode: ProvisionMode::Local,
+            weight: 1,
+            sync_crds: false,
+        }
+    }
+}
+
+/// Lifecycle phase of a tenant control plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum VcPhase {
+    /// Awaiting provisioning.
+    #[default]
+    Pending,
+    /// Control plane serving; syncer attached.
+    Running,
+    /// Being torn down.
+    Terminating,
+    /// Provisioning failed.
+    Failed,
+}
+
+/// Observed state of a tenant control plane.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct VirtualClusterStatus {
+    /// Lifecycle phase.
+    pub phase: VcPhase,
+    /// Human-readable detail.
+    pub message: String,
+    /// SHA-256 hash of the tenant's TLS client certificate; the vn-agent
+    /// identifies tenants by this hash (paper §III-B(3)).
+    pub cert_hash: String,
+    /// Name of the kubeconfig secret in [`VC_MANAGER_NAMESPACE`].
+    pub kubeconfig_secret: String,
+    /// Namespace prefix used for this tenant in the super cluster.
+    pub namespace_prefix: String,
+}
+
+/// Typed view of a VC custom object.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct VirtualCluster {
+    /// Desired state.
+    pub spec: VirtualClusterSpec,
+    /// Observed state.
+    pub status: VirtualClusterStatus,
+}
+
+impl VirtualCluster {
+    /// Creates a pending VC with the given spec.
+    pub fn new(spec: VirtualClusterSpec) -> Self {
+        VirtualCluster { spec, status: VirtualClusterStatus::default() }
+    }
+
+    /// Wraps this VC into a [`CustomObject`] named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the payload is plain serde data.
+    pub fn into_custom_object(self, name: impl Into<String>) -> CustomObject {
+        let payload = serde_json::to_string(&self).expect("VC serializes");
+        CustomObject {
+            meta: ObjectMeta::namespaced(VC_MANAGER_NAMESPACE, name),
+            kind: VC_KIND.into(),
+            payload,
+        }
+    }
+
+    /// Parses a VC from a [`CustomObject`].
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Invalid`] when the object is not a `VirtualCluster` or
+    /// its payload does not parse.
+    pub fn from_custom_object(obj: &CustomObject) -> ApiResult<VirtualCluster> {
+        if obj.kind != VC_KIND {
+            return Err(ApiError::invalid(
+                "CustomObject",
+                obj.meta.full_name(),
+                format!("expected kind {VC_KIND}, got {}", obj.kind),
+            ));
+        }
+        serde_json::from_str(&obj.payload).map_err(|e| {
+            ApiError::invalid("CustomObject", obj.meta.full_name(), format!("bad VC payload: {e}"))
+        })
+    }
+
+    /// Replaces the payload of `obj` with this VC's serialization.
+    pub fn write_into(&self, obj: &mut CustomObject) {
+        obj.payload = serde_json::to_string(self).expect("VC serializes");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_custom_object() {
+        let mut vc = VirtualCluster::new(VirtualClusterSpec {
+            weight: 4,
+            mode: ProvisionMode::Cloud,
+            ..Default::default()
+        });
+        vc.status.phase = VcPhase::Running;
+        let obj = vc.clone().into_custom_object("tenant-a");
+        assert_eq!(obj.meta.namespace, VC_MANAGER_NAMESPACE);
+        assert_eq!(obj.kind, VC_KIND);
+        let back = VirtualCluster::from_custom_object(&obj).unwrap();
+        assert_eq!(vc, back);
+    }
+
+    #[test]
+    fn wrong_kind_rejected() {
+        let obj = CustomObject::new(VC_MANAGER_NAMESPACE, "x", "Other", "{}");
+        assert!(VirtualCluster::from_custom_object(&obj).is_err());
+    }
+
+    #[test]
+    fn bad_payload_rejected() {
+        let obj = CustomObject::new(VC_MANAGER_NAMESPACE, "x", VC_KIND, "not json");
+        assert!(VirtualCluster::from_custom_object(&obj).is_err());
+    }
+
+    #[test]
+    fn write_into_updates_payload() {
+        let vc = VirtualCluster::default();
+        let mut obj = vc.clone().into_custom_object("t");
+        let mut updated = vc;
+        updated.status.phase = VcPhase::Running;
+        updated.write_into(&mut obj);
+        assert_eq!(
+            VirtualCluster::from_custom_object(&obj).unwrap().status.phase,
+            VcPhase::Running
+        );
+    }
+
+    #[test]
+    fn default_spec_is_local_weight_one() {
+        let spec = VirtualClusterSpec::default();
+        assert_eq!(spec.mode, ProvisionMode::Local);
+        assert_eq!(spec.weight, 1);
+        assert!(!spec.sync_crds);
+    }
+}

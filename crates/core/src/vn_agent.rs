@@ -1,0 +1,131 @@
+//! The virtual node agent (paper §III-B(3)).
+//!
+//! "Commonly used kubelet APIs such as log and exec do not work for tenants
+//! since the tenant apiserver cannot directly access the kubelet. We
+//! implement a virtual node agent (vn-agent) … which runs in every node to
+//! proxy tenants' kubelet API requests." The agent identifies the calling
+//! tenant by the SHA-256 hash of its TLS client certificate, resolves the
+//! tenant's namespace prefix, and forwards the request to the node's
+//! container runtime.
+
+use crate::mapping;
+use crate::registry::TenantRegistry;
+use std::sync::Arc;
+use vc_api::error::{ApiError, ApiResult};
+use vc_api::metrics::Counter;
+use vc_controllers::Kubelet;
+use vc_runtime::cri::ExecResult;
+
+/// A kubelet-API operation the vn-agent can proxy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KubeletOp {
+    /// Fetch a container's logs.
+    Logs {
+        /// Container name.
+        container: String,
+    },
+    /// Run a command synchronously in a container.
+    Exec {
+        /// Container name.
+        container: String,
+        /// Command line.
+        command: Vec<String>,
+    },
+}
+
+/// A proxied tenant request, as it would arrive over HTTPS.
+#[derive(Debug, Clone)]
+pub struct VnAgentRequest {
+    /// The tenant's TLS client certificate bytes.
+    pub cert: Vec<u8>,
+    /// Pod namespace **in the tenant control plane**.
+    pub tenant_namespace: String,
+    /// Pod name.
+    pub pod_name: String,
+    /// The operation.
+    pub op: KubeletOp,
+}
+
+/// Response to a proxied request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VnAgentResponse {
+    /// Log lines.
+    Logs(Vec<String>),
+    /// Exec output.
+    Exec(ExecResult),
+}
+
+/// The per-node agent.
+pub struct VnAgent {
+    kubelet: Arc<Kubelet>,
+    registry: Arc<TenantRegistry>,
+    /// Requests served.
+    pub requests: Counter,
+    /// Requests rejected (unknown certificate).
+    pub rejected: Counter,
+}
+
+impl std::fmt::Debug for VnAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VnAgent").field("node", &self.kubelet.node_name()).finish()
+    }
+}
+
+impl VnAgent {
+    /// Creates a vn-agent for the node managed by `kubelet`.
+    pub fn new(kubelet: Arc<Kubelet>, registry: Arc<TenantRegistry>) -> Self {
+        VnAgent { kubelet, registry, requests: Counter::new(), rejected: Counter::new() }
+    }
+
+    /// The node this agent serves.
+    pub fn node_name(&self) -> &str {
+        self.kubelet.node_name()
+    }
+
+    /// Handles one proxied kubelet-API request.
+    ///
+    /// # Errors
+    ///
+    /// * [`ApiError::Forbidden`] — the certificate hash matches no
+    ///   registered VirtualCluster (untrusted caller).
+    /// * [`ApiError::NotFound`] — the pod (or container) does not run on
+    ///   this node.
+    pub fn handle(&self, request: &VnAgentRequest) -> ApiResult<VnAgentResponse> {
+        // 1. Identify the tenant by certificate hash.
+        let Some(tenant) = self.registry.identify_by_cert(&request.cert) else {
+            self.rejected.inc();
+            return Err(ApiError::forbidden(
+                "unknown",
+                "proxy",
+                "kubelet",
+                "client certificate matches no VirtualCluster",
+            ));
+        };
+        // 2. Translate the tenant namespace into the super-cluster one.
+        let super_ns = mapping::tenant_ns_to_super(&tenant.prefix, &request.tenant_namespace);
+        let super_key = format!("{super_ns}/{}", request.pod_name);
+        // 3. Find the pod's sandbox through the node kubelet.
+        let Some((runtime, sandbox)) = self.kubelet.lookup_sandbox(&super_key) else {
+            return Err(ApiError::not_found("Pod", super_key));
+        };
+        let containers = runtime.list_containers(Some(&sandbox));
+        let find = |name: &str| {
+            containers
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.id.clone())
+                .ok_or_else(|| ApiError::not_found("Container", name))
+        };
+        self.requests.inc();
+        match &request.op {
+            KubeletOp::Logs { container } => {
+                let id = find(container)?;
+                Ok(VnAgentResponse::Logs(runtime.container_logs(&id)?))
+            }
+            KubeletOp::Exec { container, command } => {
+                let id = find(container)?;
+                Ok(VnAgentResponse::Exec(runtime.exec_sync(&id, command)?))
+            }
+        }
+    }
+}

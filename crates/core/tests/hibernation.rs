@@ -1,0 +1,101 @@
+//! Tenant hibernation (paper §V future work, implemented): idle tenants'
+//! syncer resources are released; waking re-lists and resumes sync.
+
+use std::time::Duration;
+use vc_api::object::ResourceKind;
+use vc_api::pod::{Container, Pod};
+use vc_controllers::util::wait_until;
+use vc_core::framework::{Framework, FrameworkConfig};
+
+fn simple_pod(name: &str) -> Pod {
+    Pod::new("default", name).with_container(Container::new("c", "img"))
+}
+
+fn ready(client: &vc_client::Client, name: &str) -> bool {
+    client
+        .get(ResourceKind::Pod, "default", name)
+        .is_ok_and(|o| o.as_pod().unwrap().status.is_ready())
+}
+
+#[test]
+fn hibernate_releases_cache_memory() {
+    let fw = Framework::start(FrameworkConfig::minimal());
+    fw.create_tenant("sleepy").unwrap();
+    let tenant = fw.tenant_client("sleepy", "user");
+    for i in 0..10 {
+        tenant.create(simple_pod(&format!("p{i}")).into()).unwrap();
+    }
+    assert!(wait_until(Duration::from_secs(60), Duration::from_millis(50), || {
+        (0..10).all(|i| ready(&tenant, &format!("p{i}")))
+    }));
+
+    let before = fw.syncer.cache_bytes();
+    assert!(fw.syncer.hibernate_tenant("sleepy"));
+    let after = fw.syncer.cache_bytes();
+    assert!(
+        after < before,
+        "hibernation must release tenant informer caches: {before} -> {after}"
+    );
+    assert_eq!(fw.syncer.hibernated_tenants(), vec!["sleepy".to_string()]);
+    // Unknown tenants and double-hibernation report false.
+    assert!(!fw.syncer.hibernate_tenant("sleepy"));
+    assert!(!fw.syncer.hibernate_tenant("ghost"));
+
+    // Already-synced pods keep running in the super cluster.
+    let prefix = fw.registry.get("sleepy").unwrap().prefix.clone();
+    let (super_pods, _) = fw
+        .super_client("admin")
+        .list(ResourceKind::Pod, Some(&format!("{prefix}-default")))
+        .unwrap();
+    assert_eq!(super_pods.len(), 10);
+    fw.shutdown();
+}
+
+#[test]
+fn wake_resumes_synchronization() {
+    let fw = Framework::start(FrameworkConfig::minimal());
+    fw.create_tenant("napper").unwrap();
+    let tenant = fw.tenant_client("napper", "user");
+    tenant.create(simple_pod("before").into()).unwrap();
+    assert!(wait_until(Duration::from_secs(30), Duration::from_millis(50), || {
+        ready(&tenant, "before")
+    }));
+
+    assert!(fw.syncer.hibernate_tenant("napper"));
+    // Activity while hibernated is NOT synced...
+    tenant.create(simple_pod("while-asleep").into()).unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+    let prefix = fw.registry.get("napper").unwrap().prefix.clone();
+    let super_ns = format!("{prefix}-default");
+    assert!(fw
+        .super_client("admin")
+        .get(ResourceKind::Pod, &super_ns, "while-asleep")
+        .is_err());
+
+    // ...until the tenant wakes: the initial re-list catches up.
+    let wake = fw.syncer.wake_tenant("napper").expect("was hibernated");
+    assert!(wake < Duration::from_secs(10), "wake took {wake:?}");
+    assert!(wait_until(Duration::from_secs(30), Duration::from_millis(50), || {
+        ready(&tenant, "while-asleep")
+    }));
+    assert!(fw.syncer.hibernated_tenants().is_empty());
+    assert!(fw.syncer.metrics.wake_latency.count() >= 1);
+    // Waking a non-hibernated tenant is a no-op.
+    assert!(fw.syncer.wake_tenant("napper").is_none());
+    fw.shutdown();
+}
+
+#[test]
+fn other_tenants_unaffected_by_hibernation() {
+    let fw = Framework::start(FrameworkConfig::minimal());
+    fw.create_tenant("idle").unwrap();
+    fw.create_tenant("busy").unwrap();
+    assert!(fw.syncer.hibernate_tenant("idle"));
+
+    let busy = fw.tenant_client("busy", "user");
+    busy.create(simple_pod("work").into()).unwrap();
+    assert!(wait_until(Duration::from_secs(30), Duration::from_millis(50), || {
+        ready(&busy, "work")
+    }));
+    fw.shutdown();
+}

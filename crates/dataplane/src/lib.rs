@@ -1,0 +1,23 @@
+//! # vc-dataplane — network data plane simulation
+//!
+//! The pieces beneath the paper's data-plane isolation story:
+//!
+//! * [`vpc`] — tenant VPCs and ENI address allocation (traffic bypasses the
+//!   host network stack),
+//! * [`network`] — the pod network model: which NAT table a pod's traffic
+//!   traverses, and VPC reachability on delivery,
+//! * [`kubeproxy`] — the standard kubeproxy (host-table programming; broken
+//!   for VPC pods),
+//! * [`enhanced`] — the VirtualCluster enhanced kubeproxy: guest-OS rule
+//!   injection via the Kata agent, init-container gating, periodic scans.
+
+#![warn(missing_docs)]
+
+pub mod enhanced;
+pub mod kubeproxy;
+pub mod network;
+pub mod vpc;
+
+pub use enhanced::{EnhancedKubeProxyConfig, EnhancedKubeProxyMetrics};
+pub use network::{ConnectError, Connection, PodNetInfo, PodNetwork};
+pub use vpc::{Eni, Vpc, VpcId, VpcRegistry};

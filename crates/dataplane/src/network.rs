@@ -1,0 +1,367 @@
+//! The pod network model: who can reach whom, through which NAT table.
+//!
+//! [`PodNetwork`] tracks every pod's address, VPC membership and (for Kata
+//! pods) guest OS, plus one host netfilter table per node. A simulated
+//! connection resolves its destination through the NAT table that the
+//! source's traffic actually traverses:
+//!
+//! * host-network pods (runc, no VPC) traverse the **host** table — the
+//!   standard kubeproxy's rules apply;
+//! * VPC/ENI pods in Kata sandboxes bypass the host stack entirely, so only
+//!   rules in their **guest** table apply — exactly why the paper's
+//!   enhanced kubeproxy must program the guest (§III-B(4)).
+//!
+//! After DNAT, delivery succeeds only when source and destination share a
+//! VPC (or both use the host network).
+
+use crate::vpc::VpcId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use vc_runtime::kata::GuestOs;
+use vc_runtime::netfilter::NetfilterTable;
+
+/// Network attachment of one pod.
+#[derive(Debug, Clone)]
+pub struct PodNetInfo {
+    /// Pod key (`namespace/name` in its cluster).
+    pub key: String,
+    /// Pod address.
+    pub ip: String,
+    /// Hosting node.
+    pub node: String,
+    /// VPC membership; `None` = host network.
+    pub vpc: Option<VpcId>,
+    /// Kata guest OS, when sandboxed.
+    pub guest: Option<Arc<GuestOs>>,
+}
+
+/// Why a simulated connection failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant field names are self-describing
+pub enum ConnectError {
+    /// The source pod is not registered.
+    UnknownSource(String),
+    /// No NAT rule matched and no pod owns the address.
+    NoRoute { destination: String, port: u16 },
+    /// DNAT picked a backend but the address belongs to no live pod.
+    StaleEndpoint { backend: String, port: u16 },
+    /// The backend exists but sits in a different VPC.
+    VpcIsolated { source_vpc: String, destination_vpc: String },
+}
+
+impl fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnectError::UnknownSource(key) => write!(f, "unknown source pod {key}"),
+            ConnectError::NoRoute { destination, port } => {
+                write!(f, "no route to {destination}:{port}")
+            }
+            ConnectError::StaleEndpoint { backend, port } => {
+                write!(f, "stale endpoint {backend}:{port}")
+            }
+            ConnectError::VpcIsolated { source_vpc, destination_vpc } => {
+                write!(f, "vpc isolation: {source_vpc} cannot reach {destination_vpc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConnectError {}
+
+/// A successfully resolved connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Connection {
+    /// Backend pod key.
+    pub backend_pod: String,
+    /// Backend address after DNAT.
+    pub backend_ip: String,
+    /// Backend port after DNAT.
+    pub backend_port: u16,
+    /// Whether a NAT rule rewrote the destination (cluster-IP path).
+    pub via_service: bool,
+}
+
+#[derive(Default)]
+struct NetworkState {
+    pods: HashMap<String, PodNetInfo>,
+    by_ip: HashMap<String, String>,
+    host_tables: HashMap<String, Arc<NetfilterTable>>,
+}
+
+/// The cluster-wide pod network.
+#[derive(Default)]
+pub struct PodNetwork {
+    state: RwLock<NetworkState>,
+}
+
+impl fmt::Debug for PodNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.state.read();
+        f.debug_struct("PodNetwork")
+            .field("pods", &state.pods.len())
+            .field("nodes", &state.host_tables.len())
+            .finish()
+    }
+}
+
+impl PodNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Arc<Self> {
+        Arc::new(PodNetwork::default())
+    }
+
+    /// Returns node `name`'s host NAT table, creating it on first use.
+    pub fn host_table(&self, node: &str) -> Arc<NetfilterTable> {
+        if let Some(table) = self.state.read().host_tables.get(node) {
+            return Arc::clone(table);
+        }
+        let mut state = self.state.write();
+        Arc::clone(
+            state
+                .host_tables
+                .entry(node.to_string())
+                .or_insert_with(|| Arc::new(NetfilterTable::new())),
+        )
+    }
+
+    /// All nodes with host tables.
+    pub fn nodes(&self) -> Vec<String> {
+        self.state.read().host_tables.keys().cloned().collect()
+    }
+
+    /// Registers (or replaces) a pod attachment.
+    pub fn register_pod(&self, info: PodNetInfo) {
+        let mut state = self.state.write();
+        state.by_ip.insert(info.ip.clone(), info.key.clone());
+        state.pods.insert(info.key.clone(), info);
+    }
+
+    /// Removes a pod attachment.
+    pub fn unregister_pod(&self, key: &str) {
+        let mut state = self.state.write();
+        if let Some(info) = state.pods.remove(key) {
+            state.by_ip.remove(&info.ip);
+        }
+    }
+
+    /// Returns a pod's attachment.
+    pub fn pod(&self, key: &str) -> Option<PodNetInfo> {
+        self.state.read().pods.get(key).cloned()
+    }
+
+    /// Number of registered pods.
+    pub fn pod_count(&self) -> usize {
+        self.state.read().pods.len()
+    }
+
+    /// Simulates pod `src_key` opening a connection to `(dst_ip, port)`.
+    ///
+    /// `selector` chooses among NAT backends (pass a random value for load
+    /// balancing, a constant in tests).
+    ///
+    /// # Errors
+    ///
+    /// See [`ConnectError`] for the failure modes; the interesting one for
+    /// the paper is `NoRoute` on the cluster IP when only host rules exist
+    /// but the source bypasses the host stack.
+    pub fn connect(
+        &self,
+        src_key: &str,
+        dst_ip: &str,
+        port: u16,
+        selector: usize,
+    ) -> Result<Connection, ConnectError> {
+        let state = self.state.read();
+        let src = state
+            .pods
+            .get(src_key)
+            .ok_or_else(|| ConnectError::UnknownSource(src_key.to_string()))?;
+
+        // Which NAT table does this pod's traffic traverse?
+        let nat_result = match (&src.guest, &src.vpc) {
+            // Sandboxed VPC pod: only the guest's own table applies.
+            (Some(guest), _) => guest.netfilter.resolve(dst_ip, port, selector),
+            // Host-network pod: the node's host table applies.
+            (None, None) => state
+                .host_tables
+                .get(&src.node)
+                .and_then(|t| t.resolve(dst_ip, port, selector)),
+            // VPC pod without a guest (runc+ENI): bypasses the host stack
+            // and has no private table — cluster IPs are unreachable.
+            (None, Some(_)) => None,
+        };
+
+        let (backend_ip, backend_port, via_service) = match nat_result {
+            Some((ip, p)) => (ip, p, true),
+            None => (dst_ip.to_string(), port, false),
+        };
+
+        let backend_key = state.by_ip.get(&backend_ip).ok_or_else(|| {
+            if via_service {
+                ConnectError::StaleEndpoint { backend: backend_ip.clone(), port: backend_port }
+            } else {
+                ConnectError::NoRoute { destination: dst_ip.to_string(), port }
+            }
+        })?;
+        let dst = &state.pods[backend_key];
+
+        // VPC isolation check.
+        match (&src.vpc, &dst.vpc) {
+            (Some(s), Some(d)) if s == d => {}
+            (None, None) => {}
+            (s, d) => {
+                return Err(ConnectError::VpcIsolated {
+                    source_vpc: s.as_ref().map_or("host".into(), |v| v.0.clone()),
+                    destination_vpc: d.as_ref().map_or("host".into(), |v| v.0.clone()),
+                })
+            }
+        }
+
+        Ok(Connection {
+            backend_pod: backend_key.clone(),
+            backend_ip,
+            backend_port,
+            via_service,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_runtime::netfilter::NatRule;
+
+    fn host_pod(net: &PodNetwork, key: &str, ip: &str, node: &str) {
+        net.register_pod(PodNetInfo {
+            key: key.into(),
+            ip: ip.into(),
+            node: node.into(),
+            vpc: None,
+            guest: None,
+        });
+    }
+
+    fn vpc_pod_with_guest(net: &PodNetwork, key: &str, ip: &str, node: &str, vpc: &str) -> Arc<GuestOs> {
+        // Build a guest via the kata runtime to reuse its construction.
+        let rt = vc_runtime::KataRuntime::new(
+            vc_runtime::KataConfig {
+                vm_boot_latency: std::time::Duration::ZERO,
+                ..Default::default()
+            },
+            vc_api::time::RealClock::shared(),
+        );
+        use vc_runtime::cri::ContainerRuntime;
+        let sb = rt
+            .run_pod_sandbox(vc_runtime::SandboxConfig::new("ns", key, key, ip))
+            .unwrap();
+        let guest = rt.guest(&sb).unwrap();
+        net.register_pod(PodNetInfo {
+            key: key.into(),
+            ip: ip.into(),
+            node: node.into(),
+            vpc: Some(VpcId(vpc.into())),
+            guest: Some(Arc::clone(&guest)),
+        });
+        guest
+    }
+
+    #[test]
+    fn direct_pod_to_pod_same_host_network() {
+        let net = PodNetwork::new();
+        host_pod(&net, "ns/a", "10.1.0.1", "n1");
+        host_pod(&net, "ns/b", "10.2.0.1", "n2");
+        let conn = net.connect("ns/a", "10.2.0.1", 8080, 0).unwrap();
+        assert_eq!(conn.backend_pod, "ns/b");
+        assert!(!conn.via_service);
+    }
+
+    #[test]
+    fn cluster_ip_via_host_table_for_host_pods() {
+        let net = PodNetwork::new();
+        host_pod(&net, "ns/client", "10.1.0.1", "n1");
+        host_pod(&net, "ns/server", "10.2.0.9", "n2");
+        net.host_table("n1").apply(&[NatRule::new(
+            "10.96.0.5",
+            80,
+            vec![("10.2.0.9".into(), 8080)],
+        )]);
+        let conn = net.connect("ns/client", "10.96.0.5", 80, 0).unwrap();
+        assert_eq!(conn.backend_pod, "ns/server");
+        assert_eq!(conn.backend_port, 8080);
+        assert!(conn.via_service);
+    }
+
+    #[test]
+    fn vpc_pod_bypasses_host_rules() {
+        // The paper's motivating data-plane failure: host iptables rules
+        // are invisible to ENI traffic.
+        let net = PodNetwork::new();
+        let _guest = vpc_pod_with_guest(&net, "ns/client", "172.20.0.1", "n1", "vpc-a");
+        vpc_pod_with_guest(&net, "ns/server", "172.20.0.2", "n1", "vpc-a");
+        // Standard kubeproxy programs the HOST table only.
+        net.host_table("n1").apply(&[NatRule::new(
+            "10.96.0.5",
+            80,
+            vec![("172.20.0.2".into(), 8080)],
+        )]);
+        let err = net.connect("ns/client", "10.96.0.5", 80, 0).unwrap_err();
+        assert!(matches!(err, ConnectError::NoRoute { .. }), "{err}");
+    }
+
+    #[test]
+    fn guest_rules_restore_cluster_ip_service() {
+        // …and the enhanced kubeproxy's guest-injected rules fix it.
+        let net = PodNetwork::new();
+        let guest = vpc_pod_with_guest(&net, "ns/client", "172.20.0.1", "n1", "vpc-a");
+        vpc_pod_with_guest(&net, "ns/server", "172.20.0.2", "n1", "vpc-a");
+        guest.netfilter.apply(&[NatRule::new(
+            "10.96.0.5",
+            80,
+            vec![("172.20.0.2".into(), 8080)],
+        )]);
+        let conn = net.connect("ns/client", "10.96.0.5", 80, 0).unwrap();
+        assert_eq!(conn.backend_pod, "ns/server");
+        assert!(conn.via_service);
+    }
+
+    #[test]
+    fn vpc_isolation_blocks_cross_tenant_traffic() {
+        let net = PodNetwork::new();
+        vpc_pod_with_guest(&net, "a/pod", "172.20.0.1", "n1", "vpc-a");
+        vpc_pod_with_guest(&net, "b/pod", "172.21.0.1", "n1", "vpc-b");
+        let err = net.connect("a/pod", "172.21.0.1", 8080, 0).unwrap_err();
+        assert!(matches!(err, ConnectError::VpcIsolated { .. }), "{err}");
+        // Host pods cannot reach VPC pods either.
+        host_pod(&net, "host/pod", "10.1.0.1", "n1");
+        let err = net.connect("host/pod", "172.20.0.1", 8080, 0).unwrap_err();
+        assert!(matches!(err, ConnectError::VpcIsolated { .. }));
+    }
+
+    #[test]
+    fn stale_endpoint_detected() {
+        let net = PodNetwork::new();
+        host_pod(&net, "ns/client", "10.1.0.1", "n1");
+        net.host_table("n1").apply(&[NatRule::new(
+            "10.96.0.5",
+            80,
+            vec![("10.9.9.9".into(), 8080)],
+        )]);
+        let err = net.connect("ns/client", "10.96.0.5", 80, 0).unwrap_err();
+        assert!(matches!(err, ConnectError::StaleEndpoint { .. }));
+    }
+
+    #[test]
+    fn unknown_source_and_unregister() {
+        let net = PodNetwork::new();
+        assert!(matches!(
+            net.connect("ghost/pod", "1.2.3.4", 80, 0).unwrap_err(),
+            ConnectError::UnknownSource(_)
+        ));
+        host_pod(&net, "ns/a", "10.1.0.1", "n1");
+        assert_eq!(net.pod_count(), 1);
+        net.unregister_pod("ns/a");
+        assert_eq!(net.pod_count(), 0);
+    }
+}

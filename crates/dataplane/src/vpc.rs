@@ -1,0 +1,169 @@
+//! Virtual private clouds and elastic network interfaces.
+//!
+//! Under the paper's threat model, "containers are required to use tenant's
+//! virtual private cloud (VPC) through a vendor-specific network interface
+//! such as AWS elastic network interface, to achieve network isolation".
+//! An [`Vpc`] allocates ENI addresses to pods; traffic between two
+//! addresses is possible only within one VPC, and — crucially — ENI traffic
+//! **bypasses the host network stack**, which breaks the standard
+//! kubeproxy.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a VPC (one per tenant).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VpcId(pub String);
+
+impl fmt::Display for VpcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// An allocated elastic network interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Eni {
+    /// The interface's VPC-private address.
+    pub ip: String,
+    /// Owning VPC.
+    pub vpc: VpcId,
+}
+
+#[derive(Debug, Default)]
+struct VpcState {
+    next: u32,
+    /// ip -> owner key (pod key), for diagnostics and release.
+    allocations: HashMap<String, String>,
+}
+
+/// A tenant VPC with an ENI address allocator.
+#[derive(Debug)]
+pub struct Vpc {
+    id: VpcId,
+    /// Second octet of the VPC CIDR (`172.S.x.y`).
+    cidr_octet: u8,
+    state: Mutex<VpcState>,
+}
+
+impl Vpc {
+    /// Creates a VPC whose addresses live in `172.<cidr_octet>.0.0/16`.
+    pub fn new(id: impl Into<String>, cidr_octet: u8) -> Arc<Self> {
+        Arc::new(Vpc { id: VpcId(id.into()), cidr_octet, state: Mutex::new(VpcState::default()) })
+    }
+
+    /// The VPC id.
+    pub fn id(&self) -> &VpcId {
+        &self.id
+    }
+
+    /// Allocates an ENI for `owner` (a pod key).
+    pub fn allocate_eni(&self, owner: impl Into<String>) -> Eni {
+        let mut state = self.state.lock();
+        state.next += 1;
+        let n = state.next;
+        let ip = format!("172.{}.{}.{}", self.cidr_octet, (n >> 8) & 0xff, n & 0xff);
+        state.allocations.insert(ip.clone(), owner.into());
+        Eni { ip, vpc: self.id.clone() }
+    }
+
+    /// Releases an ENI by IP; returns `true` if it was allocated.
+    pub fn release(&self, ip: &str) -> bool {
+        self.state.lock().allocations.remove(ip).is_some()
+    }
+
+    /// Returns `true` if `ip` belongs to this VPC's range and is allocated.
+    pub fn owns(&self, ip: &str) -> bool {
+        self.state.lock().allocations.contains_key(ip)
+    }
+
+    /// Number of live allocations.
+    pub fn allocation_count(&self) -> usize {
+        self.state.lock().allocations.len()
+    }
+}
+
+/// Registry mapping tenants to their VPCs.
+#[derive(Debug, Default)]
+pub struct VpcRegistry {
+    vpcs: Mutex<HashMap<String, Arc<Vpc>>>,
+}
+
+impl VpcRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Arc<Self> {
+        Arc::new(VpcRegistry::default())
+    }
+
+    /// Returns the tenant's VPC, creating it on first use with a CIDR
+    /// octet derived from the registration order.
+    pub fn vpc_for_tenant(&self, tenant: &str) -> Arc<Vpc> {
+        let mut vpcs = self.vpcs.lock();
+        if let Some(vpc) = vpcs.get(tenant) {
+            return Arc::clone(vpc);
+        }
+        let octet = 16 + (vpcs.len() as u8 % 200);
+        let vpc = Vpc::new(format!("vpc-{tenant}"), octet);
+        vpcs.insert(tenant.to_string(), Arc::clone(&vpc));
+        vpc
+    }
+
+    /// Number of registered VPCs.
+    pub fn len(&self) -> usize {
+        self.vpcs.lock().len()
+    }
+
+    /// Returns `true` when no VPC is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eni_allocation_unique_ips() {
+        let vpc = Vpc::new("vpc-a", 20);
+        let a = vpc.allocate_eni("ns/p1");
+        let b = vpc.allocate_eni("ns/p2");
+        assert_ne!(a.ip, b.ip);
+        assert!(a.ip.starts_with("172.20."));
+        assert_eq!(a.vpc, VpcId("vpc-a".into()));
+        assert_eq!(vpc.allocation_count(), 2);
+    }
+
+    #[test]
+    fn release_and_owns() {
+        let vpc = Vpc::new("vpc-a", 20);
+        let eni = vpc.allocate_eni("ns/p");
+        assert!(vpc.owns(&eni.ip));
+        assert!(vpc.release(&eni.ip));
+        assert!(!vpc.owns(&eni.ip));
+        assert!(!vpc.release(&eni.ip));
+    }
+
+    #[test]
+    fn registry_one_vpc_per_tenant() {
+        let registry = VpcRegistry::new();
+        let a1 = registry.vpc_for_tenant("tenant-a");
+        let a2 = registry.vpc_for_tenant("tenant-a");
+        let b = registry.vpc_for_tenant("tenant-b");
+        assert_eq!(a1.id(), a2.id());
+        assert_ne!(a1.id(), b.id());
+        assert_eq!(registry.len(), 2);
+    }
+
+    #[test]
+    fn tenants_get_disjoint_ranges() {
+        let registry = VpcRegistry::new();
+        let a = registry.vpc_for_tenant("a").allocate_eni("x");
+        let b = registry.vpc_for_tenant("b").allocate_eni("y");
+        let a_prefix: Vec<&str> = a.ip.split('.').take(2).collect();
+        let b_prefix: Vec<&str> = b.ip.split('.').take(2).collect();
+        assert_ne!(a_prefix, b_prefix);
+    }
+}

@@ -1,0 +1,243 @@
+//! Shared sandbox/container bookkeeping used by both runtimes.
+
+use crate::cri::{
+    ContainerConfig, ContainerId, ContainerState, ContainerStatus, SandboxConfig, SandboxId,
+    SandboxState, SandboxStatus,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use vc_api::error::{ApiError, ApiResult};
+use vc_api::time::Clock;
+
+#[derive(Debug)]
+pub(crate) struct ContainerRecord {
+    pub status: ContainerStatus,
+    pub logs: Vec<String>,
+    pub env: std::collections::BTreeMap<String, String>,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Tables {
+    pub sandboxes: HashMap<SandboxId, SandboxStatus>,
+    pub containers: HashMap<ContainerId, ContainerRecord>,
+}
+
+/// Common runtime state machine; `RuncRuntime`/`KataRuntime` wrap this.
+#[derive(Debug)]
+pub(crate) struct BaseRuntime {
+    pub tables: Mutex<Tables>,
+    pub clock: Arc<dyn Clock>,
+    next_id: AtomicU64,
+    prefix: &'static str,
+}
+
+impl BaseRuntime {
+    pub fn new(prefix: &'static str, clock: Arc<dyn Clock>) -> Self {
+        BaseRuntime {
+            tables: Mutex::new(Tables::default()),
+            clock,
+            next_id: AtomicU64::new(1),
+            prefix,
+        }
+    }
+
+    pub fn next_sandbox_id(&self) -> SandboxId {
+        SandboxId(format!("{}-sb-{}", self.prefix, self.next_id.fetch_add(1, Ordering::Relaxed)))
+    }
+
+    pub fn next_container_id(&self) -> ContainerId {
+        ContainerId(format!("{}-c-{}", self.prefix, self.next_id.fetch_add(1, Ordering::Relaxed)))
+    }
+
+    pub fn insert_sandbox(&self, id: SandboxId, config: SandboxConfig) {
+        let status = SandboxStatus {
+            id: id.clone(),
+            config,
+            state: SandboxState::Ready,
+            created_at: self.clock.now(),
+        };
+        self.tables.lock().sandboxes.insert(id, status);
+    }
+
+    pub fn stop_sandbox(&self, id: &SandboxId) -> ApiResult<()> {
+        let mut tables = self.tables.lock();
+        let sandbox = tables
+            .sandboxes
+            .get_mut(id)
+            .ok_or_else(|| ApiError::not_found("PodSandbox", &id.0))?;
+        sandbox.state = SandboxState::NotReady;
+        for record in tables.containers.values_mut() {
+            if &record.status.sandbox == id {
+                if let ContainerState::Running = record.status.state {
+                    record.status.state = ContainerState::Exited(137);
+                    record.logs.push("killed: sandbox stopped".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub fn remove_sandbox(&self, id: &SandboxId) -> ApiResult<()> {
+        let mut tables = self.tables.lock();
+        let sandbox = tables
+            .sandboxes
+            .get(id)
+            .ok_or_else(|| ApiError::not_found("PodSandbox", &id.0))?;
+        if sandbox.state == SandboxState::Ready {
+            return Err(ApiError::invalid("PodSandbox", &id.0, "sandbox is still ready; stop it first"));
+        }
+        tables.sandboxes.remove(id);
+        tables.containers.retain(|_, r| &r.status.sandbox != id);
+        Ok(())
+    }
+
+    pub fn sandbox_status(&self, id: &SandboxId) -> ApiResult<SandboxStatus> {
+        self.tables
+            .lock()
+            .sandboxes
+            .get(id)
+            .cloned()
+            .ok_or_else(|| ApiError::not_found("PodSandbox", &id.0))
+    }
+
+    pub fn list_sandboxes(&self) -> Vec<SandboxStatus> {
+        let mut out: Vec<SandboxStatus> = self.tables.lock().sandboxes.values().cloned().collect();
+        out.sort_by(|a, b| a.id.cmp(&b.id));
+        out
+    }
+
+    pub fn create_container(
+        &self,
+        sandbox: &SandboxId,
+        config: ContainerConfig,
+    ) -> ApiResult<ContainerId> {
+        let id = self.next_container_id();
+        let mut tables = self.tables.lock();
+        let sb = tables
+            .sandboxes
+            .get(sandbox)
+            .ok_or_else(|| ApiError::not_found("PodSandbox", &sandbox.0))?;
+        if sb.state != SandboxState::Ready {
+            return Err(ApiError::invalid("PodSandbox", &sandbox.0, "sandbox is not ready"));
+        }
+        let status = ContainerStatus {
+            id: id.clone(),
+            sandbox: sandbox.clone(),
+            name: config.name.clone(),
+            image: config.image.clone(),
+            state: ContainerState::Created,
+            started_at: None,
+        };
+        tables.containers.insert(
+            id.clone(),
+            ContainerRecord { status, logs: Vec::new(), env: config.env },
+        );
+        Ok(id)
+    }
+
+    pub fn start_container(&self, id: &ContainerId) -> ApiResult<()> {
+        let now = self.clock.now();
+        let mut tables = self.tables.lock();
+        let record = tables
+            .containers
+            .get_mut(id)
+            .ok_or_else(|| ApiError::not_found("Container", &id.0))?;
+        if record.status.state != ContainerState::Created {
+            return Err(ApiError::invalid(
+                "Container",
+                &id.0,
+                format!("cannot start from state {:?}", record.status.state),
+            ));
+        }
+        record.status.state = ContainerState::Running;
+        record.status.started_at = Some(now);
+        record.logs.push(format!(
+            "{} starting container {} (image {})",
+            now, record.status.name, record.status.image
+        ));
+        Ok(())
+    }
+
+    pub fn stop_container(&self, id: &ContainerId) -> ApiResult<()> {
+        let mut tables = self.tables.lock();
+        let record = tables
+            .containers
+            .get_mut(id)
+            .ok_or_else(|| ApiError::not_found("Container", &id.0))?;
+        if matches!(record.status.state, ContainerState::Running) {
+            record.status.state = ContainerState::Exited(0);
+            record.logs.push("container stopped".into());
+        }
+        Ok(())
+    }
+
+    pub fn remove_container(&self, id: &ContainerId) -> ApiResult<()> {
+        let mut tables = self.tables.lock();
+        let record = tables
+            .containers
+            .get(id)
+            .ok_or_else(|| ApiError::not_found("Container", &id.0))?;
+        if matches!(record.status.state, ContainerState::Running) {
+            return Err(ApiError::invalid("Container", &id.0, "container is running"));
+        }
+        tables.containers.remove(id);
+        Ok(())
+    }
+
+    pub fn container_status(&self, id: &ContainerId) -> ApiResult<ContainerStatus> {
+        self.tables
+            .lock()
+            .containers
+            .get(id)
+            .map(|r| r.status.clone())
+            .ok_or_else(|| ApiError::not_found("Container", &id.0))
+    }
+
+    pub fn list_containers(&self, sandbox: Option<&SandboxId>) -> Vec<ContainerStatus> {
+        let mut out: Vec<ContainerStatus> = self
+            .tables
+            .lock()
+            .containers
+            .values()
+            .filter(|r| sandbox.is_none_or(|s| &r.status.sandbox == s))
+            .map(|r| r.status.clone())
+            .collect();
+        out.sort_by(|a, b| a.id.cmp(&b.id));
+        out
+    }
+
+    pub fn exec_sync(&self, id: &ContainerId, cmd: &[String]) -> ApiResult<crate::cri::ExecResult> {
+        let mut tables = self.tables.lock();
+        let record = tables
+            .containers
+            .get_mut(id)
+            .ok_or_else(|| ApiError::not_found("Container", &id.0))?;
+        if record.status.state != ContainerState::Running {
+            return Err(ApiError::invalid("Container", &id.0, "container is not running"));
+        }
+        // Simulated shell: `env` dumps environment, everything else echoes.
+        let stdout = match cmd.first().map(String::as_str) {
+            Some("env") => record
+                .env
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join("\n"),
+            Some("hostname") => record.status.sandbox.0.clone(),
+            _ => cmd.join(" "),
+        };
+        record.logs.push(format!("exec: {}", cmd.join(" ")));
+        Ok(crate::cri::ExecResult { stdout, exit_code: 0 })
+    }
+
+    pub fn container_logs(&self, id: &ContainerId) -> ApiResult<Vec<String>> {
+        self.tables
+            .lock()
+            .containers
+            .get(id)
+            .map(|r| r.logs.clone())
+            .ok_or_else(|| ApiError::not_found("Container", &id.0))
+    }
+}

@@ -1,0 +1,244 @@
+//! Container Runtime Interface: the contract between kubelet and runtime.
+//!
+//! The paper contrasts the full CRI surface the kubelet drives (~25 APIs)
+//! with virtual kubelet's ~7-method provider interface as the root of
+//! virtual kubelet's usability gaps. This trait models the CRI subset the
+//! evaluation exercises: sandbox/container lifecycle, status/listing, exec
+//! and logs (the two verbs the vn-agent must proxy for tenants).
+
+use crate::kata::{GuestOs, KataAgent};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use vc_api::error::ApiResult;
+use vc_api::time::Timestamp;
+
+/// Identifier of a pod sandbox.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SandboxId(pub String);
+
+impl fmt::Display for SandboxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Identifier of a container.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ContainerId(pub String);
+
+impl fmt::Display for ContainerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Parameters for creating a pod sandbox.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SandboxConfig {
+    /// Pod namespace (in the cluster that runs the pod, i.e. the super
+    /// cluster's prefixed namespace under VirtualCluster).
+    pub pod_namespace: String,
+    /// Pod name.
+    pub pod_name: String,
+    /// Pod UID.
+    pub pod_uid: String,
+    /// IP assigned to the pod by the network plugin / ENI.
+    pub pod_ip: String,
+}
+
+impl SandboxConfig {
+    /// Convenience constructor.
+    pub fn new(
+        pod_namespace: impl Into<String>,
+        pod_name: impl Into<String>,
+        pod_uid: impl Into<String>,
+        pod_ip: impl Into<String>,
+    ) -> Self {
+        SandboxConfig {
+            pod_namespace: pod_namespace.into(),
+            pod_name: pod_name.into(),
+            pod_uid: pod_uid.into(),
+            pod_ip: pod_ip.into(),
+        }
+    }
+}
+
+/// Parameters for creating a container in a sandbox.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ContainerConfig {
+    /// Container name (unique within the sandbox).
+    pub name: String,
+    /// Image reference.
+    pub image: String,
+    /// Command line.
+    pub command: Vec<String>,
+    /// Environment.
+    pub env: BTreeMap<String, String>,
+}
+
+impl ContainerConfig {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, image: impl Into<String>) -> Self {
+        ContainerConfig { name: name.into(), image: image.into(), ..Default::default() }
+    }
+}
+
+/// Sandbox lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SandboxState {
+    /// Network set up, ready for containers.
+    Ready,
+    /// Stopped.
+    NotReady,
+}
+
+/// Container lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ContainerState {
+    /// Created but not started.
+    Created,
+    /// Running.
+    Running,
+    /// Terminated with an exit code.
+    Exited(i32),
+}
+
+/// Observed sandbox state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SandboxStatus {
+    /// Sandbox id.
+    pub id: SandboxId,
+    /// Creation config (namespace/name/uid/ip).
+    pub config: SandboxConfig,
+    /// Lifecycle state.
+    pub state: SandboxState,
+    /// Creation time.
+    pub created_at: Timestamp,
+}
+
+/// Observed container state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContainerStatus {
+    /// Container id.
+    pub id: ContainerId,
+    /// Owning sandbox.
+    pub sandbox: SandboxId,
+    /// Container name.
+    pub name: String,
+    /// Image reference.
+    pub image: String,
+    /// Lifecycle state.
+    pub state: ContainerState,
+    /// Start time, once started.
+    pub started_at: Option<Timestamp>,
+}
+
+/// Result of a synchronous exec.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecResult {
+    /// Captured stdout.
+    pub stdout: String,
+    /// Exit code.
+    pub exit_code: i32,
+}
+
+/// The runtime contract the kubelet drives.
+///
+/// Implemented by [`crate::runc::RuncRuntime`] (shared-kernel) and
+/// [`crate::kata::KataRuntime`] (VM-sandboxed with a private guest OS).
+pub trait ContainerRuntime: Send + Sync + fmt::Debug {
+    /// Runtime name (`runc` / `kata`).
+    fn name(&self) -> &str;
+
+    /// Creates and starts a pod sandbox.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the sandbox cannot be provisioned.
+    fn run_pod_sandbox(&self, config: SandboxConfig) -> ApiResult<SandboxId>;
+
+    /// Stops a sandbox (also stops its containers).
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for unknown ids.
+    fn stop_pod_sandbox(&self, id: &SandboxId) -> ApiResult<()>;
+
+    /// Removes a stopped sandbox and its containers.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for unknown ids; `Invalid` if still ready.
+    fn remove_pod_sandbox(&self, id: &SandboxId) -> ApiResult<()>;
+
+    /// Returns one sandbox's status.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for unknown ids.
+    fn sandbox_status(&self, id: &SandboxId) -> ApiResult<SandboxStatus>;
+
+    /// Lists all sandboxes.
+    fn list_pod_sandboxes(&self) -> Vec<SandboxStatus>;
+
+    /// Creates a container in a ready sandbox.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for unknown sandboxes, `Invalid` for stopped ones.
+    fn create_container(&self, sandbox: &SandboxId, config: ContainerConfig)
+        -> ApiResult<ContainerId>;
+
+    /// Starts a created container.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` / `Invalid` (wrong state).
+    fn start_container(&self, id: &ContainerId) -> ApiResult<()>;
+
+    /// Stops a running container (exit code 0).
+    ///
+    /// # Errors
+    ///
+    /// `NotFound`.
+    fn stop_container(&self, id: &ContainerId) -> ApiResult<()>;
+
+    /// Removes a stopped container.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` / `Invalid` if still running.
+    fn remove_container(&self, id: &ContainerId) -> ApiResult<()>;
+
+    /// Returns one container's status.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound`.
+    fn container_status(&self, id: &ContainerId) -> ApiResult<ContainerStatus>;
+
+    /// Lists containers, optionally restricted to one sandbox.
+    fn list_containers(&self, sandbox: Option<&SandboxId>) -> Vec<ContainerStatus>;
+
+    /// Runs a command in a running container and captures output.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` / `Invalid` (not running).
+    fn exec_sync(&self, id: &ContainerId, cmd: &[String]) -> ApiResult<ExecResult>;
+
+    /// Returns the container's log lines.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound`.
+    fn container_logs(&self, id: &ContainerId) -> ApiResult<Vec<String>>;
+
+    /// The sandbox's guest OS, when the runtime provides one (Kata).
+    fn guest(&self, sandbox: &SandboxId) -> Option<Arc<GuestOs>>;
+
+    /// The sandbox's in-guest agent, when the runtime provides one (Kata).
+    fn agent(&self, sandbox: &SandboxId) -> Option<Arc<KataAgent>>;
+}

@@ -1,0 +1,110 @@
+//! Per-node container image store with pull latency.
+//!
+//! The paper's latency experiments *exclude* image pull time ("these are
+//! static overheads and not affected by VirtualCluster at all"), so the
+//! mock-instant kubelet skips pulling; the realistic kubelet mode uses this
+//! store, whose pull latency is configurable.
+
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::time::Duration;
+use vc_api::metrics::Counter;
+use vc_api::time::Clock;
+
+/// A node-local image cache.
+#[derive(Debug)]
+pub struct ImageStore {
+    cached: Mutex<HashSet<String>>,
+    pull_latency: Duration,
+    /// Pulls that went to the (simulated) registry.
+    pub remote_pulls: Counter,
+    /// Pulls served from the local cache.
+    pub cache_hits: Counter,
+}
+
+impl ImageStore {
+    /// Creates an empty store with the given remote pull latency.
+    pub fn new(pull_latency: Duration) -> Self {
+        ImageStore {
+            cached: Mutex::new(HashSet::new()),
+            pull_latency,
+            remote_pulls: Counter::new(),
+            cache_hits: Counter::new(),
+        }
+    }
+
+    /// Ensures `image` is present locally, paying the pull latency on a
+    /// cache miss.
+    pub fn pull(&self, image: &str, clock: &dyn Clock) {
+        {
+            let cached = self.cached.lock();
+            if cached.contains(image) {
+                self.cache_hits.inc();
+                return;
+            }
+        }
+        clock.sleep(self.pull_latency);
+        self.cached.lock().insert(image.to_string());
+        self.remote_pulls.inc();
+    }
+
+    /// Returns `true` if `image` is cached locally.
+    pub fn contains(&self, image: &str) -> bool {
+        self.cached.lock().contains(image)
+    }
+
+    /// Number of cached images.
+    pub fn len(&self) -> usize {
+        self.cached.lock().len()
+    }
+
+    /// Returns `true` when no image is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evicts an image; returns `true` if it was cached.
+    pub fn remove(&self, image: &str) -> bool {
+        self.cached.lock().remove(image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_api::time::RealClock;
+
+    #[test]
+    fn pull_caches_and_hits() {
+        let store = ImageStore::new(Duration::ZERO);
+        let clock = RealClock::new();
+        store.pull("nginx:1", &clock);
+        assert!(store.contains("nginx:1"));
+        assert_eq!(store.remote_pulls.get(), 1);
+        store.pull("nginx:1", &clock);
+        assert_eq!(store.remote_pulls.get(), 1);
+        assert_eq!(store.cache_hits.get(), 1);
+    }
+
+    #[test]
+    fn pull_latency_paid_once() {
+        let store = ImageStore::new(Duration::from_millis(30));
+        let clock = RealClock::new();
+        let start = std::time::Instant::now();
+        store.pull("big:latest", &clock);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        let start = std::time::Instant::now();
+        store.pull("big:latest", &clock);
+        assert!(start.elapsed() < Duration::from_millis(20), "cache hit is fast");
+    }
+
+    #[test]
+    fn remove_evicts() {
+        let store = ImageStore::new(Duration::ZERO);
+        let clock = RealClock::new();
+        store.pull("a", &clock);
+        assert!(store.remove("a"));
+        assert!(!store.remove("a"));
+        assert!(store.is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! # vc-runtime — container runtime simulation
+//!
+//! The node-level substrate beneath the kubelet: a CRI-style interface
+//! ([`cri::ContainerRuntime`]) with two implementations —
+//! [`runc::RuncRuntime`] (shared kernel, host networking) and
+//! [`kata::KataRuntime`] (per-pod sandbox VM with a private
+//! [`kata::GuestOs`] and an in-guest [`kata::KataAgent`] that the enhanced
+//! kubeproxy programs over simulated gRPC). Plus a per-node
+//! [`image::ImageStore`] and the generic [`netfilter::NetfilterTable`]
+//! shared by host and guest network namespaces.
+
+#![warn(missing_docs)]
+
+mod base;
+pub mod cri;
+pub mod image;
+pub mod kata;
+pub mod netfilter;
+pub mod runc;
+
+pub use cri::{ContainerRuntime, SandboxConfig, SandboxId};
+pub use kata::{KataAgent, KataConfig, KataRuntime};
+pub use netfilter::{NatRule, NetfilterTable};
+pub use runc::RuncRuntime;

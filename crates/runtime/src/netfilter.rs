@@ -1,0 +1,178 @@
+//! A miniature netfilter/iptables NAT table.
+//!
+//! Both the host network namespace (standard kubeproxy) and each Kata
+//! sandbox's guest OS (enhanced kubeproxy) carry one of these. Cluster-IP
+//! service routing is a set of DNAT rules: `(serviceIP, port)` →
+//! one-of-`endpoints`, exactly the structure kubeproxy programs.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use vc_api::metrics::Counter;
+
+/// One DNAT rule: traffic to `(service_ip, port)` is rewritten to one of
+/// `endpoints` (random-endpoint selection, like iptables
+/// `--mode random`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NatRule {
+    /// Cluster IP the rule matches.
+    pub service_ip: String,
+    /// Service port the rule matches.
+    pub port: u16,
+    /// Backend `(pod_ip, target_port)` pairs.
+    pub endpoints: Vec<(String, u16)>,
+}
+
+impl NatRule {
+    /// Creates a rule.
+    pub fn new(service_ip: impl Into<String>, port: u16, endpoints: Vec<(String, u16)>) -> Self {
+        NatRule { service_ip: service_ip.into(), port, endpoints }
+    }
+
+    /// The `(ip, port)` key this rule matches.
+    pub fn key(&self) -> (String, u16) {
+        (self.service_ip.clone(), self.port)
+    }
+}
+
+/// A NAT rule table for one network namespace.
+///
+/// # Examples
+///
+/// ```
+/// use vc_runtime::netfilter::{NatRule, NetfilterTable};
+///
+/// let table = NetfilterTable::new();
+/// table.apply(&[NatRule::new("10.96.0.10", 80, vec![("192.168.1.5".into(), 8080)])]);
+/// let backend = table.resolve("10.96.0.10", 80, 0).unwrap();
+/// assert_eq!(backend, ("192.168.1.5".to_string(), 8080));
+/// ```
+#[derive(Debug, Default)]
+pub struct NetfilterTable {
+    rules: RwLock<HashMap<(String, u16), NatRule>>,
+    /// Count of rule-set mutations (used to verify injection ordering).
+    pub mutations: Counter,
+}
+
+impl NetfilterTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        NetfilterTable::default()
+    }
+
+    /// Inserts or replaces the given rules.
+    pub fn apply(&self, rules: &[NatRule]) {
+        let mut table = self.rules.write();
+        for rule in rules {
+            table.insert(rule.key(), rule.clone());
+        }
+        self.mutations.inc();
+    }
+
+    /// Removes the rule for `(service_ip, port)`; returns `true` if it
+    /// existed.
+    pub fn remove(&self, service_ip: &str, port: u16) -> bool {
+        let removed = self.rules.write().remove(&(service_ip.to_string(), port)).is_some();
+        if removed {
+            self.mutations.inc();
+        }
+        removed
+    }
+
+    /// Resolves a destination `(ip, port)` through the DNAT rules.
+    /// `selector` picks among the endpoints (callers pass a random value;
+    /// tests pass fixed ones). Returns `None` when no rule matches or the
+    /// rule has no endpoints.
+    pub fn resolve(&self, dst_ip: &str, port: u16, selector: usize) -> Option<(String, u16)> {
+        let table = self.rules.read();
+        let rule = table.get(&(dst_ip.to_string(), port))?;
+        if rule.endpoints.is_empty() {
+            return None;
+        }
+        Some(rule.endpoints[selector % rule.endpoints.len()].clone())
+    }
+
+    /// Snapshot of all rules, sorted by key.
+    pub fn list(&self) -> Vec<NatRule> {
+        let mut rules: Vec<NatRule> = self.rules.read().values().cloned().collect();
+        rules.sort_by(|a, b| a.key().cmp(&b.key()));
+        rules
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.read().len()
+    }
+
+    /// Returns `true` when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes all rules.
+    pub fn flush(&self) {
+        self.rules.write().clear();
+        self.mutations.inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(ip: &str, port: u16, eps: &[(&str, u16)]) -> NatRule {
+        NatRule::new(ip, port, eps.iter().map(|(i, p)| (i.to_string(), *p)).collect())
+    }
+
+    #[test]
+    fn apply_and_resolve() {
+        let t = NetfilterTable::new();
+        t.apply(&[rule("10.0.0.1", 80, &[("1.1.1.1", 8080), ("2.2.2.2", 8080)])]);
+        assert_eq!(t.resolve("10.0.0.1", 80, 0).unwrap().0, "1.1.1.1");
+        assert_eq!(t.resolve("10.0.0.1", 80, 1).unwrap().0, "2.2.2.2");
+        assert_eq!(t.resolve("10.0.0.1", 80, 2).unwrap().0, "1.1.1.1", "wraps");
+    }
+
+    #[test]
+    fn unmatched_traffic_unrouted() {
+        let t = NetfilterTable::new();
+        t.apply(&[rule("10.0.0.1", 80, &[("1.1.1.1", 8080)])]);
+        assert!(t.resolve("10.0.0.1", 443, 0).is_none(), "port mismatch");
+        assert!(t.resolve("10.0.0.9", 80, 0).is_none(), "ip mismatch");
+    }
+
+    #[test]
+    fn empty_endpoints_unroutable() {
+        let t = NetfilterTable::new();
+        t.apply(&[rule("10.0.0.1", 80, &[])]);
+        assert!(t.resolve("10.0.0.1", 80, 0).is_none());
+    }
+
+    #[test]
+    fn replace_updates_endpoints() {
+        let t = NetfilterTable::new();
+        t.apply(&[rule("10.0.0.1", 80, &[("1.1.1.1", 8080)])]);
+        t.apply(&[rule("10.0.0.1", 80, &[("3.3.3.3", 9090)])]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.resolve("10.0.0.1", 80, 0).unwrap(), ("3.3.3.3".to_string(), 9090));
+        assert_eq!(t.mutations.get(), 2);
+    }
+
+    #[test]
+    fn remove_and_flush() {
+        let t = NetfilterTable::new();
+        t.apply(&[rule("10.0.0.1", 80, &[("1.1.1.1", 1)]), rule("10.0.0.2", 80, &[("2.2.2.2", 2)])]);
+        assert!(t.remove("10.0.0.1", 80));
+        assert!(!t.remove("10.0.0.1", 80));
+        assert_eq!(t.len(), 1);
+        t.flush();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn list_sorted() {
+        let t = NetfilterTable::new();
+        t.apply(&[rule("10.0.0.2", 80, &[]), rule("10.0.0.1", 80, &[])]);
+        let keys: Vec<String> = t.list().into_iter().map(|r| r.service_ip).collect();
+        assert_eq!(keys, vec!["10.0.0.1", "10.0.0.2"]);
+    }
+}

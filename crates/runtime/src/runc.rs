@@ -1,0 +1,165 @@
+//! Shared-kernel (`runc`) runtime.
+//!
+//! Fast, but offers no guest OS: pods share the host network stack, which
+//! is why it cannot satisfy the paper's threat model ("containers are not
+//! safe … the service provider needs to run them using sandbox runtime")
+//! and why its traffic is routed by the *host* netfilter table.
+
+use crate::base::BaseRuntime;
+use crate::cri::{
+    ContainerConfig, ContainerId, ContainerRuntime, ContainerStatus, ExecResult, SandboxConfig,
+    SandboxId, SandboxStatus,
+};
+use crate::kata::{GuestOs, KataAgent};
+use std::sync::Arc;
+use std::time::Duration;
+use vc_api::error::ApiResult;
+use vc_api::time::Clock;
+
+/// Configuration of the runc runtime.
+#[derive(Debug, Clone)]
+pub struct RuncConfig {
+    /// Sandbox (pause container + netns) setup latency.
+    pub sandbox_setup_latency: Duration,
+}
+
+impl Default for RuncConfig {
+    fn default() -> Self {
+        RuncConfig { sandbox_setup_latency: Duration::from_millis(5) }
+    }
+}
+
+/// Shared-kernel container runtime.
+#[derive(Debug)]
+pub struct RuncRuntime {
+    base: BaseRuntime,
+    config: RuncConfig,
+}
+
+impl RuncRuntime {
+    /// Creates a runc runtime.
+    pub fn new(config: RuncConfig, clock: Arc<dyn Clock>) -> Arc<Self> {
+        Arc::new(RuncRuntime { base: BaseRuntime::new("runc", clock), config })
+    }
+
+    /// Creates a runc runtime with default config.
+    pub fn new_default(clock: Arc<dyn Clock>) -> Arc<Self> {
+        Self::new(RuncConfig::default(), clock)
+    }
+}
+
+impl ContainerRuntime for RuncRuntime {
+    fn name(&self) -> &str {
+        "runc"
+    }
+
+    fn run_pod_sandbox(&self, config: SandboxConfig) -> ApiResult<SandboxId> {
+        self.base.clock.sleep(self.config.sandbox_setup_latency);
+        let id = self.base.next_sandbox_id();
+        self.base.insert_sandbox(id.clone(), config);
+        Ok(id)
+    }
+
+    fn stop_pod_sandbox(&self, id: &SandboxId) -> ApiResult<()> {
+        self.base.stop_sandbox(id)
+    }
+
+    fn remove_pod_sandbox(&self, id: &SandboxId) -> ApiResult<()> {
+        self.base.remove_sandbox(id)
+    }
+
+    fn sandbox_status(&self, id: &SandboxId) -> ApiResult<SandboxStatus> {
+        self.base.sandbox_status(id)
+    }
+
+    fn list_pod_sandboxes(&self) -> Vec<SandboxStatus> {
+        self.base.list_sandboxes()
+    }
+
+    fn create_container(
+        &self,
+        sandbox: &SandboxId,
+        config: ContainerConfig,
+    ) -> ApiResult<ContainerId> {
+        self.base.create_container(sandbox, config)
+    }
+
+    fn start_container(&self, id: &ContainerId) -> ApiResult<()> {
+        self.base.start_container(id)
+    }
+
+    fn stop_container(&self, id: &ContainerId) -> ApiResult<()> {
+        self.base.stop_container(id)
+    }
+
+    fn remove_container(&self, id: &ContainerId) -> ApiResult<()> {
+        self.base.remove_container(id)
+    }
+
+    fn container_status(&self, id: &ContainerId) -> ApiResult<ContainerStatus> {
+        self.base.container_status(id)
+    }
+
+    fn list_containers(&self, sandbox: Option<&SandboxId>) -> Vec<ContainerStatus> {
+        self.base.list_containers(sandbox)
+    }
+
+    fn exec_sync(&self, id: &ContainerId, cmd: &[String]) -> ApiResult<ExecResult> {
+        self.base.exec_sync(id, cmd)
+    }
+
+    fn container_logs(&self, id: &ContainerId) -> ApiResult<Vec<String>> {
+        self.base.container_logs(id)
+    }
+
+    fn guest(&self, _sandbox: &SandboxId) -> Option<Arc<GuestOs>> {
+        None // shared kernel: no private guest OS
+    }
+
+    fn agent(&self, _sandbox: &SandboxId) -> Option<Arc<KataAgent>> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_api::time::RealClock;
+
+    fn runtime() -> Arc<RuncRuntime> {
+        RuncRuntime::new(RuncConfig { sandbox_setup_latency: Duration::ZERO }, RealClock::shared())
+    }
+
+    #[test]
+    fn no_guest_os() {
+        let rt = runtime();
+        let sb = rt.run_pod_sandbox(SandboxConfig::new("ns", "a", "u", "ip")).unwrap();
+        assert!(rt.guest(&sb).is_none());
+        assert!(rt.agent(&sb).is_none());
+        assert_eq!(rt.name(), "runc");
+    }
+
+    #[test]
+    fn lifecycle_parity_with_kata() {
+        let rt = runtime();
+        let sb = rt.run_pod_sandbox(SandboxConfig::new("ns", "a", "u", "ip")).unwrap();
+        let c = rt.create_container(&sb, ContainerConfig::new("app", "img")).unwrap();
+        rt.start_container(&c).unwrap();
+        assert_eq!(rt.list_containers(Some(&sb)).len(), 1);
+        assert_eq!(rt.list_pod_sandboxes().len(), 1);
+        rt.stop_container(&c).unwrap();
+        rt.stop_pod_sandbox(&sb).unwrap();
+        rt.remove_container(&c).unwrap();
+        rt.remove_pod_sandbox(&sb).unwrap();
+        assert!(rt.list_pod_sandboxes().is_empty());
+    }
+
+    #[test]
+    fn double_start_rejected() {
+        let rt = runtime();
+        let sb = rt.run_pod_sandbox(SandboxConfig::new("ns", "a", "u", "ip")).unwrap();
+        let c = rt.create_container(&sb, ContainerConfig::new("app", "img")).unwrap();
+        rt.start_container(&c).unwrap();
+        assert!(rt.start_container(&c).is_err());
+    }
+}

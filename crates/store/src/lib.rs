@@ -1,0 +1,636 @@
+//! # vc-store — in-memory MVCC object store with watch streams
+//!
+//! The etcd analog backing every control plane in the simulation. Each
+//! control plane (super cluster and every tenant) owns one [`Store`]; the
+//! paper's experiment setup assigns "a dedicated etcd to each tenant
+//! control plane", which maps to one `Store` per tenant here.
+//!
+//! Semantics mirrored from etcd/Kubernetes:
+//!
+//! * a single monotonically increasing **revision** shared by all keys,
+//! * every write stamps the object's `resource_version` with the new
+//!   revision (the optimistic-concurrency token the apiserver checks),
+//! * **watch** streams deliver `Added`/`Modified`/`Deleted` events starting
+//!   from a requested revision, replayed from a bounded event log,
+//! * the log is **compacted**; a watch from a compacted revision fails with
+//!   [`ApiError::Expired`] and the client must re-list (exactly the
+//!   condition that triggers reflector re-lists — and, at scale, the re-list
+//!   floods the paper's centralized-syncer design avoids),
+//! * watchers that fall too far behind are **evicted** (their channel
+//!   closes) rather than blocking writers.
+
+#![warn(missing_docs)]
+
+pub mod watch;
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use vc_api::error::{ApiError, ApiResult};
+use vc_api::metrics::Counter;
+use vc_api::object::{Object, ResourceKind};
+
+pub use watch::{EventType, RecvOutcome, WatchEvent, WatchStream};
+
+/// Configuration for a [`Store`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Maximum events retained for watch replay before compaction.
+    pub event_log_capacity: usize,
+    /// Per-watcher channel capacity; a watcher this far behind is evicted.
+    pub watcher_buffer: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { event_log_capacity: 100_000, watcher_buffer: 65_536 }
+    }
+}
+
+/// Key of an object inside the store: kind + `namespace/name`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectKey {
+    /// Resource kind.
+    pub kind: ResourceKind,
+    /// `namespace/name` (or `name` for cluster-scoped kinds).
+    pub key: String,
+}
+
+impl ObjectKey {
+    /// Creates a key from a kind and full name.
+    pub fn new(kind: ResourceKind, key: impl Into<String>) -> Self {
+        ObjectKey { kind, key: key.into() }
+    }
+
+    /// Creates the key identifying `obj`.
+    pub fn of(obj: &Object) -> Self {
+        ObjectKey { kind: obj.kind(), key: obj.key() }
+    }
+}
+
+struct Inner {
+    objects: HashMap<ObjectKey, Arc<Object>>,
+    revision: u64,
+    /// Oldest revision still replayable from the event log.
+    compacted_floor: u64,
+    event_log: Vec<WatchEvent>,
+    watchers: Vec<watch::WatcherHandle>,
+    config: StoreConfig,
+}
+
+/// Thread-safe MVCC object store.
+///
+/// # Examples
+///
+/// ```
+/// use vc_store::Store;
+/// use vc_api::object::{Object, ResourceKind};
+/// use vc_api::pod::Pod;
+///
+/// let store = Store::new();
+/// let stored = store.insert(Pod::new("ns", "a").into())?;
+/// assert!(stored.meta().resource_version > 0);
+/// let (items, rev) = store.list(ResourceKind::Pod, Some("ns"));
+/// assert_eq!(items.len(), 1);
+/// assert_eq!(rev, stored.meta().resource_version);
+/// # Ok::<(), vc_api::ApiError>(())
+/// ```
+pub struct Store {
+    inner: Mutex<Inner>,
+    /// Total writes (insert/update/delete) performed.
+    pub writes: Counter,
+    /// Total watch events fanned out to watchers.
+    pub events_delivered: Counter,
+    /// Watchers evicted for falling behind.
+    pub watchers_evicted: Counter,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Store")
+            .field("objects", &inner.objects.len())
+            .field("revision", &inner.revision)
+            .field("compacted_floor", &inner.compacted_floor)
+            .field("watchers", &inner.watchers.len())
+            .finish()
+    }
+}
+
+impl Store {
+    /// Creates an empty store with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(StoreConfig::default())
+    }
+
+    /// Creates an empty store with the given configuration.
+    pub fn with_config(config: StoreConfig) -> Self {
+        Store {
+            inner: Mutex::new(Inner {
+                objects: HashMap::new(),
+                revision: 0,
+                compacted_floor: 0,
+                event_log: Vec::new(),
+                watchers: Vec::new(),
+                config,
+            }),
+            writes: Counter::new(),
+            events_delivered: Counter::new(),
+            watchers_evicted: Counter::new(),
+        }
+    }
+
+    /// Returns the current store revision.
+    pub fn revision(&self) -> u64 {
+        self.inner.lock().revision
+    }
+
+    /// Returns the number of stored objects (all kinds).
+    pub fn len(&self) -> usize {
+        self.inner.lock().objects.len()
+    }
+
+    /// Returns `true` if the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a new object, assigning it the next revision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::AlreadyExists`] if the key is taken.
+    pub fn insert(&self, mut obj: Object) -> ApiResult<Arc<Object>> {
+        let mut inner = self.inner.lock();
+        let key = ObjectKey::of(&obj);
+        if inner.objects.contains_key(&key) {
+            return Err(ApiError::already_exists(key.kind.as_str(), key.key));
+        }
+        inner.revision += 1;
+        obj.meta_mut().resource_version = inner.revision;
+        let arc = Arc::new(obj);
+        inner.objects.insert(key, Arc::clone(&arc));
+        self.writes.inc();
+        self.publish(&mut inner, EventType::Added, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Replaces an existing object.
+    ///
+    /// If `expected_revision` is `Some`, the update only succeeds when it
+    /// matches the stored object's `resource_version` (compare-and-swap).
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::NotFound`] if absent, [`ApiError::Conflict`] on a failed
+    /// compare-and-swap.
+    pub fn update(&self, mut obj: Object, expected_revision: Option<u64>) -> ApiResult<Arc<Object>> {
+        let mut inner = self.inner.lock();
+        let key = ObjectKey::of(&obj);
+        let current = inner
+            .objects
+            .get(&key)
+            .ok_or_else(|| ApiError::not_found(key.kind.as_str(), key.key.clone()))?;
+        if let Some(expected) = expected_revision {
+            let actual = current.meta().resource_version;
+            if actual != expected {
+                return Err(ApiError::conflict(
+                    key.kind.as_str(),
+                    key.key,
+                    format!("the object has been modified (expected rv {expected}, actual {actual})"),
+                ));
+            }
+        }
+        inner.revision += 1;
+        obj.meta_mut().resource_version = inner.revision;
+        let arc = Arc::new(obj);
+        inner.objects.insert(key, Arc::clone(&arc));
+        self.writes.inc();
+        self.publish(&mut inner, EventType::Modified, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Removes an object, returning its last state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::NotFound`] if absent.
+    pub fn delete(&self, kind: ResourceKind, key: &str) -> ApiResult<Arc<Object>> {
+        let mut inner = self.inner.lock();
+        let okey = ObjectKey::new(kind, key);
+        let removed = inner
+            .objects
+            .remove(&okey)
+            .ok_or_else(|| ApiError::not_found(kind.as_str(), key))?;
+        inner.revision += 1;
+        self.writes.inc();
+        self.publish(&mut inner, EventType::Deleted, Arc::clone(&removed));
+        Ok(removed)
+    }
+
+    /// Fetches an object by key.
+    pub fn get(&self, kind: ResourceKind, key: &str) -> Option<Arc<Object>> {
+        self.inner.lock().objects.get(&ObjectKey::new(kind, key)).cloned()
+    }
+
+    /// Lists objects of `kind`, optionally restricted to `namespace`,
+    /// returning the items sorted by key plus the store revision at which
+    /// the snapshot was taken (the revision a subsequent watch should start
+    /// from).
+    pub fn list(&self, kind: ResourceKind, namespace: Option<&str>) -> (Vec<Arc<Object>>, u64) {
+        let inner = self.inner.lock();
+        let mut sorted: BTreeMap<&String, &Arc<Object>> = BTreeMap::new();
+        for (k, v) in &inner.objects {
+            if k.kind != kind {
+                continue;
+            }
+            if let Some(ns) = namespace {
+                if v.meta().namespace != ns {
+                    continue;
+                }
+            }
+            sorted.insert(&k.key, v);
+        }
+        (sorted.into_values().cloned().collect(), inner.revision)
+    }
+
+    /// Opens a watch for `kind` (optionally namespace-filtered) delivering
+    /// all events with revision **greater than** `from_revision`.
+    ///
+    /// The usual pattern is `let (items, rev) = store.list(..)` followed by
+    /// `store.watch(kind, ns, rev)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Expired`] when `from_revision` precedes the
+    /// compaction floor; the caller must re-list.
+    pub fn watch(
+        &self,
+        kind: ResourceKind,
+        namespace: Option<String>,
+        from_revision: u64,
+    ) -> ApiResult<WatchStream> {
+        let mut inner = self.inner.lock();
+        if from_revision < inner.compacted_floor {
+            return Err(ApiError::expired(format!(
+                "requested revision {} but log is compacted up to {}",
+                from_revision, inner.compacted_floor
+            )));
+        }
+        let (handle, stream) =
+            watch::WatcherHandle::new(kind, namespace, inner.config.watcher_buffer);
+        // Replay the backlog the watcher missed.
+        for event in &inner.event_log {
+            if event.revision > from_revision && handle.wants(event) {
+                // The fresh channel can still overflow if the backlog beats
+                // the watcher buffer; surface that as an expiry.
+                if !handle.deliver(event.clone()) {
+                    self.watchers_evicted.inc();
+                    return Err(ApiError::expired(
+                        "watch backlog exceeds watcher buffer; re-list required",
+                    ));
+                }
+                self.events_delivered.inc();
+            }
+        }
+        inner.watchers.push(handle);
+        Ok(stream)
+    }
+
+    /// Number of currently registered (non-evicted) watchers.
+    pub fn watcher_count(&self) -> usize {
+        let mut inner = self.inner.lock();
+        inner.watchers.retain(|w| !w.is_dead());
+        inner.watchers.len()
+    }
+
+    /// Estimated total serialized size of stored objects in bytes (Fig 10
+    /// memory accounting).
+    pub fn estimated_bytes(&self) -> usize {
+        let objects: Vec<Arc<Object>> = self.inner.lock().objects.values().cloned().collect();
+        objects.iter().map(|o| o.estimated_size()).sum()
+    }
+
+    fn publish(&self, inner: &mut Inner, event_type: EventType, object: Arc<Object>) {
+        let event = WatchEvent { revision: inner.revision, event_type, object };
+        // Append to the replay log, compacting the oldest half when full.
+        inner.event_log.push(event.clone());
+        if inner.event_log.len() > inner.config.event_log_capacity {
+            let drop_count = inner.event_log.len() / 2;
+            inner.compacted_floor = inner.event_log[drop_count - 1].revision;
+            inner.event_log.drain(..drop_count);
+        }
+        // Fan out to watchers, evicting any whose buffer is full.
+        let mut evicted = 0u64;
+        inner.watchers.retain(|w| {
+            if !w.wants(&event) {
+                return !w.is_dead();
+            }
+            if w.deliver(event.clone()) {
+                self.events_delivered.inc();
+                true
+            } else {
+                evicted += 1;
+                false
+            }
+        });
+        if evicted > 0 {
+            self.watchers_evicted.add(evicted);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_api::namespace::Namespace;
+    use vc_api::pod::Pod;
+
+    fn pod(ns: &str, name: &str) -> Object {
+        Pod::new(ns, name).into()
+    }
+
+    #[test]
+    fn insert_assigns_increasing_revisions() {
+        let store = Store::new();
+        let a = store.insert(pod("ns", "a")).unwrap();
+        let b = store.insert(pod("ns", "b")).unwrap();
+        assert_eq!(a.meta().resource_version, 1);
+        assert_eq!(b.meta().resource_version, 2);
+        assert_eq!(store.revision(), 2);
+        assert_eq!(store.writes.get(), 2);
+    }
+
+    #[test]
+    fn insert_duplicate_fails() {
+        let store = Store::new();
+        store.insert(pod("ns", "a")).unwrap();
+        let err = store.insert(pod("ns", "a")).unwrap_err();
+        assert!(err.is_already_exists());
+    }
+
+    #[test]
+    fn same_name_different_kind_coexist() {
+        let store = Store::new();
+        store.insert(pod("ns", "x")).unwrap();
+        store.insert(Namespace::new("x").into()).unwrap();
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn update_cas_semantics() {
+        let store = Store::new();
+        let stored = store.insert(pod("ns", "a")).unwrap();
+        let rv = stored.meta().resource_version;
+
+        // Correct expected revision succeeds.
+        let updated = store.update(pod("ns", "a"), Some(rv)).unwrap();
+        assert!(updated.meta().resource_version > rv);
+
+        // Stale expected revision conflicts.
+        let err = store.update(pod("ns", "a"), Some(rv)).unwrap_err();
+        assert!(err.is_conflict());
+
+        // Unconditional update succeeds.
+        store.update(pod("ns", "a"), None).unwrap();
+    }
+
+    #[test]
+    fn update_missing_fails() {
+        let store = Store::new();
+        assert!(store.update(pod("ns", "a"), None).unwrap_err().is_not_found());
+    }
+
+    #[test]
+    fn delete_returns_last_state_and_bumps_revision() {
+        let store = Store::new();
+        store.insert(pod("ns", "a")).unwrap();
+        let rev_before = store.revision();
+        let removed = store.delete(ResourceKind::Pod, "ns/a").unwrap();
+        assert_eq!(removed.key(), "ns/a");
+        assert_eq!(store.revision(), rev_before + 1);
+        assert!(store.get(ResourceKind::Pod, "ns/a").is_none());
+        assert!(store.delete(ResourceKind::Pod, "ns/a").unwrap_err().is_not_found());
+    }
+
+    #[test]
+    fn list_filters_kind_and_namespace_sorted() {
+        let store = Store::new();
+        store.insert(pod("ns2", "b")).unwrap();
+        store.insert(pod("ns1", "a")).unwrap();
+        store.insert(pod("ns1", "c")).unwrap();
+        store.insert(Namespace::new("ns1").into()).unwrap();
+
+        let (all, rev) = store.list(ResourceKind::Pod, None);
+        assert_eq!(all.len(), 3);
+        assert_eq!(rev, store.revision());
+        let keys: Vec<String> = all.iter().map(|o| o.key()).collect();
+        assert_eq!(keys, vec!["ns1/a", "ns1/c", "ns2/b"], "sorted by key");
+
+        let (ns1, _) = store.list(ResourceKind::Pod, Some("ns1"));
+        assert_eq!(ns1.len(), 2);
+    }
+
+    #[test]
+    fn watch_receives_live_events() {
+        let store = Store::new();
+        let stream = store.watch(ResourceKind::Pod, None, 0).unwrap();
+        store.insert(pod("ns", "a")).unwrap();
+        store.update(pod("ns", "a"), None).unwrap();
+        store.delete(ResourceKind::Pod, "ns/a").unwrap();
+
+        let types: Vec<EventType> =
+            (0..3).map(|_| stream.recv_timeout_ms(1000).unwrap().event_type).collect();
+        assert_eq!(types, vec![EventType::Added, EventType::Modified, EventType::Deleted]);
+    }
+
+    #[test]
+    fn watch_replays_backlog_from_revision() {
+        let store = Store::new();
+        store.insert(pod("ns", "a")).unwrap();
+        let (items, rev) = store.list(ResourceKind::Pod, None);
+        assert_eq!(items.len(), 1);
+        store.insert(pod("ns", "b")).unwrap();
+
+        // Watch from the list revision sees only b.
+        let stream = store.watch(ResourceKind::Pod, None, rev).unwrap();
+        let ev = stream.recv_timeout_ms(1000).unwrap();
+        assert_eq!(ev.object.key(), "ns/b");
+        assert_eq!(ev.event_type, EventType::Added);
+        assert!(stream.try_recv().is_none());
+    }
+
+    #[test]
+    fn watch_namespace_filter() {
+        let store = Store::new();
+        let stream = store.watch(ResourceKind::Pod, Some("ns1".into()), 0).unwrap();
+        store.insert(pod("ns2", "x")).unwrap();
+        store.insert(pod("ns1", "y")).unwrap();
+        let ev = stream.recv_timeout_ms(1000).unwrap();
+        assert_eq!(ev.object.key(), "ns1/y");
+        assert!(stream.try_recv().is_none());
+    }
+
+    #[test]
+    fn watch_kind_filter() {
+        let store = Store::new();
+        let stream = store.watch(ResourceKind::Namespace, None, 0).unwrap();
+        store.insert(pod("ns", "x")).unwrap();
+        store.insert(Namespace::new("n1").into()).unwrap();
+        let ev = stream.recv_timeout_ms(1000).unwrap();
+        assert_eq!(ev.object.kind(), ResourceKind::Namespace);
+    }
+
+    #[test]
+    fn compaction_expires_old_watch_revisions() {
+        let store = Store::with_config(StoreConfig { event_log_capacity: 10, watcher_buffer: 64 });
+        for i in 0..30 {
+            store.insert(pod("ns", &format!("p{i}"))).unwrap();
+        }
+        let err = store.watch(ResourceKind::Pod, None, 0).unwrap_err();
+        assert!(err.is_expired(), "{err}");
+        // A fresh list + watch works.
+        let (_, rev) = store.list(ResourceKind::Pod, None);
+        assert!(store.watch(ResourceKind::Pod, None, rev).is_ok());
+    }
+
+    #[test]
+    fn slow_watcher_evicted_and_channel_closes() {
+        let store = Store::with_config(StoreConfig { event_log_capacity: 1000, watcher_buffer: 4 });
+        let stream = store.watch(ResourceKind::Pod, None, 0).unwrap();
+        for i in 0..20 {
+            store.insert(pod("ns", &format!("p{i}"))).unwrap();
+        }
+        assert!(store.watchers_evicted.get() >= 1);
+        // Drain what was buffered; the stream then reports closure.
+        let mut received = 0;
+        while stream.recv_timeout_ms(50).is_some() {
+            received += 1;
+        }
+        assert!(received <= 4);
+        assert!(stream.is_closed());
+        assert_eq!(store.watcher_count(), 0);
+    }
+
+    #[test]
+    fn dropped_stream_cleans_up_watcher() {
+        let store = Store::new();
+        let stream = store.watch(ResourceKind::Pod, None, 0).unwrap();
+        assert_eq!(store.watcher_count(), 1);
+        drop(stream);
+        // Next publish prunes the dead watcher.
+        store.insert(pod("ns", "a")).unwrap();
+        assert_eq!(store.watcher_count(), 0);
+    }
+
+    #[test]
+    fn estimated_bytes_grows_with_objects() {
+        let store = Store::new();
+        let empty = store.estimated_bytes();
+        assert_eq!(empty, 0);
+        store.insert(pod("ns", "a")).unwrap();
+        assert!(store.estimated_bytes() > 0);
+    }
+
+    #[test]
+    fn concurrent_writers_unique_revisions() {
+        let store = Arc::new(Store::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let s = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    s.insert(pod("ns", &format!("t{t}-p{i}"))).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 400);
+        assert_eq!(store.revision(), 400);
+        // All resource versions are unique.
+        let (items, _) = store.list(ResourceKind::Pod, None);
+        let mut rvs: Vec<u64> = items.iter().map(|o| o.meta().resource_version).collect();
+        rvs.sort_unstable();
+        rvs.dedup();
+        assert_eq!(rvs.len(), 400);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use vc_api::pod::Pod;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(u8),
+        Update(u8),
+        Delete(u8),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u8..20).prop_map(Op::Insert),
+            (0u8..20).prop_map(Op::Update),
+            (0u8..20).prop_map(Op::Delete),
+        ]
+    }
+
+    proptest! {
+        /// Applying a random operation sequence, a watcher that replays from
+        /// revision 0 reconstructs exactly the store's final content.
+        #[test]
+        fn prop_watch_replay_reconstructs_state(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+            let store = Store::new();
+            for op in &ops {
+                match op {
+                    Op::Insert(i) => { let _ = store.insert(Pod::new("ns", format!("p{i}")).into()); }
+                    Op::Update(i) => { let _ = store.update(Pod::new("ns", format!("p{i}")).into(), None); }
+                    Op::Delete(i) => { let _ = store.delete(ResourceKind::Pod, &format!("ns/p{i}")); }
+                }
+            }
+            let stream = store.watch(ResourceKind::Pod, None, 0).unwrap();
+            let mut reconstructed: std::collections::HashMap<String, u64> = Default::default();
+            while let Some(ev) = stream.try_recv() {
+                match ev.event_type {
+                    EventType::Added | EventType::Modified => {
+                        reconstructed.insert(ev.object.key(), ev.object.meta().resource_version);
+                    }
+                    EventType::Deleted => { reconstructed.remove(&ev.object.key()); }
+                }
+            }
+            let (items, _) = store.list(ResourceKind::Pod, None);
+            let actual: std::collections::HashMap<String, u64> =
+                items.iter().map(|o| (o.key(), o.meta().resource_version)).collect();
+            prop_assert_eq!(reconstructed, actual);
+        }
+
+        /// Revisions strictly increase across any mix of successful writes.
+        #[test]
+        fn prop_revisions_strictly_increase(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+            let store = Store::new();
+            let stream = store.watch(ResourceKind::Pod, None, 0).unwrap();
+            for op in &ops {
+                match op {
+                    Op::Insert(i) => { let _ = store.insert(Pod::new("ns", format!("p{i}")).into()); }
+                    Op::Update(i) => { let _ = store.update(Pod::new("ns", format!("p{i}")).into(), None); }
+                    Op::Delete(i) => { let _ = store.delete(ResourceKind::Pod, &format!("ns/p{i}")); }
+                }
+            }
+            let mut last = 0u64;
+            while let Some(ev) = stream.try_recv() {
+                prop_assert!(ev.revision > last);
+                last = ev.revision;
+            }
+        }
+    }
+}

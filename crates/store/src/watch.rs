@@ -1,0 +1,216 @@
+//! Watch events and streams.
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::sync::Arc;
+use std::time::Duration;
+use vc_api::object::{Object, ResourceKind};
+
+/// The type of change a watch event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventType {
+    /// Object created.
+    Added,
+    /// Object replaced.
+    Modified,
+    /// Object removed (the event carries the last state).
+    Deleted,
+}
+
+/// One change notification.
+#[derive(Debug, Clone)]
+pub struct WatchEvent {
+    /// Store revision at which the change happened.
+    pub revision: u64,
+    /// Change type.
+    pub event_type: EventType,
+    /// Object state after the change (last state for `Deleted`).
+    pub object: Arc<Object>,
+}
+
+/// Store-side handle for a registered watcher.
+#[derive(Debug)]
+pub(crate) struct WatcherHandle {
+    kind: ResourceKind,
+    namespace: Option<String>,
+    sender: Sender<WatchEvent>,
+    /// Liveness token shared with the stream; when the stream drops, the
+    /// strong count falls to 1 and the store prunes the watcher.
+    alive: Arc<()>,
+}
+
+impl WatcherHandle {
+    pub(crate) fn new(
+        kind: ResourceKind,
+        namespace: Option<String>,
+        buffer: usize,
+    ) -> (WatcherHandle, WatchStream) {
+        let (sender, receiver) = bounded(buffer);
+        let alive = Arc::new(());
+        let token = Arc::clone(&alive);
+        let stream =
+            WatchStream { receiver, peeked: parking_lot::Mutex::new(None), _token: token };
+        (WatcherHandle { kind, namespace, sender, alive }, stream)
+    }
+
+    /// Returns `true` if the event passes this watcher's kind/namespace
+    /// filter.
+    pub(crate) fn wants(&self, event: &WatchEvent) -> bool {
+        if event.object.kind() != self.kind {
+            return false;
+        }
+        match &self.namespace {
+            Some(ns) => event.object.meta().namespace == *ns,
+            None => true,
+        }
+    }
+
+    /// Attempts to deliver; returns `false` if the watcher is full or gone
+    /// (the caller then evicts it).
+    pub(crate) fn deliver(&self, event: WatchEvent) -> bool {
+        !matches!(
+            self.sender.try_send(event),
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_))
+        )
+    }
+
+    /// Returns `true` if the consumer side has been dropped.
+    pub(crate) fn is_dead(&self) -> bool {
+        Arc::strong_count(&self.alive) == 1
+    }
+}
+
+/// Outcome of a deadline-bounded receive on a [`WatchStream`].
+#[derive(Debug)]
+pub enum RecvOutcome {
+    /// An event arrived.
+    Event(WatchEvent),
+    /// The deadline passed with no event; the stream is still live.
+    Timeout,
+    /// The stream is closed (watcher evicted or store dropped); the
+    /// consumer must re-list and re-watch.
+    Closed,
+}
+
+/// Consumer side of a watch.
+///
+/// Closure of the stream (no more events will ever arrive) signals that the
+/// watcher was evicted or the store dropped; reflectors respond by
+/// re-listing.
+#[derive(Debug)]
+pub struct WatchStream {
+    receiver: Receiver<WatchEvent>,
+    /// One-slot peek buffer so `is_closed` never loses an event.
+    peeked: parking_lot::Mutex<Option<WatchEvent>>,
+    _token: Arc<()>,
+}
+
+impl WatchStream {
+    /// Returns the next event if one is ready.
+    pub fn try_recv(&self) -> Option<WatchEvent> {
+        if let Some(ev) = self.peeked.lock().take() {
+            return Some(ev);
+        }
+        self.receiver.try_recv().ok()
+    }
+
+    /// Blocks up to `ms` milliseconds for the next event.
+    pub fn recv_timeout_ms(&self, ms: u64) -> Option<WatchEvent> {
+        match self.recv_deadline(Duration::from_millis(ms)) {
+            RecvOutcome::Event(ev) => Some(ev),
+            RecvOutcome::Timeout | RecvOutcome::Closed => None,
+        }
+    }
+
+    /// Blocks up to `timeout`, distinguishing timeout from closure.
+    pub fn recv_deadline(&self, timeout: Duration) -> RecvOutcome {
+        if let Some(ev) = self.peeked.lock().take() {
+            return RecvOutcome::Event(ev);
+        }
+        match self.receiver.recv_timeout(timeout) {
+            Ok(ev) => RecvOutcome::Event(ev),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => RecvOutcome::Timeout,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => RecvOutcome::Closed,
+        }
+    }
+
+    /// Blocks until an event arrives or the stream closes.
+    pub fn recv(&self) -> Option<WatchEvent> {
+        if let Some(ev) = self.peeked.lock().take() {
+            return Some(ev);
+        }
+        self.receiver.recv().ok()
+    }
+
+    /// Returns `true` once the producer side is gone and the buffer is
+    /// drained. Never consumes events (an event racing in is parked in a
+    /// peek buffer).
+    pub fn is_closed(&self) -> bool {
+        let mut peeked = self.peeked.lock();
+        if peeked.is_some() {
+            return false;
+        }
+        match self.receiver.try_recv() {
+            Ok(ev) => {
+                *peeked = Some(ev);
+                false
+            }
+            Err(crossbeam::channel::TryRecvError::Empty) => false,
+            Err(crossbeam::channel::TryRecvError::Disconnected) => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_api::pod::Pod;
+
+    fn event(ns: &str, name: &str, rev: u64) -> WatchEvent {
+        WatchEvent {
+            revision: rev,
+            event_type: EventType::Added,
+            object: Arc::new(Pod::new(ns, name).into()),
+        }
+    }
+
+    #[test]
+    fn filter_by_kind_and_namespace() {
+        let (handle, _stream) = WatcherHandle::new(ResourceKind::Pod, Some("ns1".into()), 8);
+        assert!(handle.wants(&event("ns1", "a", 1)));
+        assert!(!handle.wants(&event("ns2", "a", 1)));
+        let ns_event = WatchEvent {
+            revision: 1,
+            event_type: EventType::Added,
+            object: Arc::new(vc_api::namespace::Namespace::new("ns1").into()),
+        };
+        assert!(!handle.wants(&ns_event), "kind mismatch");
+    }
+
+    #[test]
+    fn deliver_until_full() {
+        let (handle, stream) = WatcherHandle::new(ResourceKind::Pod, None, 2);
+        assert!(handle.deliver(event("ns", "a", 1)));
+        assert!(handle.deliver(event("ns", "b", 2)));
+        assert!(!handle.deliver(event("ns", "c", 3)), "buffer full");
+        assert_eq!(stream.try_recv().unwrap().object.key(), "ns/a");
+    }
+
+    #[test]
+    fn dead_detection_after_drop() {
+        let (handle, stream) = WatcherHandle::new(ResourceKind::Pod, None, 2);
+        assert!(!handle.is_dead());
+        drop(stream);
+        assert!(handle.is_dead());
+        assert!(!handle.deliver(event("ns", "a", 1)));
+    }
+
+    #[test]
+    fn stream_recv_blocking_and_closed() {
+        let (handle, stream) = WatcherHandle::new(ResourceKind::Pod, None, 2);
+        handle.deliver(event("ns", "a", 1));
+        assert_eq!(stream.recv().unwrap().revision, 1);
+        drop(handle);
+        assert!(stream.recv().is_none());
+        assert!(stream.is_closed());
+    }
+}

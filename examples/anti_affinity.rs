@@ -1,0 +1,83 @@
+//! Fig 6 — why vNodes matter: inter-pod anti-affinity through a tenant
+//! control plane.
+//!
+//! A tenant deploys two replicas of a highly-available service with an
+//! anti-affinity rule ("never share a host"). Because VirtualCluster
+//! mirrors physical nodes 1:1 as vNodes, the constraint is enforced by the
+//! super-cluster scheduler AND visibly represented to the tenant — the two
+//! pods are bound to two distinct vNodes. (With a virtual kubelet both
+//! pods would appear on one synthetic node and the user could not tell
+//! whether the constraint held.)
+//!
+//! ```text
+//! cargo run --release --example anti_affinity
+//! ```
+
+use std::time::Duration;
+use virtualcluster::api::labels::{labels, Selector};
+use virtualcluster::api::object::ResourceKind;
+use virtualcluster::api::pod::{Container, Pod};
+use virtualcluster::controllers::util::wait_until;
+use virtualcluster::core::framework::{Framework, FrameworkConfig};
+
+fn main() {
+    println!("== Inter-pod anti-affinity through VirtualCluster (paper Fig 6) ==\n");
+    let mut config = FrameworkConfig::minimal();
+    config.mock_nodes = 3;
+    let framework = Framework::start(config);
+    framework.create_tenant("ha-team").expect("tenant");
+    let tenant = framework.tenant_client("ha-team", "sre");
+
+    for name in ["replica-a", "replica-b"] {
+        tenant
+            .create(
+                Pod::new("default", name)
+                    .with_container(Container::new("db", "postgres:13"))
+                    .with_labels(labels(&[("app", "ha-db")]))
+                    .with_anti_affinity(Selector::from_pairs(&[("app", "ha-db")]))
+                    .into(),
+            )
+            .expect("create pod");
+    }
+    println!("created replica-a and replica-b with anti-affinity on app=ha-db");
+
+    assert!(wait_until(Duration::from_secs(30), Duration::from_millis(50), || {
+        ["replica-a", "replica-b"].iter().all(|name| {
+            tenant
+                .get(ResourceKind::Pod, "default", name)
+                .is_ok_and(|o| o.as_pod().unwrap().status.is_ready())
+        })
+    }));
+
+    let node_of = |name: &str| {
+        tenant
+            .get(ResourceKind::Pod, "default", name)
+            .unwrap()
+            .as_pod()
+            .unwrap()
+            .spec
+            .node_name
+            .clone()
+    };
+    let (node_a, node_b) = (node_of("replica-a"), node_of("replica-b"));
+    println!("replica-a -> vNode {node_a}");
+    println!("replica-b -> vNode {node_b}");
+    assert_ne!(node_a, node_b, "anti-affinity must separate the replicas");
+
+    // The tenant can inspect both vNodes: they are distinct objects
+    // mirroring distinct physical machines.
+    let (vnodes, _) = tenant.list(ResourceKind::Node, None).unwrap();
+    println!("\ntenant's node view ({} vNodes):", vnodes.len());
+    for node in &vnodes {
+        let node = node.as_node().unwrap();
+        println!(
+            "  {} (mirrors physical {:?}, heartbeat {})",
+            node.meta.name,
+            node.vnode_source().unwrap_or("?"),
+            node.status.last_heartbeat
+        );
+    }
+    println!("\nthe constraint is both ENFORCED (super-cluster scheduler) and VISIBLE (two distinct vNodes) —");
+    println!("with a virtual kubelet both pods would sit on one synthetic node and the user could not verify it.");
+    framework.shutdown();
+}

@@ -1,0 +1,110 @@
+//! Noisy neighbor: the syncer's per-tenant fair queuing in action
+//! (a miniature of the paper's Fig 11).
+//!
+//! One greedy tenant floods pod creations while three regular tenants each
+//! submit a handful. With weighted-fair queuing the regular tenants'
+//! objects synchronize promptly; with the shared FIFO they wait behind the
+//! entire greedy burst.
+//!
+//! ```text
+//! cargo run --release --example noisy_neighbor
+//! ```
+
+use std::time::Duration;
+use virtualcluster::api::object::ResourceKind;
+use virtualcluster::api::pod::{Container, Pod, PodConditionType};
+use virtualcluster::controllers::util::wait_until;
+use virtualcluster::core::framework::{Framework, FrameworkConfig};
+
+const GREEDY_PODS: usize = 150;
+const REGULAR_PODS: usize = 5;
+
+fn run(fair: bool) -> (f64, f64) {
+    let mut config = FrameworkConfig::minimal();
+    config.syncer.fair_queuing = fair;
+    config.syncer.downward_workers = 2;
+    // A visible per-item cost so the queue actually backs up.
+    config.syncer.downward_process_cost = Duration::from_millis(25);
+    let framework = Framework::start(config);
+
+    let mut tenants = vec!["greedy".to_string()];
+    tenants.extend((1..=3).map(|i| format!("regular-{i}")));
+    for tenant in &tenants {
+        framework.create_tenant(tenant).expect("tenant");
+    }
+
+    let total = GREEDY_PODS + 3 * REGULAR_PODS;
+    std::thread::scope(|scope| {
+        let greedy = framework.tenant_client("greedy", "burst");
+        scope.spawn(move || {
+            for i in 0..GREEDY_PODS {
+                greedy
+                    .create(Pod::new("default", format!("g{i}")).with_container(Container::new("c", "img")).into())
+                    .unwrap();
+            }
+        });
+        for i in 1..=3 {
+            let regular = framework.tenant_client(&format!("regular-{i}"), "steady");
+            scope.spawn(move || {
+                for p in 0..REGULAR_PODS {
+                    regular
+                        .create(Pod::new("default", format!("r{p}")).with_container(Container::new("c", "img")).into())
+                        .unwrap();
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            });
+        }
+    });
+
+    let clients: Vec<_> = tenants.iter().map(|t| framework.tenant_client(t, "observer")).collect();
+    assert!(wait_until(Duration::from_secs(120), Duration::from_millis(100), || {
+        clients
+            .iter()
+            .map(|c| {
+                c.list(ResourceKind::Pod, Some("default"))
+                    .map(|(pods, _)| {
+                        pods.iter().filter(|p| p.as_pod().is_some_and(|p| p.status.is_ready())).count()
+                    })
+                    .unwrap_or(0)
+            })
+            .sum::<usize>()
+            >= total
+    }));
+
+    let avg = |client: &virtualcluster::client::Client| {
+        let (pods, _) = client.list(ResourceKind::Pod, Some("default")).unwrap();
+        let lats: Vec<f64> = pods
+            .iter()
+            .filter_map(|o| {
+                let pod = o.as_pod()?;
+                let ready = pod.status.condition(PodConditionType::Ready)?;
+                Some(ready.last_transition.duration_since(pod.meta.creation_timestamp).as_millis() as f64)
+            })
+            .collect();
+        lats.iter().sum::<f64>() / lats.len().max(1) as f64
+    };
+    let greedy_avg = avg(&clients[0]);
+    let regular_avg =
+        clients[1..].iter().map(avg).sum::<f64>() / 3.0;
+    framework.shutdown();
+    (greedy_avg, regular_avg)
+}
+
+fn main() {
+    println!("== Noisy neighbor: fair queuing in the syncer ==");
+    println!(
+        "1 greedy tenant bursts {GREEDY_PODS} pods; 3 regular tenants submit {REGULAR_PODS} pods each.\n"
+    );
+
+    let (greedy_fair, regular_fair) = run(true);
+    println!("fair queuing ON  : greedy avg {:.1}s | regular avg {:.2}s", greedy_fair / 1000.0, regular_fair / 1000.0);
+
+    let (greedy_fifo, regular_fifo) = run(false);
+    println!("fair queuing OFF : greedy avg {:.1}s | regular avg {:.2}s", greedy_fifo / 1000.0, regular_fifo / 1000.0);
+
+    println!(
+        "\nwith weighted round-robin dispatch, the regular tenants' pods were {:.1}x faster than under the shared FIFO.",
+        regular_fifo / regular_fair.max(1.0)
+    );
+    println!("(paper Fig 11: regular users stay under ~2s with fair queuing and are severely delayed without it.)");
+}

@@ -1,0 +1,26 @@
+//! # virtualcluster — facade crate
+//!
+//! Re-exports the entire VirtualCluster reproduction workspace under one
+//! name. See [`vc_core`] for the paper's contribution (tenant operator,
+//! resource syncer, vn-agent), and the substrate crates for the simulated
+//! Kubernetes machinery.
+//!
+//! # Examples
+//!
+//! ```
+//! use virtualcluster::api::pod::Pod;
+//!
+//! let pod = Pod::new("default", "quickstart");
+//! assert_eq!(pod.meta.full_name(), "default/quickstart");
+//! ```
+
+#![warn(missing_docs)]
+
+pub use vc_api as api;
+pub use vc_apiserver as apiserver;
+pub use vc_client as client;
+pub use vc_controllers as controllers;
+pub use vc_core as core;
+pub use vc_dataplane as dataplane;
+pub use vc_runtime as runtime;
+pub use vc_store as store;

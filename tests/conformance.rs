@@ -1,0 +1,244 @@
+//! Conformance-style tests: a tenant control plane must behave like an
+//! intact upstream Kubernetes cluster ("full API compatibility", paper
+//! §III-B) — including the freedoms a shared cluster denies: self-service
+//! namespaces, CRDs and cluster-scoped operations.
+
+use std::time::Duration;
+use virtualcluster::api::crd::{CustomObject, CustomResourceDefinition};
+use virtualcluster::api::labels::{labels, Selector};
+use virtualcluster::api::namespace::Namespace;
+use virtualcluster::api::object::ResourceKind;
+use virtualcluster::api::pod::{Container, Pod, PodSpec};
+use virtualcluster::api::workload::{Deployment, PodTemplate};
+use virtualcluster::client::Client;
+use virtualcluster::controllers::util::wait_until;
+use virtualcluster::core::framework::{Framework, FrameworkConfig};
+
+fn framework_with_tenant(name: &str) -> (Framework, Client) {
+    let fw = Framework::start(FrameworkConfig::minimal());
+    fw.create_tenant(name).unwrap();
+    let client = fw.tenant_client(name, "tenant-admin");
+    (fw, client)
+}
+
+#[test]
+fn tenant_creates_namespaces_without_negotiation() {
+    let (fw, tenant) = framework_with_tenant("conf-ns");
+    // On a shared cluster this would require an administrator; here the
+    // tenant is cluster-admin of its own control plane.
+    for ns in ["dev", "staging", "prod"] {
+        tenant.create(Namespace::new(ns).into()).unwrap();
+    }
+    let (namespaces, _) = tenant.list(ResourceKind::Namespace, None).unwrap();
+    let names: Vec<&str> = namespaces.iter().map(|n| n.meta().name.as_str()).collect();
+    for ns in ["dev", "staging", "prod", "default", "kube-system"] {
+        assert!(names.contains(&ns), "{names:?}");
+    }
+    // And ONLY its own namespaces — no other tenant's names leak.
+    assert_eq!(namespaces.len(), 5);
+    fw.shutdown();
+}
+
+#[test]
+fn tenant_installs_crds_and_custom_objects() {
+    let (fw, tenant) = framework_with_tenant("conf-crd");
+    tenant
+        .create(CustomResourceDefinition::new("tensorjobs.ai.example.com", "TensorJob").into())
+        .unwrap();
+    tenant
+        .create(CustomObject::new("default", "train-1", "TensorJob", r#"{"gpus":4}"#).into())
+        .unwrap();
+    let obj = tenant.get(ResourceKind::CustomObject, "default", "train-1").unwrap();
+    let custom: CustomObject = obj.try_into().unwrap();
+    assert_eq!(custom.payload_json().unwrap()["gpus"], 4);
+    // Control/extension objects are NOT synchronized to the super cluster
+    // by default (paper: the syncer populates only pod-provision objects).
+    let super_client = fw.super_client("admin");
+    let (crds, _) = super_client.list(ResourceKind::CustomResourceDefinition, None).unwrap();
+    assert!(crds.iter().all(|c| c.meta().name != "tensorjobs.ai.example.com"));
+    fw.shutdown();
+}
+
+#[test]
+fn tenant_deployment_workflow_matches_upstream() {
+    let (fw, tenant) = framework_with_tenant("conf-deploy");
+    let template = PodTemplate {
+        labels: labels(&[("app", "api")]),
+        spec: PodSpec { containers: vec![Container::new("api", "api:1")], ..Default::default() },
+    };
+    tenant
+        .create(
+            Deployment::new("default", "api", 3, Selector::from_pairs(&[("app", "api")]), template)
+                .into(),
+        )
+        .unwrap();
+    // Deployment -> ReplicaSet -> Pods, scheduled in the super cluster,
+    // statuses back-populated until the Deployment reports ready.
+    assert!(wait_until(Duration::from_secs(60), Duration::from_millis(100), || {
+        tenant
+            .get(ResourceKind::Deployment, "default", "api")
+            .ok()
+            .and_then(|o| Deployment::try_from(o).ok())
+            .is_some_and(|d| d.is_ready())
+    }));
+    let (rss, _) = tenant.list(ResourceKind::ReplicaSet, Some("default")).unwrap();
+    assert_eq!(rss.len(), 1);
+    let (pods, _) = tenant.list(ResourceKind::Pod, Some("default")).unwrap();
+    assert_eq!(pods.len(), 3);
+    for pod in &pods {
+        let pod = pod.as_pod().unwrap();
+        assert!(pod.status.is_ready());
+        assert!(pod.spec.is_bound());
+        // Each bound node exists as a vNode in the tenant.
+        assert!(tenant.get(ResourceKind::Node, "", &pod.spec.node_name).is_ok());
+    }
+    fw.shutdown();
+}
+
+#[test]
+fn tenant_namespace_deletion_drains_and_syncs() {
+    let (fw, tenant) = framework_with_tenant("conf-nsdel");
+    tenant.create(Namespace::new("scratch").into()).unwrap();
+    tenant
+        .create(Pod::new("scratch", "tmp").with_container(Container::new("c", "img")).into())
+        .unwrap();
+    assert!(wait_until(Duration::from_secs(30), Duration::from_millis(50), || {
+        tenant
+            .get(ResourceKind::Pod, "scratch", "tmp")
+            .is_ok_and(|o| o.as_pod().unwrap().status.is_ready())
+    }));
+    // Graceful deletion: terminating -> drained -> gone, like upstream.
+    tenant.delete(ResourceKind::Namespace, "", "scratch").unwrap();
+    assert!(wait_until(Duration::from_secs(30), Duration::from_millis(100), || {
+        tenant.get(ResourceKind::Namespace, "", "scratch").is_err()
+    }));
+    // The super-cluster copy of the pod is gone too.
+    let prefix = fw.registry.get("conf-nsdel").unwrap().prefix.clone();
+    let super_client = fw.super_client("admin");
+    assert!(wait_until(Duration::from_secs(30), Duration::from_millis(100), || {
+        super_client
+            .get(ResourceKind::Pod, &format!("{prefix}-scratch"), "tmp")
+            .is_err()
+    }));
+    fw.shutdown();
+}
+
+#[test]
+fn tenant_secrets_and_configmaps_flow_with_pods() {
+    let (fw, tenant) = framework_with_tenant("conf-cfg");
+    tenant
+        .create(
+            virtualcluster::api::config::Secret::new("default", "creds")
+                .with_entry("token", b"s3cr3t".to_vec())
+                .into(),
+        )
+        .unwrap();
+    tenant
+        .create(
+            virtualcluster::api::config::ConfigMap::new("default", "settings")
+                .with_entry("mode", "fast")
+                .into(),
+        )
+        .unwrap();
+    let mut pod = Pod::new("default", "consumer").with_container(Container::new("c", "img"));
+    pod.spec.secret_names.push("creds".into());
+    pod.spec.config_map_names.push("settings".into());
+    tenant.create(pod.into()).unwrap();
+
+    let prefix = fw.registry.get("conf-cfg").unwrap().prefix.clone();
+    let super_client = fw.super_client("admin");
+    let super_ns = format!("{prefix}-default");
+    assert!(wait_until(Duration::from_secs(30), Duration::from_millis(50), || {
+        super_client.get(ResourceKind::Secret, &super_ns, "creds").is_ok()
+            && super_client.get(ResourceKind::ConfigMap, &super_ns, "settings").is_ok()
+    }));
+    // Payload integrity through the syncer.
+    let secret = super_client.get(ResourceKind::Secret, &super_ns, "creds").unwrap();
+    let secret: virtualcluster::api::config::Secret = secret.try_into().unwrap();
+    assert_eq!(secret.data["token"], b"s3cr3t".to_vec());
+    fw.shutdown();
+}
+
+#[test]
+fn known_conformance_exception_documented() {
+    // The paper notes exactly one failing conformance test: the super
+    // cluster cannot use a subdomain name specified in the tenant control
+    // plane. Our reproduction shares the limitation by construction: the
+    // super-cluster namespace (and thus any DNS-style name derived from
+    // it) carries the tenant prefix rather than the tenant's own
+    // namespace name.
+    let (fw, tenant) = framework_with_tenant("conf-subdomain");
+    tenant.create(Pod::new("default", "named").with_container(Container::new("c", "i")).into()).unwrap();
+    assert!(wait_until(Duration::from_secs(30), Duration::from_millis(50), || {
+        tenant
+            .get(ResourceKind::Pod, "default", "named")
+            .is_ok_and(|o| o.as_pod().unwrap().status.is_ready())
+    }));
+    let prefix = fw.registry.get("conf-subdomain").unwrap().prefix.clone();
+    let super_client = fw.super_client("admin");
+    let super_pod = super_client
+        .get(ResourceKind::Pod, &format!("{prefix}-default"), "named")
+        .unwrap();
+    // The authoritative namespace (the hostname subdomain in real
+    // Kubernetes) differs from the tenant's namespace — the one known
+    // incompatibility.
+    assert_ne!(super_pod.meta().namespace, "default");
+    assert!(super_pod.meta().namespace.ends_with("-default"));
+    fw.shutdown();
+}
+
+#[test]
+fn tenant_storage_workflow_end_to_end() {
+    // PVC flows downward, the super cluster's volume binder provisions and
+    // binds a PV, and the binding + the volume flow back up — the storage
+    // third of the syncer's twelve kinds, end to end.
+    use virtualcluster::api::quantity::Quantity;
+    use virtualcluster::api::storage::{PersistentVolumeClaim, StorageClass, VolumePhase};
+
+    let (fw, tenant) = {
+        let fw = Framework::start(FrameworkConfig::minimal());
+        fw.create_tenant("storage").unwrap();
+        let client = fw.tenant_client("storage", "tenant-admin");
+        (fw, client)
+    };
+    // The provider offers a storage class in the SUPER cluster; it flows
+    // up to every tenant.
+    fw.super_client("admin")
+        .create(StorageClass::new("standard", "csi.sim/disk").into())
+        .unwrap();
+    assert!(wait_until(Duration::from_secs(20), Duration::from_millis(50), || {
+        tenant.get(ResourceKind::StorageClass, "", "standard").is_ok()
+    }));
+
+    // Tenant claims storage.
+    let mut claim = PersistentVolumeClaim::new("default", "data", Quantity::from_whole(10));
+    claim.storage_class = "standard".into();
+    tenant.create(claim.into()).unwrap();
+
+    // The claim becomes Bound IN THE TENANT, with the provisioned volume
+    // visible there too.
+    assert!(wait_until(Duration::from_secs(30), Duration::from_millis(50), || {
+        tenant
+            .get(ResourceKind::PersistentVolumeClaim, "default", "data")
+            .ok()
+            .and_then(|o| PersistentVolumeClaim::try_from(o).ok())
+            .is_some_and(|c| c.phase == VolumePhase::Bound && !c.volume_name.is_empty())
+    }));
+    let claim: PersistentVolumeClaim = tenant
+        .get(ResourceKind::PersistentVolumeClaim, "default", "data")
+        .unwrap()
+        .try_into()
+        .unwrap();
+    assert!(wait_until(Duration::from_secs(20), Duration::from_millis(50), || {
+        tenant.get(ResourceKind::PersistentVolume, "", &claim.volume_name).is_ok()
+    }));
+    let pv: virtualcluster::api::storage::PersistentVolume = tenant
+        .get(ResourceKind::PersistentVolume, "", &claim.volume_name)
+        .unwrap()
+        .try_into()
+        .unwrap();
+    // The tenant sees ITS claim reference (namespace mapped back).
+    assert_eq!(pv.claim_ref, "default/data");
+    assert_eq!(pv.capacity, Quantity::from_whole(10));
+    fw.shutdown();
+}

@@ -1,0 +1,201 @@
+//! Syncer consistency under races and failures (paper §III-C): eventual
+//! consistency, delete/recreate races, scanner remediation.
+
+use std::time::Duration;
+use virtualcluster::api::object::ResourceKind;
+use virtualcluster::api::pod::{Container, Pod};
+use virtualcluster::client::Client;
+use virtualcluster::controllers::util::wait_until;
+use virtualcluster::core::framework::{Framework, FrameworkConfig};
+
+fn pod(ns: &str, name: &str) -> Pod {
+    Pod::new(ns, name).with_container(Container::new("c", "img"))
+}
+
+fn ready(client: &Client, ns: &str, name: &str) -> bool {
+    client.get(ResourceKind::Pod, ns, name).is_ok_and(|o| o.as_pod().unwrap().status.is_ready())
+}
+
+#[test]
+fn rapid_create_delete_create_converges() {
+    // The classic race: an object is deleted and recreated under the same
+    // name while the syncer is mid-flight. The tenant-uid annotation keys
+    // the incarnation; the final state must reflect the SECOND pod.
+    let fw = Framework::start(FrameworkConfig::minimal());
+    fw.create_tenant("race").unwrap();
+    let tenant = fw.tenant_client("race", "user");
+
+    tenant.create(pod("default", "flappy").into()).unwrap();
+    // Delete immediately — possibly before the downward sync happens.
+    let _ = tenant.delete(ResourceKind::Pod, "default", "flappy");
+    // Recreate with a different spec marker.
+    let mut second = pod("default", "flappy");
+    second.meta.labels.insert("incarnation".into(), "two".into());
+    tenant.create(second.into()).unwrap();
+
+    assert!(wait_until(Duration::from_secs(30), Duration::from_millis(50), || {
+        ready(&tenant, "default", "flappy")
+    }));
+    // The super copy must be the second incarnation.
+    let prefix = fw.registry.get("race").unwrap().prefix.clone();
+    let super_client = fw.super_client("admin");
+    assert!(wait_until(Duration::from_secs(20), Duration::from_millis(100), || {
+        super_client
+            .get(ResourceKind::Pod, &format!("{prefix}-default"), "flappy")
+            .is_ok_and(|o| o.meta().labels.get("incarnation").map(String::as_str) == Some("two"))
+    }));
+    fw.shutdown();
+}
+
+#[test]
+fn burst_create_delete_storm_settles_clean() {
+    // Interleave creations and deletions; afterwards the super cluster
+    // must contain exactly the surviving pods, nothing more.
+    let fw = Framework::start(FrameworkConfig::minimal());
+    fw.create_tenant("storm").unwrap();
+    let tenant = fw.tenant_client("storm", "user");
+
+    for i in 0..30 {
+        tenant.create(pod("default", &format!("s{i}")).into()).unwrap();
+    }
+    // Delete the even ones while syncing is in progress.
+    for i in (0..30).step_by(2) {
+        let _ = tenant.delete(ResourceKind::Pod, "default", &format!("s{i}"));
+    }
+    // Survivors become ready.
+    assert!(wait_until(Duration::from_secs(60), Duration::from_millis(100), || {
+        (1..30).step_by(2).all(|i| ready(&tenant, "default", &format!("s{i}")))
+    }));
+    // And the super cluster settles to exactly 15 pods in the prefixed ns.
+    let prefix = fw.registry.get("storm").unwrap().prefix.clone();
+    let super_client = fw.super_client("admin");
+    assert!(wait_until(Duration::from_secs(60), Duration::from_millis(200), || {
+        super_client
+            .list(ResourceKind::Pod, Some(&format!("{prefix}-default")))
+            .is_ok_and(|(pods, _)| pods.len() == 15)
+    }));
+    fw.shutdown();
+}
+
+#[test]
+fn scanner_heals_out_of_band_label_drift() {
+    let fw = Framework::start(FrameworkConfig::minimal());
+    fw.create_tenant("heal").unwrap();
+    let tenant = fw.tenant_client("heal", "user");
+    tenant.create(pod("default", "target").into()).unwrap();
+    assert!(wait_until(Duration::from_secs(30), Duration::from_millis(50), || {
+        ready(&tenant, "default", "target")
+    }));
+
+    let prefix = fw.registry.get("heal").unwrap().prefix.clone();
+    let super_ns = format!("{prefix}-default");
+    let super_client = fw.super_client("admin");
+    let mut rogue: Pod =
+        super_client.get(ResourceKind::Pod, &super_ns, "target").unwrap().try_into().unwrap();
+    rogue.meta.labels.insert("tampered".into(), "yes".into());
+    super_client.update(rogue.into()).unwrap();
+
+    // The minimal config scans every 500ms; the tenant's intent wins.
+    assert!(wait_until(Duration::from_secs(20), Duration::from_millis(100), || {
+        super_client
+            .get(ResourceKind::Pod, &super_ns, "target")
+            .is_ok_and(|o| !o.meta().labels.contains_key("tampered"))
+    }));
+    assert!(fw.syncer.metrics.scan_requeues.get() >= 1);
+    fw.shutdown();
+}
+
+#[test]
+fn manual_scan_reports_duration_and_is_idempotent() {
+    let fw = Framework::start(FrameworkConfig::minimal());
+    fw.create_tenant("scan").unwrap();
+    let tenant = fw.tenant_client("scan", "user");
+    for i in 0..20 {
+        tenant.create(pod("default", &format!("p{i}")).into()).unwrap();
+    }
+    assert!(wait_until(Duration::from_secs(60), Duration::from_millis(100), || {
+        (0..20).all(|i| ready(&tenant, "default", &format!("p{i}")))
+    }));
+    // Let in-flight upward writes (node bindings echoing back down)
+    // settle before sampling the baseline.
+    std::thread::sleep(Duration::from_millis(500));
+    let updates_before = fw.syncer.metrics.downward_updates.get();
+    let deletes_before = fw.syncer.metrics.downward_deletes.get();
+    let duration = fw.syncer.scan_all();
+    assert!(duration < Duration::from_secs(2), "scan of 20 pods took {duration:?}");
+    // A clean state produces no destructive repairs (a stray echo update
+    // racing the sample is tolerated; deletions never happen).
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(fw.syncer.metrics.downward_updates.get() <= updates_before + 2);
+    assert_eq!(fw.syncer.metrics.downward_deletes.get(), deletes_before);
+    fw.shutdown();
+}
+
+#[test]
+fn super_eviction_and_vnode_release() {
+    let fw = Framework::start(FrameworkConfig::minimal());
+    fw.create_tenant("evict").unwrap();
+    let tenant = fw.tenant_client("evict", "user");
+    tenant.create(pod("default", "victim").into()).unwrap();
+    assert!(wait_until(Duration::from_secs(30), Duration::from_millis(50), || {
+        ready(&tenant, "default", "victim")
+    }));
+    let node = tenant
+        .get(ResourceKind::Pod, "default", "victim")
+        .unwrap()
+        .as_pod()
+        .unwrap()
+        .spec
+        .node_name
+        .clone();
+
+    // Evict from the super side.
+    let prefix = fw.registry.get("evict").unwrap().prefix.clone();
+    fw.super_client("admin")
+        .delete(ResourceKind::Pod, &format!("{prefix}-default"), "victim")
+        .unwrap();
+
+    // The tenant pod disappears and its vNode (last binding) goes too.
+    assert!(wait_until(Duration::from_secs(20), Duration::from_millis(100), || {
+        tenant.get(ResourceKind::Pod, "default", "victim").is_err()
+    }));
+    assert!(wait_until(Duration::from_secs(20), Duration::from_millis(100), || {
+        tenant.get(ResourceKind::Node, "", &node).is_err()
+    }));
+    fw.shutdown();
+}
+
+#[test]
+fn syncer_restart_resumes_with_no_duplicates() {
+    let fw = Framework::start(FrameworkConfig::minimal());
+    fw.create_tenant("restart").unwrap();
+    let tenant = fw.tenant_client("restart", "user");
+    for i in 0..10 {
+        tenant.create(pod("default", &format!("p{i}")).into()).unwrap();
+    }
+    assert!(wait_until(Duration::from_secs(60), Duration::from_millis(100), || {
+        (0..10).all(|i| ready(&tenant, "default", &format!("p{i}")))
+    }));
+
+    // Fresh syncer over the same clusters (the restart path): it re-lists
+    // everything; nothing must be duplicated or deleted.
+    let fresh = virtualcluster::core::Syncer::start(
+        fw.super_cluster.system_client("vc-syncer-2"),
+        virtualcluster::core::SyncerConfig {
+            scan_interval: Some(Duration::from_millis(300)),
+            ..virtualcluster::core::SyncerConfig::default()
+        },
+    );
+    fresh.register_tenant(fw.registry.get("restart").unwrap());
+    std::thread::sleep(Duration::from_secs(1));
+
+    let prefix = fw.registry.get("restart").unwrap().prefix.clone();
+    let (super_pods, _) = fw
+        .super_client("admin")
+        .list(ResourceKind::Pod, Some(&format!("{prefix}-default")))
+        .unwrap();
+    assert_eq!(super_pods.len(), 10, "restart must not duplicate or drop pods");
+    assert_eq!(fresh.metrics.downward_deletes.get(), 0);
+    fresh.stop();
+    fw.shutdown();
+}

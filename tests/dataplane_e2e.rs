@@ -1,0 +1,230 @@
+//! Data-plane end-to-end: Kata sandboxes, the enhanced kubeproxy, VPC
+//! isolation and the vn-agent — through the full framework.
+
+use std::sync::Arc;
+use std::time::Duration;
+use virtualcluster::api::labels::labels;
+use virtualcluster::api::object::ResourceKind;
+use virtualcluster::api::pod::{Container, Pod};
+use virtualcluster::api::service::{Service, ServicePort};
+use virtualcluster::client::Client;
+use virtualcluster::controllers::kubelet::{KubeletConfig, KubeletMode};
+use virtualcluster::controllers::util::wait_until;
+use virtualcluster::core::framework::{Framework, FrameworkConfig};
+use virtualcluster::core::vn_agent::{KubeletOp, VnAgentRequest, VnAgentResponse};
+use virtualcluster::dataplane::enhanced::{self, EnhancedKubeProxyConfig};
+use virtualcluster::dataplane::network::{ConnectError, PodNetInfo, PodNetwork};
+use virtualcluster::dataplane::vpc::VpcId;
+use virtualcluster::runtime::image::ImageStore;
+use virtualcluster::runtime::{ContainerRuntime, KataConfig, KataRuntime, RuncRuntime};
+
+struct DataplaneEnv {
+    fw: Framework,
+    kata: Arc<KataRuntime>,
+    ekp: virtualcluster::controllers::ControllerHandle,
+    ekp_metrics: Arc<virtualcluster::dataplane::EnhancedKubeProxyMetrics>,
+}
+
+fn setup() -> DataplaneEnv {
+    let mut config = FrameworkConfig::minimal();
+    config.mock_nodes = 0;
+    let fw = Framework::start(config);
+    let clock = Arc::clone(&fw.clock);
+    let kata = KataRuntime::new(
+        KataConfig { vm_boot_latency: Duration::ZERO, ..Default::default() },
+        Arc::clone(&clock),
+    );
+    let runc = RuncRuntime::new_default(Arc::clone(&clock));
+    let images = Arc::new(ImageStore::new(Duration::ZERO));
+    fw.super_cluster
+        .add_node(KubeletConfig::for_node(1), KubeletMode::Cri { runc, kata: kata.clone(), images })
+        .unwrap();
+    let mut ekp_config = EnhancedKubeProxyConfig::for_node("node-1");
+    ekp_config.sync_interval = Duration::from_millis(300);
+    let (ekp, ekp_metrics) = enhanced::start(
+        Client::system(Arc::clone(&fw.super_cluster.apiserver), "ekp"),
+        Arc::clone(&kata),
+        ekp_config,
+    );
+    DataplaneEnv { fw, kata, ekp, ekp_metrics }
+}
+
+#[test]
+fn tenant_cluster_ip_service_works_in_vpc() {
+    let mut env = setup();
+    let handle = env.fw.create_tenant("netco").unwrap();
+    let tenant = env.fw.tenant_client("netco", "netops");
+
+    tenant
+        .create(
+            Service::new("default", "db")
+                .with_selector(labels(&[("app", "db")]))
+                .with_port(ServicePort::tcp(5432, 5432))
+                .into(),
+        )
+        .unwrap();
+    for (name, app) in [("db-0", "db"), ("client-0", "client")] {
+        tenant
+            .create(
+                Pod::new("default", name)
+                    .with_container(Container::new("main", "app:1"))
+                    .with_labels(labels(&[("app", app)]))
+                    .with_kata_runtime()
+                    .into(),
+            )
+            .unwrap();
+    }
+    assert!(wait_until(Duration::from_secs(60), Duration::from_millis(100), || {
+        ["db-0", "client-0"].iter().all(|n| {
+            tenant
+                .get(ResourceKind::Pod, "default", n)
+                .is_ok_and(|o| o.as_pod().unwrap().status.is_ready())
+        }) && env.ekp_metrics.pods_gated.get() >= 2
+    }));
+
+    // Wait for the cluster-IP rules (service endpoints need the pods
+    // ready, so rules may land a moment after gating).
+    let cluster_ip = tenant
+        .get(ResourceKind::Service, "default", "db")
+        .unwrap()
+        .as_service()
+        .unwrap()
+        .spec
+        .cluster_ip
+        .clone();
+    assert!(!cluster_ip.is_empty());
+
+    // Model the network: both pods in the tenant VPC.
+    let super_ns = format!("{}-default", handle.prefix);
+    let network = PodNetwork::new();
+    let kubelet = &env.fw.super_cluster.kubelets()[0];
+    for name in ["db-0", "client-0"] {
+        let key = format!("{super_ns}/{name}");
+        let pod = env.fw.super_client("admin").get(ResourceKind::Pod, &super_ns, name).unwrap();
+        let (_, sandbox) = kubelet.lookup_sandbox(&key).unwrap();
+        network.register_pod(PodNetInfo {
+            key,
+            ip: pod.as_pod().unwrap().status.pod_ip.clone(),
+            node: "node-1".into(),
+            vpc: Some(VpcId("vpc-netco".into())),
+            guest: env.kata.guest(&sandbox),
+        });
+    }
+    let client_key = format!("{super_ns}/client-0");
+    assert!(wait_until(Duration::from_secs(30), Duration::from_millis(100), || {
+        network.connect(&client_key, &cluster_ip, 5432, 0).is_ok()
+    }));
+    let conn = network.connect(&client_key, &cluster_ip, 5432, 0).unwrap();
+    assert!(conn.via_service);
+    assert_eq!(conn.backend_pod, format!("{super_ns}/db-0"));
+
+    // Flush the guest (standard-kubeproxy world) → broken; periodic scan
+    // repairs it.
+    let (_, sandbox) = kubelet.lookup_sandbox(&client_key).unwrap();
+    let guest = env.kata.guest(&sandbox).unwrap();
+    guest.netfilter.flush();
+    assert!(matches!(
+        network.connect(&client_key, &cluster_ip, 5432, 0),
+        Err(ConnectError::NoRoute { .. })
+    ));
+    assert!(wait_until(Duration::from_secs(30), Duration::from_millis(100), || {
+        network.connect(&client_key, &cluster_ip, 5432, 0).is_ok()
+    }));
+
+    env.ekp.stop();
+    env.fw.shutdown();
+}
+
+#[test]
+fn vn_agent_proxies_logs_and_exec_with_cert_identity() {
+    let mut env = setup();
+    let handle = env.fw.create_tenant("agents").unwrap();
+    let tenant = env.fw.tenant_client("agents", "dev");
+    tenant
+        .create(
+            Pod::new("default", "app-0")
+                .with_container(Container::new("main", "app:1"))
+                .with_kata_runtime()
+                .into(),
+        )
+        .unwrap();
+    assert!(wait_until(Duration::from_secs(60), Duration::from_millis(100), || {
+        tenant
+            .get(ResourceKind::Pod, "default", "app-0")
+            .is_ok_and(|o| o.as_pod().unwrap().status.is_ready())
+    }));
+
+    let agent = env.fw.vn_agent("node-1");
+    // Logs through the tenant's cert: the agent maps the tenant namespace
+    // to the prefixed super namespace and reaches the right sandbox.
+    let logs_request = VnAgentRequest {
+        cert: handle.cert.clone(),
+        tenant_namespace: "default".into(),
+        pod_name: "app-0".into(),
+        op: KubeletOp::Logs { container: "main".into() },
+    };
+    let VnAgentResponse::Logs(lines) = agent.handle(&logs_request).unwrap() else {
+        panic!("expected logs");
+    };
+    assert!(lines.iter().any(|l| l.contains("starting container main")), "{lines:?}");
+
+    // Exec works too.
+    let exec_request = VnAgentRequest {
+        op: KubeletOp::Exec { container: "main".into(), command: vec!["hostname".into()] },
+        ..logs_request.clone()
+    };
+    let VnAgentResponse::Exec(result) = agent.handle(&exec_request).unwrap() else {
+        panic!("expected exec result");
+    };
+    assert_eq!(result.exit_code, 0);
+    assert!(result.stdout.contains("kata"), "hostname is the sandbox id: {}", result.stdout);
+
+    // Unknown cert → Forbidden; wrong pod → NotFound; wrong container →
+    // NotFound.
+    let forged = VnAgentRequest { cert: b"not a real cert".to_vec(), ..logs_request.clone() };
+    assert!(agent.handle(&forged).unwrap_err().is_forbidden());
+    let wrong_pod = VnAgentRequest { pod_name: "ghost".into(), ..logs_request.clone() };
+    assert!(agent.handle(&wrong_pod).unwrap_err().is_not_found());
+    let wrong_container = VnAgentRequest {
+        op: KubeletOp::Logs { container: "nope".into() },
+        ..logs_request
+    };
+    assert!(agent.handle(&wrong_container).unwrap_err().is_not_found());
+    assert_eq!(agent.rejected.get(), 1);
+
+    env.ekp.stop();
+    env.fw.shutdown();
+}
+
+#[test]
+fn cross_tenant_cert_cannot_reach_other_pods() {
+    let mut env = setup();
+    let handle_a = env.fw.create_tenant("cert-a").unwrap();
+    env.fw.create_tenant("cert-b").unwrap();
+    let b = env.fw.tenant_client("cert-b", "dev");
+    b.create(
+        Pod::new("default", "b-pod")
+            .with_container(Container::new("main", "app:1"))
+            .with_kata_runtime()
+            .into(),
+    )
+    .unwrap();
+    assert!(wait_until(Duration::from_secs(60), Duration::from_millis(100), || {
+        b.get(ResourceKind::Pod, "default", "b-pod")
+            .is_ok_and(|o| o.as_pod().unwrap().status.is_ready())
+    }));
+
+    // Tenant A presents ITS cert asking for "default/b-pod": the agent
+    // maps the namespace through A's prefix, where no such pod exists.
+    let agent = env.fw.vn_agent("node-1");
+    let request = VnAgentRequest {
+        cert: handle_a.cert.clone(),
+        tenant_namespace: "default".into(),
+        pod_name: "b-pod".into(),
+        op: KubeletOp::Logs { container: "main".into() },
+    };
+    assert!(agent.handle(&request).unwrap_err().is_not_found());
+
+    env.ekp.stop();
+    env.fw.shutdown();
+}
