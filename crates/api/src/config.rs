@@ -110,9 +110,8 @@ mod tests {
 
     #[test]
     fn secret_builder() {
-        let s = Secret::new("ns", "s")
-            .with_entry("a", vec![1, 2, 3])
-            .with_type(SecretType::Kubeconfig);
+        let s =
+            Secret::new("ns", "s").with_entry("a", vec![1, 2, 3]).with_type(SecretType::Kubeconfig);
         assert_eq!(s.secret_type, SecretType::Kubeconfig);
         assert_eq!(s.data.len(), 1);
     }

@@ -103,9 +103,81 @@ impl CustomObject {
     }
 }
 
+/// A typed status condition on a custom resource, mirroring
+/// `metav1.Condition`: one named aspect of the object's state (`type`),
+/// whether it currently holds (`status`), and a machine-readable `reason`
+/// plus human-readable `message` explaining the last transition.
+///
+/// The syncer publishes a `SyncerHealthy` condition on each
+/// `VirtualCluster` object from its per-tenant circuit breaker.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Condition {
+    /// Condition type, e.g. `SyncerHealthy`.
+    pub condition_type: String,
+    /// Whether the condition currently holds.
+    pub status: bool,
+    /// Machine-readable reason for the last transition (CamelCase).
+    pub reason: String,
+    /// Human-readable detail for the last transition.
+    pub message: String,
+}
+
+impl Condition {
+    /// Creates a condition.
+    pub fn new(
+        condition_type: impl Into<String>,
+        status: bool,
+        reason: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Condition {
+            condition_type: condition_type.into(),
+            status,
+            reason: reason.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Inserts `cond` into `conditions`, replacing any existing entry of the
+    /// same type. Returns `true` if the list changed.
+    pub fn upsert(conditions: &mut Vec<Condition>, cond: Condition) -> bool {
+        match conditions.iter_mut().find(|c| c.condition_type == cond.condition_type) {
+            Some(existing) if *existing == cond => false,
+            Some(existing) => {
+                *existing = cond;
+                true
+            }
+            None => {
+                conditions.push(cond);
+                true
+            }
+        }
+    }
+
+    /// Finds the condition of `condition_type` in `conditions`.
+    pub fn find<'a>(conditions: &'a [Condition], condition_type: &str) -> Option<&'a Condition> {
+        conditions.iter().find(|c| c.condition_type == condition_type)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn condition_upsert_replaces_same_type() {
+        let mut conds = Vec::new();
+        assert!(Condition::upsert(&mut conds, Condition::new("Ready", false, "Init", "starting")));
+        assert!(Condition::upsert(&mut conds, Condition::new("Healthy", true, "Probe", "ok")));
+        assert_eq!(conds.len(), 2);
+        // Same type replaces in place…
+        assert!(Condition::upsert(&mut conds, Condition::new("Ready", true, "Synced", "done")));
+        assert_eq!(conds.len(), 2);
+        assert!(Condition::find(&conds, "Ready").unwrap().status);
+        // …and an identical upsert reports no change.
+        assert!(!Condition::upsert(&mut conds, Condition::new("Ready", true, "Synced", "done")));
+        assert!(Condition::find(&conds, "Missing").is_none());
+    }
 
     #[test]
     fn crd_group_derived_from_name() {

@@ -12,6 +12,12 @@ use std::fmt;
 /// Result alias used throughout the workspace.
 pub type ApiResult<T> = Result<T, ApiError>;
 
+/// Message prefix shared by [`ApiError::namespace_missing`] and
+/// [`ApiError::is_namespace_missing`] so the producer (admission) and the
+/// consumers (syncer) agree on one contract instead of ad-hoc substring
+/// matching.
+const NAMESPACE_MISSING_PREFIX: &str = "namespace ";
+
 /// An error returned by an apiserver operation.
 ///
 /// # Examples
@@ -79,6 +85,22 @@ impl ApiError {
         ApiError::Invalid { kind: kind.into(), name: name.into(), message: message.into() }
     }
 
+    /// Creates the canonical admission rejection for a write into a
+    /// namespace that does not exist. Pairs with
+    /// [`ApiError::is_namespace_missing`], which is the supported way to
+    /// detect this condition — callers must not sniff the message text.
+    pub fn namespace_missing(
+        kind: impl Into<String>,
+        name: impl Into<String>,
+        namespace: &str,
+    ) -> Self {
+        ApiError::Invalid {
+            kind: kind.into(),
+            name: name.into(),
+            message: format!("{NAMESPACE_MISSING_PREFIX}{namespace:?} not found"),
+        }
+    }
+
     /// Creates a `Forbidden` (authorization denial) error.
     pub fn forbidden(
         user: impl Into<String>,
@@ -144,6 +166,19 @@ impl ApiError {
         matches!(self, ApiError::Expired { .. })
     }
 
+    /// Returns `true` if this is the canonical "namespace does not exist"
+    /// admission rejection produced by [`ApiError::namespace_missing`].
+    ///
+    /// The syncer keys on this to create the target namespace on demand
+    /// before retrying a downward write.
+    pub fn is_namespace_missing(&self) -> bool {
+        matches!(
+            self,
+            ApiError::Invalid { message, .. }
+                if message.starts_with(NAMESPACE_MISSING_PREFIX) && message.ends_with(" not found")
+        )
+    }
+
     /// Returns `true` if the operation may succeed if retried verbatim
     /// (rate limits, timeouts, unavailability, conflicts).
     pub fn is_retriable(&self) -> bool {
@@ -167,7 +202,13 @@ impl fmt::Display for ApiError {
                 write!(f, "{} \"{}\" already exists", plural(kind), name)
             }
             ApiError::Conflict { kind, name, message } => {
-                write!(f, "operation cannot be fulfilled on {} \"{}\": {}", plural(kind), name, message)
+                write!(
+                    f,
+                    "operation cannot be fulfilled on {} \"{}\": {}",
+                    plural(kind),
+                    name,
+                    message
+                )
             }
             ApiError::Invalid { kind, name, message } => {
                 write!(f, "{} \"{}\" is invalid: {}", plural(kind), name, message)
@@ -219,6 +260,18 @@ mod tests {
         assert_eq!(plural("StorageClass"), "storageclasses");
         assert_eq!(plural("NetworkPolicy"), "networkpolicies");
         assert_eq!(plural("Endpoints"), "endpointses");
+    }
+
+    #[test]
+    fn namespace_missing_is_typed() {
+        let err = ApiError::namespace_missing("Pod", "t1-ns/web", "t1-ns");
+        assert!(err.is_namespace_missing());
+        assert!(matches!(err, ApiError::Invalid { .. }));
+        // Other Invalid errors are not mistaken for a missing namespace.
+        assert!(
+            !ApiError::invalid("Pod", "ns/p", "duplicate container names").is_namespace_missing()
+        );
+        assert!(!ApiError::not_found("Namespace", "t1-ns").is_namespace_missing());
     }
 
     #[test]

@@ -105,14 +105,8 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let ev = Event::about(
-            "ns",
-            "e1",
-            ObjectReference::default(),
-            "Reason",
-            "msg",
-            Timestamp::ZERO,
-        );
+        let ev =
+            Event::about("ns", "e1", ObjectReference::default(), "Reason", "msg", Timestamp::ZERO);
         let json = serde_json::to_string(&ev).unwrap();
         assert_eq!(ev, serde_json::from_str::<Event>(&json).unwrap());
     }

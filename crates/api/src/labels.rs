@@ -247,8 +247,7 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let sel = Selector::from_pairs(&[("a", "1")])
-            .with_requirement(Requirement::exists("b"));
+        let sel = Selector::from_pairs(&[("a", "1")]).with_requirement(Requirement::exists("b"));
         let json = serde_json::to_string(&sel).unwrap();
         let back: Selector = serde_json::from_str(&json).unwrap();
         assert_eq!(sel, back);

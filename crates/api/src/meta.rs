@@ -206,8 +206,7 @@ pub fn validate_name(name: &str) -> Result<(), String> {
     if name.len() > 253 {
         return Err(format!("name must be at most 253 characters, got {}", name.len()));
     }
-    let valid_char =
-        |c: char| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '.';
+    let valid_char = |c: char| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '.';
     if let Some(bad) = name.chars().find(|&c| !valid_char(c)) {
         return Err(format!("name contains invalid character {bad:?}"));
     }

@@ -265,32 +265,56 @@ impl Object {
 
     /// Returns the inner pod, if this is a Pod.
     pub fn as_pod(&self) -> Option<&Pod> {
-        if let Object::Pod(p) = self { Some(p) } else { None }
+        if let Object::Pod(p) = self {
+            Some(p)
+        } else {
+            None
+        }
     }
 
     /// Returns the inner pod mutably, if this is a Pod.
     pub fn as_pod_mut(&mut self) -> Option<&mut Pod> {
-        if let Object::Pod(p) = self { Some(p) } else { None }
+        if let Object::Pod(p) = self {
+            Some(p)
+        } else {
+            None
+        }
     }
 
     /// Returns the inner node, if this is a Node.
     pub fn as_node(&self) -> Option<&Node> {
-        if let Object::Node(n) = self { Some(n) } else { None }
+        if let Object::Node(n) = self {
+            Some(n)
+        } else {
+            None
+        }
     }
 
     /// Returns the inner service, if this is a Service.
     pub fn as_service(&self) -> Option<&Service> {
-        if let Object::Service(s) = self { Some(s) } else { None }
+        if let Object::Service(s) = self {
+            Some(s)
+        } else {
+            None
+        }
     }
 
     /// Returns the inner endpoints, if this is an Endpoints.
     pub fn as_endpoints(&self) -> Option<&Endpoints> {
-        if let Object::Endpoints(e) = self { Some(e) } else { None }
+        if let Object::Endpoints(e) = self {
+            Some(e)
+        } else {
+            None
+        }
     }
 
     /// Returns the inner namespace, if this is a Namespace.
     pub fn as_namespace(&self) -> Option<&Namespace> {
-        if let Object::Namespace(n) = self { Some(n) } else { None }
+        if let Object::Namespace(n) = self {
+            Some(n)
+        } else {
+            None
+        }
     }
 }
 

@@ -360,16 +360,13 @@ mod tests {
     #[test]
     fn effective_requests_sum_workload_max_init() {
         let mut spec = PodSpec::default();
-        spec.containers.push(
-            Container::new("a", "img").with_requests(resource_list(&[("cpu", "100m")])),
-        );
-        spec.containers.push(
-            Container::new("b", "img").with_requests(resource_list(&[("cpu", "200m")])),
-        );
+        spec.containers
+            .push(Container::new("a", "img").with_requests(resource_list(&[("cpu", "100m")])));
+        spec.containers
+            .push(Container::new("b", "img").with_requests(resource_list(&[("cpu", "200m")])));
         // Init container with a large transient request dominates.
-        spec.init_containers.push(
-            Container::new("init", "img").with_requests(resource_list(&[("cpu", "500m")])),
-        );
+        spec.init_containers
+            .push(Container::new("init", "img").with_requests(resource_list(&[("cpu", "500m")])));
         let eff = spec.effective_requests();
         assert_eq!(eff["cpu"], Quantity::from_millis(500));
 
@@ -381,7 +378,12 @@ mod tests {
     #[test]
     fn condition_transition_time_only_changes_on_flip() {
         let mut status = PodStatus::default();
-        status.set_condition(PodConditionType::Ready, false, "starting", Timestamp::from_millis(10));
+        status.set_condition(
+            PodConditionType::Ready,
+            false,
+            "starting",
+            Timestamp::from_millis(10),
+        );
         status.set_condition(PodConditionType::Ready, false, "still", Timestamp::from_millis(20));
         assert_eq!(
             status.condition(PodConditionType::Ready).unwrap().last_transition,
@@ -426,10 +428,8 @@ mod tests {
     fn affinity_is_empty() {
         let mut a = Affinity::default();
         assert!(a.is_empty());
-        a.pod_affinity.push(PodAffinityTerm {
-            selector: Selector::everything(),
-            namespaces: Vec::new(),
-        });
+        a.pod_affinity
+            .push(PodAffinityTerm { selector: Selector::everything(), namespaces: Vec::new() });
         assert!(!a.is_empty());
     }
 }

@@ -127,7 +127,8 @@ impl FromStr for Quantity {
         if s.is_empty() {
             return Err(err());
         }
-        let split = s.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')).unwrap_or(s.len());
+        let split =
+            s.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')).unwrap_or(s.len());
         let (num, suffix) = s.split_at(split);
         let value: f64 = num.parse().map_err(|_| err())?;
         let multiplier_millis: f64 = match suffix {

@@ -50,11 +50,7 @@ pub struct PersistentVolumeClaim {
 
 impl PersistentVolumeClaim {
     /// Creates a pending claim.
-    pub fn new(
-        namespace: impl Into<String>,
-        name: impl Into<String>,
-        requested: Quantity,
-    ) -> Self {
+    pub fn new(namespace: impl Into<String>, name: impl Into<String>, requested: Quantity) -> Self {
         PersistentVolumeClaim {
             meta: ObjectMeta::namespaced(namespace, name),
             requested,
@@ -83,11 +79,7 @@ pub struct PersistentVolume {
 impl PersistentVolume {
     /// Creates an unbound volume.
     pub fn new(name: impl Into<String>, capacity: Quantity) -> Self {
-        PersistentVolume {
-            meta: ObjectMeta::cluster_scoped(name),
-            capacity,
-            ..Default::default()
-        }
+        PersistentVolume { meta: ObjectMeta::cluster_scoped(name), capacity, ..Default::default() }
     }
 }
 

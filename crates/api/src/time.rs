@@ -22,7 +22,9 @@ use std::time::Duration;
 /// let b = Timestamp::from_millis(2_500);
 /// assert_eq!(b.duration_since(a), std::time::Duration::from_millis(1_500));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Timestamp(u64);
 
 impl Timestamp {
@@ -46,6 +48,7 @@ impl Timestamp {
     }
 
     /// Returns this timestamp advanced by `d`.
+    #[allow(clippy::should_implement_trait)] // inherent `add` keeps call sites import-free
     pub fn add(self, d: Duration) -> Timestamp {
         Timestamp(self.0 + d.as_millis() as u64)
     }

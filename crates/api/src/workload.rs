@@ -129,7 +129,8 @@ mod tests {
 
     #[test]
     fn replicaset_readiness() {
-        let mut rs = ReplicaSet::new("ns", "web-rs", 3, Selector::from_pairs(&[("app", "web")]), template());
+        let mut rs =
+            ReplicaSet::new("ns", "web-rs", 3, Selector::from_pairs(&[("app", "web")]), template());
         assert!(!rs.is_ready());
         rs.status.ready_replicas = 3;
         assert!(rs.is_ready());
@@ -146,7 +147,8 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let d = Deployment::new("ns", "web", 2, Selector::from_pairs(&[("app", "web")]), template());
+        let d =
+            Deployment::new("ns", "web", 2, Selector::from_pairs(&[("app", "web")]), template());
         let json = serde_json::to_string(&d).unwrap();
         assert_eq!(d, serde_json::from_str::<Deployment>(&json).unwrap());
     }

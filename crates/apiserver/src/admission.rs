@@ -47,13 +47,9 @@ impl AdmissionPlugin for NamespaceLifecycle {
             return Ok(());
         }
         let ns = obj.meta().namespace.clone();
-        let stored = store.get(ResourceKind::Namespace, &ns).ok_or_else(|| {
-            ApiError::invalid(
-                obj.kind().as_str(),
-                obj.key(),
-                format!("namespace {ns:?} not found"),
-            )
-        })?;
+        let stored = store
+            .get(ResourceKind::Namespace, &ns)
+            .ok_or_else(|| ApiError::namespace_missing(obj.kind().as_str(), obj.key(), &ns))?;
         let namespace = stored.as_namespace().expect("namespace kind");
         if namespace.phase == NamespacePhase::Terminating || namespace.meta.is_terminating() {
             return Err(ApiError::forbidden(
@@ -195,6 +191,7 @@ mod tests {
         let mut orphan: Object = Pod::new("missing", "p").into();
         let err = plugin.admit(AdmissionOp::Create, &mut orphan, &store).unwrap_err();
         assert!(matches!(err, ApiError::Invalid { .. }));
+        assert!(err.is_namespace_missing());
     }
 
     #[test]
@@ -265,9 +262,7 @@ mod tests {
             .into();
         assert!(plugin.admit(AdmissionOp::Create, &mut excess, &store).is_err());
 
-        let mut ok: Object = Pod::new("ns", "p")
-            .with_container(Container::new("a", "img"))
-            .into();
+        let mut ok: Object = Pod::new("ns", "p").with_container(Container::new("a", "img")).into();
         assert!(plugin.admit(AdmissionOp::Create, &mut ok, &store).is_ok());
     }
 }

@@ -176,10 +176,7 @@ mod tests {
     fn cluster_rule_grants_cluster_scope() {
         let auth = Authorizer::new();
         auth.enable();
-        auth.bind(
-            "tenant-a",
-            PolicyRule::cluster_rule(&[Verb::List], &[ResourceKind::Namespace]),
-        );
+        auth.bind("tenant-a", PolicyRule::cluster_rule(&[Verb::List], &[ResourceKind::Namespace]));
         // The paper's leak: list on namespaces is all-or-nothing.
         assert!(auth.authorize("tenant-a", Verb::List, ResourceKind::Namespace, ""));
         assert!(!auth.authorize("tenant-a", Verb::Create, ResourceKind::Namespace, ""));

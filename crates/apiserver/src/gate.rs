@@ -7,10 +7,31 @@
 //! problem — one tenant crowding out others on a shared apiserver — is this
 //! gate saturating; the shared-control-plane example demonstrates it.
 
+use crate::auth::Verb;
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::Duration;
 use vc_api::error::{ApiError, ApiResult};
+use vc_api::object::ResourceKind;
+
+/// A fault hook interposed on every request against an apiserver.
+///
+/// Attached via [`crate::ApiServer::set_fault_hook`] and consulted by
+/// `vc_client::Client` before each verb, this is the seam chaos tests use to
+/// model apiserver brownouts and outages: the hook may fail the request
+/// outright (`Err`), stall it (`Ok(Some(delay))`), or let it pass
+/// (`Ok(None)`). Production paths never attach one, so the request path is
+/// untouched by default.
+pub trait RequestFault: Send + Sync {
+    /// Decides the fate of one request identified by the requesting `user`,
+    /// the `verb`, and the target resource `kind`.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`ApiError`] the hook chooses to inject; the request fails
+    /// with it without reaching the server.
+    fn intercept(&self, user: &str, verb: Verb, kind: ResourceKind) -> ApiResult<Option<Duration>>;
+}
 
 #[derive(Debug)]
 struct State {
@@ -56,17 +77,17 @@ impl InflightGate {
         }
         if state.queued >= self.max_queued {
             return Err(ApiError::too_many_requests(
-                format!("apiserver overloaded ({} inflight, {} queued)", state.inflight, state.queued),
+                format!(
+                    "apiserver overloaded ({} inflight, {} queued)",
+                    state.inflight, state.queued
+                ),
                 10,
             ));
         }
         state.queued += 1;
         let deadline = std::time::Instant::now() + self.queue_timeout;
         loop {
-            let timed_out = self
-                .cond
-                .wait_until(&mut state, deadline)
-                .timed_out();
+            let timed_out = self.cond.wait_until(&mut state, deadline).timed_out();
             if state.inflight < self.max_inflight {
                 state.queued -= 1;
                 state.inflight += 1;

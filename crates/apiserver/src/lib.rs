@@ -23,7 +23,7 @@ pub mod gate;
 
 use admission::{AdmissionOp, AdmissionPlugin};
 use auth::{Authorizer, Verb};
-use gate::InflightGate;
+use gate::{InflightGate, RequestFault};
 use parking_lot::RwLock;
 use std::sync::Arc;
 use std::time::Duration;
@@ -116,6 +116,7 @@ pub struct ApiServer {
     store: Arc<Store>,
     clock: Arc<dyn Clock>,
     gate: Arc<InflightGate>,
+    fault_hook: RwLock<Option<Arc<dyn RequestFault>>>,
     admission: RwLock<Vec<Box<dyn AdmissionPlugin>>>,
     /// Authorization policy (disabled/allow-all by default).
     pub authorizer: Authorizer,
@@ -147,6 +148,7 @@ impl ApiServer {
         let server = Arc::new(ApiServer {
             store: Arc::new(Store::with_config(config.store.clone())),
             gate,
+            fault_hook: RwLock::new(None),
             config,
             clock,
             admission: RwLock::new(vec![
@@ -184,6 +186,22 @@ impl ApiServer {
     /// Appends an admission plugin to the chain.
     pub fn add_admission_plugin(&self, plugin: Box<dyn AdmissionPlugin>) {
         self.admission.write().push(plugin);
+    }
+
+    /// Attaches a [`RequestFault`] hook; clients consult it before every
+    /// request against this server. Replaces any previous hook.
+    pub fn set_fault_hook(&self, hook: Arc<dyn RequestFault>) {
+        *self.fault_hook.write() = Some(hook);
+    }
+
+    /// Detaches the fault hook, restoring fault-free operation.
+    pub fn clear_fault_hook(&self) {
+        *self.fault_hook.write() = None;
+    }
+
+    /// The currently attached fault hook, if any.
+    pub fn fault_hook(&self) -> Option<Arc<dyn RequestFault>> {
+        self.fault_hook.read().clone()
     }
 
     /// Creates `obj`.
@@ -238,10 +256,8 @@ impl ApiServer {
         }
         self.clock.sleep(self.config.read_latency);
         let key = object_key(kind, namespace, name);
-        let obj = self
-            .store
-            .get(kind, &key)
-            .ok_or_else(|| ApiError::not_found(kind.as_str(), key))?;
+        let obj =
+            self.store.get(kind, &key).ok_or_else(|| ApiError::not_found(kind.as_str(), key))?;
         self.metrics.gets.inc();
         Ok((*obj).clone())
     }
@@ -270,8 +286,8 @@ impl ApiServer {
         let (items, rev) = self.store.list(kind, namespace);
         // List cost scales with result size (capped so huge lists do not
         // stall the simulation).
-        let cost = self.config.read_latency
-            + Duration::from_micros((items.len() as u64).min(10_000) / 10);
+        let cost =
+            self.config.read_latency + Duration::from_micros((items.len() as u64).min(10_000) / 10);
         self.clock.sleep(cost);
         self.metrics.lists.inc();
         Ok((items.iter().map(|o| (**o).clone()).collect(), rev))

@@ -84,9 +84,7 @@ fn bench_store(c: &mut Criterion) {
         let store = Store::new();
         let mut i = 0u64;
         b.iter(|| {
-            store
-                .insert(Pod::new("ns", format!("pod-{i}")).into())
-                .unwrap();
+            store.insert(Pod::new("ns", format!("pod-{i}")).into()).unwrap();
             i += 1;
         });
     });
@@ -94,9 +92,8 @@ fn bench_store(c: &mut Criterion) {
     c.bench_function("store update with watch fanout x8", |b| {
         let store = Store::new();
         store.insert(Pod::new("ns", "hot").into()).unwrap();
-        let _watchers: Vec<_> = (0..8)
-            .map(|_| store.watch(vc_api::ResourceKind::Pod, None, 0).unwrap())
-            .collect();
+        let _watchers: Vec<_> =
+            (0..8).map(|_| store.watch(vc_api::ResourceKind::Pod, None, 0).unwrap()).collect();
         b.iter(|| {
             store.update(Pod::new("ns", "hot").into(), None).unwrap();
         });
@@ -119,21 +116,13 @@ fn bench_selectors(c: &mut Criterion) {
 fn bench_netfilter(c: &mut Criterion) {
     let table = NetfilterTable::new();
     let rules: Vec<NatRule> = (0..100)
-        .map(|i| {
-            NatRule::new(
-                format!("10.96.0.{i}"),
-                80,
-                vec![(format!("172.20.0.{i}"), 8080)],
-            )
-        })
+        .map(|i| NatRule::new(format!("10.96.0.{i}"), 80, vec![(format!("172.20.0.{i}"), 8080)]))
         .collect();
     table.apply(&rules);
     c.bench_function("netfilter resolve among 100 rules", |b| {
         b.iter(|| black_box(table.resolve(black_box("10.96.0.50"), 80, 3)))
     });
-    c.bench_function("netfilter apply 100 rules", |b| {
-        b.iter(|| table.apply(black_box(&rules)))
-    });
+    c.bench_function("netfilter apply 100 rules", |b| b.iter(|| table.apply(black_box(&rules))));
 }
 
 fn bench_mapping_and_crypto(c: &mut Criterion) {
@@ -142,15 +131,15 @@ fn bench_mapping_and_crypto(c: &mut Criterion) {
         b.iter(|| black_box(sha256(black_box(&data))))
     });
     c.bench_function("pod to_super conversion", |b| {
-        let pod: vc_api::Object = Pod::new("default", "web-0")
-            .with_container(Container::new("app", "nginx:1.19"))
-            .into();
-        b.iter(|| black_box(vc_core::mapping::to_super(black_box(&pod), "tenant-a", "tenant-a-abc123")))
+        let pod: vc_api::Object =
+            Pod::new("default", "web-0").with_container(Container::new("app", "nginx:1.19")).into();
+        b.iter(|| {
+            black_box(vc_core::mapping::to_super(black_box(&pod), "tenant-a", "tenant-a-abc123"))
+        })
     });
     c.bench_function("object estimated_size (serde)", |b| {
-        let pod: vc_api::Object = Pod::new("default", "web-0")
-            .with_container(Container::new("app", "nginx:1.19"))
-            .into();
+        let pod: vc_api::Object =
+            Pod::new("default", "web-0").with_container(Container::new("app", "nginx:1.19")).into();
         b.iter(|| black_box(pod.estimated_size()))
     });
 }

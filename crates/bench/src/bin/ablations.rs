@@ -23,10 +23,7 @@ use vc_core::vc_object::VirtualClusterSpec;
 
 fn ablation_downward_workers() {
     heading("ablation 1: downward worker count (50 tenants, 5000 pods)");
-    println!(
-        "  {:<10} {:>10} {:>10} {:>12}",
-        "workers", "wall(s)", "p99(s)", "pods/s"
-    );
+    println!("  {:<10} {:>10} {:>10} {:>12}", "workers", "wall(s)", "p99(s)", "pods/s");
     let pods = scaled(5_000);
     for workers in [5usize, 10, 20, 40, 80] {
         let fw = Framework::start(paper_framework(100, workers, 100, true));
@@ -73,25 +70,19 @@ fn ablation_weights() {
         }
     });
     let clients = [fw.tenant_client("gold", "obs"), fw.tenant_client("bronze", "obs")];
-    assert!(wait_until(
-        Duration::from_secs(600),
-        Duration::from_millis(250),
-        || {
-            clients
-                .iter()
-                .map(|c| {
-                    c.list(ResourceKind::Pod, Some("default"))
-                        .map(|(p, _)| {
-                            p.iter()
-                                .filter(|x| x.as_pod().is_some_and(|x| x.status.is_ready()))
-                                .count()
-                        })
-                        .unwrap_or(0)
-                })
-                .sum::<usize>()
-                >= 2 * pods
-        }
-    ));
+    assert!(wait_until(Duration::from_secs(600), Duration::from_millis(250), || {
+        clients
+            .iter()
+            .map(|c| {
+                c.list(ResourceKind::Pod, Some("default"))
+                    .map(|(p, _)| {
+                        p.iter().filter(|x| x.as_pod().is_some_and(|x| x.status.is_ready())).count()
+                    })
+                    .unwrap_or(0)
+            })
+            .sum::<usize>()
+            >= 2 * pods
+    }));
     let avg = |client: &vc_client::Client| -> f64 {
         let (pods, _) = client.list(ResourceKind::Pod, Some("default")).unwrap();
         let lats: Vec<f64> = pods
@@ -99,10 +90,8 @@ fn ablation_weights() {
             .filter_map(|o| {
                 let pod = o.as_pod()?;
                 let ready = pod.status.condition(PodConditionType::Ready)?;
-                Some(
-                    ready.last_transition.duration_since(pod.meta.creation_timestamp).as_millis()
-                        as f64,
-                )
+                Some(ready.last_transition.duration_since(pod.meta.creation_timestamp).as_millis()
+                    as f64)
             })
             .collect();
         lats.iter().sum::<f64>() / lats.len().max(1) as f64

@@ -143,10 +143,7 @@ fn main() {
             paper_vs_measured(
                 "regular users starved behind burst",
                 "significantly delayed",
-                &format!(
-                    "regular mean {:.1}s (vs <2s with FQ)",
-                    rmean as f64 / 1000.0
-                ),
+                &format!("regular mean {:.1}s (vs <2s with FQ)", rmean as f64 / 1000.0),
             );
         }
     }

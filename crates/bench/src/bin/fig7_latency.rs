@@ -10,8 +10,10 @@
 
 use std::sync::Arc;
 use vc_bench::calibration::{paper_framework, paper_super_cluster, scaled};
-use vc_bench::load::{provision_tenants, run_baseline_burst, run_vc_burst};
-use vc_bench::report::{heading, paper_vs_measured, percentile, print_histogram, print_summary};
+use vc_bench::load::{provision_tenants, robustness_counters, run_baseline_burst, run_vc_burst};
+use vc_bench::report::{
+    heading, paper_vs_measured, percentile, print_histogram, print_robustness, print_summary,
+};
 use vc_core::framework::Framework;
 
 const POD_COUNTS: [usize; 4] = [1_250, 2_500, 5_000, 10_000];
@@ -65,6 +67,7 @@ fn main() {
             if tenants == 100 && downward_workers == 20 {
                 reference_p99.push(percentile(&result.latencies_ms, 0.99));
             }
+            print_robustness(&robustness_counters(&fw));
             fw.shutdown();
         }
     }

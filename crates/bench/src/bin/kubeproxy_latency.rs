@@ -33,8 +33,8 @@ fn main() {
     // Pre-create the services with endpoints (paper: "created one hundred
     // artificial services beforehand").
     for i in 0..SERVICES {
-        let mut svc = Service::new("default", format!("svc-{i}"))
-            .with_port(ServicePort::tcp(80, 8080));
+        let mut svc =
+            Service::new("default", format!("svc-{i}")).with_port(ServicePort::tcp(80, 8080));
         svc.spec.cluster_ip = format!("10.96.{}.{}", i / 250, i % 250 + 1);
         admin.create(svc.into()).unwrap();
         let mut eps = vc_api::service::Endpoints::new("default", format!("svc-{i}"));
@@ -85,7 +85,11 @@ fn main() {
     paper_vs_measured(
         &format!("inject {SERVICES} rules per new pod"),
         "~1s",
-        &format!("{:.2}s mean (p99 {:.2}s)", inject_mean / 1000.0, metrics.inject_latency.percentile(0.99) as f64 / 1000.0),
+        &format!(
+            "{:.2}s mean (p99 {:.2}s)",
+            inject_mean / 1000.0,
+            metrics.inject_latency.percentile(0.99) as f64 / 1000.0
+        ),
     );
     // Verify every guest really has all rules.
     let sandboxes = kata.list_pod_sandboxes();

@@ -15,8 +15,8 @@ use std::time::Duration;
 use vc_api::object::ResourceKind;
 use vc_api::pod::PodConditionType;
 use vc_bench::calibration::{paper_framework, paper_super_cluster};
-use vc_bench::load::stress_pod;
-use vc_bench::report::{heading, mean, paper_vs_measured};
+use vc_bench::load::{robustness_counters, stress_pod};
+use vc_bench::report::{heading, mean, paper_vs_measured, print_robustness};
 use vc_client::Client;
 use vc_controllers::util::wait_until;
 use vc_core::framework::Framework;
@@ -64,6 +64,7 @@ fn main() {
     fw.create_tenant("tenant-1").expect("tenant");
     let vc = drive(&fw.tenant_client("tenant-1", "normal-load"));
     println!("  mean latency: {:.1}ms", mean(&vc));
+    print_robustness(&robustness_counters(&fw));
 
     heading("result");
     let added = mean(&vc) - mean(&baseline);

@@ -74,7 +74,12 @@ pub fn paper_super_cluster(name: &str) -> ClusterConfig {
 }
 
 /// Full framework config for a VirtualCluster run.
-pub fn paper_framework(nodes: u32, downward_workers: usize, upward_workers: usize, fair: bool) -> FrameworkConfig {
+pub fn paper_framework(
+    nodes: u32,
+    downward_workers: usize,
+    upward_workers: usize,
+    fair: bool,
+) -> FrameworkConfig {
     let mut config = FrameworkConfig {
         super_cluster: paper_super_cluster("super"),
         mock_nodes: nodes,
@@ -117,8 +122,7 @@ mod tests {
         let downward_rate =
             syncer.downward_workers as f64 / syncer.downward_process_cost.as_secs_f64();
         assert!((400.0..700.0).contains(&downward_rate), "{downward_rate}");
-        let upward_rate =
-            syncer.upward_workers as f64 / syncer.upward_process_cost.as_secs_f64();
+        let upward_rate = syncer.upward_workers as f64 / syncer.upward_process_cost.as_secs_f64();
         assert!(upward_rate > downward_rate, "upward must outpace downward");
     }
 

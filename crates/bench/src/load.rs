@@ -49,12 +49,7 @@ fn pod_latency_ms(pod: &Pod) -> Option<u64> {
     if !ready.status {
         return None;
     }
-    Some(
-        ready
-            .last_transition
-            .duration_since(pod.meta.creation_timestamp)
-            .as_millis() as u64,
-    )
+    Some(ready.last_transition.duration_since(pod.meta.creation_timestamp).as_millis() as u64)
 }
 
 /// Deadline for a burst: generous but bounded.
@@ -123,9 +118,7 @@ fn ready_count_vc(clients: &[Client]) -> usize {
         .map(|c| {
             c.list(ResourceKind::Pod, Some("default"))
                 .map(|(pods, _)| {
-                    pods.iter()
-                        .filter(|p| p.as_pod().is_some_and(|p| p.status.is_ready()))
-                        .count()
+                    pods.iter().filter(|p| p.as_pod().is_some_and(|p| p.status.is_ready())).count()
                 })
                 .unwrap_or(0)
         })
@@ -170,10 +163,8 @@ pub fn run_baseline_burst(cluster: &Arc<Cluster>, total_pods: usize, threads: us
     );
 
     let (pods, _) = observer.list(ResourceKind::Pod, Some("default")).expect("list pods");
-    let latencies_ms = pods
-        .iter()
-        .filter_map(|obj| obj.as_pod().and_then(pod_latency_ms))
-        .collect();
+    let latencies_ms =
+        pods.iter().filter_map(|obj| obj.as_pod().and_then(pod_latency_ms)).collect();
     LoadResult { latencies_ms, wall, pods: total_pods }
 }
 
@@ -184,6 +175,19 @@ fn ready_count_baseline(client: &Client) -> usize {
             pods.iter().filter(|p| p.as_pod().is_some_and(|p| p.status.is_ready())).count()
         })
         .unwrap_or(0)
+}
+
+/// Snapshots the syncer's robustness counters (retry pipeline + breakers)
+/// for reporting alongside latency results.
+pub fn robustness_counters(fw: &Framework) -> crate::report::RobustnessCounters {
+    crate::report::RobustnessCounters {
+        retries: fw.syncer.metrics.retries.get(),
+        retry_exhausted: fw.syncer.metrics.retry_exhausted.get(),
+        dead_letters: fw.syncer.dead_letter_len() as u64,
+        breaker_trips: fw.syncer.metrics.breaker_trips.get(),
+        breaker_recoveries: fw.syncer.metrics.breaker_recoveries.get(),
+        injected_failures: 0,
+    }
 }
 
 /// Provisions `count` tenants named `tenant-1..count` and returns their
@@ -221,9 +225,9 @@ mod tests {
 
     #[test]
     fn small_baseline_burst_completes() {
-        let cluster = Arc::new(vc_controllers::Cluster::start(
-            calibration::paper_super_cluster("baseline-test"),
-        ));
+        let cluster = Arc::new(vc_controllers::Cluster::start(calibration::paper_super_cluster(
+            "baseline-test",
+        )));
         cluster.add_mock_nodes(2).unwrap();
         let cluster = cluster;
         let result = run_baseline_burst(&cluster, 20, 4);

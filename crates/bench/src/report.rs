@@ -62,6 +62,38 @@ pub fn print_summary(label: &str, samples: &[u64]) {
     );
 }
 
+/// Snapshot of the syncer's robustness counters after a run (retry
+/// pipeline, dead letters, per-tenant circuit breakers, injected faults).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RobustnessCounters {
+    /// Downward items re-queued with backoff.
+    pub retries: u64,
+    /// Items that exhausted their retry budget.
+    pub retry_exhausted: u64,
+    /// Items currently parked in the dead-letter set.
+    pub dead_letters: u64,
+    /// Circuit-breaker trips (tenant marked Degraded).
+    pub breaker_trips: u64,
+    /// Circuit-breaker recoveries (half-open probe succeeded).
+    pub breaker_recoveries: u64,
+    /// Requests failed by an armed fault injector, if any.
+    pub injected_failures: u64,
+}
+
+/// Prints the robustness counter line for a run.
+pub fn print_robustness(c: &RobustnessCounters) {
+    println!(
+        "  robustness: retries={} exhausted={} dead_letters={} breaker_trips={} \
+         breaker_recoveries={} injected_failures={}",
+        c.retries,
+        c.retry_exhausted,
+        c.dead_letters,
+        c.breaker_trips,
+        c.breaker_recoveries,
+        c.injected_failures,
+    );
+}
+
 /// Prints a paper-vs-measured comparison row.
 pub fn paper_vs_measured(metric: &str, paper: &str, measured: &str) {
     println!("  {metric:<42} paper: {paper:<18} measured: {measured}");

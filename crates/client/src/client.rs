@@ -10,6 +10,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vc_api::error::ApiResult;
 use vc_api::object::{Object, ResourceKind};
+use vc_apiserver::auth::Verb;
 use vc_apiserver::ApiServer;
 use vc_store::WatchStream;
 
@@ -137,11 +138,7 @@ impl Client {
         qps: f64,
         burst: usize,
     ) -> Self {
-        Client {
-            server,
-            user: user.into(),
-            limiter: Arc::new(RateLimiter::new(qps, burst)),
-        }
+        Client { server, user: user.into(), limiter: Arc::new(RateLimiter::new(qps, burst)) }
     }
 
     /// The identity this client acts as.
@@ -154,6 +151,18 @@ impl Client {
         &self.server
     }
 
+    /// Consults the server's fault hook (if any) before a request, applying
+    /// injected delays and propagating injected failures. See
+    /// [`crate::faults::FaultInjector`].
+    fn inject(&self, verb: Verb, kind: ResourceKind) -> ApiResult<()> {
+        if let Some(hook) = self.server.fault_hook() {
+            if let Some(delay) = hook.intercept(&self.user, verb, kind)? {
+                self.server.clock().sleep(delay);
+            }
+        }
+        Ok(())
+    }
+
     /// Creates `obj`.
     ///
     /// # Errors
@@ -162,6 +171,7 @@ impl Client {
     /// `AlreadyExists`, …).
     pub fn create(&self, obj: Object) -> ApiResult<Object> {
         self.limiter.acquire();
+        self.inject(Verb::Create, obj.kind())?;
         self.server.create(&self.user, obj)
     }
 
@@ -172,6 +182,7 @@ impl Client {
     /// `NotFound` / `Forbidden`.
     pub fn get(&self, kind: ResourceKind, namespace: &str, name: &str) -> ApiResult<Object> {
         self.limiter.acquire();
+        self.inject(Verb::Get, kind)?;
         self.server.get(&self.user, kind, namespace, name)
     }
 
@@ -186,6 +197,7 @@ impl Client {
         namespace: Option<&str>,
     ) -> ApiResult<(Vec<Object>, u64)> {
         self.limiter.acquire();
+        self.inject(Verb::List, kind)?;
         self.server.list(&self.user, kind, namespace)
     }
 
@@ -196,6 +208,7 @@ impl Client {
     /// `NotFound` / `Conflict` / `Forbidden` / `Invalid`.
     pub fn update(&self, obj: Object) -> ApiResult<Object> {
         self.limiter.acquire();
+        self.inject(Verb::Update, obj.kind())?;
         self.server.update(&self.user, obj)
     }
 
@@ -206,6 +219,7 @@ impl Client {
     /// `NotFound` / `Forbidden`.
     pub fn delete(&self, kind: ResourceKind, namespace: &str, name: &str) -> ApiResult<Object> {
         self.limiter.acquire();
+        self.inject(Verb::Delete, kind)?;
         self.server.delete(&self.user, kind, namespace, name)
     }
 
@@ -221,6 +235,7 @@ impl Client {
         from_revision: u64,
     ) -> ApiResult<WatchStream> {
         self.limiter.acquire();
+        self.inject(Verb::Watch, kind)?;
         self.server.watch(&self.user, kind, namespace, from_revision)
     }
 }

@@ -54,9 +54,7 @@ pub struct DelayingQueue<T: Eq + Hash + Clone + Send + 'static> {
 
 impl<T: Eq + Hash + Clone + Send + 'static> std::fmt::Debug for DelayingQueue<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DelayingQueue")
-            .field("waiting", &self.state.0.lock().heap.len())
-            .finish()
+        f.debug_struct("DelayingQueue").field("waiting", &self.state.0.lock().heap.len()).finish()
     }
 }
 
@@ -80,11 +78,7 @@ impl<T: Eq + Hash + Clone + Send + 'static> DelayingQueue<T> {
                     }
                     let now = Instant::now();
                     // Pop everything due.
-                    while state
-                        .heap
-                        .peek()
-                        .is_some_and(|Reverse(w)| w.deadline <= now)
-                    {
+                    while state.heap.peek().is_some_and(|Reverse(w)| w.deadline <= now) {
                         let Reverse(w) = state.heap.pop().unwrap();
                         thread_target.add(w.item);
                     }
@@ -197,7 +191,11 @@ impl<T: Eq + Hash + Clone + Send + 'static> RateLimitingQueue<T> {
 
     /// Creates a rate-limiting queue with an explicit backoff policy.
     pub fn with_policy(target: Arc<WorkQueue<T>>, policy: BackoffPolicy) -> Self {
-        RateLimitingQueue { delaying: DelayingQueue::new(target), failures: Mutex::new(HashMap::new()), policy }
+        RateLimitingQueue {
+            delaying: DelayingQueue::new(target),
+            failures: Mutex::new(HashMap::new()),
+            policy,
+        }
     }
 
     /// Re-queues `item` after its next backoff delay.

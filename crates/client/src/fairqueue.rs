@@ -48,6 +48,9 @@ struct FqState<T> {
     /// Tenant that last enqueued each in-flight item (for re-queue on
     /// `done`).
     item_tenant: HashMap<T, String>,
+    /// Tenants whose items are retained but not dispatched (circuit-breaker
+    /// support): dequeue skips them until resumed.
+    paused: HashSet<String>,
     shutdown: bool,
 }
 
@@ -92,6 +95,7 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
                 dirty: HashSet::new(),
                 processing: HashSet::new(),
                 item_tenant: HashMap::new(),
+                paused: HashSet::new(),
                 shutdown: false,
             }),
             cond: Condvar::new(),
@@ -122,10 +126,37 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
         sq.credit = sq.credit.min(weight);
     }
 
+    /// Pauses dispatch for `tenant`: its items stay queued (and new adds
+    /// are accepted) but `get` skips them until [`resume_tenant`] is
+    /// called. Other tenants' dispatch shares are unaffected. No-op on an
+    /// already-paused tenant.
+    ///
+    /// [`resume_tenant`]: WeightedFairQueue::resume_tenant
+    pub fn pause_tenant(&self, tenant: &str) {
+        self.state.lock().paused.insert(tenant.to_string());
+    }
+
+    /// Resumes dispatch for a paused tenant, waking blocked `get`s.
+    pub fn resume_tenant(&self, tenant: &str) {
+        if self.state.lock().paused.remove(tenant) {
+            self.cond.notify_all();
+        }
+    }
+
+    /// Returns `true` while `tenant` is paused.
+    pub fn is_paused(&self, tenant: &str) -> bool {
+        self.state.lock().paused.contains(tenant)
+    }
+
     /// Removes an idle tenant's sub-queue; returns `false` if it still has
     /// pending items.
     pub fn remove_tenant(&self, tenant: &str) -> bool {
         let mut state = self.state.lock();
+        if state.paused.remove(tenant) {
+            // Leftover items become dispatchable again (their reconciles
+            // no-op once the tenant is gone); wake any blocked workers.
+            self.cond.notify_all();
+        }
         match state.subqueues.get(tenant) {
             None => true,
             Some(sq) if !sq.items.is_empty() => false,
@@ -270,11 +301,23 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
     }
 
     fn dequeue(&self, state: &mut FqState<T>) -> Option<T> {
-        let item = if self.fair { self.dequeue_wrr(state)? } else { state.fifo.pop_front()? };
+        let item = if self.fair { self.dequeue_wrr(state)? } else { Self::dequeue_fifo(state)? };
         state.dirty.remove(&item);
         state.processing.insert(item.clone());
         self.gets.inc();
         Some(item)
+    }
+
+    /// FIFO dequeue (unfair mode) honoring paused tenants: the first item
+    /// whose tenant is not paused is served, preserving order otherwise.
+    fn dequeue_fifo(state: &mut FqState<T>) -> Option<T> {
+        if state.paused.is_empty() {
+            return state.fifo.pop_front();
+        }
+        let idx = state.fifo.iter().position(|item| {
+            state.item_tenant.get(item).is_none_or(|t| !state.paused.contains(t))
+        })?;
+        state.fifo.remove(idx)
     }
 
     /// Deficit-style weighted round-robin: serve up to `weight` items from
@@ -289,7 +332,18 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
         for step in 0..=n {
             let idx = (start + step) % n;
             let tenant = state.order[idx].clone();
+            let paused = state.paused.contains(&tenant);
             let sq = state.subqueues.get_mut(&tenant).expect("ordered tenant exists");
+            if paused {
+                // Breaker-paused tenant: retain its backlog but skip it, as
+                // if its sub-queue were empty. Its WRR share is not
+                // consumed, so healthy tenants absorb the capacity.
+                sq.credit = 0;
+                if step > 0 {
+                    state.cursor = idx;
+                }
+                continue;
+            }
             if step > 0 {
                 // Cursor moved to a new tenant: grant a fresh round of
                 // credit.
@@ -422,6 +476,49 @@ mod tests {
     fn zero_weight_rejected() {
         let q: WeightedFairQueue<u32> = WeightedFairQueue::new(true);
         q.set_weight("t", 0);
+    }
+
+    #[test]
+    fn paused_tenant_retains_items_others_flow() {
+        let q = WeightedFairQueue::new(true);
+        q.add("sick", "s0");
+        q.pause_tenant("sick");
+        q.add("sick", "s1");
+        q.add("ok", "o0");
+        assert!(q.is_paused("sick"));
+        // Only the healthy tenant is served.
+        assert_eq!(q.try_get(), Some("o0"));
+        assert_eq!(q.try_get(), None);
+        assert_eq!(q.tenant_len("sick"), 2, "paused backlog retained");
+        // Resume releases the backlog in order.
+        q.resume_tenant("sick");
+        assert!(!q.is_paused("sick"));
+        assert_eq!(q.try_get(), Some("s0"));
+        assert_eq!(q.try_get(), Some("s1"));
+    }
+
+    #[test]
+    fn resume_wakes_blocked_getter() {
+        let q = Arc::new(WeightedFairQueue::new(true));
+        q.add("sick", "s0");
+        q.pause_tenant("sick");
+        let q2 = Arc::clone(&q);
+        let handle = std::thread::spawn(move || q2.get());
+        std::thread::sleep(Duration::from_millis(20));
+        q.resume_tenant("sick");
+        assert_eq!(handle.join().unwrap(), Some("s0"));
+    }
+
+    #[test]
+    fn fifo_mode_honors_pause() {
+        let q = WeightedFairQueue::new(false);
+        q.add("sick", "s0");
+        q.add("ok", "o0");
+        q.pause_tenant("sick");
+        assert_eq!(q.try_get(), Some("o0"), "paused item skipped in FIFO order");
+        assert_eq!(q.try_get(), None);
+        q.resume_tenant("sick");
+        assert_eq!(q.try_get(), Some("s0"));
     }
 
     #[test]

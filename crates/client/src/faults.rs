@@ -1,0 +1,348 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! [`FaultInjector`] implements the apiserver's
+//! [`RequestFault`](vc_apiserver::gate::RequestFault) hook: attached to an
+//! [`ApiServer`](vc_apiserver::ApiServer) (via `set_fault_hook`), it is
+//! consulted by every [`Client`](crate::Client) before each request and can
+//! fail the request, delay it, or let it pass — driven by declarative
+//! [`FaultRule`]s and a seeded RNG so a given seed reproduces the same fault
+//! sequence.
+//!
+//! Rules select requests by verb, resource kind, and requesting-user
+//! substring, fire with a configured probability, and can be confined to a
+//! time window relative to [`FaultInjector::arm`] — which is how the chaos
+//! tests script apiserver brownouts (probabilistic write failures) and full
+//! tenant-control-plane outages (probability-1 failures for a window).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vc_api::error::{ApiError, ApiResult};
+use vc_api::metrics::Counter;
+use vc_api::object::ResourceKind;
+use vc_apiserver::auth::Verb;
+use vc_apiserver::gate::RequestFault;
+
+/// What a matched [`FaultRule`] does to the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Fail the request with [`ApiError::Unavailable`] before it reaches
+    /// the server.
+    Fail,
+    /// Stall the request for the given duration, then let it proceed.
+    Delay(Duration),
+}
+
+/// One declarative fault rule.
+///
+/// A rule matches a request when every configured selector accepts it; a
+/// matched rule then fires with `probability`. Selectors left as `None`
+/// match everything.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    /// Verbs the rule applies to (`None` = all verbs).
+    pub verbs: Option<Vec<Verb>>,
+    /// Resource kinds the rule applies to (`None` = all kinds).
+    pub kinds: Option<Vec<ResourceKind>>,
+    /// Substring the requesting user must contain (`None` = any user).
+    pub user_contains: Option<String>,
+    /// Chance in `[0.0, 1.0]` that a matched request is hit. Values `>= 1`
+    /// fire unconditionally without consuming RNG state, keeping scripted
+    /// outages deterministic regardless of thread interleaving.
+    pub probability: f64,
+    /// Active window as `(start, end)` offsets from [`FaultInjector::arm`]
+    /// (`None` = always active).
+    pub window: Option<(Duration, Duration)>,
+    /// What to do to a hit request.
+    pub action: FaultAction,
+}
+
+impl FaultRule {
+    /// A rule failing every request unconditionally (a full outage).
+    pub fn fail_all() -> Self {
+        FaultRule {
+            verbs: None,
+            kinds: None,
+            user_contains: None,
+            probability: 1.0,
+            window: None,
+            action: FaultAction::Fail,
+        }
+    }
+
+    /// A rule failing write verbs (create/update/delete) with the given
+    /// probability (an apiserver brownout).
+    pub fn fail_writes(probability: f64) -> Self {
+        FaultRule {
+            verbs: Some(vec![Verb::Create, Verb::Update, Verb::Delete]),
+            ..Self::fail_all()
+        }
+        .with_probability(probability)
+    }
+
+    /// A rule delaying every request by `delay`.
+    pub fn delay_all(delay: Duration) -> Self {
+        FaultRule { action: FaultAction::Delay(delay), ..Self::fail_all() }
+    }
+
+    /// Restricts the rule to the given verbs (builder style).
+    pub fn for_verbs(mut self, verbs: &[Verb]) -> Self {
+        self.verbs = Some(verbs.to_vec());
+        self
+    }
+
+    /// Restricts the rule to the given resource kinds.
+    pub fn for_kinds(mut self, kinds: &[ResourceKind]) -> Self {
+        self.kinds = Some(kinds.to_vec());
+        self
+    }
+
+    /// Restricts the rule to users whose name contains `substring`.
+    pub fn for_user(mut self, substring: impl Into<String>) -> Self {
+        self.user_contains = Some(substring.into());
+        self
+    }
+
+    /// Sets the hit probability.
+    pub fn with_probability(mut self, probability: f64) -> Self {
+        self.probability = probability;
+        self
+    }
+
+    /// Confines the rule to `[start, end)` after [`FaultInjector::arm`].
+    pub fn during(mut self, start: Duration, end: Duration) -> Self {
+        self.window = Some((start, end));
+        self
+    }
+
+    fn matches(&self, user: &str, verb: Verb, kind: ResourceKind, since_arm: Duration) -> bool {
+        if let Some((start, end)) = self.window {
+            if since_arm < start || since_arm >= end {
+                return false;
+            }
+        }
+        if let Some(verbs) = &self.verbs {
+            if !verbs.contains(&verb) {
+                return false;
+            }
+        }
+        if let Some(kinds) = &self.kinds {
+            if !kinds.contains(&kind) {
+                return false;
+            }
+        }
+        if let Some(needle) = &self.user_contains {
+            if !user.contains(needle.as_str()) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A cloneable fault specification: seed plus rules. Configuration
+/// (`FrameworkConfig`) carries policies; a live [`FaultInjector`] is built
+/// from one at attach time.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPolicy {
+    /// RNG seed; the same seed over the same request sequence reproduces
+    /// the same probabilistic hits.
+    pub seed: u64,
+    /// Rules evaluated in order; the first hit wins.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPolicy {
+    /// Creates an empty policy with `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPolicy { seed, rules: Vec::new() }
+    }
+
+    /// Appends a rule (builder style).
+    pub fn with_rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+}
+
+/// Counters exposed by a [`FaultInjector`].
+#[derive(Debug, Default)]
+pub struct FaultMetrics {
+    /// Requests evaluated against the rule set.
+    pub intercepted: Counter,
+    /// Requests failed by an injected fault.
+    pub injected_failures: Counter,
+    /// Requests delayed by an injected fault.
+    pub injected_delays: Counter,
+}
+
+/// The seeded fault interposer. See the module docs for the model.
+#[derive(Debug)]
+pub struct FaultInjector {
+    rules: Mutex<Vec<FaultRule>>,
+    rng: Mutex<u64>,
+    epoch: Mutex<Instant>,
+    /// Injection counters.
+    pub metrics: FaultMetrics,
+}
+
+impl FaultInjector {
+    /// Creates an injector with no rules; [`arm`](Self::arm)ed at creation.
+    pub fn new(seed: u64) -> Arc<Self> {
+        Arc::new(FaultInjector {
+            rules: Mutex::new(Vec::new()),
+            rng: Mutex::new(seed),
+            epoch: Mutex::new(Instant::now()),
+            metrics: FaultMetrics::default(),
+        })
+    }
+
+    /// Builds a live injector from a [`FaultPolicy`].
+    pub fn from_policy(policy: &FaultPolicy) -> Arc<Self> {
+        let injector = Self::new(policy.seed);
+        *injector.rules.lock() = policy.rules.clone();
+        injector
+    }
+
+    /// Appends a rule.
+    pub fn add_rule(&self, rule: FaultRule) {
+        self.rules.lock().push(rule);
+    }
+
+    /// Removes all rules (ends any scripted outage immediately).
+    pub fn clear_rules(&self) {
+        self.rules.lock().clear();
+    }
+
+    /// Resets the window epoch: rules with a `window` measure their
+    /// `(start, end)` offsets from the most recent `arm` call.
+    pub fn arm(&self) {
+        *self.epoch.lock() = Instant::now();
+    }
+
+    /// Time elapsed since the last [`arm`](Self::arm).
+    pub fn since_arm(&self) -> Duration {
+        self.epoch.lock().elapsed()
+    }
+
+    /// Evaluates the rules for one request; first hit wins.
+    pub fn decide(&self, user: &str, verb: Verb, kind: ResourceKind) -> Option<FaultAction> {
+        self.metrics.intercepted.inc();
+        let since_arm = self.since_arm();
+        let rules = self.rules.lock();
+        for rule in rules.iter() {
+            if !rule.matches(user, verb, kind, since_arm) {
+                continue;
+            }
+            if rule.probability >= 1.0 || self.next_f64() < rule.probability {
+                match rule.action {
+                    FaultAction::Fail => self.metrics.injected_failures.inc(),
+                    FaultAction::Delay(_) => self.metrics.injected_delays.inc(),
+                }
+                return Some(rule.action);
+            }
+        }
+        None
+    }
+
+    /// SplitMix64 step, mapped to `[0, 1)`.
+    fn next_f64(&self) -> f64 {
+        let mut state = self.rng.lock();
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl RequestFault for FaultInjector {
+    fn intercept(&self, user: &str, verb: Verb, kind: ResourceKind) -> ApiResult<Option<Duration>> {
+        match self.decide(user, verb, kind) {
+            Some(FaultAction::Fail) => Err(ApiError::unavailable(format!(
+                "injected fault: {} {}",
+                verb.as_str(),
+                kind.as_str()
+            ))),
+            Some(FaultAction::Delay(delay)) => Ok(Some(delay)),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decisions(injector: &FaultInjector, n: usize) -> Vec<bool> {
+        (0..n)
+            .map(|_| injector.decide("vc-syncer", Verb::Create, ResourceKind::Pod).is_some())
+            .collect()
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let policy = FaultPolicy::new(42).with_rule(FaultRule::fail_writes(0.3));
+        let a = FaultInjector::from_policy(&policy);
+        let b = FaultInjector::from_policy(&policy);
+        let seq_a = decisions(&a, 500);
+        let seq_b = decisions(&b, 500);
+        assert_eq!(seq_a, seq_b, "identical seeds must reproduce the sequence");
+        let hits = seq_a.iter().filter(|h| **h).count();
+        assert!((50..250).contains(&hits), "~30% hit rate expected, got {hits}/500");
+
+        let c = FaultInjector::from_policy(
+            &FaultPolicy::new(43).with_rule(FaultRule::fail_writes(0.3)),
+        );
+        assert_ne!(seq_a, decisions(&c, 500), "different seed, different sequence");
+    }
+
+    #[test]
+    fn selectors_filter_requests() {
+        let injector = FaultInjector::new(7);
+        injector.add_rule(FaultRule::fail_all().for_verbs(&[Verb::Create]).for_user("vc-syncer"));
+        // Wrong verb and wrong user pass through.
+        assert!(injector.decide("vc-syncer", Verb::Get, ResourceKind::Pod).is_none());
+        assert!(injector.decide("scheduler", Verb::Create, ResourceKind::Pod).is_none());
+        // Matching request is hit unconditionally.
+        assert_eq!(
+            injector.decide("vc-syncer", Verb::Create, ResourceKind::Pod),
+            Some(FaultAction::Fail)
+        );
+        assert_eq!(injector.metrics.injected_failures.get(), 1);
+        assert_eq!(injector.metrics.intercepted.get(), 3);
+    }
+
+    #[test]
+    fn window_scripts_an_outage() {
+        let injector = FaultInjector::new(1);
+        injector.add_rule(FaultRule::fail_all().during(Duration::ZERO, Duration::from_millis(40)));
+        injector.arm();
+        assert!(injector.decide("u", Verb::Get, ResourceKind::Pod).is_some());
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(
+            injector.decide("u", Verb::Get, ResourceKind::Pod).is_none(),
+            "rule expires with its window"
+        );
+        // Re-arming restarts the window.
+        injector.arm();
+        assert!(injector.decide("u", Verb::Get, ResourceKind::Pod).is_some());
+    }
+
+    #[test]
+    fn intercept_maps_actions_to_request_fates() {
+        let injector = FaultInjector::new(5);
+        injector.add_rule(FaultRule::delay_all(Duration::from_millis(3)));
+        assert_eq!(
+            injector.intercept("u", Verb::List, ResourceKind::Node).unwrap(),
+            Some(Duration::from_millis(3))
+        );
+        injector.clear_rules();
+        assert_eq!(injector.intercept("u", Verb::List, ResourceKind::Node).unwrap(), None);
+        injector.add_rule(FaultRule::fail_all());
+        let err = injector.intercept("u", Verb::List, ResourceKind::Node).unwrap_err();
+        assert!(matches!(err, ApiError::Unavailable { .. }));
+        assert!(err.is_retriable(), "injected faults look like transient outages");
+    }
+}

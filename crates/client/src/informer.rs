@@ -25,6 +25,7 @@ use vc_store::{EventType, RecvOutcome};
 
 /// A change notification delivered to informer handlers.
 #[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // events are transient and handler-borrowed; boxing buys nothing
 pub enum InformerEvent {
     /// Object appeared (initial list or watch add).
     Added(Object),
@@ -45,9 +46,7 @@ impl InformerEvent {
     /// The object the event is about (new state where applicable).
     pub fn object(&self) -> &Object {
         match self {
-            InformerEvent::Added(o)
-            | InformerEvent::Deleted(o)
-            | InformerEvent::Resync(o) => o,
+            InformerEvent::Added(o) | InformerEvent::Deleted(o) | InformerEvent::Resync(o) => o,
             InformerEvent::Updated { new, .. } => new,
         }
     }
@@ -83,12 +82,7 @@ impl Cache {
 
     /// Snapshot of the cached objects in `namespace`.
     pub fn list_namespace(&self, namespace: &str) -> Vec<Object> {
-        self.objects
-            .read()
-            .values()
-            .filter(|o| o.meta().namespace == namespace)
-            .cloned()
-            .collect()
+        self.objects.read().values().filter(|o| o.meta().namespace == namespace).cloned().collect()
     }
 
     /// Snapshot of cached objects whose labels match `selector`, optionally
@@ -355,8 +349,7 @@ impl SharedInformer {
     }
 
     fn replace_cache(&self, items: Vec<Object>) {
-        let fresh: HashMap<String, Object> =
-            items.into_iter().map(|o| (o.key(), o)).collect();
+        let fresh: HashMap<String, Object> = items.into_iter().map(|o| (o.key(), o)).collect();
         // Deletions first.
         for key in self.cache.keys() {
             if !fresh.contains_key(&key) {
@@ -474,10 +467,11 @@ mod tests {
         let mut pod: Pod = created.try_into().unwrap();
         pod.spec.node_name = "n1".into();
         user.update(pod.into()).unwrap();
-        assert!(eventually(2000, || informer
-            .cache()
-            .get("default/p")
-            .is_some_and(|o| o.as_pod().unwrap().spec.is_bound())));
+        assert!(eventually(2000, || informer.cache().get("default/p").is_some_and(|o| o
+            .as_pod()
+            .unwrap()
+            .spec
+            .is_bound())));
 
         user.delete(ResourceKind::Pod, "default", "p").unwrap();
         assert!(eventually(2000, || informer.cache().get("default/p").is_none()));
@@ -563,8 +557,10 @@ mod tests {
         config.store.watcher_buffer = 4;
         let server = ApiServer::new(config, vc_api::time::RealClock::shared());
         let client = Client::new(Arc::clone(&server), "informer");
-        let informer =
-            SharedInformer::start(SharedInformer::new(client, InformerConfig::new(ResourceKind::Pod)));
+        let informer = SharedInformer::start(SharedInformer::new(
+            client,
+            InformerConfig::new(ResourceKind::Pod),
+        ));
         informer.wait_for_sync(Duration::from_secs(5));
         let user = Client::new(server, "u");
         for i in 0..100 {

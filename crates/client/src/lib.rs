@@ -12,17 +12,22 @@
 //! * [`delaying::DelayingQueue`] / [`delaying::RateLimitingQueue`] — delayed
 //!   delivery and per-item exponential backoff,
 //! * [`fairqueue::WeightedFairQueue`] — the paper's fair-queuing extension:
-//!   per-tenant sub-queues dispatched by weighted round-robin (§III-C).
+//!   per-tenant sub-queues dispatched by weighted round-robin (§III-C),
+//! * [`faults::FaultInjector`] — deterministic request-level fault injection
+//!   for chaos tests (brownouts, scripted outages).
 
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod delaying;
 pub mod fairqueue;
+pub mod faults;
 pub mod informer;
 pub mod workqueue;
 
 pub use client::{Client, RateLimiter};
+pub use delaying::{BackoffPolicy, DelayingQueue, RateLimitingQueue};
 pub use fairqueue::WeightedFairQueue;
+pub use faults::{FaultAction, FaultInjector, FaultPolicy, FaultRule};
 pub use informer::{Cache, InformerConfig, InformerEvent, SharedInformer};
 pub use workqueue::WorkQueue;

@@ -50,10 +50,8 @@ pub fn start(client: Client, config: GcConfig) -> (ControllerHandle, Arc<GcMetri
     // Informers over every kind involved, for cheap uid-existence lookups.
     let mut informers = Vec::new();
     for kind in [ResourceKind::Pod, ResourceKind::ReplicaSet, ResourceKind::Deployment] {
-        let informer = SharedInformer::start(SharedInformer::new(
-            client.clone(),
-            InformerConfig::new(kind),
-        ));
+        let informer =
+            SharedInformer::start(SharedInformer::new(client.clone(), InformerConfig::new(kind)));
         informer.wait_for_sync(Duration::from_secs(10));
         informers.push(informer);
     }
@@ -80,30 +78,28 @@ pub fn start(client: Client, config: GcConfig) -> (ControllerHandle, Arc<GcMetri
     (handle, metrics)
 }
 
-fn cache_for<'c>(
-    caches: &'c [(ResourceKind, Arc<vc_client::Cache>)],
+fn cache_for(
+    caches: &[(ResourceKind, Arc<vc_client::Cache>)],
     kind: ResourceKind,
-) -> &'c vc_client::Cache {
+) -> &vc_client::Cache {
     &caches.iter().find(|(k, _)| *k == kind).expect("cache registered").1
 }
 
 fn scan(client: &Client, caches: &[(ResourceKind, Arc<vc_client::Cache>)], metrics: &GcMetrics) {
     for (dependent_kind, owner_kind_name, owner_kind) in EDGES {
-        let owners: HashSet<Uid> = cache_for(caches, owner_kind)
-            .list()
-            .iter()
-            .map(|o| o.meta().uid.clone())
-            .collect();
+        let owners: HashSet<Uid> =
+            cache_for(caches, owner_kind).list().iter().map(|o| o.meta().uid.clone()).collect();
         for obj in cache_for(caches, dependent_kind).list() {
             let meta = obj.meta();
             if meta.is_terminating() {
                 continue;
             }
             let Some(owner) = meta.controller_owner() else { continue };
-            if owner.kind == owner_kind_name && !owners.contains(&owner.uid) {
-                if client.delete(dependent_kind, &meta.namespace, &meta.name).is_ok() {
-                    metrics.orphans_deleted.inc();
-                }
+            if owner.kind == owner_kind_name
+                && !owners.contains(&owner.uid)
+                && client.delete(dependent_kind, &meta.namespace, &meta.name).is_ok()
+            {
+                metrics.orphans_deleted.inc();
             }
         }
     }
@@ -155,8 +151,10 @@ mod tests {
         // A free pod without owners must survive.
         user.create(Pod::new("default", "free").into()).unwrap();
 
-        let (mut handle, metrics) =
-            start(Client::new(Arc::clone(&server), "gc"), GcConfig { interval: Duration::from_millis(30) });
+        let (mut handle, metrics) = start(
+            Client::new(Arc::clone(&server), "gc"),
+            GcConfig { interval: Duration::from_millis(30) },
+        );
 
         // While the owner exists, nothing is collected.
         assert!(wait_until(Duration::from_secs(2), Duration::from_millis(10), || {
@@ -198,8 +196,10 @@ mod tests {
         ));
         user.create(pod.into()).unwrap();
 
-        let (mut handle, _metrics) =
-            start(Client::new(Arc::clone(&server), "gc"), GcConfig { interval: Duration::from_millis(30) });
+        let (mut handle, _metrics) = start(
+            Client::new(Arc::clone(&server), "gc"),
+            GcConfig { interval: Duration::from_millis(30) },
+        );
         assert!(wait_until(Duration::from_secs(5), Duration::from_millis(20), || {
             user.get(ResourceKind::Pod, "default", "stale-owner").is_err()
         }));

@@ -91,6 +91,10 @@ impl KubeletConfig {
     }
 }
 
+/// A running pod's runtime handle: the container runtime that booted it
+/// plus its sandbox id.
+type PodSandbox = (Arc<dyn ContainerRuntime>, SandboxId);
+
 /// The kubelet.
 pub struct Kubelet {
     config: KubeletConfig,
@@ -99,7 +103,7 @@ pub struct Kubelet {
     queue: Arc<WorkQueue<String>>,
     pod_cache: Arc<Cache>,
     /// pod key -> (runtime used, sandbox).
-    sandboxes: Mutex<HashMap<String, (Arc<dyn ContainerRuntime>, SandboxId)>>,
+    sandboxes: Mutex<HashMap<String, PodSandbox>>,
     ip_counter: AtomicU32,
     /// Pods this kubelet brought to Ready.
     pub pods_started: Counter,
@@ -263,9 +267,12 @@ impl Kubelet {
             fresh.status.host_ip = format!("10.{}.0.1", self.config.pod_cidr_index);
             fresh.status.started_at = Some(now);
             fresh.status.set_condition(PodConditionType::Initialized, true, "PodCompleted", now);
-            fresh
-                .status
-                .set_condition(PodConditionType::ContainersReady, true, "ContainersReady", now);
+            fresh.status.set_condition(
+                PodConditionType::ContainersReady,
+                true,
+                "ContainersReady",
+                now,
+            );
             fresh.status.set_condition(PodConditionType::Ready, true, "PodReady", now);
             self.client.update(fresh.into()).map(|_| ())
         });
@@ -445,18 +452,11 @@ mod tests {
             Arc::clone(&clock),
         );
         let kata = vc_runtime::KataRuntime::new(
-            vc_runtime::KataConfig {
-                vm_boot_latency: Duration::ZERO,
-                ..Default::default()
-            },
+            vc_runtime::KataConfig { vm_boot_latency: Duration::ZERO, ..Default::default() },
             Arc::clone(&clock),
         );
         let images = Arc::new(ImageStore::new(Duration::ZERO));
-        let mut env = setup(KubeletMode::Cri {
-            runc: runc.clone(),
-            kata: kata.clone(),
-            images,
-        });
+        let mut env = setup(KubeletMode::Cri { runc: runc.clone(), kata: kata.clone(), images });
         let user = Client::new(Arc::clone(&env.server), "u");
 
         // A kata pod gets a sandbox on the kata runtime.

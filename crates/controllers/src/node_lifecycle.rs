@@ -87,10 +87,9 @@ pub fn start(
                             // Track NotReady dwell time and evict stranded
                             // pods past the grace period.
                             if node.status.condition == NodeCondition::NotReady || stale {
-                                let since =
-                                    *not_ready_since.entry(name.clone()).or_insert_with(
-                                        std::time::Instant::now,
-                                    );
+                                let since = *not_ready_since
+                                    .entry(name.clone())
+                                    .or_insert_with(std::time::Instant::now);
                                 if let Some(grace) = config.eviction_grace {
                                     if since.elapsed() > grace {
                                         evict_node_pods(&client, &name, &metrics);
@@ -115,10 +114,11 @@ fn evict_node_pods(client: &Client, node: &str, metrics: &NodeLifecycleMetrics) 
     let Ok((pods, _)) = client.list(ResourceKind::Pod, None) else { return };
     for obj in pods {
         let Some(pod) = obj.as_pod() else { continue };
-        if pod.spec.node_name == node && !pod.meta.is_terminating() {
-            if client.delete(ResourceKind::Pod, &pod.meta.namespace, &pod.meta.name).is_ok() {
-                metrics.pods_evicted.inc();
-            }
+        if pod.spec.node_name == node
+            && !pod.meta.is_terminating()
+            && client.delete(ResourceKind::Pod, &pod.meta.namespace, &pod.meta.name).is_ok()
+        {
+            metrics.pods_evicted.inc();
         }
     }
 }
@@ -190,8 +190,7 @@ mod tests {
         node.status.last_heartbeat = server.clock().now();
         user.create(node.into()).unwrap();
         let mut healthy = Node::new("healthy", resource_list(&[("cpu", "4")]));
-        healthy.status.last_heartbeat =
-            server.clock().now().add(Duration::from_secs(3600));
+        healthy.status.last_heartbeat = server.clock().now().add(Duration::from_secs(3600));
         user.create(healthy.into()).unwrap();
 
         let mut stranded = vc_api::pod::Pod::new("default", "stranded");

@@ -125,23 +125,21 @@ pub fn start(client: Client, config: SchedulerConfig) -> (ControllerHandle, Arc<
     {
         let state = Arc::clone(&state);
         let queue = Arc::clone(&queue);
-        pod_informer.add_handler(Box::new(move |event| {
-            match event {
-                InformerEvent::Added(obj)
-                | InformerEvent::Updated { new: obj, .. }
-                | InformerEvent::Resync(obj) => {
-                    let Some(pod) = obj.as_pod() else { return };
-                    let key = obj.key();
-                    if pod.spec.is_bound() {
-                        record_assignment(&mut state.lock(), &key, pod);
-                    } else if needs_scheduling(pod) {
-                        queue.add(key);
-                    }
+        pod_informer.add_handler(Box::new(move |event| match event {
+            InformerEvent::Added(obj)
+            | InformerEvent::Updated { new: obj, .. }
+            | InformerEvent::Resync(obj) => {
+                let Some(pod) = obj.as_pod() else { return };
+                let key = obj.key();
+                if pod.spec.is_bound() {
+                    record_assignment(&mut state.lock(), &key, pod);
+                } else if needs_scheduling(pod) {
+                    queue.add(key);
                 }
-                InformerEvent::Deleted(obj) => {
-                    if obj.as_pod().is_some() {
-                        release_assignment(&mut state.lock(), &obj.key());
-                    }
+            }
+            InformerEvent::Deleted(obj) => {
+                if obj.as_pod().is_some() {
+                    release_assignment(&mut state.lock(), &obj.key());
                 }
             }
         }));
@@ -199,9 +197,7 @@ pub fn start(client: Client, config: SchedulerConfig) -> (ControllerHandle, Arc<
 }
 
 fn needs_scheduling(pod: &Pod) -> bool {
-    !pod.spec.is_bound()
-        && pod.status.phase == PodPhase::Pending
-        && !pod.meta.is_terminating()
+    !pod.spec.is_bound() && pod.status.phase == PodPhase::Pending && !pod.meta.is_terminating()
 }
 
 fn record_assignment(state: &mut SchedulerState, key: &str, pod: &Pod) {
@@ -297,12 +293,7 @@ fn schedule_one(
         Ok(()) => {
             metrics.scheduled.inc();
             if config.emit_events {
-                emit_event(
-                    client,
-                    pod,
-                    "Scheduled",
-                    &format!("assigned {key} to {node_name}"),
-                );
+                emit_event(client, pod, "Scheduled", &format!("assigned {key} to {node_name}"));
             }
         }
         Err(err) => {
@@ -495,17 +486,16 @@ mod tests {
     }
 
     fn add_node(client: &Client, name: &str, cpu: &str) -> Node {
-        let node = Node::new(
-            name,
-            resource_list(&[("cpu", cpu), ("memory", "16Gi"), ("pods", "110")]),
-        );
+        let node =
+            Node::new(name, resource_list(&[("cpu", cpu), ("memory", "16Gi"), ("pods", "110")]));
         client.create(node.clone().into()).unwrap();
         node
     }
 
     fn pod_with_cpu(ns: &str, name: &str, cpu: &str) -> Pod {
-        Pod::new(ns, name)
-            .with_container(Container::new("c", "img").with_requests(resource_list(&[("cpu", cpu)])))
+        Pod::new(ns, name).with_container(
+            Container::new("c", "img").with_requests(resource_list(&[("cpu", cpu)])),
+        )
     }
 
     fn bound_node(client: &Client, ns: &str, name: &str) -> String {
@@ -526,13 +516,9 @@ mod tests {
         }));
         assert_eq!(metrics.scheduled.get(), 1);
         let pod = user.get(ResourceKind::Pod, "default", "p").unwrap();
-        assert!(pod
-            .as_pod()
-            .unwrap()
-            .status
-            .condition(PodConditionType::PodScheduled)
-            .unwrap()
-            .status);
+        assert!(
+            pod.as_pod().unwrap().status.condition(PodConditionType::PodScheduled).unwrap().status
+        );
         handle.stop();
     }
 
@@ -570,12 +556,7 @@ mod tests {
         }));
         assert!(bound_node(&user, "default", "big").is_empty());
         let pod = user.get(ResourceKind::Pod, "default", "big").unwrap();
-        let cond = pod
-            .as_pod()
-            .unwrap()
-            .status
-            .condition(PodConditionType::PodScheduled)
-            .unwrap();
+        let cond = pod.as_pod().unwrap().status.condition(PodConditionType::PodScheduled).unwrap();
         assert!(!cond.status);
         assert_eq!(cond.reason, "Unschedulable");
         handle.stop();
@@ -586,7 +567,10 @@ mod tests {
         let server = fast_server();
         let client = Client::new(Arc::clone(&server), "scheduler");
         add_node(&client, "plain", "4");
-        let mut gpu_node = Node::new("gpu-node", resource_list(&[("cpu", "4"), ("memory", "16Gi"), ("pods", "110")]));
+        let mut gpu_node = Node::new(
+            "gpu-node",
+            resource_list(&[("cpu", "4"), ("memory", "16Gi"), ("pods", "110")]),
+        );
         gpu_node.meta.labels.insert("accelerator".into(), "gpu".into());
         client.create(gpu_node.into()).unwrap();
 
@@ -605,7 +589,10 @@ mod tests {
     fn taints_require_tolerations() {
         let server = fast_server();
         let client = Client::new(Arc::clone(&server), "scheduler");
-        let mut tainted = Node::new("tainted", resource_list(&[("cpu", "4"), ("memory", "16Gi"), ("pods", "110")]));
+        let mut tainted = Node::new(
+            "tainted",
+            resource_list(&[("cpu", "4"), ("memory", "16Gi"), ("pods", "110")]),
+        );
         tainted.spec.taints.push(vc_api::node::Taint {
             key: "dedicated".into(),
             value: "db".into(),
@@ -727,10 +714,8 @@ mod tests {
         let server = fast_server();
         let client = Client::new(Arc::clone(&server), "scheduler");
         add_node(&client, "n1", "96");
-        let config = SchedulerConfig {
-            service_time: Duration::from_millis(5),
-            ..Default::default()
-        };
+        let config =
+            SchedulerConfig { service_time: Duration::from_millis(5), ..Default::default() };
         let (mut handle, metrics) = start(client.clone(), config);
         let user = Client::new(server, "u");
         let n = 20;

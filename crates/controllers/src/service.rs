@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use vc_api::metrics::Counter;
 use vc_api::object::{Object, ResourceKind};
-use vc_api::service::{Endpoints, EndpointAddress, Service, ServiceType};
+use vc_api::service::{EndpointAddress, Endpoints, Service, ServiceType};
 use vc_client::{Client, InformerConfig, SharedInformer, WorkQueue};
 
 /// Service controller configuration.
@@ -108,7 +108,15 @@ pub fn start(
                             queue.done(&key);
                             break;
                         }
-                        reconcile(&key, &client, &service_cache, &pod_cache, &ip_counter, &config, &metrics);
+                        reconcile(
+                            &key,
+                            &client,
+                            &service_cache,
+                            &pod_cache,
+                            &ip_counter,
+                            &config,
+                            &metrics,
+                        );
                         queue.done(&key);
                     }
                 })
@@ -269,7 +277,8 @@ mod tests {
     #[test]
     fn allocates_cluster_ip() {
         let server = fast_server();
-        let (mut handle, metrics) = start(Client::new(Arc::clone(&server), "svc-ctrl"), Default::default());
+        let (mut handle, metrics) =
+            start(Client::new(Arc::clone(&server), "svc-ctrl"), Default::default());
         let user = Client::new(server, "u");
         user.create(Service::new("default", "web").with_port(ServicePort::tcp(80, 8080)).into())
             .unwrap();
@@ -288,7 +297,8 @@ mod tests {
         // Synced tenant services arrive with an IP; the controller must not
         // reallocate it.
         let server = fast_server();
-        let (mut handle, metrics) = start(Client::new(Arc::clone(&server), "svc-ctrl"), Default::default());
+        let (mut handle, metrics) =
+            start(Client::new(Arc::clone(&server), "svc-ctrl"), Default::default());
         let user = Client::new(server, "u");
         let mut svc = Service::new("default", "synced");
         svc.spec.cluster_ip = "10.200.0.5".into();
@@ -303,7 +313,8 @@ mod tests {
     #[test]
     fn endpoints_track_ready_pods() {
         let server = fast_server();
-        let (mut handle, _metrics) = start(Client::new(Arc::clone(&server), "svc-ctrl"), Default::default());
+        let (mut handle, _metrics) =
+            start(Client::new(Arc::clone(&server), "svc-ctrl"), Default::default());
         let user = Client::new(Arc::clone(&server), "u");
         user.create(ready_pod("default", "p1", "web", "10.1.0.1").into()).unwrap();
         user.create(ready_pod("default", "p2", "web", "10.1.0.2").into()).unwrap();
@@ -347,7 +358,8 @@ mod tests {
     #[test]
     fn selectorless_service_endpoints_untouched() {
         let server = fast_server();
-        let (mut handle, _metrics) = start(Client::new(Arc::clone(&server), "svc-ctrl"), Default::default());
+        let (mut handle, _metrics) =
+            start(Client::new(Arc::clone(&server), "svc-ctrl"), Default::default());
         let user = Client::new(Arc::clone(&server), "u");
         user.create(Service::new("default", "external").into()).unwrap();
         // Custom endpoints created by hand (or by the VC syncer).
@@ -367,13 +379,12 @@ mod tests {
     #[test]
     fn deleting_service_removes_endpoints() {
         let server = fast_server();
-        let (mut handle, _metrics) = start(Client::new(Arc::clone(&server), "svc-ctrl"), Default::default());
+        let (mut handle, _metrics) =
+            start(Client::new(Arc::clone(&server), "svc-ctrl"), Default::default());
         let user = Client::new(Arc::clone(&server), "u");
         user.create(ready_pod("default", "p1", "web", "10.1.0.1").into()).unwrap();
-        user.create(
-            Service::new("default", "web").with_selector(labels(&[("app", "web")])).into(),
-        )
-        .unwrap();
+        user.create(Service::new("default", "web").with_selector(labels(&[("app", "web")])).into())
+            .unwrap();
         assert!(wait_until(Duration::from_secs(5), Duration::from_millis(10), || {
             user.get(ResourceKind::Endpoints, "default", "web").is_ok()
         }));

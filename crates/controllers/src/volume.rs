@@ -34,10 +34,8 @@ pub fn start(client: Client) -> (ControllerHandle, Arc<VolumeBinderMetrics>) {
         client.clone(),
         InformerConfig::new(ResourceKind::PersistentVolumeClaim),
     );
-    let pv_informer = SharedInformer::new(
-        client.clone(),
-        InformerConfig::new(ResourceKind::PersistentVolume),
-    );
+    let pv_informer =
+        SharedInformer::new(client.clone(), InformerConfig::new(ResourceKind::PersistentVolume));
     let sc_informer =
         SharedInformer::new(client.clone(), InformerConfig::new(ResourceKind::StorageClass));
     {
@@ -83,7 +81,9 @@ pub fn start(client: Client) -> (ControllerHandle, Arc<VolumeBinderMetrics>) {
                             break;
                         }
                         if let Some(pvc_key) = key.strip_prefix("pvc:") {
-                            reconcile_claim(pvc_key, &client, &pvc_cache, &pv_cache, &sc_cache, &metrics);
+                            reconcile_claim(
+                                pvc_key, &client, &pvc_cache, &pv_cache, &sc_cache, &metrics,
+                            );
                             if pvc_cache.get(pvc_key).is_none() {
                                 // Deleted claim: release any volume still
                                 // bound to it.
@@ -317,11 +317,8 @@ mod tests {
     }
 
     fn bound(client: &Client, ns: &str, name: &str) -> Option<String> {
-        let claim: PersistentVolumeClaim = client
-            .get(ResourceKind::PersistentVolumeClaim, ns, name)
-            .ok()?
-            .try_into()
-            .ok()?;
+        let claim: PersistentVolumeClaim =
+            client.get(ResourceKind::PersistentVolumeClaim, ns, name).ok()?.try_into().ok()?;
         (claim.phase == VolumePhase::Bound).then_some(claim.volume_name)
     }
 
@@ -336,10 +333,8 @@ mod tests {
         // Let the binder's PV cache observe all three volumes, so best-fit
         // selection is deterministic.
         std::thread::sleep(Duration::from_millis(300));
-        user.create(
-            PersistentVolumeClaim::new("default", "data", Quantity::from_whole(10)).into(),
-        )
-        .unwrap();
+        user.create(PersistentVolumeClaim::new("default", "data", Quantity::from_whole(10)).into())
+            .unwrap();
         assert!(wait_until(Duration::from_secs(5), Duration::from_millis(20), || {
             bound(&user, "default", "data").is_some()
         }));
@@ -393,10 +388,8 @@ mod tests {
         let (mut handle, metrics) = start(Client::system(Arc::clone(&server), "binder"));
         let user = Client::new(server, "u");
         user.create(PersistentVolume::new("pv-1", Quantity::from_whole(10)).into()).unwrap();
-        user.create(
-            PersistentVolumeClaim::new("default", "temp", Quantity::from_whole(10)).into(),
-        )
-        .unwrap();
+        user.create(PersistentVolumeClaim::new("default", "temp", Quantity::from_whole(10)).into())
+            .unwrap();
         assert!(wait_until(Duration::from_secs(5), Duration::from_millis(20), || {
             bound(&user, "default", "temp").is_some()
         }));

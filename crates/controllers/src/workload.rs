@@ -211,7 +211,11 @@ fn reconcile_replicaset(
             let suffix: String = (0..5)
                 .map(|_| {
                     let c = rand::random::<u8>() % 36;
-                    if c < 10 { (b'0' + c) as char } else { (b'a' + c - 10) as char }
+                    if c < 10 {
+                        (b'0' + c) as char
+                    } else {
+                        (b'a' + c - 10) as char
+                    }
                 })
                 .collect();
             let mut pod = Pod::new(rs.meta.namespace.clone(), format!("{}-{suffix}", rs.meta.name));
@@ -330,8 +334,11 @@ fn reconcile_deployment(
         {
             let (replicas, ready) = (rs.status.replicas, rs.status.ready_replicas);
             let _ = retry_on_conflict(3, || {
-                let fresh =
-                    client.get(ResourceKind::Deployment, &deploy.meta.namespace, &deploy.meta.name)?;
+                let fresh = client.get(
+                    ResourceKind::Deployment,
+                    &deploy.meta.namespace,
+                    &deploy.meta.name,
+                )?;
                 let mut fresh: Deployment = fresh.try_into()?;
                 fresh.status.replicas = replicas;
                 fresh.status.ready_replicas = ready;
@@ -376,8 +383,14 @@ mod tests {
         let (mut handle, metrics) = start(Client::new(Arc::clone(&server), "ctrl"));
         let user = Client::new(server, "u");
         user.create(
-            ReplicaSet::new("default", "web-rs", 3, Selector::from_pairs(&[("app", "web")]), template("web"))
-                .into(),
+            ReplicaSet::new(
+                "default",
+                "web-rs",
+                3,
+                Selector::from_pairs(&[("app", "web")]),
+                template("web"),
+            )
+            .into(),
         )
         .unwrap();
         assert!(wait_until(Duration::from_secs(5), Duration::from_millis(10), || {
@@ -443,8 +456,14 @@ mod tests {
         let (mut handle, metrics) = start(Client::new(Arc::clone(&server), "ctrl"));
         let user = Client::new(server, "u");
         user.create(
-            Deployment::new("default", "web", 2, Selector::from_pairs(&[("app", "web")]), template("web"))
-                .into(),
+            Deployment::new(
+                "default",
+                "web",
+                2,
+                Selector::from_pairs(&[("app", "web")]),
+                template("web"),
+            )
+            .into(),
         )
         .unwrap();
         assert!(wait_until(Duration::from_secs(5), Duration::from_millis(10), || {

@@ -14,7 +14,7 @@ use std::time::Duration;
 use vc_api::error::{ApiError, ApiResult};
 use vc_api::object::ResourceKind;
 use vc_api::time::{Clock, RealClock};
-use vc_client::Client;
+use vc_client::{Client, FaultInjector, FaultPolicy};
 use vc_controllers::util::{wait_until, ControllerHandle};
 use vc_controllers::{Cluster, ClusterConfig};
 
@@ -30,6 +30,9 @@ pub struct FrameworkConfig {
     pub syncer: SyncerConfig,
     /// Tenant operator configuration.
     pub operator: TenantOperatorConfig,
+    /// Fault policy armed against the super apiserver at start (chaos
+    /// tests); `None` disables injection.
+    pub super_faults: Option<FaultPolicy>,
 }
 
 impl std::fmt::Debug for FrameworkConfig {
@@ -45,6 +48,7 @@ impl Default for FrameworkConfig {
             mock_nodes: 4,
             syncer: SyncerConfig::default(),
             operator: TenantOperatorConfig::default(),
+            super_faults: None,
         }
     }
 }
@@ -67,9 +71,11 @@ impl FrameworkConfig {
 
     /// A small fast configuration for tests and examples.
     pub fn minimal() -> Self {
-        let mut config = FrameworkConfig::default();
-        config.super_cluster = ClusterConfig::super_cluster("super").with_zero_latency();
-        config.mock_nodes = 2;
+        let mut config = FrameworkConfig {
+            super_cluster: ClusterConfig::super_cluster("super").with_zero_latency(),
+            mock_nodes: 2,
+            ..Default::default()
+        };
         config.syncer.downward_workers = 4;
         config.syncer.upward_workers = 4;
         config.syncer.scan_interval = Some(Duration::from_millis(500));
@@ -112,9 +118,7 @@ pub struct Framework {
 
 impl std::fmt::Debug for Framework {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Framework")
-            .field("tenants", &self.registry.len())
-            .finish()
+        f.debug_struct("Framework").field("tenants", &self.registry.len()).finish()
     }
 }
 
@@ -122,15 +126,17 @@ impl Framework {
     /// Starts the full deployment.
     pub fn start(config: FrameworkConfig) -> Framework {
         let clock: Arc<dyn Clock> = RealClock::shared();
-        let super_cluster = Arc::new(Cluster::start_with_clock(
-            config.super_cluster.clone(),
-            Arc::clone(&clock),
-        ));
+        let super_cluster =
+            Arc::new(Cluster::start_with_clock(config.super_cluster.clone(), Arc::clone(&clock)));
         super_cluster.add_mock_nodes(config.mock_nodes).expect("register mock nodes");
+        if let Some(policy) = &config.super_faults {
+            let injector = FaultInjector::from_policy(policy);
+            injector.arm();
+            super_cluster.apiserver.set_fault_hook(injector);
+        }
 
         let registry = TenantRegistry::new();
-        let syncer =
-            Syncer::start(super_cluster.system_client("vc-syncer"), config.syncer.clone());
+        let syncer = Syncer::start(super_cluster.system_client("vc-syncer"), config.syncer.clone());
         let (operator_handle, operator_metrics) = crate::operator::start(
             super_cluster.system_client("vc-operator"),
             Arc::clone(&registry),
@@ -189,10 +195,7 @@ impl Framework {
 
     /// Reads a tenant's current VC phase.
     pub fn tenant_phase(&self, name: &str) -> Option<VcPhase> {
-        let obj = self
-            .admin
-            .get(ResourceKind::CustomObject, VC_MANAGER_NAMESPACE, name)
-            .ok()?;
+        let obj = self.admin.get(ResourceKind::CustomObject, VC_MANAGER_NAMESPACE, name).ok()?;
         let custom: vc_api::crd::CustomObject = obj.try_into().ok()?;
         VirtualCluster::from_custom_object(&custom).ok().map(|vc| vc.status.phase)
     }
@@ -228,6 +231,45 @@ impl Framework {
     /// disallowed from accessing it).
     pub fn super_client(&self, user: impl Into<String>) -> Client {
         self.super_cluster.client(user)
+    }
+
+    /// Arms a fault policy against the super apiserver, replacing any
+    /// previous one. Returns the injector for inspecting fault counters.
+    pub fn inject_super_faults(&self, policy: &FaultPolicy) -> Arc<FaultInjector> {
+        let injector = FaultInjector::from_policy(policy);
+        injector.arm();
+        self.super_cluster.apiserver.set_fault_hook(Arc::clone(&injector) as _);
+        injector
+    }
+
+    /// Removes any fault policy from the super apiserver.
+    pub fn clear_super_faults(&self) {
+        self.super_cluster.apiserver.clear_fault_hook();
+    }
+
+    /// Arms a fault policy against one tenant's apiserver (a scripted
+    /// tenant-control-plane outage), replacing any previous one. Returns
+    /// the injector for inspecting fault counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant is not provisioned.
+    pub fn inject_tenant_faults(&self, tenant: &str, policy: &FaultPolicy) -> Arc<FaultInjector> {
+        let handle = self.registry.get(tenant).expect("tenant provisioned");
+        let injector = FaultInjector::from_policy(policy);
+        injector.arm();
+        handle.cluster.apiserver.set_fault_hook(Arc::clone(&injector) as _);
+        injector
+    }
+
+    /// Removes any fault policy from a tenant's apiserver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant is not provisioned.
+    pub fn clear_tenant_faults(&self, tenant: &str) {
+        let handle = self.registry.get(tenant).expect("tenant provisioned");
+        handle.cluster.apiserver.clear_fault_hook();
     }
 
     /// Installs the paper's threat-model enforcement on the super cluster:

@@ -64,10 +64,7 @@ pub fn to_super(obj: &Object, vc_name: &str, prefix: &str) -> Object {
     }
     // Cluster-scoped namespaces are renamed with the prefix.
     if let Object::Namespace(ns) = &mut converted {
-        ns.meta.annotations.insert(
-            TENANT_NAMESPACE_ANNOTATION.into(),
-            ns.meta.name.clone(),
-        );
+        ns.meta.annotations.insert(TENANT_NAMESPACE_ANNOTATION.into(), ns.meta.name.clone());
         ns.meta.name = tenant_ns_to_super(prefix, &ns.meta.name);
         ns.phase = vc_api::namespace::NamespacePhase::Active;
     }
@@ -91,7 +88,11 @@ pub fn tenant_uid(obj: &Object) -> Option<&str> {
 /// Maps a super-cluster object key (`ns/name` or `name`) back to the
 /// tenant-side key for this prefix. Returns `None` for keys outside the
 /// prefix.
-pub fn super_key_to_tenant(prefix: &str, kind: vc_api::ResourceKind, super_key: &str) -> Option<String> {
+pub fn super_key_to_tenant(
+    prefix: &str,
+    kind: vc_api::ResourceKind,
+    super_key: &str,
+) -> Option<String> {
     if kind.is_cluster_scoped() {
         // Namespaces were renamed; other cluster-scoped kinds keep names.
         if kind == vc_api::ResourceKind::Namespace {

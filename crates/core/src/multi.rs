@@ -12,10 +12,10 @@
 //! at provisioning time. Tenants keep using their own control plane; the
 //! placement is invisible to them.
 
+use crate::mapping;
 use crate::registry::{generate_cert, TenantHandle, TenantRegistry};
 use crate::syncer::{Syncer, SyncerConfig};
 use crate::vc_object::VirtualClusterSpec;
-use crate::mapping;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -124,13 +124,9 @@ impl MultiSuperFramework {
         for index in 0..config.shards {
             let mut cluster_config = config.super_template.clone();
             cluster_config.name = format!("super-{index}");
-            let cluster =
-                Arc::new(Cluster::start_with_clock(cluster_config, Arc::clone(&clock)));
+            let cluster = Arc::new(Cluster::start_with_clock(cluster_config, Arc::clone(&clock)));
             cluster.add_mock_nodes(config.nodes_per_shard).expect("register shard nodes");
-            let syncer = Syncer::start(
-                cluster.system_client("vc-syncer"),
-                config.syncer.clone(),
-            );
+            let syncer = Syncer::start(cluster.system_client("vc-syncer"), config.syncer.clone());
             shards.push(Shard { index, cluster, syncer });
         }
         MultiSuperFramework {
@@ -160,7 +156,11 @@ impl MultiSuperFramework {
     /// # Errors
     ///
     /// [`ApiError::AlreadyExists`] when the tenant name is taken.
-    pub fn create_tenant(&self, name: &str, spec: VirtualClusterSpec) -> ApiResult<Arc<TenantHandle>> {
+    pub fn create_tenant(
+        &self,
+        name: &str,
+        spec: VirtualClusterSpec,
+    ) -> ApiResult<Arc<TenantHandle>> {
         if self.registry.get(name).is_some() {
             return Err(ApiError::already_exists("VirtualCluster", name));
         }
@@ -169,8 +169,7 @@ impl MultiSuperFramework {
 
         let mut tenant_config = self.config.tenant_template.clone();
         tenant_config.name = name.to_string();
-        let cluster =
-            Arc::new(Cluster::start_with_clock(tenant_config, Arc::clone(&self.clock)));
+        let cluster = Arc::new(Cluster::start_with_clock(tenant_config, Arc::clone(&self.clock)));
         let (cert, cert_hash) = generate_cert(name);
         let handle = Arc::new(TenantHandle {
             name: name.to_string(),
@@ -249,12 +248,7 @@ impl MultiSuperFramework {
         match self.config.placement {
             PlacementPolicy::LeastTenants => {
                 let counts = self.tenants_per_shard();
-                counts
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, c)| **c)
-                    .map(|(i, _)| i)
-                    .unwrap_or(0)
+                counts.iter().enumerate().min_by_key(|(_, c)| **c).map(|(i, _)| i).unwrap_or(0)
             }
             PlacementPolicy::RoundRobin => {
                 let mut next = self.next_round_robin.lock();
@@ -328,7 +322,9 @@ mod tests {
         for tenant in ["even", "odd"] {
             let client = multi.tenant_client(tenant, "user");
             client
-                .create(Pod::new("default", "probe").with_container(Container::new("c", "i")).into())
+                .create(
+                    Pod::new("default", "probe").with_container(Container::new("c", "i")).into(),
+                )
                 .unwrap();
             assert!(
                 wait_until(Duration::from_secs(30), Duration::from_millis(50), || {
@@ -339,13 +335,7 @@ mod tests {
         }
         // Each pod landed in ITS shard's super cluster only.
         let shard_pods = |shard: &Shard| {
-            shard
-                .cluster
-                .system_client("observer")
-                .list(ResourceKind::Pod, None)
-                .unwrap()
-                .0
-                .len()
+            shard.cluster.system_client("observer").list(ResourceKind::Pod, None).unwrap().0.len()
         };
         assert_eq!(shard_pods(&multi.shards()[0]), 1);
         assert_eq!(shard_pods(&multi.shards()[1]), 1);
@@ -393,12 +383,7 @@ mod tests {
             .shards()
             .iter()
             .map(|s| {
-                s.cluster
-                    .system_client("observer")
-                    .list(ResourceKind::Node, None)
-                    .unwrap()
-                    .0
-                    .len()
+                s.cluster.system_client("observer").list(ResourceKind::Node, None).unwrap().0.len()
             })
             .sum();
         assert_eq!(total_nodes, 4, "2 shards x 2 nodes");

@@ -81,10 +81,8 @@ pub fn start(
         Err(e) => panic!("cannot bootstrap {VC_MANAGER_NAMESPACE}: {e}"),
     }
 
-    let informer = SharedInformer::new(
-        super_client.clone(),
-        InformerConfig::new(ResourceKind::CustomObject),
-    );
+    let informer =
+        SharedInformer::new(super_client.clone(), InformerConfig::new(ResourceKind::CustomObject));
     {
         let queue = Arc::clone(&queue);
         informer.add_handler(Box::new(move |event| {

@@ -86,6 +86,7 @@ fn ensure_in_super(syncer: &Syncer, tenant: &TenantState, item: &WorkItem, tenan
             match create_with_namespace(syncer, tenant, desired.clone()) {
                 Ok(()) => {
                     syncer.metrics.downward_creates.inc();
+                    syncer.forget_retries(item);
                     if item.kind == ResourceKind::Pod {
                         syncer.phases.record_dws_done(&item.tenant, &item.key);
                     }
@@ -125,6 +126,7 @@ fn ensure_in_super(syncer: &Syncer, tenant: &TenantState, item: &WorkItem, tenan
                 return;
             }
             if equivalent(&desired, &existing) {
+                syncer.forget_retries(item);
                 if item.kind == ResourceKind::Pod {
                     // Create already happened (e.g. before a syncer
                     // restart).
@@ -135,6 +137,7 @@ fn ensure_in_super(syncer: &Syncer, tenant: &TenantState, item: &WorkItem, tenan
             match update_super(syncer, item.kind, &desired, &existing) {
                 Ok(()) => {
                     syncer.metrics.downward_updates.inc();
+                    syncer.forget_retries(item);
                     if item.kind == ResourceKind::Pod {
                         syncer.phases.record_dws_done(&item.tenant, &item.key);
                     }
@@ -160,7 +163,7 @@ fn ensure_in_super(syncer: &Syncer, tenant: &TenantState, item: &WorkItem, tenan
 fn create_with_namespace(syncer: &Syncer, tenant: &TenantState, desired: Object) -> ApiResult<()> {
     match syncer.super_client.create(desired.clone()) {
         Ok(_) => Ok(()),
-        Err(ApiError::Invalid { message, .. }) if message.contains("not found") => {
+        Err(e) if e.is_namespace_missing() => {
             let ns_name = desired.meta().namespace.clone();
             let mut ns = vc_api::namespace::Namespace::new(ns_name);
             ns.meta
@@ -244,8 +247,11 @@ fn delete_from_super(syncer: &Syncer, tenant: &TenantState, item: &WorkItem) {
     }
     let meta = existing.meta();
     match syncer.super_client.delete(item.kind, &meta.namespace, &meta.name) {
-        Ok(_) => syncer.metrics.downward_deletes.inc(),
-        Err(e) if e.is_not_found() => {}
+        Ok(_) => {
+            syncer.metrics.downward_deletes.inc();
+            syncer.forget_retries(item);
+        }
+        Err(e) if e.is_not_found() => syncer.forget_retries(item),
         Err(_) => syncer.requeue_downward(item.clone()),
     }
 }

@@ -17,16 +17,22 @@ mod upward;
 
 use crate::mapping;
 use crate::registry::TenantHandle;
+use crate::vc_object::{VirtualCluster, COND_SYNCER_HEALTHY, VC_MANAGER_NAMESPACE};
 use parking_lot::{Mutex, RwLock};
 use phases::PhaseTracker;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use std::time::Duration;
-use vc_api::metrics::{BusyTimer, Counter, Histogram};
+use std::time::{Duration, Instant};
+use vc_api::crd::CustomObject;
+use vc_api::error::ApiError;
+use vc_api::metrics::{BusyTimer, Counter, Gauge, Histogram};
 use vc_api::object::ResourceKind;
 use vc_api::pod::PodConditionType;
-use vc_client::{Client, InformerConfig, InformerEvent, SharedInformer, WeightedFairQueue, WorkQueue};
-use vc_controllers::util::ControllerHandle;
+use vc_client::{
+    BackoffPolicy, Client, InformerConfig, InformerEvent, RateLimitingQueue, SharedInformer,
+    WeightedFairQueue, WorkQueue,
+};
+use vc_controllers::util::{retry_on_conflict, ControllerHandle};
 use vnode::VNodeManager;
 
 /// One unit of synchronization work.
@@ -72,6 +78,17 @@ pub struct SyncerConfig {
     pub downward_process_cost: Duration,
     /// Simulated per-item upward reconcile cost under congestion.
     pub upward_process_cost: Duration,
+    /// Per-item exponential backoff applied to failed downward items
+    /// before they re-enter the queue.
+    pub retry_backoff: BackoffPolicy,
+    /// Retries an item may consume before being dead-lettered (and left to
+    /// the periodic scanner to re-validate).
+    pub retry_budget: u32,
+    /// Consecutive tenant-apiserver failures that trip that tenant's
+    /// circuit breaker to Degraded.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before a half-open probe.
+    pub breaker_open: Duration,
 }
 
 impl Default for SyncerConfig {
@@ -96,6 +113,13 @@ impl Default for SyncerConfig {
             tenant_informer_poll: Duration::from_millis(50),
             downward_process_cost: Duration::ZERO,
             upward_process_cost: Duration::ZERO,
+            retry_backoff: BackoffPolicy {
+                base: Duration::from_millis(100),
+                max: Duration::from_secs(5),
+            },
+            retry_budget: 8,
+            breaker_threshold: 5,
+            breaker_open: Duration::from_secs(2),
         }
     }
 }
@@ -169,6 +193,44 @@ pub struct SyncerMetrics {
     pub hibernations: Counter,
     /// Wake-from-hibernation latencies (ms) — the re-list cost.
     pub wake_latency: Histogram,
+    /// Failed downward items re-queued with exponential backoff.
+    pub retries: Counter,
+    /// Items dead-lettered after exhausting their retry budget.
+    pub retry_exhausted: Counter,
+    /// Current size of the dead-letter set (drained by the scanner).
+    pub dead_letter_len: Gauge,
+    /// Per-tenant circuit-breaker trips (tenant marked Degraded).
+    pub breaker_trips: Counter,
+    /// Circuit-breaker recoveries (half-open probe succeeded).
+    pub breaker_recoveries: Counter,
+}
+
+/// Tenant health as seen by the syncer's per-tenant circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantHealth {
+    /// Synchronization flowing normally.
+    Healthy,
+    /// Breaker open (or probing): the tenant's downward sub-queue is
+    /// paused and upward items are parked until a half-open probe
+    /// succeeds.
+    Degraded,
+}
+
+/// Circuit-breaker state machine for one tenant control plane.
+#[derive(Debug)]
+enum BreakerPhase {
+    /// Requests flowing; failures counted.
+    Closed,
+    /// Tripped: tenant paused until the deadline, then a probe runs.
+    Open { until: Instant },
+    /// Probe in flight; success closes, failure re-opens.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Breaker {
+    phase: BreakerPhase,
+    consecutive_failures: u32,
 }
 
 /// The centralized resource syncer.
@@ -181,9 +243,20 @@ pub struct Syncer {
     pub(crate) upward: Arc<WorkQueue<WorkItem>>,
     /// Super-side deletions awaiting upward processing: key → tenant uid.
     pub(crate) recent_super_deletions: Mutex<HashMap<String, String>>,
-    /// Failed items awaiting delayed retry (prevents hot requeue loops
-    /// while a dependency — e.g. a namespace — settles).
-    pub(crate) retry_buffer: Mutex<Vec<(std::time::Instant, WorkItem)>>,
+    /// Failed downward items awaiting retry: each item waits out its
+    /// per-item exponential backoff, then lands on `retry_ready` for the
+    /// pump to re-validate and re-queue.
+    pub(crate) retry_queue: RateLimitingQueue<WorkItem>,
+    /// Conveyor between the backoff queue and the retry pump.
+    retry_ready: Arc<WorkQueue<WorkItem>>,
+    /// Items that exhausted their retry budget; parked here until the
+    /// periodic scanner re-validates and re-queues (or drops) them.
+    dead_letter: Mutex<HashSet<WorkItem>>,
+    /// Per-tenant circuit breakers fed by tenant-apiserver failures.
+    breakers: Mutex<HashMap<String, Breaker>>,
+    /// Upward items parked while their tenant's breaker is open; replayed
+    /// on recovery.
+    parked_upward: Mutex<HashSet<WorkItem>>,
     /// Hibernated (idle) tenants: informers stopped, caches released
     /// (paper §V: "reducing the cost of running tenant control planes").
     pub(crate) hibernated: Mutex<HashMap<String, Arc<TenantHandle>>>,
@@ -219,22 +292,27 @@ impl Syncer {
 
         let mut super_informers = HashMap::new();
         for kind in &super_kinds {
-            let informer = SharedInformer::new(
-                super_client.clone(),
-                InformerConfig::new(*kind),
-            );
+            let informer = SharedInformer::new(super_client.clone(), InformerConfig::new(*kind));
             super_informers.insert(*kind, informer);
         }
 
+        let retry_ready: Arc<WorkQueue<WorkItem>> = Arc::new(WorkQueue::new());
         let syncer = Arc::new(Syncer {
             downward: Arc::new(WeightedFairQueue::new(config.fair_queuing)),
             upward: Arc::new(WorkQueue::new()),
+            retry_queue: RateLimitingQueue::with_policy(
+                Arc::clone(&retry_ready),
+                config.retry_backoff.clone(),
+            ),
+            retry_ready,
+            dead_letter: Mutex::new(HashSet::new()),
+            breakers: Mutex::new(HashMap::new()),
+            parked_upward: Mutex::new(HashSet::new()),
             config,
             super_client,
             super_informers,
             tenants: RwLock::new(HashMap::new()),
             recent_super_deletions: Mutex::new(HashMap::new()),
-            retry_buffer: Mutex::new(Vec::new()),
             hibernated: Mutex::new(HashMap::new()),
             vnodes: VNodeManager::new(),
             phases: PhaseTracker::new(),
@@ -376,39 +454,58 @@ impl Syncer {
                     .expect("spawn vnode heartbeat thread"),
             );
         }
-        // Delayed-retry pump: moves due retry items back into the
-        // downward queue.
+        // Retry pump: blocks on the backed-off conveyor (no polling) and
+        // re-validates each due item before it re-enters the downward
+        // queue — items whose tenant has been unregistered or hibernated
+        // since the failure are dropped instead of leaking into the queue.
         {
             let syncer_ref = Arc::clone(&syncer);
-            let stop = handle.stop_flag();
+            let retry_ready = Arc::clone(&syncer.retry_ready);
             handle.add_thread(
                 std::thread::Builder::new()
                     .name("syncer-retry-pump".into())
                     .spawn(move || {
-                        while !stop.is_set() {
-                            let now = std::time::Instant::now();
-                            let due: Vec<WorkItem> = {
-                                let mut buffer = syncer_ref.retry_buffer.lock();
-                                let (ready, waiting): (Vec<_>, Vec<_>) =
-                                    buffer.drain(..).partition(|(at, _)| *at <= now);
-                                *buffer = waiting;
-                                ready.into_iter().map(|(_, item)| item).collect()
-                            };
-                            for item in due {
-                                syncer_ref.downward.add(&item.tenant.clone(), item);
+                        while let Some(item) = retry_ready.get() {
+                            retry_ready.done(&item);
+                            if !syncer_ref.tenants.read().contains_key(&item.tenant) {
+                                syncer_ref.retry_queue.forget(&item);
+                                continue;
                             }
-                            std::thread::sleep(Duration::from_millis(20));
+                            let tenant = item.tenant.clone();
+                            syncer_ref.downward.add(&tenant, item);
                         }
                     })
                     .expect("spawn retry pump"),
             );
         }
+        // Circuit-breaker maintenance: expire Open deadlines into
+        // half-open probes and recover tenants whose control plane
+        // answers again.
+        {
+            let syncer_ref = Arc::clone(&syncer);
+            let stop = handle.stop_flag();
+            handle.add_thread(
+                std::thread::Builder::new()
+                    .name("syncer-breaker".into())
+                    .spawn(move || {
+                        while !stop.is_set() {
+                            std::thread::sleep(Duration::from_millis(25));
+                            for tenant in syncer_ref.breakers_due_for_probe() {
+                                syncer_ref.probe_tenant(&tenant);
+                            }
+                        }
+                    })
+                    .expect("spawn breaker thread"),
+            );
+        }
         {
             let downward = Arc::clone(&syncer.downward);
             let upward = Arc::clone(&syncer.upward);
+            let retry_ready = Arc::clone(&syncer.retry_ready);
             handle.on_stop(move || {
                 downward.shutdown();
                 upward.shutdown();
+                retry_ready.shutdown();
             });
         }
         *syncer.handle.lock() = Some(handle);
@@ -426,6 +523,9 @@ impl Syncer {
             informer.stop();
         }
         let _ = self.downward.remove_tenant(name);
+        // A hibernated tenant's control plane is deliberately unwatched:
+        // drop any breaker state so a later wake starts Healthy.
+        self.breakers.lock().remove(name);
         self.hibernated.lock().insert(name.to_string(), Arc::clone(&state.handle));
         self.metrics.hibernations.inc();
         true
@@ -448,11 +548,233 @@ impl Syncer {
         self.hibernated.lock().keys().cloned().collect()
     }
 
-    /// Schedules a failed downward item for retry after a short delay.
+    /// Schedules a failed downward item for retry under its per-item
+    /// exponential backoff. An item that has already consumed its retry
+    /// budget is dead-lettered instead: parked until the periodic scanner
+    /// re-validates it (so a persistently failing object cannot occupy the
+    /// retry pipeline forever).
     pub(crate) fn requeue_downward(&self, item: WorkItem) {
-        self.retry_buffer
-            .lock()
-            .push((std::time::Instant::now() + Duration::from_millis(100), item));
+        if self.retry_queue.num_requeues(&item) >= self.config.retry_budget {
+            self.retry_queue.forget(&item);
+            let mut dead = self.dead_letter.lock();
+            if dead.insert(item) {
+                self.metrics.retry_exhausted.inc();
+                self.metrics.dead_letter_len.set(dead.len() as i64);
+            }
+            return;
+        }
+        self.metrics.retries.inc();
+        self.retry_queue.add_rate_limited(item);
+    }
+
+    /// Clears an item's retry history after a successful reconcile so its
+    /// next failure starts from the base backoff again.
+    pub(crate) fn forget_retries(&self, item: &WorkItem) {
+        self.retry_queue.forget(item);
+    }
+
+    /// Number of items currently parked in the dead-letter set.
+    pub fn dead_letter_len(&self) -> usize {
+        self.dead_letter.lock().len()
+    }
+
+    /// Re-validates dead-lettered items: items belonging to live, healthy
+    /// tenants re-enter the downward queue with a fresh retry budget;
+    /// items of unregistered/hibernated tenants are dropped; items of
+    /// breaker-degraded tenants stay parked until recovery. Called by the
+    /// periodic scanner and on breaker recovery.
+    pub fn drain_dead_letters(&self) {
+        let drained: Vec<WorkItem> = {
+            let mut dead = self.dead_letter.lock();
+            let mut parked = HashSet::new();
+            let mut ready = Vec::new();
+            for item in dead.drain() {
+                if !self.tenants.read().contains_key(&item.tenant) {
+                    continue;
+                }
+                if self.tenant_health(&item.tenant) == Some(TenantHealth::Degraded) {
+                    parked.insert(item);
+                } else {
+                    ready.push(item);
+                }
+            }
+            *dead = parked;
+            self.metrics.dead_letter_len.set(dead.len() as i64);
+            ready
+        };
+        for item in drained {
+            self.retry_queue.forget(&item);
+            let tenant = item.tenant.clone();
+            self.downward.add(&tenant, item);
+        }
+    }
+
+    /// Health of a registered tenant as seen by its circuit breaker;
+    /// `None` for unknown (unregistered or hibernated) tenants.
+    pub fn tenant_health(&self, tenant: &str) -> Option<TenantHealth> {
+        if !self.tenants.read().contains_key(tenant) {
+            return None;
+        }
+        let breakers = self.breakers.lock();
+        let degraded =
+            breakers.get(tenant).is_some_and(|b| !matches!(b.phase, BreakerPhase::Closed));
+        Some(if degraded { TenantHealth::Degraded } else { TenantHealth::Healthy })
+    }
+
+    /// Errors that indicate the tenant control plane itself is unreachable
+    /// (brownout/outage), as opposed to object-level races like conflicts
+    /// or not-found, which say nothing about the apiserver's health.
+    fn is_tenant_outage(err: &ApiError) -> bool {
+        matches!(
+            err,
+            ApiError::Unavailable { .. }
+                | ApiError::Timeout { .. }
+                | ApiError::TooManyRequests { .. }
+        )
+    }
+
+    /// Records a successful tenant-apiserver operation: resets the failure
+    /// streak while the breaker is closed. Open/half-open recovery is
+    /// driven exclusively by [`probe_tenant`](Self::probe_tenant) so that
+    /// recovery always resumes dispatch and drains dead letters.
+    pub(crate) fn note_tenant_ok(&self, tenant: &str) {
+        if let Some(breaker) = self.breakers.lock().get_mut(tenant) {
+            if matches!(breaker.phase, BreakerPhase::Closed) {
+                breaker.consecutive_failures = 0;
+            }
+        }
+    }
+
+    /// Records a failed tenant-apiserver operation; trips the breaker when
+    /// the consecutive-failure threshold is reached. Tripping pauses the
+    /// tenant's downward sub-queue (healthy tenants keep their fair-queue
+    /// shares) and publishes a `SyncerHealthy=false` condition on the VC
+    /// object.
+    pub(crate) fn note_tenant_error(&self, tenant: &str, err: &ApiError) {
+        if !Self::is_tenant_outage(err) {
+            return;
+        }
+        let tripped = {
+            let mut breakers = self.breakers.lock();
+            let breaker = breakers
+                .entry(tenant.to_string())
+                .or_insert(Breaker { phase: BreakerPhase::Closed, consecutive_failures: 0 });
+            match breaker.phase {
+                BreakerPhase::Closed => {
+                    breaker.consecutive_failures += 1;
+                    if breaker.consecutive_failures >= self.config.breaker_threshold {
+                        breaker.phase =
+                            BreakerPhase::Open { until: Instant::now() + self.config.breaker_open };
+                        // Counted under the lock so observers never see the
+                        // tripped phase before the counter reflects it.
+                        self.metrics.breaker_trips.inc();
+                        true
+                    } else {
+                        false
+                    }
+                }
+                BreakerPhase::HalfOpen => {
+                    // A straggler failed while probing: re-open.
+                    breaker.phase =
+                        BreakerPhase::Open { until: Instant::now() + self.config.breaker_open };
+                    false
+                }
+                BreakerPhase::Open { .. } => false,
+            }
+        };
+        if tripped {
+            self.downward.pause_tenant(tenant);
+            self.publish_tenant_condition(
+                tenant,
+                false,
+                "BreakerOpen",
+                &format!("tenant apiserver unreachable: {err}"),
+            );
+        }
+    }
+
+    /// Tenants whose Open deadline has passed; each is flipped to HalfOpen
+    /// and must be probed.
+    fn breakers_due_for_probe(&self) -> Vec<String> {
+        let now = Instant::now();
+        let mut due = Vec::new();
+        for (tenant, breaker) in self.breakers.lock().iter_mut() {
+            if matches!(breaker.phase, BreakerPhase::Open { until } if until <= now) {
+                breaker.phase = BreakerPhase::HalfOpen;
+                due.push(tenant.clone());
+            }
+        }
+        due
+    }
+
+    /// Half-open probe: one cheap read against the tenant apiserver. On
+    /// success the breaker closes — the sub-queue resumes, parked upward
+    /// items replay, dead letters drain, and the VC condition flips back
+    /// to healthy. On failure the breaker re-opens for another window.
+    fn probe_tenant(&self, tenant: &str) {
+        let Some(state) = self.tenant(tenant) else {
+            // Tenant disappeared while tripped; drop its breaker.
+            self.breakers.lock().remove(tenant);
+            return;
+        };
+        let healthy = state.client.list(ResourceKind::Namespace, None).is_ok();
+        {
+            let mut breakers = self.breakers.lock();
+            let Some(breaker) = breakers.get_mut(tenant) else { return };
+            if !matches!(breaker.phase, BreakerPhase::HalfOpen) {
+                return;
+            }
+            breaker.phase = if healthy {
+                // Counted under the lock so observers never see the closed
+                // phase before the counter reflects the recovery.
+                self.metrics.breaker_recoveries.inc();
+                BreakerPhase::Closed
+            } else {
+                BreakerPhase::Open { until: Instant::now() + self.config.breaker_open }
+            };
+            breaker.consecutive_failures = 0;
+        }
+        if !healthy {
+            return;
+        }
+        self.downward.resume_tenant(tenant);
+        let parked: Vec<WorkItem> = {
+            let mut parked = self.parked_upward.lock();
+            let (mine, rest): (HashSet<_>, HashSet<_>) =
+                parked.drain().partition(|i| i.tenant == tenant);
+            *parked = rest;
+            mine.into_iter().collect()
+        };
+        for item in parked {
+            self.upward.add(item);
+        }
+        self.metrics.breaker_recoveries.inc();
+        self.publish_tenant_condition(tenant, true, "Recovered", "half-open probe succeeded");
+        self.drain_dead_letters();
+    }
+
+    /// Parks an upward item while its tenant's breaker is open; replayed
+    /// by [`probe_tenant`](Self::probe_tenant) on recovery.
+    pub(crate) fn park_upward(&self, item: WorkItem) {
+        self.parked_upward.lock().insert(item);
+    }
+
+    /// Publishes the [`COND_SYNCER_HEALTHY`] condition on the tenant's VC
+    /// object in the super cluster (best-effort: the VC object may not
+    /// exist for registry-only tenants, e.g. in tests bypassing the
+    /// operator).
+    fn publish_tenant_condition(&self, tenant: &str, healthy: bool, reason: &str, message: &str) {
+        let _ = retry_on_conflict(3, || {
+            let fresh =
+                self.super_client.get(ResourceKind::CustomObject, VC_MANAGER_NAMESPACE, tenant)?;
+            let mut fresh: CustomObject = fresh.try_into()?;
+            let mut vc = VirtualCluster::from_custom_object(&fresh)?;
+            if !vc.status.set_condition(COND_SYNCER_HEALTHY, healthy, reason, message) {
+                return Ok(());
+            }
+            vc.write_into(&mut fresh);
+            self.super_client.update(fresh.into()).map(|_| ())
+        });
     }
 
     /// Attaches a tenant control plane: starts its informers and begins
@@ -478,8 +800,7 @@ impl Syncer {
             informers.insert(kind, informer);
         }
         self.downward.set_weight(&handle.name, handle.weight.max(1));
-        let state =
-            Arc::new(TenantState { handle: Arc::clone(&handle), informers, client });
+        let state = Arc::new(TenantState { handle: Arc::clone(&handle), informers, client });
         self.tenants.write().insert(handle.name.clone(), state);
 
         // Existing storage classes flow to the new tenant immediately.
@@ -505,6 +826,15 @@ impl Syncer {
         // The sub-queue may still hold items; they become no-ops once the
         // tenant is gone, so force removal after drain attempts.
         let _ = self.downward.remove_tenant(name);
+        // Drop all robustness state tied to the tenant: breaker, parked
+        // upward items and dead letters would otherwise leak.
+        self.breakers.lock().remove(name);
+        self.parked_upward.lock().retain(|i| i.tenant != name);
+        {
+            let mut dead = self.dead_letter.lock();
+            dead.retain(|i| i.tenant != name);
+            self.metrics.dead_letter_len.set(dead.len() as i64);
+        }
     }
 
     /// The registered tenants.
@@ -554,6 +884,10 @@ impl Syncer {
     /// the wall-clock duration.
     pub fn scan_all(&self) -> Duration {
         let start = std::time::Instant::now();
+        // Give dead-lettered items another chance before scanning: the
+        // scan re-derives mismatches from caches, so a re-queued item that
+        // is already in sync is a cheap no-op.
+        self.drain_dead_letters();
         let tenants: Vec<Arc<TenantState>> = self.tenants.read().values().cloned().collect();
 
         // Index super objects by owner once (kind -> tenant -> objects),
@@ -688,10 +1022,7 @@ impl Syncer {
                 self.phases.record_created(tenant, &obj.key());
             }
         }
-        self.downward.add(
-            tenant,
-            WorkItem { tenant: tenant.to_string(), kind, key: obj.key() },
-        );
+        self.downward.add(tenant, WorkItem { tenant: tenant.to_string(), kind, key: obj.key() });
     }
 
     fn on_super_event(&self, kind: ResourceKind, event: &InformerEvent) {
@@ -701,11 +1032,7 @@ impl Syncer {
             ResourceKind::StorageClass => {
                 // Broadcast to every tenant.
                 for tenant in self.tenants.read().keys() {
-                    self.upward.add(WorkItem {
-                        tenant: tenant.clone(),
-                        kind,
-                        key: obj.key(),
-                    });
+                    self.upward.add(WorkItem { tenant: tenant.clone(), kind, key: obj.key() });
                 }
             }
             _ => {
@@ -721,11 +1048,7 @@ impl Syncer {
                     // The Super-Sched phase ends when the super pod turns
                     // Ready.
                     if let Some(pod) = obj.as_pod() {
-                        if pod
-                            .status
-                            .condition(PodConditionType::Ready)
-                            .is_some_and(|c| c.status)
-                        {
+                        if pod.status.condition(PodConditionType::Ready).is_some_and(|c| c.status) {
                             if let Some(tenant_key) = self.tenant_key_for(&tenant, kind, &obj.key())
                             {
                                 self.phases.record_super_ready(&tenant, &tenant_key);

@@ -141,9 +141,7 @@ impl PhaseTracker {
                 let uws_deq = t.uws_dequeued?;
                 let uws_done = t.uws_done?;
                 let ms = |d: Duration| d.as_millis() as u64;
-                let span = |a: Instant, b: Instant| {
-                    ms(b.saturating_duration_since(a))
-                };
+                let span = |a: Instant, b: Instant| ms(b.saturating_duration_since(a));
                 Some(PodPhases {
                     phases: [
                         span(created, dws_deq),
@@ -204,7 +202,12 @@ pub fn mean_phases(report: &[PodPhases]) -> [f64; 5] {
 
 /// Buckets one phase's durations by `width_ms` over `buckets` buckets,
 /// counting overflow into the last bucket (the paper's Table I layout).
-pub fn phase_buckets(report: &[PodPhases], phase: Phase, width_ms: u64, buckets: usize) -> Vec<usize> {
+pub fn phase_buckets(
+    report: &[PodPhases],
+    phase: Phase,
+    width_ms: u64,
+    buckets: usize,
+) -> Vec<usize> {
     let index = Phase::ALL.iter().position(|p| *p == phase).expect("known phase");
     let mut counts = vec![0usize; buckets];
     for pod in report {

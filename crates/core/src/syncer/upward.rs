@@ -4,7 +4,7 @@
 //! statuses (creating vNodes as needed), service statuses, events,
 //! persistent volumes and storage classes.
 
-use super::{Syncer, TenantState, WorkItem};
+use super::{Syncer, TenantHealth, TenantState, WorkItem};
 use crate::mapping;
 use std::sync::Arc;
 use vc_api::object::{Object, ResourceKind};
@@ -14,6 +14,13 @@ use vc_controllers::util::retry_on_conflict;
 /// Reconciles one upward work item.
 pub(crate) fn reconcile(syncer: &Syncer, item: &WorkItem) {
     let Some(tenant) = syncer.tenant(&item.tenant) else { return };
+    // A tripped breaker means the tenant apiserver is unreachable: park
+    // the item instead of burning the worker on doomed requests. The
+    // half-open probe replays parked items on recovery.
+    if syncer.tenant_health(&item.tenant) == Some(TenantHealth::Degraded) {
+        syncer.park_upward(item.clone());
+        return;
+    }
     match item.kind {
         ResourceKind::Pod => pod(syncer, &tenant, item),
         ResourceKind::Service => service(syncer, &tenant, item),
@@ -27,8 +34,7 @@ pub(crate) fn reconcile(syncer: &Syncer, item: &WorkItem) {
 
 fn pod(syncer: &Syncer, tenant: &Arc<TenantState>, item: &WorkItem) {
     let Some(super_cache) = syncer.super_cache(ResourceKind::Pod) else { return };
-    let Some(tenant_key) = syncer.tenant_key_for(&item.tenant, ResourceKind::Pod, &item.key)
-    else {
+    let Some(tenant_key) = syncer.tenant_key_for(&item.tenant, ResourceKind::Pod, &item.key) else {
         return;
     };
     let Some((tenant_ns, tenant_name)) = split_key(&tenant_key) else { return };
@@ -40,13 +46,13 @@ fn pod(syncer: &Syncer, tenant: &Arc<TenantState>, item: &WorkItem) {
             // the same incarnation the super copy mirrored.
             let expected_uid = syncer.recent_super_deletions.lock().remove(&item.key);
             if let Ok(existing) = tenant.client.get(ResourceKind::Pod, tenant_ns, tenant_name) {
-                let same_incarnation = expected_uid
-                    .as_deref()
-                    .is_none_or(|uid| uid == existing.meta().uid.as_str());
-                if same_incarnation && !existing.meta().is_terminating() {
-                    if tenant.client.delete(ResourceKind::Pod, tenant_ns, tenant_name).is_ok() {
-                        syncer.metrics.upward_deletes.inc();
-                    }
+                let same_incarnation =
+                    expected_uid.as_deref().is_none_or(|uid| uid == existing.meta().uid.as_str());
+                if same_incarnation
+                    && !existing.meta().is_terminating()
+                    && tenant.client.delete(ResourceKind::Pod, tenant_ns, tenant_name).is_ok()
+                {
+                    syncer.metrics.upward_deletes.inc();
                 }
             }
             syncer.vnodes.release(&tenant.handle, &item.key);
@@ -94,11 +100,13 @@ fn pod(syncer: &Syncer, tenant: &Arc<TenantState>, item: &WorkItem) {
             match result {
                 Ok(true) => {
                     syncer.metrics.upward_updates.inc();
+                    syncer.note_tenant_ok(&item.tenant);
                     if super_pod.status.is_ready() {
                         syncer.phases.record_uws_done(&item.tenant, &tenant_key);
                     }
                 }
                 Ok(false) => {
+                    syncer.note_tenant_ok(&item.tenant);
                     if super_pod.status.is_ready() {
                         // Someone already wrote it; still complete the
                         // timeline.
@@ -109,6 +117,7 @@ fn pod(syncer: &Syncer, tenant: &Arc<TenantState>, item: &WorkItem) {
                     if e.is_conflict() {
                         syncer.metrics.conflicts.inc();
                     }
+                    syncer.note_tenant_error(&item.tenant, &e);
                     syncer.upward.add(item.clone());
                 }
             }
@@ -142,8 +151,18 @@ fn service(syncer: &Syncer, tenant: &Arc<TenantState>, item: &WorkItem) {
         fresh.status = status.clone();
         tenant.client.update(fresh.into()).map(|_| true)
     });
-    if matches!(result, Ok(true)) {
-        syncer.metrics.upward_updates.inc();
+    match result {
+        Ok(true) => {
+            syncer.metrics.upward_updates.inc();
+            syncer.note_tenant_ok(&item.tenant);
+        }
+        Ok(false) => syncer.note_tenant_ok(&item.tenant),
+        Err(e) => {
+            syncer.note_tenant_error(&item.tenant, &e);
+            if e.is_retriable() {
+                syncer.upward.add(item.clone());
+            }
+        }
     }
 }
 
@@ -162,9 +181,13 @@ fn event(syncer: &Syncer, tenant: &Arc<TenantState>, item: &WorkItem) {
     copy.meta.uid = Default::default();
     copy.involved_object.namespace = tenant_ns;
     match tenant.client.create(copy.into()) {
-        Ok(_) => syncer.metrics.upward_updates.inc(),
-        Err(e) if e.is_already_exists() => {}
-        Err(_) => {}
+        Ok(_) => {
+            syncer.metrics.upward_updates.inc();
+            syncer.note_tenant_ok(&item.tenant);
+        }
+        Err(e) if e.is_already_exists() => syncer.note_tenant_ok(&item.tenant),
+        // Events are best-effort: record the outage but drop the item.
+        Err(e) => syncer.note_tenant_error(&item.tenant, &e),
     }
 }
 
@@ -213,8 +236,18 @@ fn claim_status(syncer: &Syncer, tenant: &Arc<TenantState>, item: &WorkItem) {
         fresh.volume_name = volume_name.clone();
         tenant.client.update(fresh.into()).map(|_| true)
     });
-    if matches!(result, Ok(true)) {
-        syncer.metrics.upward_updates.inc();
+    match result {
+        Ok(true) => {
+            syncer.metrics.upward_updates.inc();
+            syncer.note_tenant_ok(&item.tenant);
+        }
+        Ok(false) => syncer.note_tenant_ok(&item.tenant),
+        Err(e) => {
+            syncer.note_tenant_error(&item.tenant, &e);
+            if e.is_retriable() {
+                syncer.upward.add(item.clone());
+            }
+        }
     }
 }
 
@@ -238,7 +271,10 @@ fn upsert(syncer: &Syncer, tenant: &Arc<TenantState>, obj: Object) {
     let kind = obj.kind();
     let meta = obj.meta().clone();
     match tenant.client.create(obj.clone()) {
-        Ok(_) => syncer.metrics.upward_updates.inc(),
+        Ok(_) => {
+            syncer.metrics.upward_updates.inc();
+            syncer.note_tenant_ok(&tenant.handle.name);
+        }
         Err(e) if e.is_already_exists() => {
             let result = retry_on_conflict(3, || {
                 let fresh = tenant.client.get(kind, &meta.namespace, &meta.name)?;
@@ -249,11 +285,16 @@ fn upsert(syncer: &Syncer, tenant: &Arc<TenantState>, obj: Object) {
                 updated.meta_mut().resource_version = fresh.meta().resource_version;
                 tenant.client.update(updated).map(|_| true)
             });
-            if matches!(result, Ok(true)) {
-                syncer.metrics.upward_updates.inc();
+            match result {
+                Ok(true) => {
+                    syncer.metrics.upward_updates.inc();
+                    syncer.note_tenant_ok(&tenant.handle.name);
+                }
+                Ok(false) => syncer.note_tenant_ok(&tenant.handle.name),
+                Err(e) => syncer.note_tenant_error(&tenant.handle.name, &e),
             }
         }
-        Err(_) => {}
+        Err(e) => syncer.note_tenant_error(&tenant.handle.name, &e),
     }
 }
 

@@ -72,14 +72,11 @@ impl VNodeManager {
     /// Releases `super_pod_key`'s binding; removes the vNode when it was
     /// the last pod.
     pub fn release(&self, tenant: &Arc<TenantHandle>, super_pod_key: &str) {
-        let node = match self
-            .pod_nodes
-            .lock()
-            .remove(&(tenant.name.clone(), super_pod_key.to_string()))
-        {
-            Some(node) => node,
-            None => return,
-        };
+        let node =
+            match self.pod_nodes.lock().remove(&(tenant.name.clone(), super_pod_key.to_string())) {
+                Some(node) => node,
+                None => return,
+            };
         let now_empty = {
             let mut bindings = self.bindings.lock();
             let key = (tenant.name.clone(), node.clone());
@@ -105,10 +102,7 @@ impl VNodeManager {
 
     /// Number of pods bound to `(tenant, node)`.
     pub fn binding_count(&self, tenant: &str, node: &str) -> usize {
-        self.bindings
-            .lock()
-            .get(&(tenant.to_string(), node.to_string()))
-            .map_or(0, |s| s.len())
+        self.bindings.lock().get(&(tenant.to_string(), node.to_string())).map_or(0, |s| s.len())
     }
 
     /// Broadcasts physical-node heartbeats to every tenant vNode.
@@ -149,7 +143,11 @@ impl VNodeManager {
             }
             None => Node::new(
                 node_name,
-                vc_api::quantity::resource_list(&[("cpu", "96"), ("memory", "328Gi"), ("pods", "500")]),
+                vc_api::quantity::resource_list(&[
+                    ("cpu", "96"),
+                    ("memory", "328Gi"),
+                    ("pods", "500"),
+                ]),
             )
             .as_vnode_of(node_name),
         };

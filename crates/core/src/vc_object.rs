@@ -6,7 +6,7 @@
 //! administrator — "tenants are disallowed to access the super cluster".
 
 use serde::{Deserialize, Serialize};
-use vc_api::crd::CustomObject;
+use vc_api::crd::{Condition, CustomObject};
 use vc_api::error::{ApiError, ApiResult};
 use vc_api::meta::ObjectMeta;
 
@@ -16,6 +16,11 @@ pub const VC_MANAGER_NAMESPACE: &str = "vc-manager";
 
 /// Kind string of the VC custom resource.
 pub const VC_KIND: &str = "VirtualCluster";
+
+/// Condition type the syncer's per-tenant circuit breaker publishes on VC
+/// objects: `status = true` while downward/upward synchronization for the
+/// tenant is healthy, `false` while the breaker holds the tenant Degraded.
+pub const COND_SYNCER_HEALTHY: &str = "SyncerHealthy";
 
 /// How the tenant control plane is provisioned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -82,6 +87,29 @@ pub struct VirtualClusterStatus {
     pub kubeconfig_secret: String,
     /// Namespace prefix used for this tenant in the super cluster.
     pub namespace_prefix: String,
+    /// Typed conditions (e.g. [`COND_SYNCER_HEALTHY`]).
+    pub conditions: Vec<Condition>,
+}
+
+impl VirtualClusterStatus {
+    /// Upserts a condition by type; returns `true` if the status changed.
+    pub fn set_condition(
+        &mut self,
+        condition_type: &str,
+        status: bool,
+        reason: &str,
+        message: &str,
+    ) -> bool {
+        Condition::upsert(
+            &mut self.conditions,
+            Condition::new(condition_type, status, reason, message),
+        )
+    }
+
+    /// Looks up a condition by type.
+    pub fn condition(&self, condition_type: &str) -> Option<&Condition> {
+        Condition::find(&self.conditions, condition_type)
+    }
 }
 
 /// Typed view of a VC custom object.
@@ -180,6 +208,21 @@ mod tests {
             VirtualCluster::from_custom_object(&obj).unwrap().status.phase,
             VcPhase::Running
         );
+    }
+
+    #[test]
+    fn conditions_roundtrip_and_upsert() {
+        let mut vc = VirtualCluster::default();
+        assert!(vc.status.set_condition(COND_SYNCER_HEALTHY, false, "BreakerOpen", "outage"));
+        let obj = vc.clone().into_custom_object("t");
+        let back = VirtualCluster::from_custom_object(&obj).unwrap();
+        let cond = back.status.condition(COND_SYNCER_HEALTHY).unwrap();
+        assert!(!cond.status);
+        assert_eq!(cond.reason, "BreakerOpen");
+        // Upserting the same type replaces rather than appends.
+        vc.status.set_condition(COND_SYNCER_HEALTHY, true, "Recovered", "probe ok");
+        assert_eq!(vc.status.conditions.len(), 1);
+        assert!(vc.status.condition(COND_SYNCER_HEALTHY).unwrap().status);
     }
 
     #[test]

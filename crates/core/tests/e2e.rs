@@ -53,10 +53,7 @@ fn tenant_pod_runs_end_to_end() {
     let super_client = fw.super_client("admin");
     let super_ns = format!("{prefix}-default");
     let super_pod = super_client.get(ResourceKind::Pod, &super_ns, "web-0").unwrap();
-    assert_eq!(
-        super_pod.meta().annotations["virtualcluster.io/cluster"],
-        "tenant-a"
-    );
+    assert_eq!(super_pod.meta().annotations["virtualcluster.io/cluster"], "tenant-a");
 
     fw.shutdown();
 }

@@ -32,10 +32,7 @@ fn hibernate_releases_cache_memory() {
     let before = fw.syncer.cache_bytes();
     assert!(fw.syncer.hibernate_tenant("sleepy"));
     let after = fw.syncer.cache_bytes();
-    assert!(
-        after < before,
-        "hibernation must release tenant informer caches: {before} -> {after}"
-    );
+    assert!(after < before, "hibernation must release tenant informer caches: {before} -> {after}");
     assert_eq!(fw.syncer.hibernated_tenants(), vec!["sleepy".to_string()]);
     // Unknown tenants and double-hibernation report false.
     assert!(!fw.syncer.hibernate_tenant("sleepy"));
@@ -67,10 +64,7 @@ fn wake_resumes_synchronization() {
     std::thread::sleep(Duration::from_millis(400));
     let prefix = fw.registry.get("napper").unwrap().prefix.clone();
     let super_ns = format!("{prefix}-default");
-    assert!(fw
-        .super_client("admin")
-        .get(ResourceKind::Pod, &super_ns, "while-asleep")
-        .is_err());
+    assert!(fw.super_client("admin").get(ResourceKind::Pod, &super_ns, "while-asleep").is_err());
 
     // ...until the tenant wakes: the initial re-list catches up.
     let wake = fw.syncer.wake_tenant("napper").expect("was hibernated");

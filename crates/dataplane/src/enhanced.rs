@@ -297,10 +297,8 @@ fn handle_pod(
     }
 
     // Find the pod's sandbox (kubelet may not have created it yet).
-    let sandbox = kata
-        .list_pod_sandboxes()
-        .into_iter()
-        .find(|s| s.config.pod_uid == pod.meta.uid.as_str());
+    let sandbox =
+        kata.list_pod_sandboxes().into_iter().find(|s| s.config.pod_uid == pod.meta.uid.as_str());
     let Some(sandbox) = sandbox else {
         return true; // requeue until the sandbox appears
     };
@@ -317,19 +315,16 @@ fn handle_pod(
     }
     metrics.inject_latency.observe(start.elapsed());
 
-    tracked.lock().insert(
-        key.to_string(),
-        Tracked { agent, namespace: pod.meta.namespace.clone() },
-    );
+    tracked
+        .lock()
+        .insert(key.to_string(), Tracked { agent, namespace: pod.meta.namespace.clone() });
 
     // Open the init-container gate.
     let gated = retry_on_conflict(5, || {
         let fresh = client.get(ResourceKind::Pod, &pod.meta.namespace, &pod.meta.name)?;
         let mut fresh: Pod = fresh.try_into()?;
         let now = client.server().clock().now();
-        fresh
-            .status
-            .set_condition(PodConditionType::RoutesInjected, true, "RoutesInjected", now);
+        fresh.status.set_condition(PodConditionType::RoutesInjected, true, "RoutesInjected", now);
         client.update(fresh.into()).map(|_| ())
     });
     if gated.is_ok() {
@@ -344,11 +339,8 @@ fn propagate_rules(
     tracked: &Mutex<HashMap<String, Tracked>>,
     metrics: &EnhancedKubeProxyMetrics,
 ) {
-    let snapshot: Vec<(Arc<KataAgent>, String)> = tracked
-        .lock()
-        .values()
-        .map(|t| (Arc::clone(&t.agent), t.namespace.clone()))
-        .collect();
+    let snapshot: Vec<(Arc<KataAgent>, String)> =
+        tracked.lock().values().map(|t| (Arc::clone(&t.agent), t.namespace.clone())).collect();
     for (agent, namespace) in snapshot {
         let desired = desired_rules(service_cache, endpoints_cache, Some(&namespace));
         if !desired.is_empty() {
@@ -401,21 +393,15 @@ mod tests {
         node: &str,
         ip: &str,
     ) -> Pod {
-        let mut pod = Pod::new(ns, name)
-            .with_container(Container::new("app", "img"))
-            .with_kata_runtime();
+        let mut pod =
+            Pod::new(ns, name).with_container(Container::new("app", "img")).with_kata_runtime();
         pod.spec.node_name = node.into();
         pod.status.phase = PodPhase::Running;
         pod.status.pod_ip = ip.into();
         let created = user.create(pod.into()).unwrap();
         let pod: Pod = created.try_into().unwrap();
-        kata.run_pod_sandbox(SandboxConfig::new(
-            ns,
-            name,
-            pod.meta.uid.as_str().to_string(),
-            ip,
-        ))
-        .unwrap();
+        kata.run_pod_sandbox(SandboxConfig::new(ns, name, pod.meta.uid.as_str().to_string(), ip))
+            .unwrap();
         pod
     }
 
@@ -462,13 +448,15 @@ mod tests {
             Some(("172.20.0.9".to_string(), 5432))
         );
         let fresh = user.get(ResourceKind::Pod, "default", "client").unwrap();
-        assert!(fresh
-            .as_pod()
-            .unwrap()
-            .status
-            .condition(PodConditionType::RoutesInjected)
-            .unwrap()
-            .status);
+        assert!(
+            fresh
+                .as_pod()
+                .unwrap()
+                .status
+                .condition(PodConditionType::RoutesInjected)
+                .unwrap()
+                .status
+        );
         assert!(metrics.inject_latency.count() >= 1);
         handle.stop();
     }

@@ -36,8 +36,7 @@ pub fn desired_rules(
             continue;
         }
         let endpoints_key = obj.key();
-        let backends: HashMap<u16, Vec<(String, u16)>> = match endpoints_cache.get(&endpoints_key)
-        {
+        let backends: HashMap<u16, Vec<(String, u16)>> = match endpoints_cache.get(&endpoints_key) {
             Some(eps_obj) => {
                 let Some(eps) = eps_obj.as_endpoints() else { continue };
                 let mut by_port: HashMap<u16, Vec<(String, u16)>> = HashMap::new();
@@ -56,7 +55,7 @@ pub fn desired_rules(
             rules.push(NatRule::new(service.spec.cluster_ip.clone(), port.port, endpoints));
         }
     }
-    rules.sort_by(|a, b| a.key().cmp(&b.key()));
+    rules.sort_by_key(|r| r.key());
     rules
 }
 

@@ -184,10 +184,9 @@ impl PodNetwork {
             // Sandboxed VPC pod: only the guest's own table applies.
             (Some(guest), _) => guest.netfilter.resolve(dst_ip, port, selector),
             // Host-network pod: the node's host table applies.
-            (None, None) => state
-                .host_tables
-                .get(&src.node)
-                .and_then(|t| t.resolve(dst_ip, port, selector)),
+            (None, None) => {
+                state.host_tables.get(&src.node).and_then(|t| t.resolve(dst_ip, port, selector))
+            }
             // VPC pod without a guest (runc+ENI): bypasses the host stack
             // and has no private table — cluster IPs are unreachable.
             (None, Some(_)) => None,
@@ -219,12 +218,7 @@ impl PodNetwork {
             }
         }
 
-        Ok(Connection {
-            backend_pod: backend_key.clone(),
-            backend_ip,
-            backend_port,
-            via_service,
-        })
+        Ok(Connection { backend_pod: backend_key.clone(), backend_ip, backend_port, via_service })
     }
 }
 
@@ -243,7 +237,13 @@ mod tests {
         });
     }
 
-    fn vpc_pod_with_guest(net: &PodNetwork, key: &str, ip: &str, node: &str, vpc: &str) -> Arc<GuestOs> {
+    fn vpc_pod_with_guest(
+        net: &PodNetwork,
+        key: &str,
+        ip: &str,
+        node: &str,
+        vpc: &str,
+    ) -> Arc<GuestOs> {
         // Build a guest via the kata runtime to reuse its construction.
         let rt = vc_runtime::KataRuntime::new(
             vc_runtime::KataConfig {
@@ -253,9 +253,7 @@ mod tests {
             vc_api::time::RealClock::shared(),
         );
         use vc_runtime::cri::ContainerRuntime;
-        let sb = rt
-            .run_pod_sandbox(vc_runtime::SandboxConfig::new("ns", key, key, ip))
-            .unwrap();
+        let sb = rt.run_pod_sandbox(vc_runtime::SandboxConfig::new("ns", key, key, ip)).unwrap();
         let guest = rt.guest(&sb).unwrap();
         net.register_pod(PodNetInfo {
             key: key.into(),
@@ -316,11 +314,7 @@ mod tests {
         let net = PodNetwork::new();
         let guest = vpc_pod_with_guest(&net, "ns/client", "172.20.0.1", "n1", "vpc-a");
         vpc_pod_with_guest(&net, "ns/server", "172.20.0.2", "n1", "vpc-a");
-        guest.netfilter.apply(&[NatRule::new(
-            "10.96.0.5",
-            80,
-            vec![("172.20.0.2".into(), 8080)],
-        )]);
+        guest.netfilter.apply(&[NatRule::new("10.96.0.5", 80, vec![("172.20.0.2".into(), 8080)])]);
         let conn = net.connect("ns/client", "10.96.0.5", 80, 0).unwrap();
         assert_eq!(conn.backend_pod, "ns/server");
         assert!(conn.via_service);

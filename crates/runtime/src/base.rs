@@ -63,10 +63,8 @@ impl BaseRuntime {
 
     pub fn stop_sandbox(&self, id: &SandboxId) -> ApiResult<()> {
         let mut tables = self.tables.lock();
-        let sandbox = tables
-            .sandboxes
-            .get_mut(id)
-            .ok_or_else(|| ApiError::not_found("PodSandbox", &id.0))?;
+        let sandbox =
+            tables.sandboxes.get_mut(id).ok_or_else(|| ApiError::not_found("PodSandbox", &id.0))?;
         sandbox.state = SandboxState::NotReady;
         for record in tables.containers.values_mut() {
             if &record.status.sandbox == id {
@@ -81,12 +79,14 @@ impl BaseRuntime {
 
     pub fn remove_sandbox(&self, id: &SandboxId) -> ApiResult<()> {
         let mut tables = self.tables.lock();
-        let sandbox = tables
-            .sandboxes
-            .get(id)
-            .ok_or_else(|| ApiError::not_found("PodSandbox", &id.0))?;
+        let sandbox =
+            tables.sandboxes.get(id).ok_or_else(|| ApiError::not_found("PodSandbox", &id.0))?;
         if sandbox.state == SandboxState::Ready {
-            return Err(ApiError::invalid("PodSandbox", &id.0, "sandbox is still ready; stop it first"));
+            return Err(ApiError::invalid(
+                "PodSandbox",
+                &id.0,
+                "sandbox is still ready; stop it first",
+            ));
         }
         tables.sandboxes.remove(id);
         tables.containers.retain(|_, r| &r.status.sandbox != id);
@@ -130,20 +130,17 @@ impl BaseRuntime {
             state: ContainerState::Created,
             started_at: None,
         };
-        tables.containers.insert(
-            id.clone(),
-            ContainerRecord { status, logs: Vec::new(), env: config.env },
-        );
+        tables
+            .containers
+            .insert(id.clone(), ContainerRecord { status, logs: Vec::new(), env: config.env });
         Ok(id)
     }
 
     pub fn start_container(&self, id: &ContainerId) -> ApiResult<()> {
         let now = self.clock.now();
         let mut tables = self.tables.lock();
-        let record = tables
-            .containers
-            .get_mut(id)
-            .ok_or_else(|| ApiError::not_found("Container", &id.0))?;
+        let record =
+            tables.containers.get_mut(id).ok_or_else(|| ApiError::not_found("Container", &id.0))?;
         if record.status.state != ContainerState::Created {
             return Err(ApiError::invalid(
                 "Container",
@@ -162,10 +159,8 @@ impl BaseRuntime {
 
     pub fn stop_container(&self, id: &ContainerId) -> ApiResult<()> {
         let mut tables = self.tables.lock();
-        let record = tables
-            .containers
-            .get_mut(id)
-            .ok_or_else(|| ApiError::not_found("Container", &id.0))?;
+        let record =
+            tables.containers.get_mut(id).ok_or_else(|| ApiError::not_found("Container", &id.0))?;
         if matches!(record.status.state, ContainerState::Running) {
             record.status.state = ContainerState::Exited(0);
             record.logs.push("container stopped".into());
@@ -175,10 +170,8 @@ impl BaseRuntime {
 
     pub fn remove_container(&self, id: &ContainerId) -> ApiResult<()> {
         let mut tables = self.tables.lock();
-        let record = tables
-            .containers
-            .get(id)
-            .ok_or_else(|| ApiError::not_found("Container", &id.0))?;
+        let record =
+            tables.containers.get(id).ok_or_else(|| ApiError::not_found("Container", &id.0))?;
         if matches!(record.status.state, ContainerState::Running) {
             return Err(ApiError::invalid("Container", &id.0, "container is running"));
         }
@@ -210,21 +203,16 @@ impl BaseRuntime {
 
     pub fn exec_sync(&self, id: &ContainerId, cmd: &[String]) -> ApiResult<crate::cri::ExecResult> {
         let mut tables = self.tables.lock();
-        let record = tables
-            .containers
-            .get_mut(id)
-            .ok_or_else(|| ApiError::not_found("Container", &id.0))?;
+        let record =
+            tables.containers.get_mut(id).ok_or_else(|| ApiError::not_found("Container", &id.0))?;
         if record.status.state != ContainerState::Running {
             return Err(ApiError::invalid("Container", &id.0, "container is not running"));
         }
         // Simulated shell: `env` dumps environment, everything else echoes.
         let stdout = match cmd.first().map(String::as_str) {
-            Some("env") => record
-                .env
-                .iter()
-                .map(|(k, v)| format!("{k}={v}"))
-                .collect::<Vec<_>>()
-                .join("\n"),
+            Some("env") => {
+                record.env.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join("\n")
+            }
             Some("hostname") => record.status.sandbox.0.clone(),
             _ => cmd.join(" "),
         };

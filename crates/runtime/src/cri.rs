@@ -188,8 +188,11 @@ pub trait ContainerRuntime: Send + Sync + fmt::Debug {
     /// # Errors
     ///
     /// `NotFound` for unknown sandboxes, `Invalid` for stopped ones.
-    fn create_container(&self, sandbox: &SandboxId, config: ContainerConfig)
-        -> ApiResult<ContainerId>;
+    fn create_container(
+        &self,
+        sandbox: &SandboxId,
+        config: ContainerConfig,
+    ) -> ApiResult<ContainerId>;
 
     /// Starts a created container.
     ///

@@ -82,8 +82,7 @@ impl KataAgent {
     /// Blocks for the simulated gRPC + iptables-update cost.
     pub fn inject_rules(&self, rules: &[NatRule]) {
         self.rpcs.inc();
-        self.clock
-            .sleep(self.latency.rpc_base + self.latency.per_rule_inject * rules.len() as u32);
+        self.clock.sleep(self.latency.rpc_base + self.latency.per_rule_inject * rules.len() as u32);
         self.guest.netfilter.apply(rules);
     }
 
@@ -99,8 +98,7 @@ impl KataAgent {
     pub fn list_rules(&self) -> Vec<NatRule> {
         self.rpcs.inc();
         let rules = self.guest.netfilter.list();
-        self.clock
-            .sleep(self.latency.rpc_base + self.latency.per_rule_scan * rules.len() as u32);
+        self.clock.sleep(self.latency.rpc_base + self.latency.per_rule_scan * rules.len() as u32);
         rules
     }
 
@@ -153,10 +151,13 @@ impl Default for KataConfig {
 pub struct KataRuntime {
     base: BaseRuntime,
     config: KataConfig,
-    guests: Mutex<HashMap<SandboxId, (Arc<GuestOs>, Arc<KataAgent>)>>,
+    guests: Mutex<HashMap<SandboxId, GuestVm>>,
     /// Sandboxes booted.
     pub vms_booted: Counter,
 }
+
+/// One booted sandbox VM: its guest OS plus the in-guest agent.
+type GuestVm = (Arc<GuestOs>, Arc<KataAgent>);
 
 impl KataRuntime {
     /// Creates a Kata runtime.
@@ -258,7 +259,6 @@ impl ContainerRuntime for KataRuntime {
         self.guests.lock().get(sandbox).map(|(_, a)| Arc::clone(a))
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -94,7 +94,7 @@ impl NetfilterTable {
     /// Snapshot of all rules, sorted by key.
     pub fn list(&self) -> Vec<NatRule> {
         let mut rules: Vec<NatRule> = self.rules.read().values().cloned().collect();
-        rules.sort_by(|a, b| a.key().cmp(&b.key()));
+        rules.sort_by_key(|r| r.key());
         rules
     }
 
@@ -160,7 +160,10 @@ mod tests {
     #[test]
     fn remove_and_flush() {
         let t = NetfilterTable::new();
-        t.apply(&[rule("10.0.0.1", 80, &[("1.1.1.1", 1)]), rule("10.0.0.2", 80, &[("2.2.2.2", 2)])]);
+        t.apply(&[
+            rule("10.0.0.1", 80, &[("1.1.1.1", 1)]),
+            rule("10.0.0.2", 80, &[("2.2.2.2", 2)]),
+        ]);
         assert!(t.remove("10.0.0.1", 80));
         assert!(!t.remove("10.0.0.1", 80));
         assert_eq!(t.len(), 1);

@@ -190,7 +190,11 @@ impl Store {
     ///
     /// [`ApiError::NotFound`] if absent, [`ApiError::Conflict`] on a failed
     /// compare-and-swap.
-    pub fn update(&self, mut obj: Object, expected_revision: Option<u64>) -> ApiResult<Arc<Object>> {
+    pub fn update(
+        &self,
+        mut obj: Object,
+        expected_revision: Option<u64>,
+    ) -> ApiResult<Arc<Object>> {
         let mut inner = self.inner.lock();
         let key = ObjectKey::of(&obj);
         let current = inner
@@ -203,7 +207,9 @@ impl Store {
                 return Err(ApiError::conflict(
                     key.kind.as_str(),
                     key.key,
-                    format!("the object has been modified (expected rv {expected}, actual {actual})"),
+                    format!(
+                        "the object has been modified (expected rv {expected}, actual {actual})"
+                    ),
                 ));
             }
         }
@@ -224,10 +230,8 @@ impl Store {
     pub fn delete(&self, kind: ResourceKind, key: &str) -> ApiResult<Arc<Object>> {
         let mut inner = self.inner.lock();
         let okey = ObjectKey::new(kind, key);
-        let removed = inner
-            .objects
-            .remove(&okey)
-            .ok_or_else(|| ApiError::not_found(kind.as_str(), key))?;
+        let removed =
+            inner.objects.remove(&okey).ok_or_else(|| ApiError::not_found(kind.as_str(), key))?;
         inner.revision += 1;
         self.writes.inc();
         self.publish(&mut inner, EventType::Deleted, Arc::clone(&removed));

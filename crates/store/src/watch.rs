@@ -47,8 +47,7 @@ impl WatcherHandle {
         let (sender, receiver) = bounded(buffer);
         let alive = Arc::new(());
         let token = Arc::clone(&alive);
-        let stream =
-            WatchStream { receiver, peeked: parking_lot::Mutex::new(None), _token: token };
+        let stream = WatchStream { receiver, peeked: parking_lot::Mutex::new(None), _token: token };
         (WatcherHandle { kind, namespace, sender, alive }, stream)
     }
 

@@ -57,11 +57,8 @@ fn main() {
 
     // Each shard only carries its own tenants' pods.
     for shard in multi.shards() {
-        let (pods, _) = shard
-            .cluster
-            .system_client("observer")
-            .list(ResourceKind::Pod, None)
-            .unwrap();
+        let (pods, _) =
+            shard.cluster.system_client("observer").list(ResourceKind::Pod, None).unwrap();
         println!("super cluster {} runs {} pods", shard.index, pods.len());
     }
     println!("\ntenants never see shard boundaries — 'the users would not be aware of multiple super clusters' (paper §V).");

@@ -39,7 +39,11 @@ fn run(fair: bool) -> (f64, f64) {
         scope.spawn(move || {
             for i in 0..GREEDY_PODS {
                 greedy
-                    .create(Pod::new("default", format!("g{i}")).with_container(Container::new("c", "img")).into())
+                    .create(
+                        Pod::new("default", format!("g{i}"))
+                            .with_container(Container::new("c", "img"))
+                            .into(),
+                    )
                     .unwrap();
             }
         });
@@ -48,7 +52,11 @@ fn run(fair: bool) -> (f64, f64) {
             scope.spawn(move || {
                 for p in 0..REGULAR_PODS {
                     regular
-                        .create(Pod::new("default", format!("r{p}")).with_container(Container::new("c", "img")).into())
+                        .create(
+                            Pod::new("default", format!("r{p}"))
+                                .with_container(Container::new("c", "img"))
+                                .into(),
+                        )
                         .unwrap();
                     std::thread::sleep(Duration::from_millis(50));
                 }
@@ -63,7 +71,9 @@ fn run(fair: bool) -> (f64, f64) {
             .map(|c| {
                 c.list(ResourceKind::Pod, Some("default"))
                     .map(|(pods, _)| {
-                        pods.iter().filter(|p| p.as_pod().is_some_and(|p| p.status.is_ready())).count()
+                        pods.iter()
+                            .filter(|p| p.as_pod().is_some_and(|p| p.status.is_ready()))
+                            .count()
                     })
                     .unwrap_or(0)
             })
@@ -78,14 +88,14 @@ fn run(fair: bool) -> (f64, f64) {
             .filter_map(|o| {
                 let pod = o.as_pod()?;
                 let ready = pod.status.condition(PodConditionType::Ready)?;
-                Some(ready.last_transition.duration_since(pod.meta.creation_timestamp).as_millis() as f64)
+                Some(ready.last_transition.duration_since(pod.meta.creation_timestamp).as_millis()
+                    as f64)
             })
             .collect();
         lats.iter().sum::<f64>() / lats.len().max(1) as f64
     };
     let greedy_avg = avg(&clients[0]);
-    let regular_avg =
-        clients[1..].iter().map(avg).sum::<f64>() / 3.0;
+    let regular_avg = clients[1..].iter().map(avg).sum::<f64>() / 3.0;
     framework.shutdown();
     (greedy_avg, regular_avg)
 }
@@ -97,10 +107,18 @@ fn main() {
     );
 
     let (greedy_fair, regular_fair) = run(true);
-    println!("fair queuing ON  : greedy avg {:.1}s | regular avg {:.2}s", greedy_fair / 1000.0, regular_fair / 1000.0);
+    println!(
+        "fair queuing ON  : greedy avg {:.1}s | regular avg {:.2}s",
+        greedy_fair / 1000.0,
+        regular_fair / 1000.0
+    );
 
     let (greedy_fifo, regular_fifo) = run(false);
-    println!("fair queuing OFF : greedy avg {:.1}s | regular avg {:.2}s", greedy_fifo / 1000.0, regular_fifo / 1000.0);
+    println!(
+        "fair queuing OFF : greedy avg {:.1}s | regular avg {:.2}s",
+        greedy_fifo / 1000.0,
+        regular_fifo / 1000.0
+    );
 
     println!(
         "\nwith weighted round-robin dispatch, the regular tenants' pods were {:.1}x faster than under the shared FIFO.",

@@ -62,7 +62,9 @@ fn main() {
             )
             .expect("create service");
     }
-    println!("each tenant created Deployment(2 replicas) + Service — identical names, zero conflicts");
+    println!(
+        "each tenant created Deployment(2 replicas) + Service — identical names, zero conflicts"
+    );
 
     // Wait until every tenant's deployment is fully ready (pods run on the
     // shared super-cluster nodes).
@@ -107,7 +109,10 @@ fn main() {
     shared.apiserver.authorizer.enable();
     shared.apiserver.authorizer.bind("admin", PolicyRule::allow_all());
     // shop-a only gets its own namespace… but to FIND it, it needs list.
-    shared.apiserver.authorizer.bind("shop-a-user", PolicyRule::namespace_admin(&["shop-a-orders"]));
+    shared
+        .apiserver
+        .authorizer
+        .bind("shop-a-user", PolicyRule::namespace_admin(&["shop-a-orders"]));
     shared
         .apiserver
         .authorizer

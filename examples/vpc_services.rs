@@ -39,10 +39,7 @@ fn main() {
     let images = Arc::new(ImageStore::new(Duration::ZERO));
     framework
         .super_cluster
-        .add_node(
-            KubeletConfig::for_node(1),
-            KubeletMode::Cri { runc, kata: kata.clone(), images },
-        )
+        .add_node(KubeletConfig::for_node(1), KubeletMode::Cri { runc, kata: kata.clone(), images })
         .expect("add CRI node");
     println!("added worker node-1 with the Kata runtime");
 
@@ -108,10 +105,7 @@ fn main() {
     let kubelet = &framework.super_cluster.kubelets()[0];
     for name in ["db-0", "client-0"] {
         let super_key = format!("{super_ns}/{name}");
-        let pod = framework
-            .super_client("admin")
-            .get(ResourceKind::Pod, &super_ns, name)
-            .unwrap();
+        let pod = framework.super_client("admin").get(ResourceKind::Pod, &super_ns, name).unwrap();
         let (_, sandbox) = kubelet.lookup_sandbox(&super_key).expect("sandbox");
         network.register_pod(PodNetInfo {
             key: super_key,
@@ -125,7 +119,10 @@ fn main() {
     // 1. Through the guest rules the cluster IP works.
     let client_key = format!("{super_ns}/client-0");
     let conn = network.connect(&client_key, &cluster_ip, 5432, 0).expect("cluster IP routes");
-    println!("\nclient-0 -> {cluster_ip}:5432 resolved via guest iptables to {} ({})", conn.backend_ip, conn.backend_pod);
+    println!(
+        "\nclient-0 -> {cluster_ip}:5432 resolved via guest iptables to {} ({})",
+        conn.backend_ip, conn.backend_pod
+    );
 
     // 2. Without guest rules (the standard-kubeproxy world: rules only in
     //    the HOST iptables, which ENI traffic never traverses), the same
@@ -137,13 +134,14 @@ fn main() {
     println!("after flushing the guest table (standard kubeproxy scenario): {err}");
 
     // 3. The periodic reconciliation scan repairs the guest.
-    assert!(wait_until(Duration::from_secs(40), Duration::from_millis(200), || {
-        guest.netfilter.len() > 0
-            || network.connect(&client_key, &cluster_ip, 5432, 0).is_ok()
-    }) || {
-        // Force one scan if the interval has not elapsed.
-        true
-    });
+    assert!(
+        wait_until(Duration::from_secs(40), Duration::from_millis(200), || {
+            guest.netfilter.len() > 0 || network.connect(&client_key, &cluster_ip, 5432, 0).is_ok()
+        }) || {
+            // Force one scan if the interval has not elapsed.
+            true
+        }
+    );
     if network.connect(&client_key, &cluster_ip, 5432, 0).is_err() {
         // Trigger rule propagation by touching the service.
         let mut svc: Service =

@@ -11,7 +11,7 @@ use virtualcluster::api::namespace::Namespace;
 use virtualcluster::api::object::ResourceKind;
 use virtualcluster::api::pod::{Container, Pod};
 use virtualcluster::client::Client;
-use virtualcluster::controllers::util::wait_until;
+use virtualcluster::controllers::util::{retry_on_conflict, wait_until};
 use virtualcluster::controllers::{Cluster, ClusterConfig};
 use virtualcluster::core::framework::{Framework, FrameworkConfig};
 
@@ -25,15 +25,19 @@ fn run_api_battery(client: &Client, flavor: &str) {
     assert!(created.meta().resource_version > 0, "{flavor}: rv");
 
     // -- duplicate create conflicts --
-    let err = client
-        .create(Pod::new("default", "parity-a").into())
-        .unwrap_err();
+    let err = client.create(Pod::new("default", "parity-a").into()).unwrap_err();
     assert!(err.is_already_exists(), "{flavor}: duplicate");
 
     // -- optimistic concurrency --
-    let mut first: Pod = created.clone().try_into().unwrap();
-    first.meta.labels.insert("v".into(), "1".into());
-    let updated = client.update(first.into()).unwrap();
+    // Controllers (scheduler/kubelet) may bump the pod's revision
+    // concurrently, so update from a fresh read and tolerate benign races.
+    let updated = retry_on_conflict(5, || {
+        let mut first: Pod =
+            client.get(ResourceKind::Pod, "default", "parity-a").unwrap().try_into().unwrap();
+        first.meta.labels.insert("v".into(), "1".into());
+        client.update(first.into())
+    })
+    .unwrap();
     let mut stale: Pod = created.try_into().unwrap();
     stale.meta.labels.insert("v".into(), "2".into());
     assert!(client.update(stale.into()).unwrap_err().is_conflict(), "{flavor}: stale rv");
@@ -68,8 +72,7 @@ fn run_api_battery(client: &Client, flavor: &str) {
     client.create(tagged.into()).unwrap();
     let (all, _) = client.list(ResourceKind::Pod, Some("default")).unwrap();
     let selector = Selector::from_pairs(&[("app", "parity")]);
-    let matched: Vec<_> =
-        all.iter().filter(|o| selector.matches(&o.meta().labels)).collect();
+    let matched: Vec<_> = all.iter().filter(|o| selector.matches(&o.meta().labels)).collect();
     assert_eq!(matched.len(), 1, "{flavor}: selector");
 
     // -- list/watch handoff --

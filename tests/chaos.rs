@@ -1,11 +1,36 @@
 //! Failure injection: the syncer must converge despite watch evictions,
-//! informer re-lists and concurrent tenant churn.
+//! informer re-lists, concurrent tenant churn, seeded apiserver brownouts
+//! and scripted tenant-control-plane outages.
 
 use std::time::Duration;
 use virtualcluster::api::object::ResourceKind;
 use virtualcluster::api::pod::{Container, Pod};
+use virtualcluster::client::{FaultPolicy, FaultRule};
 use virtualcluster::controllers::util::wait_until;
 use virtualcluster::core::framework::{Framework, FrameworkConfig};
+use virtualcluster::core::syncer::TenantHealth;
+use virtualcluster::core::vc_object::{VirtualCluster, COND_SYNCER_HEALTHY, VC_MANAGER_NAMESPACE};
+
+/// Counts Ready pods in `default` for a tenant client.
+fn ready_pods(client: &virtualcluster::client::Client) -> usize {
+    client
+        .list(ResourceKind::Pod, Some("default"))
+        .map(|(pods, _)| {
+            pods.iter().filter(|p| p.as_pod().is_some_and(|p| p.status.is_ready())).count()
+        })
+        .unwrap_or(0)
+}
+
+/// Reads the `SyncerHealthy` condition status from a tenant's VC object.
+fn syncer_healthy_condition(fw: &Framework, tenant: &str) -> Option<bool> {
+    let obj = fw
+        .super_client("admin")
+        .get(ResourceKind::CustomObject, VC_MANAGER_NAMESPACE, tenant)
+        .ok()?;
+    let custom: virtualcluster::api::crd::CustomObject = obj.try_into().ok()?;
+    let vc = VirtualCluster::from_custom_object(&custom).ok()?;
+    vc.status.condition(COND_SYNCER_HEALTHY).map(|c| c.status)
+}
 
 #[test]
 fn survives_watch_evictions_under_burst() {
@@ -22,19 +47,19 @@ fn survives_watch_evictions_under_burst() {
 
     for i in 0..80 {
         tenant
-            .create(Pod::new("default", format!("c{i}")).with_container(Container::new("c", "i")).into())
+            .create(
+                Pod::new("default", format!("c{i}"))
+                    .with_container(Container::new("c", "i"))
+                    .into(),
+            )
             .unwrap();
     }
     assert!(
         wait_until(Duration::from_secs(120), Duration::from_millis(100), || {
-            tenant
-                .list(ResourceKind::Pod, Some("default"))
-                .is_ok_and(|(pods, _)| {
-                    pods.iter()
-                        .filter(|p| p.as_pod().is_some_and(|p| p.status.is_ready()))
-                        .count()
-                        == 80
-                })
+            tenant.list(ResourceKind::Pod, Some("default")).is_ok_and(|(pods, _)| {
+                pods.iter().filter(|p| p.as_pod().is_some_and(|p| p.status.is_ready())).count()
+                    == 80
+            })
         }),
         "burst must converge despite evictions"
     );
@@ -61,7 +86,11 @@ fn tenant_churn_during_load() {
         let churner = fw.tenant_client(&name, "user");
         for i in 0..5 {
             churner
-                .create(Pod::new("default", format!("p{i}")).with_container(Container::new("c", "i")).into())
+                .create(
+                    Pod::new("default", format!("p{i}"))
+                        .with_container(Container::new("c", "i"))
+                        .into(),
+                )
                 .unwrap();
             steady
                 .create(
@@ -76,12 +105,9 @@ fn tenant_churn_during_load() {
     }
     // The steady tenant's 15 pods all become ready.
     assert!(wait_until(Duration::from_secs(60), Duration::from_millis(100), || {
-        steady
-            .list(ResourceKind::Pod, Some("default"))
-            .is_ok_and(|(pods, _)| {
-                pods.iter().filter(|p| p.as_pod().is_some_and(|p| p.status.is_ready())).count()
-                    == 15
-            })
+        steady.list(ResourceKind::Pod, Some("default")).is_ok_and(|(pods, _)| {
+            pods.iter().filter(|p| p.as_pod().is_some_and(|p| p.status.is_ready())).count() == 15
+        })
     }));
     // No super-cluster object belongs to any deleted tenant.
     let super_client = fw.super_client("admin");
@@ -108,17 +134,222 @@ fn syncer_scan_disabled_still_converges_normally() {
     let tenant = fw.tenant_client("noscan", "user");
     for i in 0..10 {
         tenant
-            .create(Pod::new("default", format!("p{i}")).with_container(Container::new("c", "i")).into())
+            .create(
+                Pod::new("default", format!("p{i}"))
+                    .with_container(Container::new("c", "i"))
+                    .into(),
+            )
             .unwrap();
     }
     assert!(wait_until(Duration::from_secs(60), Duration::from_millis(100), || {
-        tenant
-            .list(ResourceKind::Pod, Some("default"))
-            .is_ok_and(|(pods, _)| {
-                pods.iter().filter(|p| p.as_pod().is_some_and(|p| p.status.is_ready())).count()
-                    == 10
-            })
+        tenant.list(ResourceKind::Pod, Some("default")).is_ok_and(|(pods, _)| {
+            pods.iter().filter(|p| p.as_pod().is_some_and(|p| p.status.is_ready())).count() == 10
+        })
     }));
     assert_eq!(fw.syncer.metrics.scans.get(), 0);
+    fw.shutdown();
+}
+
+#[test]
+fn converges_under_seeded_super_write_brownout() {
+    // A seeded 10% write-failure brownout on the super apiserver, scoped to
+    // the syncer's identity: every injected failure lands in the retry
+    // pipeline, and the backoff/budget machinery must still converge an
+    // 80-pod burst with zero dead letters.
+    let mut config = FrameworkConfig::minimal();
+    config.super_faults =
+        Some(FaultPolicy::new(42).with_rule(FaultRule::fail_writes(0.10).for_user("vc-syncer")));
+    let fw = Framework::start(config);
+    fw.create_tenant("brownout").unwrap();
+    let tenant = fw.tenant_client("brownout", "user");
+
+    for i in 0..80 {
+        tenant
+            .create(
+                Pod::new("default", format!("b{i}"))
+                    .with_container(Container::new("c", "i"))
+                    .into(),
+            )
+            .unwrap();
+    }
+    assert!(
+        wait_until(Duration::from_secs(120), Duration::from_millis(100), || {
+            ready_pods(&tenant) == 80
+        }),
+        "burst must converge despite a 10% super-apiserver write brownout"
+    );
+    assert!(
+        fw.syncer.metrics.retries.get() > 0,
+        "injected write failures must flow through the backoff retry pipeline"
+    );
+    assert_eq!(fw.syncer.dead_letter_len(), 0, "no item may exhaust its retry budget");
+    fw.shutdown();
+}
+
+#[test]
+fn tenant_blackout_trips_breaker_and_spares_healthy_tenant() {
+    // A full outage of one tenant's control plane (scoped to the syncer's
+    // identity) must trip that tenant's circuit breaker, while a second,
+    // healthy tenant keeps converging within its usual bounds. Clearing the
+    // faults must auto-recover the dark tenant via the half-open probe.
+    let mut config = FrameworkConfig::minimal();
+    config.syncer.breaker_open = Duration::from_millis(200);
+    let fw = Framework::start(config);
+    fw.create_tenant("dark").unwrap();
+    fw.create_tenant("bright").unwrap();
+    let dark = fw.tenant_client("dark", "user");
+    let bright = fw.tenant_client("bright", "user");
+
+    fw.inject_tenant_faults(
+        "dark",
+        &FaultPolicy::new(7).with_rule(FaultRule::fail_all().for_user("vc-syncer")),
+    );
+    for i in 0..10 {
+        dark.create(
+            Pod::new("default", format!("d{i}")).with_container(Container::new("c", "i")).into(),
+        )
+        .unwrap();
+        bright
+            .create(
+                Pod::new("default", format!("h{i}"))
+                    .with_container(Container::new("c", "i"))
+                    .into(),
+            )
+            .unwrap();
+    }
+
+    assert!(
+        wait_until(Duration::from_secs(30), Duration::from_millis(50), || {
+            fw.syncer.tenant_health("dark") == Some(TenantHealth::Degraded)
+        }),
+        "upward failures against the dark tenant must trip its breaker"
+    );
+    assert!(fw.syncer.metrics.breaker_trips.get() >= 1);
+    // The degraded tenant's VC object reports SyncerHealthy=false.
+    assert!(
+        wait_until(Duration::from_secs(10), Duration::from_millis(50), || {
+            syncer_healthy_condition(&fw, "dark") == Some(false)
+        }),
+        "breaker trip must surface as a SyncerHealthy=false condition"
+    );
+    // The healthy tenant keeps its fair-queue share: its pods still reach
+    // Ready while the dark tenant is paused.
+    assert!(
+        wait_until(Duration::from_secs(30), Duration::from_millis(100), || {
+            ready_pods(&bright) == 10
+        }),
+        "a blacked-out tenant must not stall healthy tenants"
+    );
+
+    // End the outage: the half-open probe must close the breaker, replay
+    // parked work and drain dead letters without manual intervention.
+    fw.clear_tenant_faults("dark");
+    assert!(
+        wait_until(Duration::from_secs(30), Duration::from_millis(50), || {
+            fw.syncer.tenant_health("dark") == Some(TenantHealth::Healthy)
+        }),
+        "breaker must auto-recover once the tenant apiserver is reachable"
+    );
+    assert!(fw.syncer.metrics.breaker_recoveries.get() >= 1);
+    assert!(
+        wait_until(Duration::from_secs(60), Duration::from_millis(100), || {
+            ready_pods(&dark) == 10 && fw.syncer.dead_letter_len() == 0
+        }),
+        "the recovered tenant must converge and the dead-letter set must drain"
+    );
+    assert!(
+        wait_until(Duration::from_secs(10), Duration::from_millis(50), || {
+            syncer_healthy_condition(&fw, "dark") == Some(true)
+        }),
+        "recovery must flip the SyncerHealthy condition back to true"
+    );
+    fw.shutdown();
+}
+
+#[test]
+fn breaker_recovers_after_scripted_fault_window() {
+    // A scripted outage window (rather than an explicit clear): the breaker
+    // trips inside the window and must recover on its own once the window
+    // expires, purely through half-open probing.
+    let mut config = FrameworkConfig::minimal();
+    config.syncer.breaker_threshold = 3;
+    config.syncer.breaker_open = Duration::from_millis(300);
+    let fw = Framework::start(config);
+    fw.create_tenant("windowed").unwrap();
+    let tenant = fw.tenant_client("windowed", "user");
+
+    fw.inject_tenant_faults(
+        "windowed",
+        &FaultPolicy::new(11).with_rule(
+            FaultRule::fail_all()
+                .for_user("vc-syncer")
+                .during(Duration::ZERO, Duration::from_secs(2)),
+        ),
+    );
+    for i in 0..8 {
+        tenant
+            .create(
+                Pod::new("default", format!("w{i}"))
+                    .with_container(Container::new("c", "i"))
+                    .into(),
+            )
+            .unwrap();
+    }
+    assert!(
+        wait_until(Duration::from_secs(10), Duration::from_millis(25), || {
+            fw.syncer.tenant_health("windowed") == Some(TenantHealth::Degraded)
+        }),
+        "the outage window must trip the breaker"
+    );
+    // No clear_tenant_faults: the window simply runs out.
+    assert!(
+        wait_until(Duration::from_secs(30), Duration::from_millis(50), || {
+            fw.syncer.tenant_health("windowed") == Some(TenantHealth::Healthy)
+        }),
+        "the breaker must auto-recover after the fault window expires"
+    );
+    assert!(fw.syncer.metrics.breaker_recoveries.get() >= 1);
+    assert!(
+        wait_until(Duration::from_secs(60), Duration::from_millis(100), || {
+            ready_pods(&tenant) == 8
+        }),
+        "all pods must reach Ready after the window"
+    );
+    fw.shutdown();
+}
+
+#[test]
+fn exhausted_retry_budget_dead_letters_then_scanner_drains() {
+    // With a zero retry budget and writes failing unconditionally, the
+    // first downward failure dead-letters the item and bumps
+    // retry_exhausted. Once the faults clear, the periodic scanner drains
+    // the dead-letter set and the pod still converges.
+    let mut config = FrameworkConfig::minimal();
+    config.syncer.retry_budget = 0;
+    let fw = Framework::start(config);
+    fw.create_tenant("dlq").unwrap();
+    let tenant = fw.tenant_client("dlq", "user");
+
+    fw.inject_super_faults(
+        &FaultPolicy::new(5).with_rule(FaultRule::fail_writes(1.0).for_user("vc-syncer")),
+    );
+    tenant
+        .create(Pod::new("default", "p0").with_container(Container::new("c", "i")).into())
+        .unwrap();
+    assert!(
+        wait_until(Duration::from_secs(30), Duration::from_millis(50), || {
+            fw.syncer.dead_letter_len() > 0
+        }),
+        "a budget-exhausted item must land in the dead-letter set"
+    );
+    assert!(fw.syncer.metrics.retry_exhausted.get() > 0);
+
+    fw.clear_super_faults();
+    assert!(
+        wait_until(Duration::from_secs(60), Duration::from_millis(100), || {
+            ready_pods(&tenant) == 1 && fw.syncer.dead_letter_len() == 0
+        }),
+        "the scanner must drain dead letters and converge once faults clear"
+    );
     fw.shutdown();
 }

@@ -116,9 +116,7 @@ fn tenant_namespace_deletion_drains_and_syncs() {
     let prefix = fw.registry.get("conf-nsdel").unwrap().prefix.clone();
     let super_client = fw.super_client("admin");
     assert!(wait_until(Duration::from_secs(30), Duration::from_millis(100), || {
-        super_client
-            .get(ResourceKind::Pod, &format!("{prefix}-scratch"), "tmp")
-            .is_err()
+        super_client.get(ResourceKind::Pod, &format!("{prefix}-scratch"), "tmp").is_err()
     }));
     fw.shutdown();
 }
@@ -168,7 +166,9 @@ fn known_conformance_exception_documented() {
     // it) carries the tenant prefix rather than the tenant's own
     // namespace name.
     let (fw, tenant) = framework_with_tenant("conf-subdomain");
-    tenant.create(Pod::new("default", "named").with_container(Container::new("c", "i")).into()).unwrap();
+    tenant
+        .create(Pod::new("default", "named").with_container(Container::new("c", "i")).into())
+        .unwrap();
     assert!(wait_until(Duration::from_secs(30), Duration::from_millis(50), || {
         tenant
             .get(ResourceKind::Pod, "default", "named")
@@ -176,9 +176,8 @@ fn known_conformance_exception_documented() {
     }));
     let prefix = fw.registry.get("conf-subdomain").unwrap().prefix.clone();
     let super_client = fw.super_client("admin");
-    let super_pod = super_client
-        .get(ResourceKind::Pod, &format!("{prefix}-default"), "named")
-        .unwrap();
+    let super_pod =
+        super_client.get(ResourceKind::Pod, &format!("{prefix}-default"), "named").unwrap();
     // The authoritative namespace (the hostname subdomain in real
     // Kubernetes) differs from the tenant's namespace — the one known
     // incompatibility.
@@ -203,9 +202,7 @@ fn tenant_storage_workflow_end_to_end() {
     };
     // The provider offers a storage class in the SUPER cluster; it flows
     // up to every tenant.
-    fw.super_client("admin")
-        .create(StorageClass::new("standard", "csi.sim/disk").into())
-        .unwrap();
+    fw.super_client("admin").create(StorageClass::new("standard", "csi.sim/disk").into()).unwrap();
     assert!(wait_until(Duration::from_secs(20), Duration::from_millis(50), || {
         tenant.get(ResourceKind::StorageClass, "", "standard").is_ok()
     }));

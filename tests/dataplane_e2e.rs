@@ -185,10 +185,8 @@ fn vn_agent_proxies_logs_and_exec_with_cert_identity() {
     assert!(agent.handle(&forged).unwrap_err().is_forbidden());
     let wrong_pod = VnAgentRequest { pod_name: "ghost".into(), ..logs_request.clone() };
     assert!(agent.handle(&wrong_pod).unwrap_err().is_not_found());
-    let wrong_container = VnAgentRequest {
-        op: KubeletOp::Logs { container: "nope".into() },
-        ..logs_request
-    };
+    let wrong_container =
+        VnAgentRequest { op: KubeletOp::Logs { container: "nope".into() }, ..logs_request };
     assert!(agent.handle(&wrong_container).unwrap_err().is_not_found());
     assert_eq!(agent.rejected.get(), 1);
 

@@ -133,8 +133,7 @@ fn namespace_list_leak_fixed_by_dedicated_control_planes() {
     fw.create_tenant("leak-a").unwrap();
     fw.create_tenant("leak-b").unwrap();
     fw.tenant_client("leak-b", "b").create(Namespace::new("b-sensitive").into()).unwrap();
-    let (visible, _) =
-        fw.tenant_client("leak-a", "a").list(ResourceKind::Namespace, None).unwrap();
+    let (visible, _) = fw.tenant_client("leak-a", "a").list(ResourceKind::Namespace, None).unwrap();
     assert!(visible.iter().all(|n| n.meta().name != "b-sensitive"));
     fw.shutdown();
 }
@@ -159,17 +158,12 @@ fn tenants_cannot_reach_the_super_cluster() {
         super_server.authorizer.bind(system_user, PolicyRule::allow_all());
     }
     for i in 1..=10 {
-        super_server
-            .authorizer
-            .bind(format!("system:kubelet:node-{i}"), PolicyRule::allow_all());
+        super_server.authorizer.bind(format!("system:kubelet:node-{i}"), PolicyRule::allow_all());
     }
     // A tenant identity has no super-cluster bindings at all.
     let intruder = fw.super_client("locked-tenant-user");
     assert!(intruder.list(ResourceKind::Pod, None).unwrap_err().is_forbidden());
-    assert!(intruder
-        .create(Pod::new("default", "backdoor").into())
-        .unwrap_err()
-        .is_forbidden());
+    assert!(intruder.create(Pod::new("default", "backdoor").into()).unwrap_err().is_forbidden());
     fw.shutdown();
 }
 

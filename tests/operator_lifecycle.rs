@@ -64,10 +64,7 @@ fn cloud_mode_pays_provisioning_latency() {
 fn custom_weight_reaches_the_fair_queue() {
     let fw = Framework::start(FrameworkConfig::minimal());
     let handle = fw
-        .create_tenant_with_spec(
-            "heavy",
-            VirtualClusterSpec { weight: 5, ..Default::default() },
-        )
+        .create_tenant_with_spec("heavy", VirtualClusterSpec { weight: 5, ..Default::default() })
         .unwrap();
     assert_eq!(handle.weight, 5);
     fw.shutdown();
@@ -99,9 +96,7 @@ fn teardown_cleans_everything() {
     assert!(super_client
         .get(ResourceKind::Secret, VC_MANAGER_NAMESPACE, "doomed-kubeconfig")
         .is_err());
-    assert!(super_client
-        .get(ResourceKind::CustomObject, VC_MANAGER_NAMESPACE, "doomed")
-        .is_err());
+    assert!(super_client.get(ResourceKind::CustomObject, VC_MANAGER_NAMESPACE, "doomed").is_err());
     fw.shutdown();
 }
 

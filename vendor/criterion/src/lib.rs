@@ -1,0 +1,138 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Runs each registered benchmark for a fixed wall-clock budget and prints
+//! mean time per iteration. No statistics, plots or comparisons — just
+//! enough to keep `cargo bench` runnable and the bench sources compiling.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+/// Identifier for a parameterized benchmark case.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and parameter value.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { text: format!("{name}/{parameter}") }
+    }
+
+    /// Creates an id from just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Total time spent inside `iter` bodies.
+    elapsed: Duration,
+    /// Number of iterations executed.
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly for a short budget, recording elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm up briefly, then measure.
+        for _ in 0..16 {
+            black_box(body());
+        }
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        while start.elapsed() < budget {
+            for _ in 0..64 {
+                black_box(body());
+            }
+            iterations += 64;
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = iterations;
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { elapsed: Duration::ZERO, iterations: 0 };
+    f(&mut bencher);
+    if bencher.iterations > 0 {
+        let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64;
+        println!("bench: {name:<50} {per_iter:>12.1} ns/iter ({} iters)", bencher.iterations);
+    } else {
+        println!("bench: {name:<50} (no iterations)");
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs a benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _parent: self }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized case.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op in this shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    ($group:ident; $($rest:tt)*) => {
+        $crate::criterion_group!($group, $($rest)*);
+    };
+}
+
+/// Declares the benchmark entry point, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,598 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset the workspace's property tests use: the `proptest!`
+//! macro, `prop_assert*` macros, `prop_oneof!`, integer-range and tuple
+//! strategies, `proptest::collection::vec`, `proptest::bool::ANY`, string
+//! strategies from a regex subset, and `Strategy::prop_map`. Sampling is
+//! fully deterministic: the RNG seed derives from the test's module path and
+//! name plus the case index, so failures reproduce across runs. Unlike real
+//! proptest there is no shrinking — a failing case reports its inputs via
+//! the panic message instead.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Error type carried by `prop_assert*` failures inside a test case body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failed-assertion error.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic SplitMix64 RNG used for strategy sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test identifier and case index; stable across runs.
+    pub fn for_case(test_id: &str, case: u64) -> TestRng {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for b in test_id.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15) }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A source of random values of one type.
+///
+/// Mirrors proptest's `Strategy` trait shape (associated `Value` type,
+/// `prop_map` combinator) with sampling instead of value trees.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps sampled values through `f`.
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as u64).saturating_sub(self.start as u64);
+                    assert!(span > 0, "empty strategy range");
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (*self.end() as u64) - (*self.start() as u64) + 1;
+                    *self.start() + rng.below(span) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy choosing uniformly among boxed alternatives; built by
+/// [`prop_oneof!`].
+pub struct OneOf<T> {
+    /// The alternatives to choose between.
+    pub options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T: fmt::Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(!self.options.is_empty(), "prop_oneof! needs at least one option");
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].sample(rng)
+    }
+}
+
+/// String strategies from a regex subset (used via `&str` literals).
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let ast = regex_gen::parse(self)
+            .unwrap_or_else(|e| panic!("unsupported regex strategy {self:?}: {e}"));
+        let mut out = String::new();
+        regex_gen::generate(&ast, rng, &mut out);
+        out
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec`s of `element` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Creates a `Vec` strategy, like `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap`s with the given key/value strategies.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Creates a `BTreeMap` strategy, like `proptest::collection::btree_map`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: std::ops::Range<usize>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            // Duplicate keys collapse, so the result may be smaller than the
+            // drawn size — same as real proptest.
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| (self.key.sample(rng), self.value.sample(rng))).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing each boolean with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Generator for a practical regex subset: literals, `[...]` classes (with
+/// ranges and negation over ASCII), `(...)` groups, `|` alternation, and the
+/// `?`, `*`, `+`, `{n}`, `{m,n}` quantifiers (`*`/`+` capped at 8 repeats).
+mod regex_gen {
+    use super::TestRng;
+
+    #[derive(Debug)]
+    pub enum Node {
+        Literal(char),
+        Class(Vec<char>),
+        Group(Box<Node>),
+        Concat(Vec<Node>),
+        Alternate(Vec<Node>),
+        Repeat { node: Box<Node>, min: u32, max: u32 },
+    }
+
+    pub fn parse(pattern: &str) -> Result<Node, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let node = parse_alternation(&chars, &mut pos)?;
+        if pos != chars.len() {
+            return Err(format!("unexpected `{}` at {}", chars[pos], pos));
+        }
+        Ok(node)
+    }
+
+    fn parse_alternation(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+        let mut branches = vec![parse_concat(chars, pos)?];
+        while chars.get(*pos) == Some(&'|') {
+            *pos += 1;
+            branches.push(parse_concat(chars, pos)?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().expect("one branch"))
+        } else {
+            Ok(Node::Alternate(branches))
+        }
+    }
+
+    fn parse_concat(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+        let mut items = Vec::new();
+        while let Some(&c) = chars.get(*pos) {
+            if c == ')' || c == '|' {
+                break;
+            }
+            let atom = parse_atom(chars, pos)?;
+            items.push(parse_quantifier(chars, pos, atom)?);
+        }
+        Ok(Node::Concat(items))
+    }
+
+    fn parse_atom(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+        match chars.get(*pos) {
+            Some('(') => {
+                *pos += 1;
+                // Skip non-capturing group markers.
+                if chars.get(*pos) == Some(&'?') && chars.get(*pos + 1) == Some(&':') {
+                    *pos += 2;
+                }
+                let inner = parse_alternation(chars, pos)?;
+                if chars.get(*pos) != Some(&')') {
+                    return Err("unclosed group".into());
+                }
+                *pos += 1;
+                Ok(Node::Group(Box::new(inner)))
+            }
+            Some('[') => {
+                *pos += 1;
+                parse_class(chars, pos)
+            }
+            Some('\\') => {
+                *pos += 1;
+                let c = *chars.get(*pos).ok_or("trailing backslash")?;
+                *pos += 1;
+                match c {
+                    'd' => Ok(Node::Class(('0'..='9').collect())),
+                    'w' => {
+                        let mut set: Vec<char> = ('a'..='z').collect();
+                        set.extend('A'..='Z');
+                        set.extend('0'..='9');
+                        set.push('_');
+                        Ok(Node::Class(set))
+                    }
+                    c => Ok(Node::Literal(c)),
+                }
+            }
+            Some('.') => {
+                *pos += 1;
+                let mut set: Vec<char> = ('a'..='z').collect();
+                set.extend('0'..='9');
+                Ok(Node::Class(set))
+            }
+            Some(&c) => {
+                *pos += 1;
+                Ok(Node::Literal(c))
+            }
+            None => Err("unexpected end of pattern".into()),
+        }
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+        let negated = chars.get(*pos) == Some(&'^');
+        if negated {
+            *pos += 1;
+        }
+        let mut set = Vec::new();
+        while let Some(&c) = chars.get(*pos) {
+            if c == ']' {
+                *pos += 1;
+                let set = if negated {
+                    (' '..='~').filter(|c| !set.contains(c)).collect()
+                } else {
+                    set
+                };
+                if set.is_empty() {
+                    return Err("empty character class".into());
+                }
+                return Ok(Node::Class(set));
+            }
+            let lo = if c == '\\' {
+                *pos += 1;
+                *chars.get(*pos).ok_or("trailing backslash in class")?
+            } else {
+                c
+            };
+            *pos += 1;
+            if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&n| n != ']') {
+                *pos += 1;
+                let hi = chars[*pos];
+                *pos += 1;
+                set.extend(lo..=hi);
+            } else {
+                set.push(lo);
+            }
+        }
+        Err("unclosed character class".into())
+    }
+
+    fn parse_quantifier(chars: &[char], pos: &mut usize, atom: Node) -> Result<Node, String> {
+        let (min, max) = match chars.get(*pos) {
+            Some('?') => {
+                *pos += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                *pos += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                *pos += 1;
+                (1, 8)
+            }
+            Some('{') => {
+                *pos += 1;
+                let mut min_text = String::new();
+                while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                    min_text.push(chars[*pos]);
+                    *pos += 1;
+                }
+                let min: u32 = min_text.parse().map_err(|_| "bad quantifier")?;
+                let max = if chars.get(*pos) == Some(&',') {
+                    *pos += 1;
+                    let mut max_text = String::new();
+                    while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                        max_text.push(chars[*pos]);
+                        *pos += 1;
+                    }
+                    if max_text.is_empty() {
+                        min + 8
+                    } else {
+                        max_text.parse().map_err(|_| "bad quantifier")?
+                    }
+                } else {
+                    min
+                };
+                if chars.get(*pos) != Some(&'}') {
+                    return Err("unclosed quantifier".into());
+                }
+                *pos += 1;
+                (min, max)
+            }
+            _ => return Ok(atom),
+        };
+        Ok(Node::Repeat { node: Box::new(atom), min, max })
+    }
+
+    pub fn generate(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::Class(set) => {
+                out.push(set[rng.below(set.len() as u64) as usize]);
+            }
+            Node::Group(inner) => generate(inner, rng, out),
+            Node::Concat(items) => {
+                for item in items {
+                    generate(item, rng, out);
+                }
+            }
+            Node::Alternate(branches) => {
+                let idx = rng.below(branches.len() as u64) as usize;
+                generate(&branches[idx], rng, out);
+            }
+            Node::Repeat { node, min, max } => {
+                let n = min + rng.below((*max - *min + 1) as u64) as u32;
+                for _ in 0..n {
+                    generate(node, rng, out);
+                }
+            }
+        }
+    }
+}
+
+/// Everything the workspace's tests import.
+pub mod prelude {
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, Strategy,
+        TestCaseError, TestRng,
+    };
+}
+
+/// Runs each contained test function over many sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for __case in 0u64..64 {
+                    let mut __rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?} "),+),
+                        $(&$arg),+
+                    );
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!(
+                            "proptest {} failed at case {}: {}\ninputs: {}",
+                            stringify!($name), __case, e, __inputs
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Fails the enclosing proptest case if `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the enclosing proptest case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Fails the enclosing proptest case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Chooses uniformly among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf {
+            options: ::std::vec![
+                $(::std::boxed::Box::new($strategy) as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>),+
+            ],
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_across_seeds() {
+        let mut a = TestRng::for_case("x", 3);
+        let mut b = TestRng::for_case("x", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_shapes() {
+        let strat = "[a-z0-9]([a-z0-9-]{0,20}[a-z0-9])?";
+        let mut rng = TestRng::for_case("regex", 1);
+        for _ in 0..200 {
+            let s = Strategy::sample(&strat, &mut rng);
+            assert!(!s.is_empty() && s.len() <= 22, "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+            assert!(!s.starts_with('-') && !s.ends_with('-'), "{s:?}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_roundtrip(v in collection::vec(0u8..10, 1..20), flag in bool::ANY) {
+            prop_assert!(!v.is_empty());
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(v.len(), 0usize);
+            let _ = flag;
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements `rand::random::<T>()` for the types the workspace draws
+//! (integers, floats, bools and byte arrays) using a per-thread SplitMix64
+//! generator. The per-thread streams are seeded from a process-wide atomic
+//! counter mixed with the thread's numeric id and the process start time, so
+//! distinct threads and processes see distinct streams.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static STREAM_COUNTER: AtomicU64 = AtomicU64::new(0x9e37_79b9_7f4a_7c15);
+
+fn process_entropy() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(0)
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+thread_local! {
+    static THREAD_STATE: Cell<u64> = Cell::new({
+        let stream = STREAM_COUNTER.fetch_add(0x6a09_e667_f3bc_c909, Ordering::Relaxed);
+        stream ^ process_entropy()
+    });
+}
+
+fn next_u64() -> u64 {
+    THREAD_STATE.with(|s| {
+        let mut state = s.get();
+        let v = splitmix64(&mut state);
+        s.set(state);
+        v
+    })
+}
+
+/// Types producible by [`random`]. Mirrors rand's `Standard` distribution
+/// for the subset the workspace uses.
+pub trait Random {
+    /// Draws one value.
+    fn random() -> Self;
+}
+
+/// Returns a random value of type `T`, like `rand::random`.
+pub fn random<T: Random>() -> T {
+    T::random()
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {
+        $(impl Random for $t {
+            fn random() -> Self {
+                next_u64() as $t
+            }
+        })*
+    };
+}
+
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Random for u128 {
+    fn random() -> Self {
+        ((next_u64() as u128) << 64) | next_u64() as u128
+    }
+}
+
+impl Random for bool {
+    fn random() -> Self {
+        next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    fn random() -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Random for f32 {
+    fn random() -> Self {
+        (next_u64() >> 40) as f32 / (1u32 << 24) as f32
+    }
+}
+
+impl<const N: usize> Random for [u8; N] {
+    fn random() -> Self {
+        let mut out = [0u8; N];
+        for chunk in out.chunks_mut(8) {
+            let v = next_u64().to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&v[..len]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_differ() {
+        let a: u64 = random();
+        let b: u64 = random();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        for _ in 0..1000 {
+            let x: f64 = random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn byte_arrays_fill() {
+        let a: [u8; 32] = random();
+        let b: [u8; 32] = random();
+        assert_ne!(a, b);
+    }
+}

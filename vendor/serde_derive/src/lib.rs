@@ -1,0 +1,465 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the shim `serde::Serialize`/`serde::Deserialize`
+//! traits (value-tree model) for structs and enums. The representation
+//! matches real serde's externally tagged defaults:
+//!
+//! - named struct          → object of fields
+//! - newtype struct        → inner value
+//! - tuple struct (n > 1)  → array
+//! - unit enum variant     → `"Variant"`
+//! - newtype variant       → `{"Variant": inner}`
+//! - tuple variant (n > 1) → `{"Variant": [..]}`
+//! - struct variant        → `{"Variant": {fields}}`
+//!
+//! The parser handles the shapes present in this workspace: no generics and
+//! no `#[serde(...)]` attributes (the derive panics on either, pointing at
+//! the unsupported syntax rather than silently mis-serializing).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Input::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Input::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    pos += 1;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde shim derive: unexpected struct body {other:?}"),
+            };
+            Input::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde shim derive: expected enum body, got {other:?}"),
+            };
+            Input::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+                    if let Some(attr_name) = attr_ident(g.stream()) {
+                        if attr_name == "serde" {
+                            panic!(
+                                "serde shim derive: #[serde(...)] attributes are not supported"
+                            );
+                        }
+                    }
+                }
+                *pos += 2;
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn attr_ident(stream: TokenStream) -> Option<String> {
+    match stream.into_iter().next() {
+        Some(TokenTree::Ident(i)) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Parses `{ field: Type, ... }` bodies, returning field names in order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        };
+        pos += 1;
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde shim derive: expected `:` after field, got {other:?}"),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(name);
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Advances `pos` past one type, stopping at a top-level `,` (angle-bracket
+/// depth aware, since generic arguments contain commas).
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(token) = tokens.get(*pos) {
+        match token {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    angle_depth += 1;
+                    *pos += 1;
+                }
+                '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                    *pos += 1;
+                }
+                ',' if angle_depth == 0 => return,
+                _ => *pos += 1,
+            },
+            _ => *pos += 1,
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut pos);
+        count += 1;
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("serde shim derive: expected variant name, got {other:?}"),
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            pos += 1;
+            while pos < tokens.len()
+                && !matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                pos += 1;
+            }
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Named(names) => {
+            let mut code = String::from(
+                "let mut __m = ::std::collections::BTreeMap::new();\n",
+            );
+            for f in names {
+                code.push_str(&format!(
+                    "__m.insert(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::serialize_value(&self.{f}));\n"
+                ));
+            }
+            code.push_str("::serde::Value::Object(__m)");
+            code
+        }
+        Fields::Tuple(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        Fields::Named(names) => {
+            let mut code = format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in names {
+                code.push_str(&format!("{f}: ::serde::__field(__obj, \"{f}\")?,\n"));
+            }
+            code.push_str("})");
+            code
+        }
+        Fields::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(__v)?))"
+        ),
+        Fields::Tuple(n) => {
+            let mut code = format!(
+                "let __arr = __v.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"wrong tuple arity for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}(\n"
+            );
+            for i in 0..*n {
+                code.push_str(&format!(
+                    "::serde::Deserialize::deserialize_value(&__arr[{i}])?,\n"
+                ));
+            }
+            code.push_str("))");
+            code
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vname} => ::serde::Value::String(\
+                     ::std::string::String::from(\"{vname}\")),\n"
+                ));
+            }
+            Fields::Tuple(1) => {
+                arms.push_str(&format!(
+                    "{name}::{vname}(__x0) => {{\n\
+                     let mut __m = ::std::collections::BTreeMap::new();\n\
+                     __m.insert(::std::string::String::from(\"{vname}\"), \
+                     ::serde::Serialize::serialize_value(__x0));\n\
+                     ::serde::Value::Object(__m)\n}}\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vname}({binds}) => {{\n\
+                     let mut __m = ::std::collections::BTreeMap::new();\n\
+                     __m.insert(::std::string::String::from(\"{vname}\"), \
+                     ::serde::Value::Array(::std::vec![{items}]));\n\
+                     ::serde::Value::Object(__m)\n}}\n",
+                    binds = binds.join(", "),
+                    items = items.join(", "),
+                ));
+            }
+            Fields::Named(field_names) => {
+                let binds = field_names.join(", ");
+                let mut inner = String::from(
+                    "let mut __f = ::std::collections::BTreeMap::new();\n",
+                );
+                for f in field_names {
+                    inner.push_str(&format!(
+                        "__f.insert(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize_value({f}));\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {binds} }} => {{\n{inner}\
+                     let mut __m = ::std::collections::BTreeMap::new();\n\
+                     __m.insert(::std::string::String::from(\"{vname}\"), \
+                     ::serde::Value::Object(__f));\n\
+                     ::serde::Value::Object(__m)\n}}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n\
+         match self {{\n{arms}}}\n}}\n}}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                unit_arms.push_str(&format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                ));
+            }
+            Fields::Tuple(1) => {
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::deserialize_value(__inner)?)),\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let mut fields = String::new();
+                for i in 0..*n {
+                    fields.push_str(&format!(
+                        "::serde::Deserialize::deserialize_value(&__arr[{i}])?,\n"
+                    ));
+                }
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                     let __arr = __inner.as_array().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected array for {name}::{vname}\"))?;\n\
+                     if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::Error::custom(\"wrong arity for {name}::{vname}\")); }}\n\
+                     ::std::result::Result::Ok({name}::{vname}({fields}))\n}}\n"
+                ));
+            }
+            Fields::Named(field_names) => {
+                let mut fields = String::new();
+                for f in field_names {
+                    fields.push_str(&format!("{f}: ::serde::__field(__fobj, \"{f}\")?,\n"));
+                }
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                     let __fobj = __inner.as_object().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected object for {name}::{vname}\"))?;\n\
+                     ::std::result::Result::Ok({name}::{vname} {{ {fields} }})\n}}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n\
+         match __v {{\n\
+         ::serde::Value::String(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::custom(\
+         ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+         }},\n\
+         ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+         let (__tag, __inner) = __m.iter().next().expect(\"len checked\");\n\
+         match __tag.as_str() {{\n\
+         {tagged_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::custom(\
+         ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+         }}\n\
+         }},\n\
+         _ => ::std::result::Result::Err(::serde::Error::custom(\
+         \"expected string or single-key object for {name}\")),\n\
+         }}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,186 @@
+//! Offline stand-in for `serde_json`, layered on the `serde` shim's value
+//! tree: [`to_string`]/[`from_str`] round-trip any type implementing the
+//! shim's `Serialize`/`Deserialize`, [`Value`] is re-exported from the shim,
+//! and [`json!`] builds values inline.
+
+pub use serde::Error;
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+
+/// Result alias matching serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::write_json(&value.serialize_value()))
+}
+
+/// Serializes `value` to human-indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let tree = value.serialize_value();
+    let mut out = String::new();
+    pretty(&tree, 0, &mut out);
+    Ok(out)
+}
+
+fn pretty(value: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                out.push_str(&serde::write_json(&Value::String(k.clone())));
+                out.push_str(": ");
+                pretty(v, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => out.push_str(&serde::write_json(other)),
+    }
+}
+
+/// Parses JSON text into a `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let tree = serde::parse_json(text)?;
+    T::deserialize_value(&tree)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: &T) -> Result<Value> {
+    Ok(value.serialize_value())
+}
+
+/// Rebuilds a `T` from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    T::deserialize_value(&value)
+}
+
+/// Builds a [`Value`] from JSON-like syntax, as `serde_json::json!` does.
+///
+/// Supports nested objects/arrays, `null`, and arbitrary serializable Rust
+/// expressions in value position. Object keys must be string literals.
+#[macro_export]
+macro_rules! json {
+    // -- internal: object entry muncher ------------------------------------
+    (@object $m:ident ()) => {};
+    (@object $m:ident ( $key:literal : null $(, $($rest:tt)*)? )) => {
+        $m.insert(::std::string::String::from($key), $crate::Value::Null);
+        $crate::json!(@object $m ($($($rest)*)?));
+    };
+    (@object $m:ident ( $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)? )) => {
+        $m.insert(::std::string::String::from($key), $crate::json!({ $($inner)* }));
+        $crate::json!(@object $m ($($($rest)*)?));
+    };
+    (@object $m:ident ( $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)? )) => {
+        $m.insert(::std::string::String::from($key), $crate::json!([ $($inner)* ]));
+        $crate::json!(@object $m ($($($rest)*)?));
+    };
+    (@object $m:ident ( $key:literal : $value:expr , $($rest:tt)* )) => {
+        $m.insert(
+            ::std::string::String::from($key),
+            $crate::to_value(&$value).expect("json! value serializes"),
+        );
+        $crate::json!(@object $m ($($rest)*));
+    };
+    (@object $m:ident ( $key:literal : $value:expr )) => {
+        $m.insert(
+            ::std::string::String::from($key),
+            $crate::to_value(&$value).expect("json! value serializes"),
+        );
+    };
+    // -- internal: array item muncher --------------------------------------
+    (@array $v:ident ()) => {};
+    (@array $v:ident ( null $(, $($rest:tt)*)? )) => {
+        $v.push($crate::Value::Null);
+        $crate::json!(@array $v ($($($rest)*)?));
+    };
+    (@array $v:ident ( { $($inner:tt)* } $(, $($rest:tt)*)? )) => {
+        $v.push($crate::json!({ $($inner)* }));
+        $crate::json!(@array $v ($($($rest)*)?));
+    };
+    (@array $v:ident ( [ $($inner:tt)* ] $(, $($rest:tt)*)? )) => {
+        $v.push($crate::json!([ $($inner)* ]));
+        $crate::json!(@array $v ($($($rest)*)?));
+    };
+    (@array $v:ident ( $item:expr , $($rest:tt)* )) => {
+        $v.push($crate::to_value(&$item).expect("json! value serializes"));
+        $crate::json!(@array $v ($($rest)*));
+    };
+    (@array $v:ident ( $item:expr )) => {
+        $v.push($crate::to_value(&$item).expect("json! value serializes"));
+    };
+    // -- entry points ------------------------------------------------------
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut __items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json!(@array __items ($($tt)*));
+        $crate::Value::Array(__items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __m = ::std::collections::BTreeMap::new();
+        $crate::json!(@object __m ($($tt)*));
+        $crate::Value::Object(__m)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serializes")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "name": "web",
+            "replicas": 3u32,
+            "labels": ["a", "b"],
+            "ready": true,
+            "parent": null,
+        });
+        assert_eq!(v["name"].as_str(), Some("web"));
+        assert_eq!(v["replicas"].as_u64(), Some(3));
+        assert_eq!(v["labels"][1].as_str(), Some("b"));
+        assert!(v["parent"].is_null());
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn value_to_string_is_json() {
+        let v = json!({"k": [1u8, 2u8]});
+        assert_eq!(v.to_string(), r#"{"k":[1,2]}"#);
+    }
+
+    #[test]
+    fn pretty_renders() {
+        let v = json!({"a": [1u8], "b": {}});
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\n  \"a\": [\n"));
+    }
+}
