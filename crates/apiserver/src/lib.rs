@@ -33,6 +33,7 @@ use vc_api::metrics::Counter;
 use vc_api::namespace::{Namespace, NamespacePhase};
 use vc_api::object::{Object, ResourceKind};
 use vc_api::time::{Clock, RealClock};
+use vc_obs::{current_trace, stage, CounterFamily, HistogramFamily, Observability, Tracer};
 use vc_store::{Store, StoreConfig, WatchStream};
 
 /// Finalizer the apiserver puts on every namespace so contents are
@@ -93,6 +94,41 @@ pub struct ApiServerMetrics {
     pub admission_rejected: Counter,
 }
 
+/// Upper bucket bounds (µs) for apiserver request-duration histograms.
+const REQUEST_DURATION_BUCKETS_US: &[u64] =
+    &[100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000];
+
+/// Observability wiring for one apiserver: where its request metrics and
+/// trace spans go once [`ApiServer::attach_observability`] is called.
+struct ObsHook {
+    tracer: Arc<Tracer>,
+    /// Label value identifying this server in metrics and trace stages
+    /// (the tenant name for tenant apiservers, the server name otherwise).
+    scope: String,
+    /// When set, a successful pod create that is not already inside a
+    /// trace context begins a new trace for the pod — this is the "gate"
+    /// stamp on tenant apiservers.
+    begin_pod_traces: bool,
+    requests: CounterFamily,
+    duration: HistogramFamily,
+}
+
+/// Maps an [`ApiError`] to the short `code` label used on request counters.
+fn error_code(err: &ApiError) -> &'static str {
+    match err {
+        ApiError::NotFound { .. } => "not_found",
+        ApiError::AlreadyExists { .. } => "already_exists",
+        ApiError::Conflict { .. } => "conflict",
+        ApiError::Invalid { .. } => "invalid",
+        ApiError::Forbidden { .. } => "forbidden",
+        ApiError::TooManyRequests { .. } => "too_many_requests",
+        ApiError::Expired { .. } => "expired",
+        ApiError::Timeout { .. } => "timeout",
+        ApiError::Unavailable { .. } => "unavailable",
+        ApiError::Internal { .. } => "internal",
+    }
+}
+
 /// The apiserver.
 ///
 /// # Examples
@@ -117,6 +153,7 @@ pub struct ApiServer {
     clock: Arc<dyn Clock>,
     gate: Arc<InflightGate>,
     fault_hook: RwLock<Option<Arc<dyn RequestFault>>>,
+    obs: RwLock<Option<Arc<ObsHook>>>,
     admission: RwLock<Vec<Box<dyn AdmissionPlugin>>>,
     /// Authorization policy (disabled/allow-all by default).
     pub authorizer: Authorizer,
@@ -149,6 +186,7 @@ impl ApiServer {
             store: Arc::new(Store::with_config(config.store.clone())),
             gate,
             fault_hook: RwLock::new(None),
+            obs: RwLock::new(None),
             config,
             clock,
             admission: RwLock::new(vec![
@@ -204,6 +242,108 @@ impl ApiServer {
         self.fault_hook.read().clone()
     }
 
+    /// Routes this server's request metrics and trace spans to `obs`.
+    ///
+    /// `scope` labels this server in metrics (`server` label) and in
+    /// trace stage names (`apiserver:{scope}:{verb}`). With
+    /// `begin_pod_traces` set — the tenant-apiserver configuration — a
+    /// successful pod create arriving from outside any trace context
+    /// *begins* a trace for that pod and records the [`stage::GATE`]
+    /// span; this is where an object's end-to-end trace starts.
+    pub fn attach_observability(
+        &self,
+        obs: &Arc<Observability>,
+        scope: impl Into<String>,
+        begin_pod_traces: bool,
+    ) {
+        let requests = obs.registry.counter(
+            "vc_apiserver_requests_total",
+            "Apiserver requests by server, verb, kind and result code.",
+            &["server", "verb", "kind", "code"],
+        );
+        let duration = obs.registry.histogram(
+            "vc_apiserver_request_duration_us",
+            "Apiserver request service time in microseconds.",
+            &["server", "verb", "kind"],
+            REQUEST_DURATION_BUCKETS_US,
+        );
+        *self.obs.write() = Some(Arc::new(ObsHook {
+            tracer: obs.tracer.clone(),
+            scope: scope.into(),
+            begin_pod_traces,
+            requests,
+            duration,
+        }));
+    }
+
+    /// Detaches the observability hook attached by
+    /// [`ApiServer::attach_observability`].
+    pub fn detach_observability(&self) {
+        *self.obs.write() = None;
+    }
+
+    /// Records a client-side wait (e.g. rate-limiter throttling before a
+    /// request to this server) as a span on the calling thread's current
+    /// trace. No-op without an attached observability hook or an active
+    /// trace context.
+    pub fn record_client_wait(&self, stage_name: &str, waited: Duration) {
+        if waited.is_zero() {
+            return;
+        }
+        if let Some(hook) = self.obs.read().clone() {
+            if let Some(id) = current_trace() {
+                hook.tracer.record_span(id, stage_name, waited, true);
+            }
+        }
+    }
+
+    /// Runs one verb under the observability hook (when attached):
+    /// counts the request, records its service time, and stamps a span
+    /// onto the calling thread's current trace — or begins a new trace
+    /// at the gate for tenant pod creates.
+    fn observed<T>(
+        &self,
+        verb: Verb,
+        kind: ResourceKind,
+        trace_key: Option<&str>,
+        f: impl FnOnce() -> ApiResult<T>,
+    ) -> ApiResult<T> {
+        let Some(hook) = self.obs.read().clone() else {
+            return f();
+        };
+        let start = std::time::Instant::now();
+        let result = f();
+        let elapsed = start.elapsed();
+        let code = match &result {
+            Ok(_) => "ok",
+            Err(err) => error_code(err),
+        };
+        hook.requests.with(&[&hook.scope, verb.as_str(), kind.as_str(), code]).inc();
+        hook.duration
+            .with(&[&hook.scope, verb.as_str(), kind.as_str()])
+            .observe_ms(elapsed.as_micros() as u64);
+        if let Some(id) = current_trace() {
+            // A syncer worker (or other traced caller) made this request:
+            // attach the request span to its trace.
+            hook.tracer.record_span(
+                id,
+                &stage::apiserver(&hook.scope, verb.as_str()),
+                elapsed,
+                result.is_ok(),
+            );
+        } else if hook.begin_pod_traces
+            && verb == Verb::Create
+            && kind == ResourceKind::Pod
+            && result.is_ok()
+        {
+            if let Some(key) = trace_key {
+                let id = hook.tracer.begin(&hook.scope, key);
+                hook.tracer.record_span(id, stage::GATE, elapsed, true);
+            }
+        }
+        result
+    }
+
     /// Creates `obj`.
     ///
     /// Assigns UID, creation timestamp and generation 1; namespaces get the
@@ -213,7 +353,13 @@ impl ApiServer {
     ///
     /// [`ApiError::Forbidden`] (authz), [`ApiError::Invalid`] (validation /
     /// admission), [`ApiError::AlreadyExists`].
-    pub fn create(&self, user: &str, mut obj: Object) -> ApiResult<Object> {
+    pub fn create(&self, user: &str, obj: Object) -> ApiResult<Object> {
+        let kind = obj.kind();
+        let key = obj.key();
+        self.observed(Verb::Create, kind, Some(&key), move || self.create_inner(user, obj))
+    }
+
+    fn create_inner(&self, user: &str, mut obj: Object) -> ApiResult<Object> {
         let _permit = self.gate.acquire()?;
         self.authorize(user, Verb::Create, &obj)?;
         self.validate_identity(&obj)?;
@@ -249,6 +395,16 @@ impl ApiServer {
         namespace: &str,
         name: &str,
     ) -> ApiResult<Object> {
+        self.observed(Verb::Get, kind, None, || self.get_inner(user, kind, namespace, name))
+    }
+
+    fn get_inner(
+        &self,
+        user: &str,
+        kind: ResourceKind,
+        namespace: &str,
+        name: &str,
+    ) -> ApiResult<Object> {
         let _permit = self.gate.acquire()?;
         if !self.authorizer.authorize(user, Verb::Get, kind, namespace) {
             self.metrics.denied.inc();
@@ -273,6 +429,15 @@ impl ApiServer {
     ///
     /// [`ApiError::Forbidden`].
     pub fn list(
+        &self,
+        user: &str,
+        kind: ResourceKind,
+        namespace: Option<&str>,
+    ) -> ApiResult<(Vec<Object>, u64)> {
+        self.observed(Verb::List, kind, None, || self.list_inner(user, kind, namespace))
+    }
+
+    fn list_inner(
         &self,
         user: &str,
         kind: ResourceKind,
@@ -305,7 +470,12 @@ impl ApiServer {
     ///
     /// [`ApiError::NotFound`], [`ApiError::Conflict`],
     /// [`ApiError::Forbidden`], [`ApiError::Invalid`].
-    pub fn update(&self, user: &str, mut obj: Object) -> ApiResult<Object> {
+    pub fn update(&self, user: &str, obj: Object) -> ApiResult<Object> {
+        let kind = obj.kind();
+        self.observed(Verb::Update, kind, None, move || self.update_inner(user, obj))
+    }
+
+    fn update_inner(&self, user: &str, mut obj: Object) -> ApiResult<Object> {
         let _permit = self.gate.acquire()?;
         self.authorize(user, Verb::Update, &obj)?;
         self.clock.sleep(self.config.write_latency);
@@ -362,6 +532,16 @@ impl ApiServer {
     ///
     /// [`ApiError::NotFound`] or [`ApiError::Forbidden`].
     pub fn delete(
+        &self,
+        user: &str,
+        kind: ResourceKind,
+        namespace: &str,
+        name: &str,
+    ) -> ApiResult<Object> {
+        self.observed(Verb::Delete, kind, None, || self.delete_inner(user, kind, namespace, name))
+    }
+
+    fn delete_inner(
         &self,
         user: &str,
         kind: ResourceKind,
@@ -658,6 +838,52 @@ mod tests {
         assert_eq!(s.metrics.gets.get(), 1);
         assert_eq!(s.metrics.lists.get(), 1);
         assert_eq!(s.metrics.deletes.get(), 1);
+    }
+
+    #[test]
+    fn observability_hook_counts_and_begins_gate_traces() {
+        let s = server();
+        let obs = vc_obs::Observability::with_defaults();
+        s.attach_observability(&obs, "tenant-1", true);
+
+        // A pod create from outside any trace context begins the trace.
+        s.create("u", Pod::new("default", "p").into()).unwrap();
+        let trace = obs.tracer.find("tenant-1", "default/p").expect("gate began a trace");
+        let gate = trace.span(stage::GATE).expect("gate span recorded");
+        assert!(gate.duration > Duration::ZERO);
+        assert!(trace.total.is_none(), "trace stays open past the gate");
+
+        // A failed verb is counted under its error code, not traced.
+        assert!(s.get("u", ResourceKind::Pod, "default", "nope").unwrap_err().is_not_found());
+        let text = obs.registry.render_text();
+        assert!(
+            text.contains(
+                r#"vc_apiserver_requests_total{server="tenant-1",verb="create",kind="Pod",code="ok"} 1"#
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                r#"vc_apiserver_requests_total{server="tenant-1",verb="get",kind="Pod",code="not_found"} 1"#
+            ),
+            "{text}"
+        );
+        assert!(text.contains("vc_apiserver_request_duration_us_bucket"), "{text}");
+
+        // Inside a trace context the request span lands on that trace.
+        let id = obs.tracer.begin("syncer", "default/ctx");
+        {
+            let _guard = vc_obs::TraceContext::enter(id);
+            s.get("u", ResourceKind::Pod, "default", "p").unwrap();
+        }
+        let ctx_trace = obs.tracer.get(id).unwrap();
+        assert!(ctx_trace.span("apiserver:tenant-1:get").is_some());
+        // And no new per-pod trace was begun for that get.
+        assert_eq!(obs.tracer.open_count(), 2);
+
+        s.detach_observability();
+        s.create("u", Pod::new("default", "p2").into()).unwrap();
+        assert!(obs.tracer.find("tenant-1", "default/p2").is_none(), "detached");
     }
 
     #[test]

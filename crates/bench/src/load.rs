@@ -178,14 +178,18 @@ fn ready_count_baseline(client: &Client) -> usize {
 }
 
 /// Snapshots the syncer's robustness counters (retry pipeline + breakers)
-/// for reporting alongside latency results.
+/// for reporting alongside latency results. Taken from one coherent
+/// [`SyncerMetrics::snapshot`](vc_core::syncer::SyncerMetrics::snapshot)
+/// rather than field-by-field reads of the live atomics, so the reported
+/// row cannot tear across concurrently updating counters.
 pub fn robustness_counters(fw: &Framework) -> crate::report::RobustnessCounters {
+    let snap = fw.syncer.metrics.snapshot();
     crate::report::RobustnessCounters {
-        retries: fw.syncer.metrics.retries.get(),
-        retry_exhausted: fw.syncer.metrics.retry_exhausted.get(),
-        dead_letters: fw.syncer.dead_letter_len() as u64,
-        breaker_trips: fw.syncer.metrics.breaker_trips.get(),
-        breaker_recoveries: fw.syncer.metrics.breaker_recoveries.get(),
+        retries: snap.retries,
+        retry_exhausted: snap.retry_exhausted,
+        dead_letters: snap.dead_letter_len.max(0) as u64,
+        breaker_trips: snap.breaker_trips,
+        breaker_recoveries: snap.breaker_recoveries,
         injected_failures: 0,
     }
 }

@@ -1,5 +1,8 @@
-//! Result formatting: ASCII histograms, percentile tables and
-//! paper-vs-measured rows.
+//! Result formatting: ASCII histograms, percentile tables,
+//! paper-vs-measured rows, and machine-readable metrics dumps.
+
+use serde::Serialize;
+use vc_obs::{MetricsRegistry, RegistrySnapshot};
 
 /// Nearest-rank percentile of `samples` (not necessarily sorted).
 pub fn percentile(samples: &[u64], q: f64) -> u64 {
@@ -102,6 +105,32 @@ pub fn paper_vs_measured(metric: &str, paper: &str, measured: &str) {
 /// Prints a section heading.
 pub fn heading(title: &str) {
     println!("\n=== {title} ===");
+}
+
+/// A bench run's machine-readable metrics report: the bench label plus a
+/// full [`RegistrySnapshot`] of the unified metrics registry.
+#[derive(Debug, Serialize)]
+pub struct MetricsReport {
+    /// The bench that produced this report.
+    pub bench: String,
+    /// Every metric family at the end of the run.
+    pub registry: RegistrySnapshot,
+}
+
+/// Writes a JSON [`MetricsReport`] of `registry` to
+/// `$VC_BENCH_JSON_DIR/BENCH_<label>_metrics.json` and returns the path.
+/// A no-op returning `None` when `VC_BENCH_JSON_DIR` is unset (normal
+/// interactive runs) or the write fails (reports never fail a bench).
+pub fn dump_metrics_json(label: &str, registry: &MetricsRegistry) -> Option<std::path::PathBuf> {
+    let dir = std::env::var_os("VC_BENCH_JSON_DIR")?;
+    let report = MetricsReport { bench: label.to_string(), registry: registry.snapshot() };
+    let json = serde_json::to_string_pretty(&report).ok()?;
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{label}_metrics.json"));
+    if std::fs::create_dir_all(&dir).is_err() || std::fs::write(&path, json).is_err() {
+        return None;
+    }
+    println!("  metrics snapshot written to {}", path.display());
+    Some(path)
 }
 
 #[cfg(test)]

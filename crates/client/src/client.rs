@@ -151,6 +151,22 @@ impl Client {
         &self.server
     }
 
+    /// Shortest rate-limiter wait worth recording as a trace span; waits
+    /// below this are limiter bookkeeping noise, not throttling.
+    const THROTTLE_SPAN_MIN: Duration = Duration::from_millis(1);
+
+    /// Takes a rate-limiter token, reporting measurable throttle waits to
+    /// the calling thread's current trace (when the server has
+    /// observability attached).
+    fn throttle(&self) {
+        let start = Instant::now();
+        self.limiter.acquire();
+        let waited = start.elapsed();
+        if waited >= Self::THROTTLE_SPAN_MIN {
+            self.server.record_client_wait(vc_obs::stage::CLIENT_THROTTLE, waited);
+        }
+    }
+
     /// Consults the server's fault hook (if any) before a request, applying
     /// injected delays and propagating injected failures. See
     /// [`crate::faults::FaultInjector`].
@@ -170,7 +186,7 @@ impl Client {
     /// Propagates apiserver errors (`Forbidden`, `Invalid`,
     /// `AlreadyExists`, …).
     pub fn create(&self, obj: Object) -> ApiResult<Object> {
-        self.limiter.acquire();
+        self.throttle();
         self.inject(Verb::Create, obj.kind())?;
         self.server.create(&self.user, obj)
     }
@@ -181,7 +197,7 @@ impl Client {
     ///
     /// `NotFound` / `Forbidden`.
     pub fn get(&self, kind: ResourceKind, namespace: &str, name: &str) -> ApiResult<Object> {
-        self.limiter.acquire();
+        self.throttle();
         self.inject(Verb::Get, kind)?;
         self.server.get(&self.user, kind, namespace, name)
     }
@@ -196,7 +212,7 @@ impl Client {
         kind: ResourceKind,
         namespace: Option<&str>,
     ) -> ApiResult<(Vec<Object>, u64)> {
-        self.limiter.acquire();
+        self.throttle();
         self.inject(Verb::List, kind)?;
         self.server.list(&self.user, kind, namespace)
     }
@@ -207,7 +223,7 @@ impl Client {
     ///
     /// `NotFound` / `Conflict` / `Forbidden` / `Invalid`.
     pub fn update(&self, obj: Object) -> ApiResult<Object> {
-        self.limiter.acquire();
+        self.throttle();
         self.inject(Verb::Update, obj.kind())?;
         self.server.update(&self.user, obj)
     }
@@ -218,7 +234,7 @@ impl Client {
     ///
     /// `NotFound` / `Forbidden`.
     pub fn delete(&self, kind: ResourceKind, namespace: &str, name: &str) -> ApiResult<Object> {
-        self.limiter.acquire();
+        self.throttle();
         self.inject(Verb::Delete, kind)?;
         self.server.delete(&self.user, kind, namespace, name)
     }
@@ -234,7 +250,7 @@ impl Client {
         namespace: Option<&str>,
         from_revision: u64,
     ) -> ApiResult<WatchStream> {
-        self.limiter.acquire();
+        self.throttle();
         self.inject(Verb::Watch, kind)?;
         self.server.watch(&self.user, kind, namespace, from_revision)
     }

@@ -1,7 +1,7 @@
 //! Deterministic fault injection for chaos testing.
 //!
 //! [`FaultInjector`] implements the apiserver's
-//! [`RequestFault`](vc_apiserver::gate::RequestFault) hook: attached to an
+//! [`RequestFault`] hook: attached to an
 //! [`ApiServer`](vc_apiserver::ApiServer) (via `set_fault_hook`), it is
 //! consulted by every [`Client`](crate::Client) before each request and can
 //! fail the request, delay it, or let it pass — driven by declarative

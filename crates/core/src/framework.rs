@@ -233,6 +233,13 @@ impl Framework {
         self.super_cluster.client(user)
     }
 
+    /// The deployment's observability plane (request tracer + unified
+    /// metrics registry), shared by the syncer and every attached
+    /// apiserver.
+    pub fn obs(&self) -> &Arc<vc_obs::Observability> {
+        &self.syncer.obs
+    }
+
     /// Arms a fault policy against the super apiserver, replacing any
     /// previous one. Returns the injector for inspecting fault counters.
     pub fn inject_super_faults(&self, policy: &FaultPolicy) -> Arc<FaultInjector> {

@@ -88,7 +88,7 @@ fn ensure_in_super(syncer: &Syncer, tenant: &TenantState, item: &WorkItem, tenan
                     syncer.metrics.downward_creates.inc();
                     syncer.forget_retries(item);
                     if item.kind == ResourceKind::Pod {
-                        syncer.phases.record_dws_done(&item.tenant, &item.key);
+                        syncer.trace_dws_done(&item.tenant, &item.key);
                     }
                 }
                 Err(e) if e.is_already_exists() => {
@@ -130,7 +130,7 @@ fn ensure_in_super(syncer: &Syncer, tenant: &TenantState, item: &WorkItem, tenan
                 if item.kind == ResourceKind::Pod {
                     // Create already happened (e.g. before a syncer
                     // restart).
-                    syncer.phases.record_dws_done(&item.tenant, &item.key);
+                    syncer.trace_dws_done(&item.tenant, &item.key);
                 }
                 return;
             }
@@ -139,7 +139,7 @@ fn ensure_in_super(syncer: &Syncer, tenant: &TenantState, item: &WorkItem, tenan
                     syncer.metrics.downward_updates.inc();
                     syncer.forget_retries(item);
                     if item.kind == ResourceKind::Pod {
-                        syncer.phases.record_dws_done(&item.tenant, &item.key);
+                        syncer.trace_dws_done(&item.tenant, &item.key);
                     }
                 }
                 Err(e) if e.is_not_found() => {

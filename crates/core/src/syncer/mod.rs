@@ -17,9 +17,12 @@ mod upward;
 
 use crate::mapping;
 use crate::registry::TenantHandle;
-use crate::vc_object::{VirtualCluster, COND_SYNCER_HEALTHY, VC_MANAGER_NAMESPACE};
+use crate::vc_object::{
+    TenantSyncStats, VirtualCluster, COND_SYNCER_HEALTHY, VC_MANAGER_NAMESPACE,
+};
 use parking_lot::{Mutex, RwLock};
 use phases::PhaseTracker;
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -33,6 +36,9 @@ use vc_client::{
     WeightedFairQueue, WorkQueue,
 };
 use vc_controllers::util::{retry_on_conflict, ControllerHandle};
+use vc_obs::{
+    stage, GaugeFamily, HistogramFamily, MetricsRegistry, ObsParams, Observability, TraceContext,
+};
 use vnode::VNodeManager;
 
 /// One unit of synchronization work.
@@ -89,6 +95,8 @@ pub struct SyncerConfig {
     pub breaker_threshold: u32,
     /// How long a tripped breaker stays open before a half-open probe.
     pub breaker_open: Duration,
+    /// Observability tunables (trace ring capacity, slow-op threshold).
+    pub obs: ObsParams,
 }
 
 impl Default for SyncerConfig {
@@ -120,6 +128,7 @@ impl Default for SyncerConfig {
             retry_budget: 8,
             breaker_threshold: 5,
             breaker_open: Duration::from_secs(2),
+            obs: ObsParams::default(),
         }
     }
 }
@@ -135,6 +144,12 @@ impl SyncerConfig {
         }
     }
 }
+
+/// Upper bucket bounds (µs) for per-tenant sync-duration histograms:
+/// 100µs to 5s, matching the paper's sub-ms fast path through multi-second
+/// brownout tails.
+const SYNC_DURATION_BUCKETS_US: &[u64] =
+    &[100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000];
 
 /// Kinds synchronized upward (super → tenant).
 pub const UPWARD_KINDS: [ResourceKind; 6] = [
@@ -165,44 +180,171 @@ impl TenantState {
 }
 
 /// Syncer metrics, feeding Figs 8–11 and Table I.
-#[derive(Debug, Default)]
+///
+/// Every counter, gauge and histogram is a cell in the syncer's unified
+/// [`MetricsRegistry`] (families `vc_syncer_ops_total`,
+/// `vc_syncer_events_total`, `vc_syncer_dead_letter_len`,
+/// `vc_syncer_scan_duration_ms`, `vc_syncer_wake_latency_ms`), so the
+/// same values appear in the Prometheus exposition and the JSON snapshot.
+/// The struct fields are direct handles for the hot paths: one atomic op
+/// per update, no label lookup.
+#[derive(Debug)]
 pub struct SyncerMetrics {
     /// Busy time across downward workers (Fig 10 CPU accounting).
     pub downward_busy: BusyTimer,
     /// Busy time across upward workers.
     pub upward_busy: BusyTimer,
     /// Objects created in the super cluster.
-    pub downward_creates: Counter,
+    pub downward_creates: Arc<Counter>,
     /// Objects updated in the super cluster.
-    pub downward_updates: Counter,
+    pub downward_updates: Arc<Counter>,
     /// Objects deleted from the super cluster.
-    pub downward_deletes: Counter,
+    pub downward_deletes: Arc<Counter>,
     /// Tenant statuses updated.
-    pub upward_updates: Counter,
+    pub upward_updates: Arc<Counter>,
     /// Tenant objects deleted due to super-side deletion.
-    pub upward_deletes: Counter,
+    pub upward_deletes: Arc<Counter>,
     /// Mismatches repaired by the periodic scanner.
-    pub scan_requeues: Counter,
+    pub scan_requeues: Arc<Counter>,
     /// Scan pass durations (ms).
-    pub scan_duration: Histogram,
+    pub scan_duration: Arc<Histogram>,
     /// Completed scan passes.
-    pub scans: Counter,
+    pub scans: Arc<Counter>,
     /// Write conflicts encountered (races).
-    pub conflicts: Counter,
+    pub conflicts: Arc<Counter>,
     /// Tenants hibernated.
-    pub hibernations: Counter,
+    pub hibernations: Arc<Counter>,
     /// Wake-from-hibernation latencies (ms) — the re-list cost.
-    pub wake_latency: Histogram,
+    pub wake_latency: Arc<Histogram>,
     /// Failed downward items re-queued with exponential backoff.
-    pub retries: Counter,
+    pub retries: Arc<Counter>,
     /// Items dead-lettered after exhausting their retry budget.
-    pub retry_exhausted: Counter,
+    pub retry_exhausted: Arc<Counter>,
     /// Current size of the dead-letter set (drained by the scanner).
-    pub dead_letter_len: Gauge,
+    pub dead_letter_len: Arc<Gauge>,
     /// Per-tenant circuit-breaker trips (tenant marked Degraded).
-    pub breaker_trips: Counter,
+    pub breaker_trips: Arc<Counter>,
     /// Circuit-breaker recoveries (half-open probe succeeded).
-    pub breaker_recoveries: Counter,
+    pub breaker_recoveries: Arc<Counter>,
+}
+
+impl SyncerMetrics {
+    /// Registers the syncer's metric families in `registry` and returns
+    /// direct handles to the cells the hot paths update.
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        let ops = registry.counter(
+            "vc_syncer_ops_total",
+            "Reconcile operations applied, by direction (downward/upward) and op.",
+            &["direction", "op"],
+        );
+        let events = registry.counter(
+            "vc_syncer_events_total",
+            "Syncer pipeline events: retries, scans, conflicts, breaker transitions.",
+            &["event"],
+        );
+        let dead_letter = registry.gauge(
+            "vc_syncer_dead_letter_len",
+            "Items parked in the dead-letter set awaiting scanner re-validation.",
+            &[],
+        );
+        let scan_duration = registry.histogram(
+            "vc_syncer_scan_duration_ms",
+            "Full mismatch scan pass duration (ms).",
+            &[],
+            &[1, 5, 10, 50, 100, 500, 1_000, 5_000],
+        );
+        let wake_latency = registry.histogram(
+            "vc_syncer_wake_latency_ms",
+            "Wake-from-hibernation re-list latency (ms).",
+            &[],
+            &[1, 5, 10, 50, 100, 500, 1_000, 5_000],
+        );
+        SyncerMetrics {
+            downward_busy: BusyTimer::default(),
+            upward_busy: BusyTimer::default(),
+            downward_creates: ops.with(&["downward", "create"]),
+            downward_updates: ops.with(&["downward", "update"]),
+            downward_deletes: ops.with(&["downward", "delete"]),
+            upward_updates: ops.with(&["upward", "update"]),
+            upward_deletes: ops.with(&["upward", "delete"]),
+            scan_requeues: events.with(&["scan_requeue"]),
+            scan_duration: scan_duration.with(&[]),
+            scans: events.with(&["scan"]),
+            conflicts: events.with(&["conflict"]),
+            hibernations: events.with(&["hibernation"]),
+            wake_latency: wake_latency.with(&[]),
+            retries: events.with(&["retry"]),
+            retry_exhausted: events.with(&["retry_exhausted"]),
+            dead_letter_len: dead_letter.with(&[]),
+            breaker_trips: events.with(&["breaker_trip"]),
+            breaker_recoveries: events.with(&["breaker_recovery"]),
+        }
+    }
+
+    /// Copies every counter and gauge in one pass. Reports must use this
+    /// instead of reading fields one by one: a field-by-field read of live
+    /// atomics interleaves with concurrent updates, so derived rows (e.g.
+    /// retries vs. retry_exhausted) can tear across fields.
+    pub fn snapshot(&self) -> SyncerCounters {
+        SyncerCounters {
+            downward_creates: self.downward_creates.get(),
+            downward_updates: self.downward_updates.get(),
+            downward_deletes: self.downward_deletes.get(),
+            upward_updates: self.upward_updates.get(),
+            upward_deletes: self.upward_deletes.get(),
+            scan_requeues: self.scan_requeues.get(),
+            scans: self.scans.get(),
+            conflicts: self.conflicts.get(),
+            hibernations: self.hibernations.get(),
+            retries: self.retries.get(),
+            retry_exhausted: self.retry_exhausted.get(),
+            breaker_trips: self.breaker_trips.get(),
+            breaker_recoveries: self.breaker_recoveries.get(),
+            dead_letter_len: self.dead_letter_len.get(),
+        }
+    }
+}
+
+impl Default for SyncerMetrics {
+    /// Standalone metrics backed by a private registry — for tests and
+    /// callers that never export an exposition.
+    fn default() -> Self {
+        Self::new(&MetricsRegistry::new())
+    }
+}
+
+/// Point-in-time copy of the syncer's counters and gauges, taken in one
+/// pass (see [`SyncerMetrics::snapshot`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncerCounters {
+    /// Objects created in the super cluster.
+    pub downward_creates: u64,
+    /// Objects updated in the super cluster.
+    pub downward_updates: u64,
+    /// Objects deleted from the super cluster.
+    pub downward_deletes: u64,
+    /// Tenant statuses updated.
+    pub upward_updates: u64,
+    /// Tenant objects deleted due to super-side deletion.
+    pub upward_deletes: u64,
+    /// Mismatches repaired by the periodic scanner.
+    pub scan_requeues: u64,
+    /// Completed scan passes.
+    pub scans: u64,
+    /// Write conflicts encountered (races).
+    pub conflicts: u64,
+    /// Tenants hibernated.
+    pub hibernations: u64,
+    /// Failed downward items re-queued with exponential backoff.
+    pub retries: u64,
+    /// Items dead-lettered after exhausting their retry budget.
+    pub retry_exhausted: u64,
+    /// Per-tenant circuit-breaker trips.
+    pub breaker_trips: u64,
+    /// Circuit-breaker recoveries.
+    pub breaker_recoveries: u64,
+    /// Size of the dead-letter set at snapshot time.
+    pub dead_letter_len: i64,
 }
 
 /// Tenant health as seen by the syncer's per-tenant circuit breaker.
@@ -266,6 +408,16 @@ pub struct Syncer {
     pub phases: PhaseTracker,
     /// Counters and busy timers.
     pub metrics: SyncerMetrics,
+    /// Observability plane: the request tracer plus the unified metrics
+    /// registry every attached apiserver and the syncer's own families
+    /// report into.
+    pub obs: Arc<Observability>,
+    /// Per-tenant reconcile duration (µs), labels `[tenant, direction]`.
+    pub(crate) tenant_sync_duration: HistogramFamily,
+    /// Per-tenant downward sub-queue depth, labels `[tenant]`.
+    tenant_queue_depth: GaugeFamily,
+    /// Last stats published onto each VC status, to skip no-op writes.
+    last_published_stats: Mutex<HashMap<String, TenantSyncStats>>,
     handle: Mutex<Option<ControllerHandle>>,
 }
 
@@ -296,6 +448,22 @@ impl Syncer {
             super_informers.insert(*kind, informer);
         }
 
+        let obs = Observability::new(config.obs.clone());
+        // The super apiserver reports into the shared registry under the
+        // "super" scope; it never opens traces (tenant gates do that).
+        super_client.server().attach_observability(&obs, "super", false);
+        let tenant_sync_duration = obs.registry.histogram(
+            "vc_syncer_tenant_sync_duration_us",
+            "Per-tenant reconcile duration (microseconds) by direction.",
+            &["tenant", "direction"],
+            SYNC_DURATION_BUCKETS_US,
+        );
+        let tenant_queue_depth = obs.registry.gauge(
+            "vc_syncer_tenant_queue_depth",
+            "Per-tenant downward sub-queue depth.",
+            &["tenant"],
+        );
+
         let retry_ready: Arc<WorkQueue<WorkItem>> = Arc::new(WorkQueue::new());
         let syncer = Arc::new(Syncer {
             downward: Arc::new(WeightedFairQueue::new(config.fair_queuing)),
@@ -316,7 +484,11 @@ impl Syncer {
             hibernated: Mutex::new(HashMap::new()),
             vnodes: VNodeManager::new(),
             phases: PhaseTracker::new(),
-            metrics: SyncerMetrics::default(),
+            metrics: SyncerMetrics::new(&obs.registry),
+            obs,
+            tenant_sync_duration,
+            tenant_queue_depth,
+            last_published_stats: Mutex::new(HashMap::new()),
             handle: Mutex::new(None),
         });
 
@@ -353,7 +525,20 @@ impl Syncer {
                             if item.kind == ResourceKind::Pod {
                                 syncer_ref.phases.record_dws_dequeued(&item.tenant, &item.key);
                             }
+                            // Close the queue-wait span and run the
+                            // reconcile under the item's trace context so
+                            // super-apiserver calls attach their spans.
+                            let trace_id = syncer_ref.obs.tracer.lookup(&item.tenant, &item.key);
+                            if let Some(id) = trace_id {
+                                syncer_ref.obs.tracer.span_since_mark(
+                                    id,
+                                    stage::MARK_DWS_ENQUEUE,
+                                    stage::DWS_QUEUE,
+                                );
+                            }
+                            let started = Instant::now();
                             syncer_ref.metrics.downward_busy.record(|| {
+                                let _ctx = trace_id.map(TraceContext::enter);
                                 let cost = congestion_cost(
                                     syncer_ref.config.downward_process_cost,
                                     syncer_ref.downward.len(),
@@ -363,6 +548,19 @@ impl Syncer {
                                 }
                                 downward::reconcile(&syncer_ref, &item)
                             });
+                            let elapsed = started.elapsed();
+                            if let Some(id) = trace_id {
+                                syncer_ref.obs.tracer.record_span(
+                                    id,
+                                    stage::DWS_PROCESS,
+                                    elapsed,
+                                    true,
+                                );
+                            }
+                            syncer_ref
+                                .tenant_sync_duration
+                                .with(&[&item.tenant, "downward"])
+                                .observe_ms(elapsed.as_micros() as u64);
                             syncer_ref.downward.done(&item);
                         }
                     })
@@ -382,9 +580,11 @@ impl Syncer {
                                 syncer_ref.upward.done(&item);
                                 break;
                             }
-                            // (Pod phase stamps happen inside the upward
-                            // reconciler, which knows whether the super pod
-                            // is Ready.)
+                            // (Pod phase stamps and trace spans happen
+                            // inside the upward reconciler, which knows
+                            // whether the super pod is Ready and maps the
+                            // super key back to the traced tenant key.)
+                            let started = Instant::now();
                             syncer_ref.metrics.upward_busy.record(|| {
                                 let cost = congestion_cost(
                                     syncer_ref.config.upward_process_cost,
@@ -395,6 +595,10 @@ impl Syncer {
                                 }
                                 upward::reconcile(&syncer_ref, &item)
                             });
+                            syncer_ref
+                                .tenant_sync_duration
+                                .with(&[&item.tenant, "upward"])
+                                .observe_ms(started.elapsed().as_micros() as u64);
                             syncer_ref.upward.done(&item);
                         }
                     })
@@ -419,6 +623,7 @@ impl Syncer {
                             slept += step;
                         }
                         syncer_ref.scan_all();
+                        syncer_ref.publish_tenant_stats();
                     })
                     .expect("spawn scanner"),
             );
@@ -522,6 +727,7 @@ impl Syncer {
         for informer in state.informers.values() {
             informer.stop();
         }
+        state.handle.cluster.apiserver.detach_observability();
         let _ = self.downward.remove_tenant(name);
         // A hibernated tenant's control plane is deliberately unwatched:
         // drop any breaker state so a later wake starts Healthy.
@@ -781,6 +987,10 @@ impl Syncer {
     /// synchronizing. Safe to call for many tenants; one syncer serves all
     /// of them (§III-C's centralized design).
     pub fn register_tenant(self: &Arc<Self>, handle: Arc<TenantHandle>) {
+        // The tenant apiserver reports into the shared registry under the
+        // tenant's name and opens a trace for every pod admitted at its
+        // gate.
+        handle.cluster.apiserver.attach_observability(&self.obs, &handle.name, true);
         let client = handle.system_client("vc-syncer");
         let mut informers = HashMap::new();
         for kind in &self.config.downward_kinds {
@@ -822,6 +1032,7 @@ impl Syncer {
             for informer in state.informers.values() {
                 informer.stop();
             }
+            state.handle.cluster.apiserver.detach_observability();
         }
         // The sub-queue may still hold items; they become no-ops once the
         // tenant is gone, so force removal after drain attempts.
@@ -1017,11 +1228,11 @@ impl Syncer {
 
     fn on_tenant_event(&self, tenant: &str, kind: ResourceKind, event: &InformerEvent) {
         let obj = event.object();
-        if kind == ResourceKind::Pod {
-            if let InformerEvent::Added(_) = event {
-                self.phases.record_created(tenant, &obj.key());
-            }
+        let added = matches!(event, InformerEvent::Added(_));
+        if kind == ResourceKind::Pod && added {
+            self.phases.record_created(tenant, &obj.key());
         }
+        self.trace_downward_enqueue(tenant, kind, &obj.key(), added);
         self.downward.add(tenant, WorkItem { tenant: tenant.to_string(), kind, key: obj.key() });
     }
 
@@ -1051,7 +1262,7 @@ impl Syncer {
                         if pod.status.condition(PodConditionType::Ready).is_some_and(|c| c.status) {
                             if let Some(tenant_key) = self.tenant_key_for(&tenant, kind, &obj.key())
                             {
-                                self.phases.record_super_ready(&tenant, &tenant_key);
+                                self.trace_super_ready(&tenant, &tenant_key);
                             }
                         }
                     }
@@ -1092,6 +1303,138 @@ impl Syncer {
             }
         }
         None
+    }
+
+    // ---- Trace plumbing -------------------------------------------------
+    //
+    // Pod traces are keyed `(tenant, tenant-side key)`. The tenant
+    // apiserver gate opens the trace on pod Create; the helpers below
+    // stamp queue marks and stage spans as the object moves through the
+    // pipeline, mirroring the PhaseTracker stamps (which feed Fig 7) with
+    // per-object spans. Like the phase stamps, marks are set-once and
+    // spans consume their mark, so requeues and duplicate events cannot
+    // inflate a stage.
+
+    /// Called for every tenant-side event entering the downward queue:
+    /// marks the DWS-Queue wait start. Pod additions also open the trace —
+    /// a no-op when the apiserver gate already did (begin is idempotent
+    /// while the trace is open), but it covers pods written before
+    /// observability attached or via paths that bypass the gate.
+    fn trace_downward_enqueue(&self, tenant: &str, kind: ResourceKind, key: &str, added: bool) {
+        if kind != ResourceKind::Pod {
+            return;
+        }
+        let tracer = &self.obs.tracer;
+        let id = if added { Some(tracer.begin(tenant, key)) } else { tracer.lookup(tenant, key) };
+        if let Some(id) = id {
+            tracer.mark(id, stage::MARK_DWS_ENQUEUE);
+        }
+    }
+
+    /// Downward reconcile reached the desired super-cluster state for a
+    /// pod: stamps the DWS-done phase and marks the Super-Sched span
+    /// start.
+    pub(crate) fn trace_dws_done(&self, tenant: &str, key: &str) {
+        self.phases.record_dws_done(tenant, key);
+        if let Some(id) = self.obs.tracer.lookup(tenant, key) {
+            self.obs.tracer.mark(id, stage::MARK_SUPER_SCHED);
+        }
+    }
+
+    /// The super pod turned Ready: stamps the super-ready phase, closes
+    /// the Super-Sched span and marks the UWS-Queue wait start.
+    fn trace_super_ready(&self, tenant: &str, tenant_key: &str) {
+        self.phases.record_super_ready(tenant, tenant_key);
+        let tracer = &self.obs.tracer;
+        if let Some(id) = tracer.lookup(tenant, tenant_key) {
+            tracer.span_since_mark(id, stage::MARK_SUPER_SCHED, stage::SUPER_SCHED);
+            tracer.mark(id, stage::MARK_UWS_ENQUEUE);
+        }
+    }
+
+    /// An upward worker picked up the ready pod: stamps the UWS-dequeued
+    /// phase, closes the UWS-Queue span and marks the UWS-Process start.
+    pub(crate) fn trace_uws_dequeued(&self, tenant: &str, tenant_key: &str) {
+        self.phases.record_uws_dequeued(tenant, tenant_key);
+        let tracer = &self.obs.tracer;
+        if let Some(id) = tracer.lookup(tenant, tenant_key) {
+            tracer.span_since_mark(id, stage::MARK_UWS_ENQUEUE, stage::UWS_QUEUE);
+            tracer.mark(id, stage::MARK_UWS_PROCESS);
+        }
+    }
+
+    /// The tenant pod status now reflects Ready: stamps the UWS-done
+    /// phase, closes the UWS-Process span and finishes the trace
+    /// (recording a slow-op log entry when over threshold).
+    pub(crate) fn trace_uws_done(&self, tenant: &str, tenant_key: &str) {
+        self.phases.record_uws_done(tenant, tenant_key);
+        let tracer = &self.obs.tracer;
+        if let Some(id) = tracer.lookup(tenant, tenant_key) {
+            tracer.span_since_mark(id, stage::MARK_UWS_PROCESS, stage::UWS_PROCESS);
+        }
+        tracer.finish(tenant, tenant_key);
+    }
+
+    // ---- Per-tenant dashboard -------------------------------------------
+
+    /// Point-in-time sync statistics for one registered tenant — the
+    /// dashboard row the syncer publishes onto the tenant's VC status.
+    /// `None` for unknown (unregistered or hibernated) tenants.
+    pub fn tenant_stats(&self, tenant: &str) -> Option<TenantSyncStats> {
+        let health = self.tenant_health(tenant)?;
+        let hist = self.tenant_sync_duration.with(&[tenant, "downward"]);
+        let slow_ops =
+            self.obs.tracer.slow_ops().iter().filter(|s| s.tenant == tenant).count() as u64;
+        Some(TenantSyncStats {
+            queue_depth: self.downward.tenant_len(tenant) as u64,
+            sync_p50_us: hist.percentile(0.5),
+            sync_p99_us: hist.percentile(0.99),
+            synced_objects: hist.count() as u64,
+            slow_ops,
+            breaker: format!("{health:?}"),
+        })
+    }
+
+    /// Dashboard rows for every registered tenant, sorted by name.
+    pub fn tenant_dashboard(&self) -> Vec<(String, TenantSyncStats)> {
+        let mut names = self.tenant_names();
+        names.sort();
+        names.into_iter().filter_map(|n| self.tenant_stats(&n).map(|s| (n, s))).collect()
+    }
+
+    /// Refreshes the per-tenant queue-depth gauges and publishes each
+    /// tenant's [`TenantSyncStats`] onto its VC object status. Best-effort
+    /// (registry-only tenants have no VC object) and write-avoiding: a
+    /// tenant whose stats are unchanged since the last publish is skipped.
+    /// Runs from the scanner thread after every scan pass.
+    pub fn publish_tenant_stats(&self) {
+        for (tenant, depth) in self.downward.tenant_lens() {
+            self.tenant_queue_depth.with(&[&tenant]).set(depth as i64);
+        }
+        for (tenant, stats) in self.tenant_dashboard() {
+            {
+                let mut last = self.last_published_stats.lock();
+                if last.get(&tenant) == Some(&stats) {
+                    continue;
+                }
+                last.insert(tenant.clone(), stats.clone());
+            }
+            let _ = retry_on_conflict(3, || {
+                let fresh = self.super_client.get(
+                    ResourceKind::CustomObject,
+                    VC_MANAGER_NAMESPACE,
+                    &tenant,
+                )?;
+                let mut fresh: CustomObject = fresh.try_into()?;
+                let mut vc = VirtualCluster::from_custom_object(&fresh)?;
+                if vc.status.sync == stats {
+                    return Ok(());
+                }
+                vc.status.sync = stats.clone();
+                vc.write_into(&mut fresh);
+                self.super_client.update(fresh.into()).map(|_| ())
+            });
+        }
     }
 
     /// Maps a super key back to a tenant key for the given tenant name.

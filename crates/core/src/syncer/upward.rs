@@ -62,7 +62,7 @@ fn pod(syncer: &Syncer, tenant: &Arc<TenantState>, item: &WorkItem) {
             // Phase stamp: the UWS-Queue phase ends when a worker picks up
             // the *ready* pod (pre-ready status items don't count).
             if super_pod.status.is_ready() {
-                syncer.phases.record_uws_dequeued(&item.tenant, &tenant_key);
+                syncer.trace_uws_dequeued(&item.tenant, &tenant_key);
             }
             // Binding: materialize the vNode before exposing the binding.
             if super_pod.spec.is_bound() {
@@ -78,6 +78,13 @@ fn pod(syncer: &Syncer, tenant: &Arc<TenantState>, item: &WorkItem) {
             let expected_tenant_uid = mapping::tenant_uid(&super_obj).map(str::to_string);
             let node_name = super_pod.spec.node_name.clone();
             let status = super_pod.status.clone();
+            // Run the status write under the pod's trace context so the
+            // tenant apiserver attaches its update span to this trace.
+            let _ctx = syncer
+                .obs
+                .tracer
+                .lookup(&item.tenant, &tenant_key)
+                .map(vc_obs::TraceContext::enter);
             let result = retry_on_conflict(5, || {
                 let fresh = match tenant.client.get(ResourceKind::Pod, tenant_ns, tenant_name) {
                     Ok(obj) => obj,
@@ -102,7 +109,7 @@ fn pod(syncer: &Syncer, tenant: &Arc<TenantState>, item: &WorkItem) {
                     syncer.metrics.upward_updates.inc();
                     syncer.note_tenant_ok(&item.tenant);
                     if super_pod.status.is_ready() {
-                        syncer.phases.record_uws_done(&item.tenant, &tenant_key);
+                        syncer.trace_uws_done(&item.tenant, &tenant_key);
                     }
                 }
                 Ok(false) => {
@@ -110,7 +117,7 @@ fn pod(syncer: &Syncer, tenant: &Arc<TenantState>, item: &WorkItem) {
                     if super_pod.status.is_ready() {
                         // Someone already wrote it; still complete the
                         // timeline.
-                        syncer.phases.record_uws_done(&item.tenant, &tenant_key);
+                        syncer.trace_uws_done(&item.tenant, &tenant_key);
                     }
                 }
                 Err(e) => {

@@ -73,6 +73,25 @@ pub enum VcPhase {
     Failed,
 }
 
+/// Per-tenant synchronization statistics published by the syncer onto the
+/// VC status — the "dashboard" view of how this tenant's sync pipeline is
+/// doing (queue backlog, latency percentiles, breaker state).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TenantSyncStats {
+    /// Items pending in the tenant's downward sub-queue.
+    pub queue_depth: u64,
+    /// Median downward sync latency (µs).
+    pub sync_p50_us: u64,
+    /// 99th-percentile downward sync latency (µs).
+    pub sync_p99_us: u64,
+    /// Downward reconciles completed for this tenant.
+    pub synced_objects: u64,
+    /// Slow-op log entries attributed to this tenant.
+    pub slow_ops: u64,
+    /// Circuit-breaker state (`Healthy` / `Degraded`).
+    pub breaker: String,
+}
+
 /// Observed state of a tenant control plane.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct VirtualClusterStatus {
@@ -89,6 +108,8 @@ pub struct VirtualClusterStatus {
     pub namespace_prefix: String,
     /// Typed conditions (e.g. [`COND_SYNCER_HEALTHY`]).
     pub conditions: Vec<Condition>,
+    /// Syncer-published per-tenant sync statistics.
+    pub sync: TenantSyncStats,
 }
 
 impl VirtualClusterStatus {

@@ -1,0 +1,389 @@
+//! A small validating parser for the Prometheus text exposition format
+//! produced by [`crate::MetricsRegistry::render_text`].
+//!
+//! This is not a general scrape client — it accepts the subset the
+//! registry emits (`# HELP` / `# TYPE` headers followed by sample lines)
+//! and validates the invariants a scraper relies on: headers precede
+//! samples, sample names match their family (allowing the
+//! `_bucket`/`_sum`/`_count` suffixes for histograms), label syntax is
+//! well-formed, values parse as floats, and histogram bucket counts are
+//! cumulative with `+Inf` equal to `_count`.
+
+use std::collections::BTreeMap;
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSample {
+    /// Sample name (family name plus optional histogram suffix).
+    pub name: String,
+    /// Label pairs in appearance order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl ParsedSample {
+    /// The value of label `name`, if present.
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// One parsed metric family: its headers plus every sample under them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedFamily {
+    /// Family name (without histogram suffixes).
+    pub name: String,
+    /// `# TYPE` keyword (`counter`, `gauge`, `histogram`).
+    pub kind: String,
+    /// `# HELP` text (unescaped).
+    pub help: String,
+    /// Samples in appearance order.
+    pub samples: Vec<ParsedSample>,
+}
+
+impl ParsedFamily {
+    /// The first sample whose full name is `name` and whose labels
+    /// include every pair in `labels`.
+    pub fn sample(&self, name: &str, labels: &[(&str, &str)]) -> Option<&ParsedSample> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && labels.iter().all(|(k, v)| s.label(k) == Some(*v)))
+    }
+}
+
+/// Parses exposition text into families, validating structure.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for: samples without
+/// headers, `# TYPE` before `# HELP`, unknown types, sample names that
+/// do not belong to the current family, malformed labels or values, and
+/// histogram buckets that are non-cumulative or disagree with `_count`.
+pub fn parse(text: &str) -> Result<Vec<ParsedFamily>, String> {
+    let mut families: Vec<ParsedFamily> = Vec::new();
+    let mut pending_help: Option<(String, String)> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        let err = |msg: &str| format!("line {}: {msg}: {line:?}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .map(|(n, h)| (n, h.to_string()))
+                .unwrap_or((rest, String::new()));
+            if !is_metric_name(name) {
+                return Err(err("invalid metric name in HELP"));
+            }
+            pending_help = Some((name.to_string(), unescape_help(&help)));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').ok_or_else(|| err("TYPE missing kind"))?;
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(err("unknown metric type"));
+            }
+            let help = match pending_help.take() {
+                Some((help_name, help)) if help_name == name => help,
+                Some(_) => return Err(err("HELP/TYPE name mismatch")),
+                None => return Err(err("TYPE without preceding HELP")),
+            };
+            if families.iter().any(|f| f.name == name) {
+                return Err(err("duplicate family"));
+            }
+            families.push(ParsedFamily {
+                name: name.to_string(),
+                kind: kind.to_string(),
+                help,
+                samples: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments are legal and ignored
+        }
+        let family = families.last_mut().ok_or_else(|| err("sample before any TYPE header"))?;
+        let sample = parse_sample(line).map_err(|m| err(&m))?;
+        let base = sample
+            .name
+            .strip_suffix("_bucket")
+            .or_else(|| sample.name.strip_suffix("_sum"))
+            .or_else(|| sample.name.strip_suffix("_count"))
+            .filter(|_| family.kind == "histogram")
+            .unwrap_or(&sample.name);
+        if base != family.name {
+            return Err(err("sample does not belong to current family"));
+        }
+        if family.kind == "histogram"
+            && sample.name.ends_with("_bucket")
+            && sample.label("le").is_none()
+        {
+            return Err(err("histogram bucket without le label"));
+        }
+        family.samples.push(sample);
+    }
+
+    for family in &families {
+        if family.kind == "histogram" {
+            validate_histogram(family)?;
+        }
+    }
+    Ok(families)
+}
+
+/// A sample's labels with `le` stripped — the grouping key for one
+/// histogram series.
+type SeriesKey = Vec<(String, String)>;
+
+fn validate_histogram(family: &ParsedFamily) -> Result<(), String> {
+    // Group buckets/counts by their non-`le` label set.
+    let mut buckets: BTreeMap<SeriesKey, Vec<(String, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<SeriesKey, f64> = BTreeMap::new();
+    for s in &family.samples {
+        let mut key: SeriesKey = s.labels.iter().filter(|(n, _)| n != "le").cloned().collect();
+        key.sort();
+        if s.name.ends_with("_bucket") {
+            buckets.entry(key).or_default().push((s.label("le").unwrap().to_string(), s.value));
+        } else if s.name.ends_with("_count") {
+            counts.insert(key, s.value);
+        }
+    }
+    for (key, series) in &buckets {
+        let mut prev = f64::NEG_INFINITY;
+        let mut inf = None;
+        for (le, v) in series {
+            if *v < prev {
+                return Err(format!("histogram {} buckets not cumulative at le={le}", family.name));
+            }
+            prev = *v;
+            if le == "+Inf" {
+                inf = Some(*v);
+            }
+        }
+        let inf = inf.ok_or_else(|| format!("histogram {} missing +Inf bucket", family.name))?;
+        if let Some(count) = counts.get(key) {
+            if (inf - count).abs() > f64::EPSILON {
+                return Err(format!("histogram {} +Inf bucket != _count", family.name));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_sample(line: &str) -> Result<ParsedSample, String> {
+    let (name_and_labels, value) = match line.find('{') {
+        Some(open) => {
+            let close = line.rfind('}').ok_or_else(|| "unterminated label set".to_string())?;
+            if close < open {
+                return Err("malformed label braces".to_string());
+            }
+            let labels = parse_labels(&line[open + 1..close])?;
+            ((&line[..open], labels), line[close + 1..].trim())
+        }
+        None => {
+            let (name, value) =
+                line.split_once(' ').ok_or_else(|| "sample missing value".to_string())?;
+            ((name, Vec::new()), value.trim())
+        }
+    };
+    let (name, labels) = name_and_labels;
+    if !is_metric_name(name) {
+        return Err(format!("invalid sample name {name:?}"));
+    }
+    // Value may be followed by an optional timestamp; take the first token.
+    let value_token = value.split_whitespace().next().ok_or("sample missing value")?;
+    let value = parse_value(value_token)?;
+    Ok(ParsedSample { name: name.to_string(), labels, value })
+}
+
+fn parse_value(token: &str) -> Result<f64, String> {
+    match token {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => token.parse::<f64>().map_err(|_| format!("invalid value {token:?}")),
+    }
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        // Label name.
+        let mut name = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            name.push(c);
+            chars.next();
+        }
+        let name = name.trim().to_string();
+        if !is_label_name(&name) {
+            return Err(format!("invalid label name {name:?}"));
+        }
+        if chars.next() != Some('=') {
+            return Err("label missing '='".to_string());
+        }
+        if chars.next() != Some('"') {
+            return Err("label value missing opening quote".to_string());
+        }
+        // Quoted value with escapes.
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    _ => return Err("bad escape in label value".to_string()),
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err("unterminated label value".to_string()),
+            }
+        }
+        out.push((name, value));
+        match chars.next() {
+            Some(',') => continue,
+            None => break,
+            Some(c) => return Err(format!("unexpected {c:?} after label value")),
+        }
+    }
+    Ok(out)
+}
+
+fn unescape_help(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    let mut chars = help.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn is_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_label_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn parses_registry_output() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total", "A counter.", &["tenant"]).with(&["t-1"]).add(5);
+        reg.gauge("g", "A gauge.", &[]).with(&[]).set(-3);
+        let h = reg.histogram("h_us", "A histogram.", &["stage"], &[10, 100]);
+        for v in [5, 50, 500] {
+            h.with(&["gate"]).observe_ms(v);
+        }
+        let text = reg.render_text();
+        let families = parse(&text).expect("registry output must parse");
+        assert_eq!(families.len(), 3);
+        let c = families.iter().find(|f| f.name == "c_total").unwrap();
+        assert_eq!(c.kind, "counter");
+        assert_eq!(c.help, "A counter.");
+        assert_eq!(c.sample("c_total", &[("tenant", "t-1")]).unwrap().value, 5.0);
+        let g = families.iter().find(|f| f.name == "g").unwrap();
+        assert_eq!(g.samples[0].value, -3.0);
+        let hist = families.iter().find(|f| f.name == "h_us").unwrap();
+        assert_eq!(hist.kind, "histogram");
+        assert_eq!(
+            hist.sample("h_us_bucket", &[("stage", "gate"), ("le", "+Inf")]).unwrap().value,
+            3.0
+        );
+        assert_eq!(hist.sample("h_us_count", &[("stage", "gate")]).unwrap().value, 3.0);
+        assert_eq!(hist.sample("h_us_sum", &[("stage", "gate")]).unwrap().value, 555.0);
+    }
+
+    #[test]
+    fn escaped_label_values_round_trip() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total", "h", &["k"]).with(&["a\"b\\c\nd"]).inc();
+        let families = parse(&reg.render_text()).unwrap();
+        assert_eq!(families[0].samples[0].label("k"), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn rejects_sample_without_header() {
+        assert!(parse("orphan 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_type_without_help() {
+        assert!(parse("# TYPE m counter\nm 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_foreign_sample_under_family() {
+        let text = "# HELP a h\n# TYPE a counter\nb 1\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_value() {
+        let text = "# HELP a h\n# TYPE a counter\na xyz\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn rejects_non_cumulative_histogram() {
+        let text = concat!(
+            "# HELP h h\n# TYPE h histogram\n",
+            "h_bucket{le=\"1\"} 5\n",
+            "h_bucket{le=\"+Inf\"} 3\n",
+            "h_sum 9\nh_count 3\n",
+        );
+        assert!(parse(text).unwrap_err().contains("not cumulative"));
+    }
+
+    #[test]
+    fn rejects_inf_count_mismatch() {
+        let text = concat!(
+            "# HELP h h\n# TYPE h histogram\n",
+            "h_bucket{le=\"+Inf\"} 3\n",
+            "h_sum 9\nh_count 4\n",
+        );
+        assert!(parse(text).unwrap_err().contains("+Inf bucket != _count"));
+    }
+
+    #[test]
+    fn rejects_missing_inf_bucket() {
+        let text =
+            concat!("# HELP h h\n# TYPE h histogram\n", "h_bucket{le=\"1\"} 3\n", "h_count 3\n",);
+        assert!(parse(text).unwrap_err().contains("+Inf"));
+    }
+
+    #[test]
+    fn accepts_inf_values_and_timestamps() {
+        let text = "# HELP a h\n# TYPE a gauge\na +Inf 1700000000\n";
+        let families = parse(text).unwrap();
+        assert!(families[0].samples[0].value.is_infinite());
+    }
+}

@@ -22,5 +22,6 @@ pub use vc_client as client;
 pub use vc_controllers as controllers;
 pub use vc_core as core;
 pub use vc_dataplane as dataplane;
+pub use vc_obs as obs;
 pub use vc_runtime as runtime;
 pub use vc_store as store;
