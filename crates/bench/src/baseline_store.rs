@@ -1,0 +1,253 @@
+//! The pre-sharding store, preserved as a benchmark baseline.
+//!
+//! [`CoarseStore`] replicates the original `vc-store` implementation the
+//! sharded store replaced: one global mutex around a flat object map, a
+//! per-call `BTreeMap` rebuild for every `list`, watch replay and fan-out
+//! inside the write critical section, and a clone-everything
+//! `estimated_bytes`. The `store_contention` bench (Criterion micro plus
+//! the bin harness) drives identical workloads against this and against
+//! [`vc_store::Store`] so the before/after contention numbers are measured
+//! in the same binary rather than across commits.
+//!
+//! Not for production use — it exists so regressions against the old
+//! behavior stay measurable.
+
+use crossbeam::channel::{bounded, Receiver, TrySendError};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use vc_api::error::{ApiError, ApiResult};
+use vc_api::object::{Object, ResourceKind};
+use vc_store::{EventType, WatchEvent};
+
+/// Store-side watcher entry (sender plus filters), mirroring the old
+/// implementation's registry record.
+struct CoarseWatcher {
+    kind: ResourceKind,
+    namespace: Option<String>,
+    sender: crossbeam::channel::Sender<WatchEvent>,
+}
+
+impl CoarseWatcher {
+    fn wants(&self, event: &WatchEvent) -> bool {
+        if event.object.kind() != self.kind {
+            return false;
+        }
+        match &self.namespace {
+            Some(ns) => event.object.meta().namespace == *ns,
+            None => true,
+        }
+    }
+
+    /// `false` when the channel is full or the receiver is gone.
+    fn deliver(&self, event: WatchEvent) -> bool {
+        !matches!(
+            self.sender.try_send(event),
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_))
+        )
+    }
+}
+
+struct CoarseInner {
+    objects: HashMap<(ResourceKind, String), Arc<Object>>,
+    revision: u64,
+    compacted_floor: u64,
+    event_log: Vec<WatchEvent>,
+    watchers: Vec<CoarseWatcher>,
+}
+
+/// The single-global-lock MVCC store the sharded [`vc_store::Store`]
+/// replaced; see the module docs.
+pub struct CoarseStore {
+    inner: Mutex<CoarseInner>,
+    event_log_capacity: usize,
+    watcher_buffer: usize,
+}
+
+impl CoarseStore {
+    /// Creates an empty store with the given log/watch-buffer capacities.
+    pub fn new(event_log_capacity: usize, watcher_buffer: usize) -> Self {
+        CoarseStore {
+            inner: Mutex::new(CoarseInner {
+                objects: HashMap::new(),
+                revision: 0,
+                compacted_floor: 0,
+                event_log: Vec::new(),
+                watchers: Vec::new(),
+            }),
+            event_log_capacity,
+            watcher_buffer,
+        }
+    }
+
+    /// Inserts a new object, assigning the next revision.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::AlreadyExists`] when the key is taken.
+    pub fn insert(&self, mut obj: Object) -> ApiResult<Arc<Object>> {
+        let mut inner = self.inner.lock();
+        let key = (obj.kind(), obj.key());
+        if inner.objects.contains_key(&key) {
+            return Err(ApiError::already_exists(key.0.as_str(), key.1));
+        }
+        inner.revision += 1;
+        obj.meta_mut().resource_version = inner.revision;
+        let arc = Arc::new(obj);
+        inner.objects.insert(key, Arc::clone(&arc));
+        Self::publish(&mut inner, self.event_log_capacity, EventType::Added, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Replaces an object (optionally compare-and-swap on the revision).
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::NotFound`] or [`ApiError::Conflict`].
+    pub fn update(&self, mut obj: Object, expected: Option<u64>) -> ApiResult<Arc<Object>> {
+        let mut inner = self.inner.lock();
+        let key = (obj.kind(), obj.key());
+        let current = inner
+            .objects
+            .get(&key)
+            .ok_or_else(|| ApiError::not_found(key.0.as_str(), key.1.clone()))?;
+        if let Some(expected) = expected {
+            let actual = current.meta().resource_version;
+            if actual != expected {
+                return Err(ApiError::conflict(key.0.as_str(), key.1, "modified"));
+            }
+        }
+        inner.revision += 1;
+        obj.meta_mut().resource_version = inner.revision;
+        let arc = Arc::new(obj);
+        inner.objects.insert(key, Arc::clone(&arc));
+        Self::publish(&mut inner, self.event_log_capacity, EventType::Modified, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Removes an object, returning its last state.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::NotFound`] when absent.
+    pub fn delete(&self, kind: ResourceKind, key: &str) -> ApiResult<Arc<Object>> {
+        let mut inner = self.inner.lock();
+        let removed = inner
+            .objects
+            .remove(&(kind, key.to_string()))
+            .ok_or_else(|| ApiError::not_found(kind.as_str(), key))?;
+        inner.revision += 1;
+        Self::publish(
+            &mut inner,
+            self.event_log_capacity,
+            EventType::Deleted,
+            Arc::clone(&removed),
+        );
+        Ok(removed)
+    }
+
+    /// Fetches an object by key.
+    pub fn get(&self, kind: ResourceKind, key: &str) -> Option<Arc<Object>> {
+        self.inner.lock().objects.get(&(kind, key.to_string())).cloned()
+    }
+
+    /// Lists objects of `kind` (optionally one namespace), scanning every
+    /// stored object and rebuilding a sorted map per call — the O(total)
+    /// behavior the sharded store's indexes remove.
+    pub fn list(&self, kind: ResourceKind, namespace: Option<&str>) -> (Vec<Arc<Object>>, u64) {
+        let inner = self.inner.lock();
+        let mut sorted: BTreeMap<&String, &Arc<Object>> = BTreeMap::new();
+        for ((k, key), v) in &inner.objects {
+            if *k != kind {
+                continue;
+            }
+            if let Some(ns) = namespace {
+                if v.meta().namespace != ns {
+                    continue;
+                }
+            }
+            sorted.insert(key, v);
+        }
+        (sorted.into_values().cloned().collect(), inner.revision)
+    }
+
+    /// Opens a watch from `from_revision`, replaying the backlog under the
+    /// global lock (the old behavior).
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Expired`] when compacted past `from_revision`.
+    pub fn watch(
+        &self,
+        kind: ResourceKind,
+        namespace: Option<String>,
+        from_revision: u64,
+    ) -> ApiResult<Receiver<WatchEvent>> {
+        let mut inner = self.inner.lock();
+        if from_revision < inner.compacted_floor {
+            return Err(ApiError::expired("compacted"));
+        }
+        let (sender, receiver) = bounded(self.watcher_buffer);
+        let watcher = CoarseWatcher { kind, namespace, sender };
+        for event in &inner.event_log {
+            if event.revision > from_revision
+                && watcher.wants(event)
+                && !watcher.deliver(event.clone())
+            {
+                return Err(ApiError::expired("watch backlog exceeds watcher buffer"));
+            }
+        }
+        inner.watchers.push(watcher);
+        Ok(receiver)
+    }
+
+    fn publish(
+        inner: &mut CoarseInner,
+        capacity: usize,
+        event_type: EventType,
+        object: Arc<Object>,
+    ) {
+        let event = WatchEvent { revision: inner.revision, event_type, object };
+        inner.event_log.push(event.clone());
+        if inner.event_log.len() > capacity {
+            let drop_count = inner.event_log.len() / 2;
+            inner.compacted_floor = inner.event_log[drop_count - 1].revision;
+            inner.event_log.drain(..drop_count);
+        }
+        // Fan-out inside the write critical section — every reader and
+        // writer of the store waits for the slowest watcher delivery.
+        inner.watchers.retain(|w| {
+            if !w.wants(&event) {
+                return true;
+            }
+            w.deliver(event.clone())
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_api::pod::Pod;
+
+    #[test]
+    fn baseline_semantics_match_expectations() {
+        let store = CoarseStore::new(1000, 64);
+        let a = store.insert(Pod::new("ns1", "a").into()).unwrap();
+        store.insert(Pod::new("ns2", "b").into()).unwrap();
+        assert!(store.insert(Pod::new("ns1", "a").into()).unwrap_err().is_already_exists());
+
+        let (ns1, rev) = store.list(ResourceKind::Pod, Some("ns1"));
+        assert_eq!(ns1.len(), 1);
+        assert_eq!(rev, 2);
+
+        let rx = store.watch(ResourceKind::Pod, None, 0).unwrap();
+        assert_eq!(rx.try_recv().unwrap().object.key(), "ns1/a");
+
+        store.update(Pod::new("ns1", "a").into(), Some(a.meta().resource_version)).unwrap();
+        assert!(store
+            .update(Pod::new("ns1", "a").into(), Some(a.meta().resource_version))
+            .unwrap_err()
+            .is_conflict());
+    }
+}

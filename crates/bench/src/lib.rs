@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline_store;
 pub mod calibration;
 pub mod load;
 pub mod report;

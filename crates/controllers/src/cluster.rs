@@ -60,9 +60,18 @@ impl ClusterConfig {
     }
 
     /// Config for a tenant control plane: no scheduler, no nodes (vNodes
-    /// are managed by the syncer, so no node lifecycle either).
+    /// are managed by the syncer, so no node lifecycle either), and no
+    /// volume binder — storage binding is super-cluster-owned and
+    /// back-populated by the syncer; a tenant-side binder would race it
+    /// for the claim and release the synced volume as a stray double
+    /// bind.
     pub fn tenant(name: impl Into<String>) -> Self {
-        ClusterConfig { scheduler: None, node_lifecycle: false, ..Self::super_cluster(name) }
+        ClusterConfig {
+            scheduler: None,
+            node_lifecycle: false,
+            volume_binder: false,
+            ..Self::super_cluster(name)
+        }
     }
 
     /// Zeroes the apiserver service times (unit-test speed).

@@ -1,4 +1,4 @@
-//! # vc-store — in-memory MVCC object store with watch streams
+//! # vc-store — sharded in-memory MVCC object store with watch streams
 //!
 //! The etcd analog backing every control plane in the simulation. Each
 //! control plane (super cluster and every tenant) owns one [`Store`]; the
@@ -18,13 +18,31 @@
 //!   floods the paper's centralized-syncer design avoids),
 //! * watchers that fall too far behind are **evicted** (their channel
 //!   closes) rather than blocking writers.
+//!
+//! ## Sharding
+//!
+//! Internally the store is sharded by [`ResourceKind`]: each kind owns its
+//! object map (ordered for ranged/sorted lists), a per-namespace secondary
+//! index, a bounded event log and a watcher registry, all behind per-shard
+//! locks. A store-wide [`AtomicU64`] allocates revisions, so the global
+//! total order of revisions — and every resourceVersion/CAS/Expired
+//! semantic above — is preserved while writes, reads and watch fan-out for
+//! different kinds never contend. Within a shard, event *fan-out* happens
+//! after the state lock is dropped (see the `shard` module docs for the
+//! lock handoff protocol), so delivering to slow watchers never blocks
+//! readers.
+//! Object/byte counts are maintained incrementally on atomics, making
+//! [`Store::len`] and [`Store::estimated_bytes`] lock-free.
+//!
+//! [`AtomicU64`]: std::sync::atomic::AtomicU64
 
 #![warn(missing_docs)]
 
+mod shard;
 pub mod watch;
 
-use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap};
+use shard::{Shard, ShardState};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use vc_api::error::{ApiError, ApiResult};
 use vc_api::metrics::Counter;
@@ -32,10 +50,14 @@ use vc_api::object::{Object, ResourceKind};
 
 pub use watch::{EventType, RecvOutcome, WatchEvent, WatchStream};
 
+/// Number of shards: one per [`ResourceKind`].
+const SHARD_COUNT: usize = ResourceKind::ALL.len();
+
 /// Configuration for a [`Store`].
 #[derive(Debug, Clone)]
 pub struct StoreConfig {
-    /// Maximum events retained for watch replay before compaction.
+    /// Maximum events retained **per kind** for watch replay before that
+    /// kind's log is compacted.
     pub event_log_capacity: usize,
     /// Per-watcher channel capacity; a watcher this far behind is evicted.
     pub watcher_buffer: usize,
@@ -68,17 +90,7 @@ impl ObjectKey {
     }
 }
 
-struct Inner {
-    objects: HashMap<ObjectKey, Arc<Object>>,
-    revision: u64,
-    /// Oldest revision still replayable from the event log.
-    compacted_floor: u64,
-    event_log: Vec<WatchEvent>,
-    watchers: Vec<watch::WatcherHandle>,
-    config: StoreConfig,
-}
-
-/// Thread-safe MVCC object store.
+/// Thread-safe sharded MVCC object store.
 ///
 /// # Examples
 ///
@@ -96,13 +108,25 @@ struct Inner {
 /// # Ok::<(), vc_api::ApiError>(())
 /// ```
 pub struct Store {
-    inner: Mutex<Inner>,
+    /// One shard per kind, indexed by the kind's discriminant.
+    shards: Vec<Shard>,
+    /// Store-wide revision allocator; the next write gets `revision + 1`.
+    revision: AtomicU64,
+    /// Incrementally maintained object count (all kinds).
+    object_count: AtomicU64,
+    /// Incrementally maintained estimated byte total (all kinds).
+    bytes: AtomicU64,
+    config: StoreConfig,
     /// Total writes (insert/update/delete) performed.
     pub writes: Counter,
-    /// Total watch events fanned out to watchers.
+    /// Total watch events fanned out to watchers (replay + live).
     pub events_delivered: Counter,
-    /// Watchers evicted for falling behind.
+    /// Watchers evicted for falling behind (live fan-out buffer overflow,
+    /// or a replay backlog that exceeds the watcher buffer).
     pub watchers_evicted: Counter,
+    /// Dead watchers (consumer dropped its stream) swept out of the
+    /// registry during publish fan-out or [`Store::watcher_count`].
+    pub watchers_swept: Counter,
 }
 
 impl Default for Store {
@@ -112,13 +136,17 @@ impl Default for Store {
 }
 
 impl std::fmt::Debug for Store {
+    /// Reads only atomic counters — never takes a shard lock, so it is
+    /// safe to log a store from code paths already holding one.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock();
         f.debug_struct("Store")
-            .field("objects", &inner.objects.len())
-            .field("revision", &inner.revision)
-            .field("compacted_floor", &inner.compacted_floor)
-            .field("watchers", &inner.watchers.len())
+            .field("objects", &self.object_count.load(Ordering::Relaxed))
+            .field("revision", &self.revision.load(Ordering::Relaxed))
+            .field("estimated_bytes", &self.bytes.load(Ordering::Relaxed))
+            .field("writes", &self.writes.get())
+            .field("events_delivered", &self.events_delivered.get())
+            .field("watchers_evicted", &self.watchers_evicted.get())
+            .field("watchers_swept", &self.watchers_swept.get())
             .finish()
     }
 }
@@ -131,29 +159,40 @@ impl Store {
 
     /// Creates an empty store with the given configuration.
     pub fn with_config(config: StoreConfig) -> Self {
+        // Shards are indexed by discriminant; `ResourceKind::ALL` is in
+        // declaration order, so the two agree.
+        debug_assert!(ResourceKind::ALL.iter().enumerate().all(|(i, k)| *k as usize == i));
         Store {
-            inner: Mutex::new(Inner {
-                objects: HashMap::new(),
-                revision: 0,
-                compacted_floor: 0,
-                event_log: Vec::new(),
-                watchers: Vec::new(),
-                config,
-            }),
+            shards: (0..SHARD_COUNT).map(|_| Shard::new()).collect(),
+            revision: AtomicU64::new(0),
+            object_count: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            config,
             writes: Counter::new(),
             events_delivered: Counter::new(),
             watchers_evicted: Counter::new(),
+            watchers_swept: Counter::new(),
         }
+    }
+
+    fn shard(&self, kind: ResourceKind) -> &Shard {
+        &self.shards[kind as usize]
+    }
+
+    /// Allocates the next revision. Callers hold the target shard's state
+    /// lock, so per-kind event streams see strictly increasing revisions.
+    fn next_revision(&self) -> u64 {
+        self.revision.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Returns the current store revision.
     pub fn revision(&self) -> u64 {
-        self.inner.lock().revision
+        self.revision.load(Ordering::Relaxed)
     }
 
-    /// Returns the number of stored objects (all kinds).
+    /// Returns the number of stored objects (all kinds). Lock-free.
     pub fn len(&self) -> usize {
-        self.inner.lock().objects.len()
+        self.object_count.load(Ordering::Relaxed) as usize
     }
 
     /// Returns `true` if the store holds no objects.
@@ -167,17 +206,24 @@ impl Store {
     ///
     /// Returns [`ApiError::AlreadyExists`] if the key is taken.
     pub fn insert(&self, mut obj: Object) -> ApiResult<Arc<Object>> {
-        let mut inner = self.inner.lock();
-        let key = ObjectKey::of(&obj);
-        if inner.objects.contains_key(&key) {
-            return Err(ApiError::already_exists(key.kind.as_str(), key.key));
+        let kind = obj.kind();
+        let key = obj.key();
+        let shard = self.shard(kind);
+        let mut state = shard.state.lock();
+        if state.objects.contains_key(&key) {
+            return Err(ApiError::already_exists(kind.as_str(), key));
         }
-        inner.revision += 1;
-        obj.meta_mut().resource_version = inner.revision;
+        let revision = self.next_revision();
+        obj.meta_mut().resource_version = revision;
         let arc = Arc::new(obj);
-        inner.objects.insert(key, Arc::clone(&arc));
+        state.index_insert(key, Arc::clone(&arc));
+        self.object_count.fetch_add(1, Ordering::Relaxed);
         self.writes.inc();
-        self.publish(&mut inner, EventType::Added, Arc::clone(&arc));
+        self.commit(shard, state, EventType::Added, revision, Arc::clone(&arc));
+        // Size estimation serializes the object — done after the shard lock
+        // is released; the atomics only need exact deltas, not lock-step
+        // timing with the map.
+        self.bytes.fetch_add(arc.estimated_size() as u64, Ordering::Relaxed);
         Ok(arc)
     }
 
@@ -195,30 +241,35 @@ impl Store {
         mut obj: Object,
         expected_revision: Option<u64>,
     ) -> ApiResult<Arc<Object>> {
-        let mut inner = self.inner.lock();
-        let key = ObjectKey::of(&obj);
-        let current = inner
+        let kind = obj.kind();
+        let key = obj.key();
+        let shard = self.shard(kind);
+        let mut state = shard.state.lock();
+        let current = state
             .objects
             .get(&key)
-            .ok_or_else(|| ApiError::not_found(key.kind.as_str(), key.key.clone()))?;
+            .ok_or_else(|| ApiError::not_found(kind.as_str(), key.clone()))?;
         if let Some(expected) = expected_revision {
             let actual = current.meta().resource_version;
             if actual != expected {
                 return Err(ApiError::conflict(
-                    key.kind.as_str(),
-                    key.key,
+                    kind.as_str(),
+                    key,
                     format!(
                         "the object has been modified (expected rv {expected}, actual {actual})"
                     ),
                 ));
             }
         }
-        inner.revision += 1;
-        obj.meta_mut().resource_version = inner.revision;
+        let old = Arc::clone(current);
+        let revision = self.next_revision();
+        obj.meta_mut().resource_version = revision;
         let arc = Arc::new(obj);
-        inner.objects.insert(key, Arc::clone(&arc));
+        state.index_insert(key, Arc::clone(&arc));
         self.writes.inc();
-        self.publish(&mut inner, EventType::Modified, Arc::clone(&arc));
+        self.commit(shard, state, EventType::Modified, revision, Arc::clone(&arc));
+        self.bytes.fetch_add(arc.estimated_size() as u64, Ordering::Relaxed);
+        self.bytes.fetch_sub(old.estimated_size() as u64, Ordering::Relaxed);
         Ok(arc)
     }
 
@@ -228,40 +279,45 @@ impl Store {
     ///
     /// Returns [`ApiError::NotFound`] if absent.
     pub fn delete(&self, kind: ResourceKind, key: &str) -> ApiResult<Arc<Object>> {
-        let mut inner = self.inner.lock();
-        let okey = ObjectKey::new(kind, key);
+        let shard = self.shard(kind);
+        let mut state = shard.state.lock();
         let removed =
-            inner.objects.remove(&okey).ok_or_else(|| ApiError::not_found(kind.as_str(), key))?;
-        inner.revision += 1;
+            state.index_remove(key).ok_or_else(|| ApiError::not_found(kind.as_str(), key))?;
+        let revision = self.next_revision();
+        self.object_count.fetch_sub(1, Ordering::Relaxed);
         self.writes.inc();
-        self.publish(&mut inner, EventType::Deleted, Arc::clone(&removed));
+        self.commit(shard, state, EventType::Deleted, revision, Arc::clone(&removed));
+        self.bytes.fetch_sub(removed.estimated_size() as u64, Ordering::Relaxed);
         Ok(removed)
     }
 
-    /// Fetches an object by key.
+    /// Fetches an object by key. Takes only the kind's shard lock.
     pub fn get(&self, kind: ResourceKind, key: &str) -> Option<Arc<Object>> {
-        self.inner.lock().objects.get(&ObjectKey::new(kind, key)).cloned()
+        self.shard(kind).state.lock().objects.get(key).cloned()
     }
 
     /// Lists objects of `kind`, optionally restricted to `namespace`,
     /// returning the items sorted by key plus the store revision at which
     /// the snapshot was taken (the revision a subsequent watch should start
     /// from).
+    ///
+    /// A namespace-scoped list reads the per-namespace index — cost is
+    /// O(items in that namespace), independent of total store size.
     pub fn list(&self, kind: ResourceKind, namespace: Option<&str>) -> (Vec<Arc<Object>>, u64) {
-        let inner = self.inner.lock();
-        let mut sorted: BTreeMap<&String, &Arc<Object>> = BTreeMap::new();
-        for (k, v) in &inner.objects {
-            if k.kind != kind {
-                continue;
-            }
-            if let Some(ns) = namespace {
-                if v.meta().namespace != ns {
-                    continue;
-                }
-            }
-            sorted.insert(&k.key, v);
-        }
-        (sorted.into_values().cloned().collect(), inner.revision)
+        let state = self.shard(kind).state.lock();
+        let items = match namespace {
+            Some(ns) => state
+                .by_namespace
+                .get(ns)
+                .map(|per_ns| per_ns.values().cloned().collect())
+                .unwrap_or_default(),
+            None => state.objects.values().cloned().collect(),
+        };
+        // Read under the shard lock: any later write of this kind must
+        // reacquire it and will allocate a strictly greater revision, so a
+        // watch from this revision misses nothing and repeats nothing.
+        let revision = self.revision.load(Ordering::Relaxed);
+        (items, revision)
     }
 
     /// Opens a watch for `kind` (optionally namespace-filtered) delivering
@@ -270,75 +326,130 @@ impl Store {
     /// The usual pattern is `let (items, rev) = store.list(..)` followed by
     /// `store.watch(kind, ns, rev)`.
     ///
+    /// Replay is all-or-nothing: if the matching backlog does not fit the
+    /// watcher buffer the watch fails without registering a watcher and
+    /// without counting any partial delivery.
+    ///
     /// # Errors
     ///
     /// Returns [`ApiError::Expired`] when `from_revision` precedes the
-    /// compaction floor; the caller must re-list.
+    /// compaction floor, or when the backlog exceeds the watcher buffer;
+    /// the caller must re-list.
     pub fn watch(
         &self,
         kind: ResourceKind,
         namespace: Option<String>,
         from_revision: u64,
     ) -> ApiResult<WatchStream> {
-        let mut inner = self.inner.lock();
-        if from_revision < inner.compacted_floor {
+        let shard = self.shard(kind);
+        let state = shard.state.lock();
+        if from_revision < state.compacted_floor {
             return Err(ApiError::expired(format!(
                 "requested revision {} but log is compacted up to {}",
-                from_revision, inner.compacted_floor
+                from_revision, state.compacted_floor
             )));
         }
         let (handle, stream) =
-            watch::WatcherHandle::new(kind, namespace, inner.config.watcher_buffer);
-        // Replay the backlog the watcher missed.
-        for event in &inner.event_log {
-            if event.revision > from_revision && handle.wants(event) {
-                // The fresh channel can still overflow if the backlog beats
-                // the watcher buffer; surface that as an expiry.
-                if !handle.deliver(event.clone()) {
-                    self.watchers_evicted.inc();
-                    return Err(ApiError::expired(
-                        "watch backlog exceeds watcher buffer; re-list required",
-                    ));
-                }
-                self.events_delivered.inc();
-            }
+            watch::WatcherHandle::new(kind, namespace, self.config.watcher_buffer);
+        // Collect the backlog the watcher missed. The per-kind log is
+        // sorted by revision, so skip the already-seen prefix first.
+        let skip = state.event_log.partition_point(|ev| ev.revision <= from_revision);
+        let backlog: Vec<WatchEvent> =
+            state.event_log.range(skip..).filter(|ev| handle.wants(ev)).cloned().collect();
+        if backlog.len() > self.config.watcher_buffer {
+            // All-or-nothing: nothing was delivered, nothing registered,
+            // no events counted. The nascent watcher still counts as an
+            // eviction — it fell behind before it even started.
+            self.watchers_evicted.inc();
+            return Err(ApiError::expired(
+                "watch backlog exceeds watcher buffer; re-list required",
+            ));
         }
-        inner.watchers.push(handle);
+        // Lock handoff: take the registry lock before releasing the state
+        // lock so no event published after our backlog snapshot can beat
+        // the replay, then deliver outside the write critical section.
+        let mut watchers = shard.watchers.lock();
+        drop(state);
+        let replayed = backlog.len() as u64;
+        for event in backlog {
+            // Cannot fail: the channel is fresh, the backlog fits its
+            // capacity, and we still hold the receiving stream.
+            let delivered = handle.deliver(event);
+            debug_assert!(delivered, "replay into a fresh channel cannot overflow");
+        }
+        self.events_delivered.add(replayed);
+        watchers.push(handle);
         Ok(stream)
     }
 
-    /// Number of currently registered (non-evicted) watchers.
+    /// Number of currently registered (non-evicted) watchers, sweeping any
+    /// dead ones encountered.
     pub fn watcher_count(&self) -> usize {
-        let mut inner = self.inner.lock();
-        inner.watchers.retain(|w| !w.is_dead());
-        inner.watchers.len()
+        let mut alive = 0;
+        let mut swept = 0u64;
+        for shard in &self.shards {
+            let mut watchers = shard.watchers.lock();
+            watchers.retain(|w| {
+                if w.is_dead() {
+                    swept += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            alive += watchers.len();
+        }
+        if swept > 0 {
+            self.watchers_swept.add(swept);
+        }
+        alive
     }
 
     /// Estimated total serialized size of stored objects in bytes (Fig 10
-    /// memory accounting).
+    /// memory accounting). Maintained incrementally on writes — reading it
+    /// is a single atomic load, no locks and no per-object walk.
     pub fn estimated_bytes(&self) -> usize {
-        let objects: Vec<Arc<Object>> = self.inner.lock().objects.values().cloned().collect();
-        objects.iter().map(|o| o.estimated_size()).sum()
+        self.bytes.load(Ordering::Relaxed) as usize
     }
 
-    fn publish(&self, inner: &mut Inner, event_type: EventType, object: Arc<Object>) {
-        let event = WatchEvent { revision: inner.revision, event_type, object };
-        // Append to the replay log, compacting the oldest half when full.
-        inner.event_log.push(event.clone());
-        if inner.event_log.len() > inner.config.event_log_capacity {
-            let drop_count = inner.event_log.len() / 2;
-            inner.compacted_floor = inner.event_log[drop_count - 1].revision;
-            inner.event_log.drain(..drop_count);
-        }
-        // Fan out to watchers, evicting any whose buffer is full.
+    /// Appends the event to the shard's replay log, hands off from the
+    /// state lock to the registry lock, and fans out to watchers with the
+    /// state lock already released — readers and writers of the shard's
+    /// data never wait on watcher delivery.
+    fn commit(
+        &self,
+        shard: &Shard,
+        mut state: parking_lot::MutexGuard<'_, ShardState>,
+        event_type: EventType,
+        revision: u64,
+        object: Arc<Object>,
+    ) {
+        let event = WatchEvent { revision, event_type, object };
+        state.append_event(event.clone(), self.config.event_log_capacity);
+        let mut watchers = shard.watchers.lock();
+        drop(state);
+        self.fan_out(&mut watchers, &event);
+    }
+
+    /// Delivers `event` to every interested watcher, evicting full ones
+    /// and sweeping dead ones (consumer dropped) out of the registry.
+    fn fan_out(&self, watchers: &mut Vec<watch::WatcherHandle>, event: &WatchEvent) {
         let mut evicted = 0u64;
-        inner.watchers.retain(|w| {
-            if !w.wants(&event) {
-                return !w.is_dead();
+        let mut swept = 0u64;
+        watchers.retain(|w| {
+            if !w.wants(event) {
+                if w.is_dead() {
+                    swept += 1;
+                    return false;
+                }
+                return true;
             }
             if w.deliver(event.clone()) {
                 self.events_delivered.inc();
                 true
+            } else if w.is_dead() {
+                swept += 1;
+                false
             } else {
                 evicted += 1;
                 false
@@ -346,6 +457,9 @@ impl Store {
         });
         if evicted > 0 {
             self.watchers_evicted.add(evicted);
+        }
+        if swept > 0 {
+            self.watchers_swept.add(swept);
         }
     }
 }
@@ -442,6 +556,30 @@ mod tests {
     }
 
     #[test]
+    fn namespace_index_survives_churn() {
+        let store = Store::new();
+        for i in 0..10 {
+            store.insert(pod("ns1", &format!("a{i}"))).unwrap();
+            store.insert(pod("ns2", &format!("b{i}"))).unwrap();
+        }
+        for i in 0..10 {
+            store.delete(ResourceKind::Pod, &format!("ns1/a{i}")).unwrap();
+        }
+        let (ns1, _) = store.list(ResourceKind::Pod, Some("ns1"));
+        assert!(ns1.is_empty());
+        let (ns2, _) = store.list(ResourceKind::Pod, Some("ns2"));
+        assert_eq!(ns2.len(), 10);
+        // Updates keep the index entry current.
+        let rv = ns2[0].meta().resource_version;
+        let updated = store.update(pod("ns2", "b0"), Some(rv)).unwrap();
+        let (ns2_after, _) = store.list(ResourceKind::Pod, Some("ns2"));
+        assert_eq!(
+            ns2_after.iter().find(|o| o.key() == "ns2/b0").unwrap().meta().resource_version,
+            updated.meta().resource_version
+        );
+    }
+
+    #[test]
     fn watch_receives_live_events() {
         let store = Store::new();
         let stream = store.watch(ResourceKind::Pod, None, 0).unwrap();
@@ -505,6 +643,33 @@ mod tests {
     }
 
     #[test]
+    fn compaction_is_per_kind() {
+        let store = Store::with_config(StoreConfig { event_log_capacity: 10, watcher_buffer: 64 });
+        for i in 0..30 {
+            store.insert(pod("ns", &format!("p{i}"))).unwrap();
+        }
+        // The pod log is compacted, but the namespace log is untouched: a
+        // from-zero namespace watch still works.
+        assert!(store.watch(ResourceKind::Pod, None, 0).unwrap_err().is_expired());
+        assert!(store.watch(ResourceKind::Namespace, None, 0).is_ok());
+    }
+
+    #[test]
+    fn overflowing_replay_is_all_or_nothing() {
+        let store = Store::with_config(StoreConfig { event_log_capacity: 1000, watcher_buffer: 4 });
+        for i in 0..20 {
+            store.insert(pod("ns", &format!("p{i}"))).unwrap();
+        }
+        let delivered_before = store.events_delivered.get();
+        let err = store.watch(ResourceKind::Pod, None, 0).unwrap_err();
+        assert!(err.is_expired(), "{err}");
+        // No partial replay was counted and no half-fed watcher registered.
+        assert_eq!(store.events_delivered.get(), delivered_before);
+        assert_eq!(store.watcher_count(), 0);
+        assert!(store.watchers_evicted.get() >= 1);
+    }
+
+    #[test]
     fn slow_watcher_evicted_and_channel_closes() {
         let store = Store::with_config(StoreConfig { event_log_capacity: 1000, watcher_buffer: 4 });
         let stream = store.watch(ResourceKind::Pod, None, 0).unwrap();
@@ -528,9 +693,27 @@ mod tests {
         let stream = store.watch(ResourceKind::Pod, None, 0).unwrap();
         assert_eq!(store.watcher_count(), 1);
         drop(stream);
-        // Next publish prunes the dead watcher.
+        // Next publish sweeps the dead watcher (counted as swept, not as
+        // an eviction — the consumer left, it did not fall behind).
         store.insert(pod("ns", "a")).unwrap();
         assert_eq!(store.watcher_count(), 0);
+        assert_eq!(store.watchers_swept.get(), 1);
+        assert_eq!(store.watchers_evicted.get(), 0);
+    }
+
+    #[test]
+    fn debug_impl_is_lock_free() {
+        let store = Store::new();
+        store.insert(pod("ns", "a")).unwrap();
+        // Formatting while holding every shard lock would deadlock if
+        // Debug took any of them.
+        let _state_guards: Vec<_> =
+            ResourceKind::ALL.iter().map(|k| store.shards[*k as usize].state.lock()).collect();
+        let _watcher_guards: Vec<_> =
+            ResourceKind::ALL.iter().map(|k| store.shards[*k as usize].watchers.lock()).collect();
+        let rendered = format!("{store:?}");
+        assert!(rendered.contains("objects: 1"), "{rendered}");
+        assert!(rendered.contains("revision: 1"), "{rendered}");
     }
 
     #[test]
@@ -540,6 +723,17 @@ mod tests {
         assert_eq!(empty, 0);
         store.insert(pod("ns", "a")).unwrap();
         assert!(store.estimated_bytes() > 0);
+    }
+
+    #[test]
+    fn estimated_bytes_tracks_updates_and_deletes() {
+        let store = Store::new();
+        store.insert(pod("ns", "a")).unwrap();
+        let after_insert = store.estimated_bytes();
+        store.update(pod("ns", "a"), None).unwrap();
+        assert!(store.estimated_bytes() > 0);
+        store.delete(ResourceKind::Pod, "ns/a").unwrap();
+        assert_eq!(store.estimated_bytes(), 0, "after {after_insert} bytes inserted");
     }
 
     #[test]
@@ -635,6 +829,23 @@ mod proptests {
                 prop_assert!(ev.revision > last);
                 last = ev.revision;
             }
+        }
+
+        /// The incremental byte accounting always equals a full recount.
+        #[test]
+        fn prop_bytes_accounting_matches_recount(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+            let store = Store::new();
+            for op in &ops {
+                match op {
+                    Op::Insert(i) => { let _ = store.insert(Pod::new("ns", format!("p{i}")).into()); }
+                    Op::Update(i) => { let _ = store.update(Pod::new("ns", format!("p{i}")).into(), None); }
+                    Op::Delete(i) => { let _ = store.delete(ResourceKind::Pod, &format!("ns/p{i}")); }
+                }
+            }
+            let (items, _) = store.list(ResourceKind::Pod, None);
+            let recount: usize = items.iter().map(|o| o.estimated_size()).sum();
+            prop_assert_eq!(store.estimated_bytes(), recount);
+            prop_assert_eq!(store.len(), items.len());
         }
     }
 }
