@@ -341,6 +341,29 @@ macro_rules! object_from {
                     }
                 }
             }
+
+            impl TryFrom<std::sync::Arc<Object>> for $ty {
+                type Error = crate::error::ApiError;
+
+                /// Converts a shared object into an owned typed value. This is
+                /// the sanctioned mutation-site copy of the zero-copy read
+                /// path: reads stay on the `Arc`, and the clone happens here,
+                /// once, only when a caller needs an owned value to mutate
+                /// (free when the `Arc` is uniquely held).
+                fn try_from(obj: std::sync::Arc<Object>) -> Result<$ty, Self::Error> {
+                    match std::sync::Arc::try_unwrap(obj) {
+                        Ok(owned) => owned.try_into(),
+                        Err(shared) => match &*shared {
+                            Object::$variant(inner) => Ok(inner.clone()),
+                            other => Err(crate::error::ApiError::internal(format!(
+                                "expected {} got {}",
+                                stringify!($variant),
+                                other.kind()
+                            ))),
+                        },
+                    }
+                }
+            }
         )+
     };
 }
@@ -402,6 +425,19 @@ mod tests {
         let obj: Object = pod.clone().into();
         let back: Pod = obj.try_into().unwrap();
         assert_eq!(pod, back);
+    }
+
+    #[test]
+    fn typed_conversion_from_shared_arc() {
+        let pod = Pod::new("ns", "p");
+        let obj = std::sync::Arc::new(Object::from(pod.clone()));
+        let alias = obj.clone();
+        let back: Pod = obj.try_into().unwrap();
+        assert_eq!(pod, back);
+        // The alias is untouched by the conversion.
+        assert_eq!(alias.key(), "ns/p");
+        let res: Result<Node, _> = alias.try_into();
+        assert!(res.is_err());
     }
 
     #[test]

@@ -349,17 +349,21 @@ impl ApiServer {
     /// Assigns UID, creation timestamp and generation 1; namespaces get the
     /// [`NAMESPACE_FINALIZER`].
     ///
+    /// The response shares the store's `Arc` — callers that need to mutate
+    /// the result convert it to a typed object (`try_into()`), which clones
+    /// exactly once at that point.
+    ///
     /// # Errors
     ///
     /// [`ApiError::Forbidden`] (authz), [`ApiError::Invalid`] (validation /
     /// admission), [`ApiError::AlreadyExists`].
-    pub fn create(&self, user: &str, obj: Object) -> ApiResult<Object> {
+    pub fn create(&self, user: &str, obj: Object) -> ApiResult<Arc<Object>> {
         let kind = obj.kind();
         let key = obj.key();
         self.observed(Verb::Create, kind, Some(&key), move || self.create_inner(user, obj))
     }
 
-    fn create_inner(&self, user: &str, mut obj: Object) -> ApiResult<Object> {
+    fn create_inner(&self, user: &str, mut obj: Object) -> ApiResult<Arc<Object>> {
         let _permit = self.gate.acquire()?;
         self.authorize(user, Verb::Create, &obj)?;
         self.validate_identity(&obj)?;
@@ -380,10 +384,11 @@ impl ApiServer {
         self.run_admission(AdmissionOp::Create, &mut obj)?;
         let stored = self.store.insert(obj)?;
         self.metrics.creates.inc();
-        Ok((*stored).clone())
+        Ok(stored)
     }
 
-    /// Fetches one object.
+    /// Fetches one object. The response shares the store's `Arc` — a
+    /// zero-copy read.
     ///
     /// # Errors
     ///
@@ -394,7 +399,7 @@ impl ApiServer {
         kind: ResourceKind,
         namespace: &str,
         name: &str,
-    ) -> ApiResult<Object> {
+    ) -> ApiResult<Arc<Object>> {
         self.observed(Verb::Get, kind, None, || self.get_inner(user, kind, namespace, name))
     }
 
@@ -404,7 +409,7 @@ impl ApiServer {
         kind: ResourceKind,
         namespace: &str,
         name: &str,
-    ) -> ApiResult<Object> {
+    ) -> ApiResult<Arc<Object>> {
         let _permit = self.gate.acquire()?;
         if !self.authorizer.authorize(user, Verb::Get, kind, namespace) {
             self.metrics.denied.inc();
@@ -415,11 +420,12 @@ impl ApiServer {
         let obj =
             self.store.get(kind, &key).ok_or_else(|| ApiError::not_found(kind.as_str(), key))?;
         self.metrics.gets.inc();
-        Ok((*obj).clone())
+        Ok(obj)
     }
 
     /// Lists objects of `kind`, optionally namespace-filtered, returning the
-    /// items and the snapshot revision to start a watch from.
+    /// items (shared `Arc`s straight out of the store — no per-item copy)
+    /// and the snapshot revision to start a watch from.
     ///
     /// Note the multi-tenant caveat the paper highlights: for cluster-scoped
     /// kinds there is no per-tenant filtering — an authorized `list` sees
@@ -433,7 +439,7 @@ impl ApiServer {
         user: &str,
         kind: ResourceKind,
         namespace: Option<&str>,
-    ) -> ApiResult<(Vec<Object>, u64)> {
+    ) -> ApiResult<(Vec<Arc<Object>>, u64)> {
         self.observed(Verb::List, kind, None, || self.list_inner(user, kind, namespace))
     }
 
@@ -442,7 +448,7 @@ impl ApiServer {
         user: &str,
         kind: ResourceKind,
         namespace: Option<&str>,
-    ) -> ApiResult<(Vec<Object>, u64)> {
+    ) -> ApiResult<(Vec<Arc<Object>>, u64)> {
         let _permit = self.gate.acquire()?;
         if !self.authorizer.authorize(user, Verb::List, kind, namespace.unwrap_or("")) {
             self.metrics.denied.inc();
@@ -455,7 +461,7 @@ impl ApiServer {
             self.config.read_latency + Duration::from_micros((items.len() as u64).min(10_000) / 10);
         self.clock.sleep(cost);
         self.metrics.lists.inc();
-        Ok((items.iter().map(|o| (**o).clone()).collect(), rev))
+        Ok((items, rev))
     }
 
     /// Replaces an object.
@@ -470,12 +476,12 @@ impl ApiServer {
     ///
     /// [`ApiError::NotFound`], [`ApiError::Conflict`],
     /// [`ApiError::Forbidden`], [`ApiError::Invalid`].
-    pub fn update(&self, user: &str, obj: Object) -> ApiResult<Object> {
+    pub fn update(&self, user: &str, obj: Object) -> ApiResult<Arc<Object>> {
         let kind = obj.kind();
         self.observed(Verb::Update, kind, None, move || self.update_inner(user, obj))
     }
 
-    fn update_inner(&self, user: &str, mut obj: Object) -> ApiResult<Object> {
+    fn update_inner(&self, user: &str, mut obj: Object) -> ApiResult<Arc<Object>> {
         let _permit = self.gate.acquire()?;
         self.authorize(user, Verb::Update, &obj)?;
         self.clock.sleep(self.config.write_latency);
@@ -513,12 +519,12 @@ impl ApiServer {
         if obj.meta().is_terminating() && obj.meta().finalizers.is_empty() {
             let removed = self.store.delete(kind, &key)?;
             self.metrics.deletes.inc();
-            return Ok((*removed).clone());
+            return Ok(removed);
         }
 
         let stored = self.store.update(obj, expected)?;
         self.metrics.updates.inc();
-        Ok((*stored).clone())
+        Ok(stored)
     }
 
     /// Deletes an object.
@@ -537,7 +543,7 @@ impl ApiServer {
         kind: ResourceKind,
         namespace: &str,
         name: &str,
-    ) -> ApiResult<Object> {
+    ) -> ApiResult<Arc<Object>> {
         self.observed(Verb::Delete, kind, None, || self.delete_inner(user, kind, namespace, name))
     }
 
@@ -547,7 +553,7 @@ impl ApiServer {
         kind: ResourceKind,
         namespace: &str,
         name: &str,
-    ) -> ApiResult<Object> {
+    ) -> ApiResult<Arc<Object>> {
         let _permit = self.gate.acquire()?;
         if !self.authorizer.authorize(user, Verb::Delete, kind, namespace) {
             self.metrics.denied.inc();
@@ -563,7 +569,7 @@ impl ApiServer {
         if !current.meta().finalizers.is_empty() {
             if current.meta().is_terminating() {
                 // Graceful deletion already in progress.
-                return Ok((*current).clone());
+                return Ok(current);
             }
             let mut pending = (*current).clone();
             pending.meta_mut().deletion_timestamp = Some(self.clock.now());
@@ -572,12 +578,12 @@ impl ApiServer {
             }
             let stored = self.store.update(pending, None)?;
             self.metrics.deletes.inc();
-            return Ok((*stored).clone());
+            return Ok(stored);
         }
 
         let removed = self.store.delete(kind, &key)?;
         self.metrics.deletes.inc();
-        Ok((*removed).clone())
+        Ok(removed)
     }
 
     /// Opens a watch on `kind`, delivering events after `from_revision`.
@@ -725,7 +731,7 @@ mod tests {
         assert_eq!(updated.meta().generation, 1);
 
         // Spec change: generation bumped.
-        let mut spec_change: Pod = updated.clone().try_into().unwrap();
+        let mut spec_change: Pod = updated.try_into().unwrap();
         spec_change.spec.node_name = "n1".into();
         let updated2 = s.update("u", spec_change.into()).unwrap();
         assert_eq!(updated2.meta().generation, 2);
@@ -769,7 +775,7 @@ mod tests {
         assert!(pending.meta().is_terminating());
         // Still visible while terminating.
         let got = s.get("u", ResourceKind::Namespace, "", "team").unwrap();
-        assert!(matches!(got, Object::Namespace(ref n) if n.phase == NamespacePhase::Terminating));
+        assert!(matches!(&*got, Object::Namespace(n) if n.phase == NamespacePhase::Terminating));
         // Creating a pod in it is now forbidden.
         assert!(s.create("u", Pod::new("team", "p").into()).is_err());
         // Second delete is a no-op returning the pending object.

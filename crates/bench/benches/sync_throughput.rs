@@ -1,0 +1,57 @@
+//! Criterion benches for the zero-copy sync read path against the
+//! cloning baseline (`vc_bench::baseline_sync::CloningCache`).
+//!
+//! Two groups, both on a reduced workload so Criterion can iterate:
+//!
+//! - `informer_list`: one full-cache list over 1k warm objects per call —
+//!   `Arc` bump per entry vs a deep clone per entry;
+//! - `sync_pipeline`: the whole miniature pipeline (populate, list phase,
+//!   concurrent churn + drain) per iteration.
+//!
+//! The full-size 10k-object comparison with acceptance floors is the
+//! `sync_throughput` *bin*, which the CI bench smoke-run executes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use vc_bench::baseline_sync::CloningCache;
+use vc_bench::sync_harness::{make_pod, run_arc, run_cloning, SyncWorkload};
+use vc_client::Cache;
+
+const LIST_OBJECTS: usize = 1_000;
+
+fn informer_list(c: &mut Criterion) {
+    let arc_cache = Cache::new();
+    let cloning_cache = CloningCache::new();
+    for i in 0..LIST_OBJECTS {
+        let pod = make_pod("ns-bench", &format!("p{i}"), 0);
+        arc_cache.insert_arc(Arc::new(pod.clone().into()));
+        cloning_cache.ingest(&pod.into());
+    }
+
+    let mut group = c.benchmark_group("informer_list 1k warm objects");
+    group.bench_with_input(BenchmarkId::new("arc", LIST_OBJECTS), &arc_cache, |b, cache| {
+        b.iter(|| black_box(cache.list().len()))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("cloning", LIST_OBJECTS),
+        &cloning_cache,
+        |b, cache| b.iter(|| black_box(cache.list().len())),
+    );
+    group.finish();
+}
+
+fn sync_pipeline(c: &mut Criterion) {
+    let workload = SyncWorkload::small();
+    let mut group = c.benchmark_group("sync_pipeline small workload");
+    group.bench_with_input(BenchmarkId::new("arc", "small"), &workload, |b, w| {
+        b.iter(|| black_box(run_arc(w).processed))
+    });
+    group.bench_with_input(BenchmarkId::new("cloning", "small"), &workload, |b, w| {
+        b.iter(|| black_box(run_cloning(w).processed))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, informer_list, sync_pipeline);
+criterion_main!(benches);

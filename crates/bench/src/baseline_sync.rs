@@ -1,0 +1,103 @@
+//! Pre-zero-copy informer cache, kept in-tree as the baseline the
+//! `sync_throughput` bench compares against.
+//!
+//! This replicates the read path the framework had before `Arc<Object>`
+//! flowed end-to-end:
+//!
+//! - the cache stores **owned** objects and clones them out on every
+//!   `get`/`list` (the old `vc_client::Cache` contract);
+//! - every insert serializes both the new and the displaced object to
+//!   maintain the bytes gauge (the old accounting, before sizes were
+//!   memoized per entry);
+//! - every watch event is deep-copied once before it reaches the cache
+//!   (the old dispatch loop's `(*ev.object).clone()`).
+//!
+//! [`CloningCache::ingest`] bundles the event-copy + insert exactly as the
+//! old pipeline paid them, so the bench's baseline numbers reflect the
+//! real pre-refactor cost, not a strawman.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use vc_api::object::Object;
+
+/// Clone-on-read informer cache (the pre-refactor behavior).
+#[derive(Debug, Default)]
+pub struct CloningCache {
+    objects: RwLock<HashMap<String, Object>>,
+    /// Estimated serialized bytes held (maintained like the old cache:
+    /// one serialization of the new object and one of the displaced
+    /// object per insert).
+    pub bytes: AtomicI64,
+}
+
+impl CloningCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies one watch event: deep-copies the object (the old dispatch
+    /// loop cloned out of the watch stream's `Arc`), then inserts the
+    /// copy, serializing both the new and any displaced object for the
+    /// bytes gauge.
+    pub fn ingest(&self, obj: &Object) {
+        let owned = obj.clone();
+        self.insert(owned);
+    }
+
+    /// Inserts an owned object, returning the displaced one.
+    pub fn insert(&self, obj: Object) -> Option<Object> {
+        let size = serde_json::to_string(&obj).map(|s| s.len()).unwrap_or(0) as i64;
+        let key = obj.key();
+        let displaced = self.objects.write().insert(key, obj);
+        let displaced_size = displaced
+            .as_ref()
+            .and_then(|o| serde_json::to_string(o).ok())
+            .map(|s| s.len())
+            .unwrap_or(0) as i64;
+        self.bytes.fetch_add(size - displaced_size, Ordering::Relaxed);
+        displaced
+    }
+
+    /// Clones one object out of the cache.
+    pub fn get(&self, key: &str) -> Option<Object> {
+        self.objects.read().get(key).cloned()
+    }
+
+    /// Clones every object out of the cache.
+    pub fn list(&self) -> Vec<Object> {
+        self.objects.read().values().cloned().collect()
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_api::pod::Pod;
+
+    #[test]
+    fn clones_out_and_tracks_bytes() {
+        let cache = CloningCache::new();
+        cache.ingest(&Pod::new("default", "p").into());
+        assert!(cache.bytes.load(Ordering::Relaxed) > 0);
+        let a = cache.get("default/p").unwrap();
+        let b = cache.get("default/p").unwrap();
+        assert_eq!(a.key(), b.key());
+        assert_eq!(cache.list().len(), 1);
+        // Replacing keeps the gauge balanced.
+        let before = cache.bytes.load(Ordering::Relaxed);
+        cache.ingest(&Pod::new("default", "p").into());
+        assert_eq!(cache.bytes.load(Ordering::Relaxed), before);
+    }
+}

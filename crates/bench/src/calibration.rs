@@ -128,7 +128,11 @@ mod tests {
 
     #[test]
     fn scaling_bounds() {
-        assert_eq!((10000 * 100 / 100).max(1), 10000);
-        assert_eq!(((10usize) * 1 / 100).max(1), 1);
+        // Mirrors `scaled` with an explicit percent instead of the env var.
+        fn scaled_at(pods: usize, percent: usize) -> usize {
+            (pods * percent / 100).max(1)
+        }
+        assert_eq!(scaled_at(10_000, 100), 10_000);
+        assert_eq!(scaled_at(10, 1), 1, "floors at one pod");
     }
 }

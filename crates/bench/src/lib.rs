@@ -9,6 +9,8 @@
 #![warn(missing_docs)]
 
 pub mod baseline_store;
+pub mod baseline_sync;
 pub mod calibration;
 pub mod load;
 pub mod report;
+pub mod sync_harness;

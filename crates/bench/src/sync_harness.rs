@@ -1,0 +1,425 @@
+//! Shared harness for the `sync_throughput` bench (Criterion groups and
+//! the standalone bin): a miniature downward-sync pipeline driven once
+//! over the zero-copy `Arc<Object>` path and once over the pre-refactor
+//! cloning baseline ([`crate::baseline_sync::CloningCache`]).
+//!
+//! The pipeline mirrors the syncer's shape without spinning up control
+//! planes, so the comparison isolates exactly what the zero-copy PR
+//! changed: watch events feed per-tenant informer caches and enqueue
+//! work items on a [`WeightedFairQueue`]; workers drain the queue, read the
+//! object back from the cache, build the super-cluster copy (the one
+//! sanctioned clone) and upsert it into a per-tenant "super" map when the
+//! desired state differs. The baseline pays the old costs (event deep
+//! copy, double serialization per insert, clone-on-get, one queue
+//! round-trip per item); the Arc path shares references end-to-end,
+//! coalesces re-enqueues and drains same-tenant batches.
+
+use crate::baseline_sync::CloningCache;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vc_api::object::Object;
+use vc_api::pod::Pod;
+use vc_client::{Cache, WeightedFairQueue};
+
+/// Workload shape shared by both pipeline variants.
+#[derive(Debug, Clone)]
+pub struct SyncWorkload {
+    /// Number of tenants (each with its own cache and sub-queue).
+    pub tenants: usize,
+    /// Objects pre-populated per tenant.
+    pub objects_per_tenant: usize,
+    /// Churn events per tenant (updates over the populated keys).
+    pub events_per_tenant: usize,
+    /// Consecutive updates hitting the same key (models bursty object
+    /// mutation, where coalescing pays off).
+    pub burst: usize,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Full-cache list calls measured per tenant.
+    pub list_iters: usize,
+}
+
+impl SyncWorkload {
+    /// The bin's full-size workload: 10k objects across 8 tenants.
+    pub fn full() -> Self {
+        SyncWorkload {
+            tenants: 8,
+            objects_per_tenant: 1_250,
+            events_per_tenant: 4_000,
+            burst: 4,
+            workers: 4,
+            list_iters: 50,
+        }
+    }
+
+    /// A small workload for Criterion iterations.
+    pub fn small() -> Self {
+        SyncWorkload {
+            tenants: 2,
+            objects_per_tenant: 250,
+            events_per_tenant: 500,
+            burst: 4,
+            workers: 2,
+            list_iters: 5,
+        }
+    }
+
+    /// Total churn events across all tenants.
+    pub fn total_events(&self) -> usize {
+        self.tenants * self.events_per_tenant
+    }
+}
+
+/// Measured output of one pipeline run.
+#[derive(Debug, Default)]
+pub struct SyncRun {
+    /// Per-call full-cache list latencies (ns).
+    pub list_ns: Vec<u64>,
+    /// Wall time for the churn phase (ingest + drain to empty).
+    pub churn_wall: Duration,
+    /// Events ingested during the churn phase.
+    pub churn_events: usize,
+    /// Work items reconciled by the drain workers.
+    pub processed: usize,
+    /// Re-enqueues coalesced away by the queue (Arc path only).
+    pub coalesced: u64,
+}
+
+impl SyncRun {
+    /// End-to-end downward throughput: ingested events per second until
+    /// the queue fully drained.
+    pub fn events_per_sec(&self) -> f64 {
+        self.churn_events as f64 / self.churn_wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// A realistically-annotated pod (k8s objects carry kilobytes of
+/// metadata — managed fields, last-applied configs; a bare `Pod::new`
+/// would understate every serialization and clone the pipeline pays).
+pub fn make_pod(namespace: &str, name: &str, generation: u64) -> Pod {
+    let mut pod = Pod::new(namespace, name);
+    for i in 0..8 {
+        pod.meta.annotations.insert(
+            format!("bench.virtualcluster.io/field-{i}"),
+            format!("gen-{generation}-{:0>224}", i),
+        );
+    }
+    pod
+}
+
+/// One pipeline variant: how events enter the cache and how workers read
+/// objects back out. Everything else (queue type, reconcile shape,
+/// thread structure) is shared so the comparison isolates the read path.
+trait SyncPipeline: Send + Sync + 'static {
+    /// Whether re-enqueues coalesce and workers drain batches (the Arc
+    /// path) or every item takes its own queue round-trip (baseline).
+    const BATCHED: bool;
+    /// Applies one watch event for `tenant`. Takes ownership: the
+    /// producer's object plays the role of the watch stream's shared one,
+    /// so the Arc path wraps it for free while the baseline pays the old
+    /// dispatch-loop deep copy inside [`CloningCache::ingest`].
+    fn ingest(&self, tenant: usize, obj: Object, generation: u64);
+    /// Builds the super-cluster copy of `key` — the reconcile read. The
+    /// returned object is the sanctioned mutation-site clone both paths
+    /// pay; what differs is whether reading the cache cost another copy.
+    fn desired(&self, tenant: usize, key: &str) -> Option<Object>;
+    /// Materializes one full informer list, returning its length.
+    fn list_len(&self, tenant: usize) -> usize;
+    /// The shared work queue.
+    fn queue(&self) -> &WeightedFairQueue<(usize, String)>;
+    /// Items coalesced away (0 for the baseline).
+    fn coalesced(&self) -> u64 {
+        0
+    }
+}
+
+/// Marks the super copy with the owning tenant, as `mapping::to_super`
+/// does.
+fn to_super(mut obj: Object, tenant: usize) -> Object {
+    obj.meta_mut().annotations.insert("x-owner-cluster".into(), format!("tenant-{tenant}"));
+    obj
+}
+
+/// The zero-copy pipeline: shared `vc_client::Cache`, coalescing
+/// enqueues, batched drains.
+struct ArcPipeline {
+    caches: Vec<Arc<Cache>>,
+    queue: WeightedFairQueue<(usize, String)>,
+}
+
+impl SyncPipeline for ArcPipeline {
+    const BATCHED: bool = true;
+
+    fn ingest(&self, tenant: usize, obj: Object, generation: u64) {
+        // The informer hands the store's Arc straight through; wrapping
+        // the producer's object is free — no deep copy on this path.
+        let key = obj.key();
+        self.caches[tenant].insert_arc(Arc::new(obj));
+        self.queue.add_coalescing(&format!("t{tenant}"), (tenant, key), generation);
+    }
+
+    fn desired(&self, tenant: usize, key: &str) -> Option<Object> {
+        let shared = self.caches[tenant].get(key)?;
+        Some(to_super((*shared).clone(), tenant))
+    }
+
+    fn list_len(&self, tenant: usize) -> usize {
+        self.caches[tenant].list().len()
+    }
+
+    fn queue(&self) -> &WeightedFairQueue<(usize, String)> {
+        &self.queue
+    }
+
+    fn coalesced(&self) -> u64 {
+        self.queue.coalesced.get()
+    }
+}
+
+/// The pre-refactor pipeline: clone-on-read caches, plain enqueues,
+/// per-item drains.
+struct CloningPipeline {
+    caches: Vec<CloningCache>,
+    queue: WeightedFairQueue<(usize, String)>,
+}
+
+impl SyncPipeline for CloningPipeline {
+    const BATCHED: bool = false;
+
+    fn ingest(&self, tenant: usize, obj: Object, _generation: u64) {
+        self.caches[tenant].ingest(&obj);
+        self.queue.add(&format!("t{tenant}"), (tenant, obj.key()));
+    }
+
+    fn desired(&self, tenant: usize, key: &str) -> Option<Object> {
+        let owned = self.caches[tenant].get(key)?;
+        Some(to_super(owned, tenant))
+    }
+
+    fn list_len(&self, tenant: usize) -> usize {
+        self.caches[tenant].list().len()
+    }
+
+    fn queue(&self) -> &WeightedFairQueue<(usize, String)> {
+        &self.queue
+    }
+}
+
+/// Items a batched worker drains per wakeup (mirrors the syncer's
+/// downward batch size).
+const DRAIN_BATCH: usize = 32;
+
+/// Churn-phase repeats per pipeline; the fastest repeat is reported.
+const CHURN_REPEATS: usize = 3;
+
+fn run_pipeline<P: SyncPipeline>(pipeline: Arc<P>, workload: &SyncWorkload) -> SyncRun {
+    let mut run = SyncRun::default();
+
+    // Phase 1: populate every tenant cache through the event path, then
+    // discard the populate backlog (shutdown-free: the queue is reused
+    // for the churn phase).
+    for tenant in 0..workload.tenants {
+        pipeline.queue().set_weight(&format!("t{tenant}"), 1);
+        for i in 0..workload.objects_per_tenant {
+            let pod = make_pod("ns-bench", &format!("p{i}"), 0);
+            pipeline.ingest(tenant, pod.into(), 0);
+        }
+    }
+    while let Some(item) = pipeline.queue().try_get() {
+        pipeline.queue().done(&item);
+    }
+
+    // Phase 2: informer list latency over the warm caches.
+    for _ in 0..workload.list_iters {
+        for tenant in 0..workload.tenants {
+            let started = Instant::now();
+            let n = pipeline.list_len(tenant);
+            run.list_ns.push(started.elapsed().as_nanos() as u64);
+            assert_eq!(n, workload.objects_per_tenant, "cache lost objects");
+        }
+    }
+
+    // Phase 3: mixed churn — every tenant mutates its objects in bursts
+    // of `burst` consecutive updates per key; throughput is measured
+    // from first ingest until the queue fully drains. Event objects are
+    // built before the clock starts (the watch stream would have
+    // delivered them ready-made, so construction is harness overhead,
+    // not pipeline cost), and the phase runs `CHURN_REPEATS` times
+    // keeping the fastest repeat — wall-clock over a dozen threads is
+    // scheduler-noisy and the minimum is the stable estimator.
+    let burst = workload.burst.max(1);
+    let span = workload.objects_per_tenant;
+    run.churn_wall = Duration::MAX;
+    for _ in 0..CHURN_REPEATS {
+        let event_batches: Vec<Vec<Object>> = (0..workload.tenants)
+            .map(|_| {
+                (0..workload.events_per_tenant)
+                    .map(|e| {
+                        let i = (e / burst) % span;
+                        make_pod("ns-bench", &format!("p{i}"), 1 + e as u64).into()
+                    })
+                    .collect()
+            })
+            .collect();
+        let coalesced_before = pipeline.coalesced();
+
+        let started = Instant::now();
+        let mut producers = Vec::new();
+        for (tenant, events) in event_batches.into_iter().enumerate() {
+            let pipeline = Arc::clone(&pipeline);
+            producers.push(std::thread::spawn(move || {
+                for (e, obj) in events.into_iter().enumerate() {
+                    pipeline.ingest(tenant, obj, 1 + e as u64);
+                }
+            }));
+        }
+        let processed = drain_concurrent(&pipeline, workload, producers);
+        let wall = started.elapsed();
+        if wall < run.churn_wall {
+            run.churn_wall = wall;
+            run.processed = processed;
+            run.coalesced = pipeline.coalesced() - coalesced_before;
+        }
+    }
+    run.churn_events = workload.total_events();
+    run
+}
+
+/// Reconciles one work item: cache read, super-copy build, compare,
+/// upsert on divergence.
+fn reconcile<P: SyncPipeline>(
+    pipeline: &P,
+    super_maps: &[Mutex<HashMap<String, Object>>],
+    tenant: usize,
+    key: &str,
+) {
+    let Some(desired) = pipeline.desired(tenant, key) else { return };
+    let mut sup = super_maps[tenant].lock();
+    match sup.get(key) {
+        Some(existing) if existing.same_desired_state(&desired) => {}
+        _ => {
+            sup.insert(key.to_string(), desired);
+        }
+    }
+}
+
+fn spawn_workers<P: SyncPipeline>(
+    pipeline: &Arc<P>,
+    workers: usize,
+    super_maps: &Arc<Vec<Mutex<HashMap<String, Object>>>>,
+    processed: &Arc<AtomicUsize>,
+    stop: &Arc<AtomicBool>,
+) -> Vec<std::thread::JoinHandle<()>> {
+    (0..workers.max(1))
+        .map(|_| {
+            let pipeline = Arc::clone(pipeline);
+            let super_maps = Arc::clone(super_maps);
+            let processed = Arc::clone(processed);
+            let stop = Arc::clone(stop);
+            std::thread::spawn(move || loop {
+                if P::BATCHED {
+                    let batch =
+                        pipeline.queue().get_batch_timeout(DRAIN_BATCH, Duration::from_millis(1));
+                    if batch.is_empty() {
+                        if stop.load(Ordering::Relaxed) && pipeline.queue().is_empty() {
+                            return;
+                        }
+                        continue;
+                    }
+                    for ((tenant, key), _gen) in batch {
+                        reconcile(&*pipeline, &super_maps, tenant, &key);
+                        pipeline.queue().done(&(tenant, key));
+                        processed.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else {
+                    match pipeline.queue().get_timeout(Duration::from_millis(1)) {
+                        Some((tenant, key)) => {
+                            reconcile(&*pipeline, &super_maps, tenant, &key);
+                            pipeline.queue().done(&(tenant, key));
+                            processed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            if stop.load(Ordering::Relaxed) && pipeline.queue().is_empty() {
+                                return;
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect()
+}
+
+/// Runs workers concurrently with `producers`, returning the number of
+/// items reconciled once producers are done and the queue is empty. The
+/// workers exit via a stop flag rather than `shutdown()` so the queue
+/// stays usable for the next churn repeat.
+fn drain_concurrent<P: SyncPipeline>(
+    pipeline: &Arc<P>,
+    workload: &SyncWorkload,
+    producers: Vec<std::thread::JoinHandle<()>>,
+) -> usize {
+    let maps: Arc<Vec<Mutex<HashMap<String, Object>>>> =
+        Arc::new((0..workload.tenants).map(|_| Mutex::new(HashMap::new())).collect());
+    let processed = Arc::new(AtomicUsize::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles = spawn_workers(pipeline, workload.workers, &maps, &processed, &stop);
+    for p in producers {
+        p.join().expect("producer");
+    }
+    // Producers are done: wait for the queue to drain, then release the
+    // workers. A worker holding an in-flight item keeps looping until it
+    // observes the queue empty, so re-queues from `done()` still drain.
+    while !pipeline.queue().is_empty() {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("worker");
+    }
+    processed.load(Ordering::Relaxed)
+}
+
+/// Runs the full pipeline over the zero-copy path.
+pub fn run_arc(workload: &SyncWorkload) -> SyncRun {
+    let pipeline = Arc::new(ArcPipeline {
+        caches: (0..workload.tenants).map(|_| Arc::new(Cache::new())).collect(),
+        queue: WeightedFairQueue::new(true),
+    });
+    run_pipeline(pipeline, workload)
+}
+
+/// Runs the full pipeline over the cloning baseline.
+pub fn run_cloning(workload: &SyncWorkload) -> SyncRun {
+    let pipeline = Arc::new(CloningPipeline {
+        caches: (0..workload.tenants).map(|_| CloningCache::new()).collect(),
+        queue: WeightedFairQueue::new(true),
+    });
+    run_pipeline(pipeline, workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_paths_complete_and_converge() {
+        let workload = SyncWorkload {
+            tenants: 2,
+            objects_per_tenant: 20,
+            events_per_tenant: 40,
+            burst: 4,
+            workers: 2,
+            list_iters: 2,
+        };
+        for run in [run_arc(&workload), run_cloning(&workload)] {
+            assert_eq!(run.churn_events, workload.total_events());
+            assert!(run.processed > 0, "workers reconciled nothing");
+            assert_eq!(run.list_ns.len(), workload.list_iters * workload.tenants);
+            assert!(run.events_per_sec() > 0.0);
+        }
+    }
+}

@@ -179,30 +179,32 @@ impl Client {
         Ok(())
     }
 
-    /// Creates `obj`.
+    /// Creates `obj`. The response shares the store's `Arc`; convert with
+    /// `try_into()` when an owned typed value is needed.
     ///
     /// # Errors
     ///
     /// Propagates apiserver errors (`Forbidden`, `Invalid`,
     /// `AlreadyExists`, …).
-    pub fn create(&self, obj: Object) -> ApiResult<Object> {
+    pub fn create(&self, obj: Object) -> ApiResult<Arc<Object>> {
         self.throttle();
         self.inject(Verb::Create, obj.kind())?;
         self.server.create(&self.user, obj)
     }
 
-    /// Fetches one object.
+    /// Fetches one object (zero-copy: the response shares the store's
+    /// `Arc`).
     ///
     /// # Errors
     ///
     /// `NotFound` / `Forbidden`.
-    pub fn get(&self, kind: ResourceKind, namespace: &str, name: &str) -> ApiResult<Object> {
+    pub fn get(&self, kind: ResourceKind, namespace: &str, name: &str) -> ApiResult<Arc<Object>> {
         self.throttle();
         self.inject(Verb::Get, kind)?;
         self.server.get(&self.user, kind, namespace, name)
     }
 
-    /// Lists objects, returning items plus the watch-start revision.
+    /// Lists objects, returning shared items plus the watch-start revision.
     ///
     /// # Errors
     ///
@@ -211,7 +213,7 @@ impl Client {
         &self,
         kind: ResourceKind,
         namespace: Option<&str>,
-    ) -> ApiResult<(Vec<Object>, u64)> {
+    ) -> ApiResult<(Vec<Arc<Object>>, u64)> {
         self.throttle();
         self.inject(Verb::List, kind)?;
         self.server.list(&self.user, kind, namespace)
@@ -222,7 +224,7 @@ impl Client {
     /// # Errors
     ///
     /// `NotFound` / `Conflict` / `Forbidden` / `Invalid`.
-    pub fn update(&self, obj: Object) -> ApiResult<Object> {
+    pub fn update(&self, obj: Object) -> ApiResult<Arc<Object>> {
         self.throttle();
         self.inject(Verb::Update, obj.kind())?;
         self.server.update(&self.user, obj)
@@ -233,7 +235,12 @@ impl Client {
     /// # Errors
     ///
     /// `NotFound` / `Forbidden`.
-    pub fn delete(&self, kind: ResourceKind, namespace: &str, name: &str) -> ApiResult<Object> {
+    pub fn delete(
+        &self,
+        kind: ResourceKind,
+        namespace: &str,
+        name: &str,
+    ) -> ApiResult<Arc<Object>> {
         self.throttle();
         self.inject(Verb::Delete, kind)?;
         self.server.delete(&self.user, kind, namespace, name)

@@ -7,15 +7,26 @@
 //! result, none of the tenants would suffer from significant object
 //! synchronization delays, preventing starvation."
 //!
-//! Dequeue is deficit-style WRR: the cursor stays on a tenant for up to
-//! `weight` consecutive items, then advances; with equal weights this
-//! degenerates to plain round-robin (the O(1)-per-dequeue case the paper
-//! notes), and the cursor scan is O(n) in the number of tenants when many
-//! sub-queues are empty. Construct with `fair = false` to get a single
-//! shared FIFO instead — the configuration Fig 11(b) measures.
+//! Dequeue is deficit-style WRR: the front tenant of an **active-tenant
+//! ring** is served for up to `weight` consecutive items, then rotated to
+//! the back. The ring holds exactly the tenants with non-empty, non-paused
+//! sub-queues (each at most once), so dequeue is O(1) amortized regardless
+//! of how many registered tenants are idle — the cursor scan over empty
+//! sub-queues this replaces was O(tenants). With equal weights the ring
+//! degenerates to plain round-robin. Construct with `fair = false` to get a
+//! single shared FIFO instead — the configuration Fig 11(b) measures.
+//!
+//! A tenant unregistered while it still has backlog
+//! ([`WeightedFairQueue::remove_tenant`] returning `false`) is marked
+//! defunct; its sub-queue is dropped automatically the moment it drains.
 //!
 //! Deduplication follows the same dirty/processing protocol as
-//! [`WorkQueue`](crate::workqueue::WorkQueue).
+//! [`WorkQueue`](crate::workqueue::WorkQueue), with the same event
+//! coalescing extension: [`WeightedFairQueue::add_coalescing`] records only
+//! the latest generation for an item re-added while dirty, and
+//! [`WeightedFairQueue::get_batch`] drains up to `n` same-tenant items per
+//! wakeup (bounded by the tenant's WRR round, so batching never distorts
+//! the fair shares).
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -30,27 +41,38 @@ pub const DEFAULT_WEIGHT: u32 = 1;
 struct SubQueue<T> {
     items: VecDeque<T>,
     weight: u32,
-    /// Remaining credit while the cursor is parked on this tenant.
+    /// Remaining credit while this tenant sits at the front of the ring.
     credit: u32,
+    /// Whether this tenant currently occupies a ring slot.
+    in_ring: bool,
 }
 
 #[derive(Debug)]
 struct FqState<T> {
     /// Tenant name -> sub-queue (fair mode).
     subqueues: HashMap<String, SubQueue<T>>,
-    /// Round-robin visiting order.
+    /// Registration order (metrics / `tenant_lens` reporting).
     order: Vec<String>,
-    cursor: usize,
+    /// Active-tenant ring: tenants with non-empty, non-paused sub-queues,
+    /// each at most once. The front tenant is served until its WRR credit
+    /// runs out, then rotated to the back; a drained tenant just leaves.
+    ring: VecDeque<String>,
     /// Single shared FIFO (unfair mode).
     fifo: VecDeque<T>,
     dirty: HashSet<T>,
     processing: HashSet<T>,
+    /// Latest generation recorded per dirty item (coalesced adds keep the
+    /// max; absent = 0 for plain `add`s).
+    latest_gen: HashMap<T, u64>,
     /// Tenant that last enqueued each in-flight item (for re-queue on
     /// `done`).
     item_tenant: HashMap<T, String>,
     /// Tenants whose items are retained but not dispatched (circuit-breaker
     /// support): dequeue skips them until resumed.
     paused: HashSet<String>,
+    /// Tenants unregistered while their sub-queue still had backlog; the
+    /// sub-queue is dropped as soon as it drains.
+    defunct: HashSet<String>,
     shutdown: bool,
 }
 
@@ -79,6 +101,8 @@ pub struct WeightedFairQueue<T: Eq + Hash + Clone> {
     pub adds: Counter,
     /// Items dropped by deduplication.
     pub deduped: Counter,
+    /// Re-adds that only refreshed a dirty item's generation.
+    pub coalesced: Counter,
     /// Items handed to workers.
     pub gets: Counter,
 }
@@ -90,18 +114,21 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
             state: Mutex::new(FqState {
                 subqueues: HashMap::new(),
                 order: Vec::new(),
-                cursor: 0,
+                ring: VecDeque::new(),
                 fifo: VecDeque::new(),
                 dirty: HashSet::new(),
                 processing: HashSet::new(),
+                latest_gen: HashMap::new(),
                 item_tenant: HashMap::new(),
                 paused: HashSet::new(),
+                defunct: HashSet::new(),
                 shutdown: false,
             }),
             cond: Condvar::new(),
             fair,
             adds: Counter::new(),
             deduped: Counter::new(),
+            coalesced: Counter::new(),
             gets: Counter::new(),
         }
     }
@@ -121,6 +148,8 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
         assert!(weight > 0, "weight must be positive");
         let mut state = self.state.lock();
         Self::ensure_tenant(&mut state, tenant);
+        // Explicit (re-)registration cancels a pending drop-on-drain.
+        state.defunct.remove(tenant);
         let sq = state.subqueues.get_mut(tenant).expect("registered");
         sq.weight = weight;
         sq.credit = sq.credit.min(weight);
@@ -128,17 +157,24 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
 
     /// Pauses dispatch for `tenant`: its items stay queued (and new adds
     /// are accepted) but `get` skips them until [`resume_tenant`] is
-    /// called. Other tenants' dispatch shares are unaffected. No-op on an
-    /// already-paused tenant.
+    /// called — the tenant leaves the active ring, so paused backlog costs
+    /// dequeue nothing. Other tenants' dispatch shares are unaffected.
+    /// No-op on an already-paused tenant.
     ///
     /// [`resume_tenant`]: WeightedFairQueue::resume_tenant
     pub fn pause_tenant(&self, tenant: &str) {
-        self.state.lock().paused.insert(tenant.to_string());
+        let mut state = self.state.lock();
+        if state.paused.insert(tenant.to_string()) {
+            Self::ring_remove(&mut state, tenant);
+        }
     }
 
-    /// Resumes dispatch for a paused tenant, waking blocked `get`s.
+    /// Resumes dispatch for a paused tenant (re-entering the ring if it has
+    /// backlog), waking blocked `get`s.
     pub fn resume_tenant(&self, tenant: &str) {
-        if self.state.lock().paused.remove(tenant) {
+        let mut state = self.state.lock();
+        if state.paused.remove(tenant) {
+            Self::ring_insert(&mut state, tenant);
             self.cond.notify_all();
         }
     }
@@ -149,30 +185,25 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
     }
 
     /// Removes an idle tenant's sub-queue; returns `false` if it still has
-    /// pending items.
+    /// pending items — in that case the tenant is marked defunct and its
+    /// sub-queue (plus its metrics slot) is dropped automatically once the
+    /// backlog drains.
     pub fn remove_tenant(&self, tenant: &str) -> bool {
         let mut state = self.state.lock();
         if state.paused.remove(tenant) {
             // Leftover items become dispatchable again (their reconciles
             // no-op once the tenant is gone); wake any blocked workers.
+            Self::ring_insert(&mut state, tenant);
             self.cond.notify_all();
         }
         match state.subqueues.get(tenant) {
             None => true,
-            Some(sq) if !sq.items.is_empty() => false,
+            Some(sq) if !sq.items.is_empty() => {
+                state.defunct.insert(tenant.to_string());
+                false
+            }
             Some(_) => {
-                state.subqueues.remove(tenant);
-                if let Some(pos) = state.order.iter().position(|t| t == tenant) {
-                    state.order.remove(pos);
-                    if state.cursor > pos {
-                        state.cursor -= 1;
-                    }
-                    if !state.order.is_empty() {
-                        state.cursor %= state.order.len();
-                    } else {
-                        state.cursor = 0;
-                    }
-                }
+                Self::drop_tenant(&mut state, tenant);
                 true
             }
         }
@@ -181,11 +212,34 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
     /// Adds `item` on behalf of `tenant`, applying dedup semantics.
     pub fn add(&self, tenant: &str, item: T) {
         let mut state = self.state.lock();
+        self.add_locked(&mut state, tenant, item, None);
+    }
+
+    /// Adds `item` tagged with a `generation` (typically the triggering
+    /// object's resource version). A re-add while the item is dirty
+    /// *coalesces*: only the newest generation is kept, and the eventual
+    /// [`WeightedFairQueue::get_batch`] delivery carries exactly that one.
+    pub fn add_coalescing(&self, tenant: &str, item: T, generation: u64) {
+        let mut state = self.state.lock();
+        self.add_locked(&mut state, tenant, item, Some(generation));
+    }
+
+    fn add_locked(&self, state: &mut FqState<T>, tenant: &str, item: T, generation: Option<u64>) {
         if state.shutdown {
             return;
         }
+        if let Some(generation) = generation {
+            let slot = state.latest_gen.entry(item.clone()).or_insert(generation);
+            if generation > *slot {
+                *slot = generation;
+            }
+        }
         if state.dirty.contains(&item) {
-            self.deduped.inc();
+            if generation.is_some() {
+                self.coalesced.inc();
+            } else {
+                self.deduped.inc();
+            }
             return;
         }
         state.dirty.insert(item.clone());
@@ -194,7 +248,7 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
         if state.processing.contains(&item) {
             return; // re-queued on done()
         }
-        self.enqueue(&mut state, tenant, item);
+        self.enqueue(state, tenant, item);
         self.cond.notify_one();
     }
 
@@ -203,7 +257,7 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
     pub fn get(&self) -> Option<T> {
         let mut state = self.state.lock();
         loop {
-            if let Some(item) = self.dequeue(&mut state) {
+            if let Some((item, _gen)) = self.dequeue(&mut state) {
                 return Some(item);
             }
             if state.shutdown {
@@ -216,7 +270,7 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
     /// Non-blocking variant of [`WeightedFairQueue::get`].
     pub fn try_get(&self) -> Option<T> {
         let mut state = self.state.lock();
-        self.dequeue(&mut state)
+        self.dequeue(&mut state).map(|(item, _gen)| item)
     }
 
     /// Blocks up to `timeout` for the next item.
@@ -224,7 +278,7 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
         let deadline = Instant::now() + timeout;
         let mut state = self.state.lock();
         loop {
-            if let Some(item) = self.dequeue(&mut state) {
+            if let Some((item, _gen)) = self.dequeue(&mut state) {
                 return Some(item);
             }
             if state.shutdown {
@@ -234,6 +288,71 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
                 return None;
             }
         }
+    }
+
+    /// Blocks for work, then drains up to `max` items under a single lock
+    /// acquisition, each paired with the latest generation recorded for it
+    /// (0 for plain `add`s). In fair mode the batch stays within the front
+    /// tenant's current WRR round — all items belong to one tenant and the
+    /// batch never takes more than the tenant's remaining credit, so
+    /// batching cannot distort the fair shares. Returns an empty vec once
+    /// the queue is shut down and drained. Every returned item is marked
+    /// processing and must be [`WeightedFairQueue::done`] individually.
+    pub fn get_batch(&self, max: usize) -> Vec<(T, u64)> {
+        let max = max.max(1);
+        let mut state = self.state.lock();
+        loop {
+            if let Some(first) = self.dequeue(&mut state) {
+                return self.fill_batch(&mut state, first, max);
+            }
+            if state.shutdown {
+                return Vec::new();
+            }
+            self.cond.wait(&mut state);
+        }
+    }
+
+    /// Bounded-wait variant of [`WeightedFairQueue::get_batch`]: returns
+    /// an empty vec if no item arrives within `timeout` (or once the
+    /// queue is shut down), so callers can poll a stop condition instead
+    /// of relying on `shutdown()` to release them.
+    pub fn get_batch_timeout(&self, max: usize, timeout: Duration) -> Vec<(T, u64)> {
+        let max = max.max(1);
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock();
+        loop {
+            if let Some(first) = self.dequeue(&mut state) {
+                return self.fill_batch(&mut state, first, max);
+            }
+            if state.shutdown {
+                return Vec::new();
+            }
+            if self.cond.wait_until(&mut state, deadline).timed_out() {
+                return Vec::new();
+            }
+        }
+    }
+
+    /// Drains up to `max - 1` more items after `first` under the held
+    /// lock, staying within the front tenant's WRR round in fair mode.
+    fn fill_batch(&self, state: &mut FqState<T>, first: (T, u64), max: usize) -> Vec<(T, u64)> {
+        let batch_tenant = state.item_tenant.get(&first.0).cloned();
+        let mut batch = vec![first];
+        while batch.len() < max {
+            if self.fair {
+                // Stop when the next serve would switch tenants
+                // (the front tenant rotated away or drained).
+                match (state.ring.front(), &batch_tenant) {
+                    (Some(front), Some(tenant)) if front == tenant => {}
+                    _ => break,
+                }
+            }
+            match self.dequeue(state) {
+                Some(next) => batch.push(next),
+                None => break,
+            }
+        }
+        batch
     }
 
     /// Marks processing finished, re-queueing the item if it was re-added.
@@ -301,27 +420,75 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
         if !state.subqueues.contains_key(tenant) {
             state.subqueues.insert(
                 tenant.to_string(),
-                SubQueue { items: VecDeque::new(), weight: DEFAULT_WEIGHT, credit: 0 },
+                SubQueue {
+                    items: VecDeque::new(),
+                    weight: DEFAULT_WEIGHT,
+                    credit: 0,
+                    in_ring: false,
+                },
             );
             state.order.push(tenant.to_string());
         }
+    }
+
+    /// Gives `tenant` a ring slot if it has backlog, is not paused, and is
+    /// not already in the ring.
+    fn ring_insert(state: &mut FqState<T>, tenant: &str) {
+        if state.paused.contains(tenant) {
+            return;
+        }
+        if let Some(sq) = state.subqueues.get_mut(tenant) {
+            if !sq.in_ring && !sq.items.is_empty() {
+                sq.in_ring = true;
+                state.ring.push_back(tenant.to_string());
+            }
+        }
+    }
+
+    /// Takes `tenant`'s ring slot away (pause path).
+    fn ring_remove(state: &mut FqState<T>, tenant: &str) {
+        if let Some(sq) = state.subqueues.get_mut(tenant) {
+            if sq.in_ring {
+                sq.in_ring = false;
+                sq.credit = 0;
+                state.ring.retain(|t| t != tenant);
+            }
+        }
+    }
+
+    /// Drops a drained defunct tenant's sub-queue.
+    fn drop_if_defunct(state: &mut FqState<T>, tenant: &str) {
+        if state.defunct.contains(tenant)
+            && state.subqueues.get(tenant).is_some_and(|sq| sq.items.is_empty())
+        {
+            Self::drop_tenant(state, tenant);
+        }
+    }
+
+    fn drop_tenant(state: &mut FqState<T>, tenant: &str) {
+        state.subqueues.remove(tenant);
+        state.order.retain(|t| t != tenant);
+        state.ring.retain(|t| t != tenant);
+        state.defunct.remove(tenant);
     }
 
     fn enqueue(&self, state: &mut FqState<T>, tenant: &str, item: T) {
         if self.fair {
             Self::ensure_tenant(state, tenant);
             state.subqueues.get_mut(tenant).expect("registered").items.push_back(item);
+            Self::ring_insert(state, tenant);
         } else {
             state.fifo.push_back(item);
         }
     }
 
-    fn dequeue(&self, state: &mut FqState<T>) -> Option<T> {
+    fn dequeue(&self, state: &mut FqState<T>) -> Option<(T, u64)> {
         let item = if self.fair { self.dequeue_wrr(state)? } else { Self::dequeue_fifo(state)? };
         state.dirty.remove(&item);
         state.processing.insert(item.clone());
+        let generation = state.latest_gen.remove(&item).unwrap_or(0);
         self.gets.inc();
-        Some(item)
+        Some((item, generation))
     }
 
     /// FIFO dequeue (unfair mode) honoring paused tenants: the first item
@@ -336,48 +503,46 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
         state.fifo.remove(idx)
     }
 
-    /// Deficit-style weighted round-robin: serve up to `weight` items from
-    /// the cursor tenant, then advance. O(n) scan when sub-queues are
-    /// empty; O(1) when the cursor tenant has work.
+    /// Deficit-style weighted round-robin over the active-tenant ring:
+    /// serve up to `weight` items from the front tenant, then rotate it to
+    /// the back; a drained tenant just leaves the ring. O(1) amortized —
+    /// idle or paused tenants hold no ring slot, so dequeue never scans
+    /// them.
     fn dequeue_wrr(&self, state: &mut FqState<T>) -> Option<T> {
-        let n = state.order.len();
-        if n == 0 {
-            return None;
-        }
-        let start = state.cursor;
-        for step in 0..=n {
-            let idx = (start + step) % n;
-            let tenant = state.order[idx].clone();
+        while let Some(tenant) = state.ring.front().cloned() {
             let paused = state.paused.contains(&tenant);
-            let sq = state.subqueues.get_mut(&tenant).expect("ordered tenant exists");
-            if paused {
-                // Breaker-paused tenant: retain its backlog but skip it, as
-                // if its sub-queue were empty. Its WRR share is not
-                // consumed, so healthy tenants absorb the capacity.
+            let Some(sq) = state.subqueues.get_mut(&tenant) else {
+                state.ring.pop_front();
+                continue;
+            };
+            if paused || sq.items.is_empty() {
+                // Stale slot (defensive — pause/drain normally evict
+                // eagerly): drop it and keep going.
+                sq.in_ring = false;
                 sq.credit = 0;
-                if step > 0 {
-                    state.cursor = idx;
-                }
+                state.ring.pop_front();
+                Self::drop_if_defunct(state, &tenant);
                 continue;
             }
-            if step > 0 {
-                // Cursor moved to a new tenant: grant a fresh round of
-                // credit.
-                state.cursor = idx;
+            if sq.credit == 0 {
+                // Fresh at the front: grant a round of credit.
                 sq.credit = sq.weight;
+            }
+            let item = sq.items.pop_front().expect("checked non-empty");
+            sq.credit -= 1;
+            if sq.items.is_empty() {
+                // Drained: leave the ring (and drop the sub-queue entirely
+                // if the tenant was unregistered while it had backlog).
+                sq.in_ring = false;
+                sq.credit = 0;
+                state.ring.pop_front();
+                Self::drop_if_defunct(state, &tenant);
             } else if sq.credit == 0 {
-                // First visit of this round for the parked tenant.
-                sq.credit = sq.weight;
+                // Round exhausted: rotate to the back of the ring.
+                state.ring.pop_front();
+                state.ring.push_back(tenant);
             }
-            if let Some(item) = sq.items.pop_front() {
-                sq.credit -= 1;
-                if sq.credit == 0 {
-                    state.cursor = (idx + 1) % n;
-                }
-                return Some(item);
-            }
-            // Empty sub-queue: move on (credit resets on next visit).
-            sq.credit = 0;
+            return Some(item);
         }
         None
     }
@@ -467,6 +632,95 @@ mod tests {
         assert!(q.remove_tenant("a"));
         assert_eq!(q.tenant_count(), 0);
         assert!(q.remove_tenant("never-seen"));
+    }
+
+    #[test]
+    fn unregistered_tenant_subqueue_dropped_on_drain() {
+        let q = WeightedFairQueue::new(true);
+        q.add("gone", "g0");
+        q.add("gone", "g1");
+        assert!(!q.remove_tenant("gone"), "backlog retained");
+        assert_eq!(q.tenant_count(), 1);
+        let first = q.try_get().unwrap();
+        q.done(&first);
+        assert_eq!(q.tenant_count(), 1, "still draining");
+        let second = q.try_get().unwrap();
+        q.done(&second);
+        assert_eq!(q.tenant_count(), 0, "sub-queue dropped once drained");
+        assert!(q.remove_tenant("gone"), "idempotent after the drop");
+    }
+
+    #[test]
+    fn reregistration_cancels_drop_on_drain() {
+        let q = WeightedFairQueue::new(true);
+        q.add("t", "x0");
+        assert!(!q.remove_tenant("t"));
+        q.set_weight("t", 2); // tenant re-registered before draining
+        let item = q.try_get().unwrap();
+        q.done(&item);
+        assert_eq!(q.tenant_count(), 1, "re-registered tenant survives the drain");
+    }
+
+    #[test]
+    fn get_batch_stays_within_tenant_round() {
+        let q = WeightedFairQueue::new(true);
+        q.set_weight("big", 3);
+        q.set_weight("small", 1);
+        for i in 0..6 {
+            q.add("big", format!("B{i}"));
+        }
+        for i in 0..2 {
+            q.add("small", format!("S{i}"));
+        }
+        let items = |batch: Vec<(String, u64)>| -> Vec<String> {
+            batch.into_iter().map(|(i, _)| i).collect()
+        };
+        // Batches respect the WRR schedule exactly: 3 big, 1 small, ...
+        assert_eq!(items(q.get_batch(8)), vec!["B0", "B1", "B2"]);
+        assert_eq!(items(q.get_batch(8)), vec!["S0"]);
+        assert_eq!(items(q.get_batch(2)), vec!["B3", "B4"], "max caps the batch");
+        assert_eq!(items(q.get_batch(8)), vec!["B5"]);
+        assert_eq!(items(q.get_batch(8)), vec!["S1"]);
+    }
+
+    #[test]
+    fn get_batch_timeout_releases_without_shutdown() {
+        let q: WeightedFairQueue<String> = WeightedFairQueue::new(true);
+        q.add("t", "a".to_string());
+        let batch = q.get_batch_timeout(8, Duration::from_millis(5));
+        assert_eq!(batch.len(), 1);
+        // Empty queue: the call returns an empty vec after the timeout
+        // instead of blocking until shutdown.
+        assert!(q.get_batch_timeout(8, Duration::from_millis(5)).is_empty());
+    }
+
+    #[test]
+    fn coalesced_readd_keeps_latest_generation() {
+        let q = WeightedFairQueue::new(true);
+        q.add_coalescing("t", "x", 4);
+        q.add_coalescing("t", "x", 11);
+        q.add_coalescing("t", "x", 6);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.coalesced.get(), 2);
+        assert_eq!(q.get_batch(4), vec![("x", 11)]);
+        // Re-add while processing defers, then delivers the newer gen.
+        q.add_coalescing("t", "x", 12);
+        assert_eq!(q.len(), 0);
+        q.done(&"x");
+        assert_eq!(q.get_batch(4), vec![("x", 12)]);
+    }
+
+    #[test]
+    fn many_idle_tenants_do_not_slow_dequeue() {
+        // The active ring only holds tenants with backlog: dequeue touches
+        // the one busy tenant no matter how many idle tenants registered.
+        let q = WeightedFairQueue::new(true);
+        for i in 0..500 {
+            q.set_weight(&format!("idle-{i}"), 1);
+        }
+        q.add("busy", "item");
+        assert_eq!(q.try_get(), Some("item"));
+        assert_eq!(q.tenant_count(), 501);
     }
 
     #[test]

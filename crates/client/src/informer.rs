@@ -24,27 +24,32 @@ use vc_api::object::{Object, ResourceKind};
 use vc_store::{EventType, RecvOutcome};
 
 /// A change notification delivered to informer handlers.
+///
+/// Events carry shared [`Arc<Object>`]s — for watch-driven events this is
+/// the *store's* `Arc`, passed through the apiserver and the watch stream
+/// without a single copy. Handlers that need an owned object clone it
+/// explicitly (or `try_into()` a typed value); everything else reads
+/// through the shared pointer.
 #[derive(Debug, Clone)]
-#[allow(clippy::large_enum_variant)] // events are transient and handler-borrowed; boxing buys nothing
 pub enum InformerEvent {
     /// Object appeared (initial list or watch add).
-    Added(Object),
+    Added(Arc<Object>),
     /// Object changed.
     Updated {
         /// Previous cached state.
-        old: Object,
+        old: Arc<Object>,
         /// New state.
-        new: Object,
+        new: Arc<Object>,
     },
     /// Object disappeared (carries the last known state).
-    Deleted(Object),
+    Deleted(Arc<Object>),
     /// Periodic resync re-delivery of a cached object.
-    Resync(Object),
+    Resync(Arc<Object>),
 }
 
 impl InformerEvent {
     /// The object the event is about (new state where applicable).
-    pub fn object(&self) -> &Object {
+    pub fn object(&self) -> &Arc<Object> {
         match self {
             InformerEvent::Added(o) | InformerEvent::Deleted(o) | InformerEvent::Resync(o) => o,
             InformerEvent::Updated { new, .. } => new,
@@ -56,12 +61,30 @@ impl InformerEvent {
 pub type EventHandler = Box<dyn Fn(&InformerEvent) + Send + Sync>;
 
 /// Thread-safe read-only object cache, indexed by key and namespace.
+///
+/// The cache stores [`Arc<Object>`]s and every read (`get`, the `list*`
+/// family) hands out shared pointers — aliases of the cached objects, not
+/// copies. Cached objects are **immutable**: the informer never mutates
+/// through a stored `Arc`; updates replace the map entry with a new `Arc`,
+/// so pointers handed out earlier keep observing the state they were read
+/// at. Callers may hold them as long as they like and must clone (via
+/// `(*obj).clone()` or a typed `try_into()`) before mutating.
+///
+/// Each entry memoizes its estimated serialized size so the `bytes` gauge
+/// (Fig 10 memory accounting) costs one serialization per insert rather
+/// than re-serializing the displaced object too.
 #[derive(Debug, Default)]
 pub struct Cache {
-    objects: RwLock<HashMap<String, Object>>,
+    objects: RwLock<HashMap<String, CacheEntry>>,
     /// Estimated serialized bytes of the cached objects (Fig 10 memory
     /// accounting).
     pub bytes: Gauge,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    object: Arc<Object>,
+    size: usize,
 }
 
 impl Cache {
@@ -70,36 +93,50 @@ impl Cache {
         Cache::default()
     }
 
-    /// Fetches a cached object by `namespace/name` key.
-    pub fn get(&self, key: &str) -> Option<Object> {
-        self.objects.read().get(key).cloned()
+    /// Fetches a cached object by `namespace/name` key (a shared alias,
+    /// not a copy).
+    pub fn get(&self, key: &str) -> Option<Arc<Object>> {
+        self.objects.read().get(key).map(|e| Arc::clone(&e.object))
     }
 
-    /// Snapshot of all cached objects.
-    pub fn list(&self) -> Vec<Object> {
-        self.objects.read().values().cloned().collect()
+    /// Snapshot of all cached objects (shared aliases).
+    pub fn list(&self) -> Vec<Arc<Object>> {
+        self.objects.read().values().map(|e| Arc::clone(&e.object)).collect()
     }
 
-    /// Snapshot of the cached objects in `namespace`.
-    pub fn list_namespace(&self, namespace: &str) -> Vec<Object> {
-        self.objects.read().values().filter(|o| o.meta().namespace == namespace).cloned().collect()
-    }
-
-    /// Snapshot of cached objects whose labels match `selector`, optionally
-    /// restricted to a namespace.
-    pub fn list_selected(&self, namespace: Option<&str>, selector: &Selector) -> Vec<Object> {
+    /// Snapshot of the cached objects in `namespace` (shared aliases).
+    pub fn list_namespace(&self, namespace: &str) -> Vec<Arc<Object>> {
         self.objects
             .read()
             .values()
-            .filter(|o| namespace.is_none_or(|ns| o.meta().namespace == ns))
-            .filter(|o| selector.matches(&o.meta().labels))
-            .cloned()
+            .filter(|e| e.object.meta().namespace == namespace)
+            .map(|e| Arc::clone(&e.object))
+            .collect()
+    }
+
+    /// Snapshot of cached objects whose labels match `selector`, optionally
+    /// restricted to a namespace (shared aliases).
+    pub fn list_selected(&self, namespace: Option<&str>, selector: &Selector) -> Vec<Arc<Object>> {
+        self.objects
+            .read()
+            .values()
+            .filter(|e| namespace.is_none_or(|ns| e.object.meta().namespace == ns))
+            .filter(|e| selector.matches(&e.object.meta().labels))
+            .map(|e| Arc::clone(&e.object))
             .collect()
     }
 
     /// All cached keys.
     pub fn keys(&self) -> Vec<String> {
         self.objects.read().keys().cloned().collect()
+    }
+
+    /// All cached keys in sorted order (the incremental scanner's cold
+    /// sweep pages through these).
+    pub fn sorted_keys(&self) -> Vec<String> {
+        let mut keys = self.keys();
+        keys.sort_unstable();
+        keys
     }
 
     /// Number of cached objects.
@@ -112,24 +149,30 @@ impl Cache {
         self.len() == 0
     }
 
-    /// Inserts an object, returning the previous state. Normally only the
-    /// owning informer writes the cache; exposed for tests and for
+    /// Inserts an owned object, returning the previous state. Normally only
+    /// the owning informer writes the cache; exposed for tests and for
     /// components that maintain standalone caches.
-    pub fn insert(&self, obj: Object) -> Option<Object> {
-        let size = obj.estimated_size() as i64;
-        let old = self.objects.write().insert(obj.key(), obj);
-        let old_size = old.as_ref().map_or(0, |o| o.estimated_size() as i64);
-        self.bytes.add(size - old_size);
-        old
+    pub fn insert(&self, obj: Object) -> Option<Arc<Object>> {
+        self.insert_arc(Arc::new(obj))
+    }
+
+    /// Inserts an already-shared object without copying it — the watch
+    /// dispatch path, where the `Arc` originates in the store.
+    pub fn insert_arc(&self, obj: Arc<Object>) -> Option<Arc<Object>> {
+        let size = obj.estimated_size();
+        let old = self.objects.write().insert(obj.key(), CacheEntry { object: obj, size });
+        let old_size = old.as_ref().map_or(0, |e| e.size as i64);
+        self.bytes.add(size as i64 - old_size);
+        old.map(|e| e.object)
     }
 
     /// Removes an object by key, returning it. See [`Cache::insert`].
-    pub fn remove(&self, key: &str) -> Option<Object> {
+    pub fn remove(&self, key: &str) -> Option<Arc<Object>> {
         let old = self.objects.write().remove(key);
-        if let Some(o) = &old {
-            self.bytes.add(-(o.estimated_size() as i64));
+        if let Some(e) = &old {
+            self.bytes.add(-(e.size as i64));
         }
-        old
+        old.map(|e| e.object)
     }
 }
 
@@ -339,7 +382,9 @@ impl SharedInformer {
                 }
                 match stream.recv_deadline(self.config.poll_interval) {
                     RecvOutcome::Event(ev) => {
-                        self.apply(ev.event_type, (*ev.object).clone());
+                        // The store's Arc rides through untouched: no copy
+                        // between the write path and the handlers.
+                        self.apply(ev.event_type, ev.object);
                     }
                     RecvOutcome::Timeout => continue,
                     RecvOutcome::Closed => break, // evicted: re-list
@@ -348,8 +393,8 @@ impl SharedInformer {
         }
     }
 
-    fn replace_cache(&self, items: Vec<Object>) {
-        let fresh: HashMap<String, Object> = items.into_iter().map(|o| (o.key(), o)).collect();
+    fn replace_cache(&self, items: Vec<Arc<Object>>) {
+        let fresh: HashMap<String, Arc<Object>> = items.into_iter().map(|o| (o.key(), o)).collect();
         // Deletions first.
         for key in self.cache.keys() {
             if !fresh.contains_key(&key) {
@@ -360,7 +405,7 @@ impl SharedInformer {
             }
         }
         for (_key, obj) in fresh {
-            let old = self.cache.insert(obj.clone());
+            let old = self.cache.insert_arc(Arc::clone(&obj));
             self.events_applied.inc();
             match old {
                 None => self.dispatch(&InformerEvent::Added(obj)),
@@ -372,18 +417,11 @@ impl SharedInformer {
         }
     }
 
-    fn apply(&self, event_type: EventType, obj: Object) {
+    fn apply(&self, event_type: EventType, obj: Arc<Object>) {
         self.events_applied.inc();
         match event_type {
-            EventType::Added => {
-                let old = self.cache.insert(obj.clone());
-                match old {
-                    None => self.dispatch(&InformerEvent::Added(obj)),
-                    Some(old) => self.dispatch(&InformerEvent::Updated { old, new: obj }),
-                }
-            }
-            EventType::Modified => {
-                let old = self.cache.insert(obj.clone());
+            EventType::Added | EventType::Modified => {
+                let old = self.cache.insert_arc(Arc::clone(&obj));
                 match old {
                     None => self.dispatch(&InformerEvent::Added(obj)),
                     Some(old) => self.dispatch(&InformerEvent::Updated { old, new: obj }),
@@ -551,9 +589,11 @@ mod tests {
     fn informer_survives_watch_eviction_by_relisting() {
         // Tiny watcher buffers force evictions; the informer must relist
         // and converge anyway.
-        let mut config = vc_apiserver::ApiServerConfig::default();
-        config.read_latency = Duration::ZERO;
-        config.write_latency = Duration::ZERO;
+        let mut config = vc_apiserver::ApiServerConfig {
+            read_latency: Duration::ZERO,
+            write_latency: Duration::ZERO,
+            ..Default::default()
+        };
         config.store.watcher_buffer = 4;
         let server = ApiServer::new(config, vc_api::time::RealClock::shared());
         let client = Client::new(Arc::clone(&server), "informer");

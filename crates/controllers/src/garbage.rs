@@ -168,7 +168,11 @@ mod tests {
             user.get(ResourceKind::Pod, "default", "owned").is_err()
         }));
         assert!(user.get(ResourceKind::Pod, "default", "free").is_ok());
-        assert_eq!(metrics.orphans_deleted.get(), 1);
+        // The counter ticks after the delete takes effect; poll rather than
+        // assert immediately.
+        assert!(wait_until(Duration::from_secs(2), Duration::from_millis(10), || {
+            metrics.orphans_deleted.get() == 1
+        }));
         handle.stop();
     }
 

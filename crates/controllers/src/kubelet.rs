@@ -456,7 +456,7 @@ mod tests {
             Arc::clone(&clock),
         );
         let images = Arc::new(ImageStore::new(Duration::ZERO));
-        let mut env = setup(KubeletMode::Cri { runc: runc.clone(), kata: kata.clone(), images });
+        let mut env = setup(KubeletMode::Cri { runc, kata: kata.clone(), images });
         let user = Client::new(Arc::clone(&env.server), "u");
 
         // A kata pod gets a sandbox on the kata runtime.

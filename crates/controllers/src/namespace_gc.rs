@@ -58,7 +58,6 @@ pub fn start(client: Client) -> (ControllerHandle, Arc<NamespaceGcMetrics>) {
 
     {
         let queue = Arc::clone(&queue);
-        let client = client.clone();
         let metrics = Arc::clone(&metrics);
         let stop = handle.stop_flag();
         handle.add_thread(

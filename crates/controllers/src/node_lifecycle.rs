@@ -157,7 +157,11 @@ mod tests {
             user.get(ResourceKind::Node, "", "n1")
                 .is_ok_and(|o| o.as_node().unwrap().status.condition == NodeCondition::NotReady)
         }));
-        assert_eq!(metrics.nodes_marked_not_ready.get(), 1);
+        // The counter ticks after the status write lands; poll rather than
+        // assert immediately.
+        assert!(wait_until(Duration::from_secs(2), Duration::from_millis(10), || {
+            metrics.nodes_marked_not_ready.get() == 1
+        }));
         handle.stop();
     }
 

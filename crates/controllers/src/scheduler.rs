@@ -508,7 +508,7 @@ mod tests {
         let server = fast_server();
         let client = Client::new(Arc::clone(&server), "scheduler");
         add_node(&client, "n1", "4");
-        let (mut handle, metrics) = start(client.clone(), fast_scheduler_config());
+        let (mut handle, metrics) = start(client, fast_scheduler_config());
         let user = Client::new(server, "u");
         user.create(pod_with_cpu("default", "p", "500m").into()).unwrap();
         assert!(wait_until(Duration::from_secs(5), Duration::from_millis(10), || {
@@ -528,7 +528,7 @@ mod tests {
         let client = Client::new(Arc::clone(&server), "scheduler");
         add_node(&client, "n1", "4");
         add_node(&client, "n2", "4");
-        let (mut handle, _metrics) = start(client.clone(), fast_scheduler_config());
+        let (mut handle, _metrics) = start(client, fast_scheduler_config());
         let user = Client::new(server, "u");
         for i in 0..4 {
             user.create(pod_with_cpu("default", &format!("p{i}"), "1").into()).unwrap();
@@ -548,7 +548,7 @@ mod tests {
         let server = fast_server();
         let client = Client::new(Arc::clone(&server), "scheduler");
         add_node(&client, "small", "1");
-        let (mut handle, metrics) = start(client.clone(), fast_scheduler_config());
+        let (mut handle, metrics) = start(client, fast_scheduler_config());
         let user = Client::new(server, "u");
         user.create(pod_with_cpu("default", "big", "2").into()).unwrap();
         assert!(wait_until(Duration::from_secs(3), Duration::from_millis(10), || {
@@ -574,7 +574,7 @@ mod tests {
         gpu_node.meta.labels.insert("accelerator".into(), "gpu".into());
         client.create(gpu_node.into()).unwrap();
 
-        let (mut handle, _metrics) = start(client.clone(), fast_scheduler_config());
+        let (mut handle, _metrics) = start(client, fast_scheduler_config());
         let user = Client::new(server, "u");
         let mut pod = pod_with_cpu("default", "needs-gpu", "100m");
         pod.spec.node_selector = labels(&[("accelerator", "gpu")]);
@@ -600,7 +600,7 @@ mod tests {
         });
         client.create(tainted.into()).unwrap();
 
-        let (mut handle, metrics) = start(client.clone(), fast_scheduler_config());
+        let (mut handle, metrics) = start(client, fast_scheduler_config());
         let user = Client::new(server, "u");
         user.create(pod_with_cpu("default", "intolerant", "100m").into()).unwrap();
         assert!(wait_until(Duration::from_secs(3), Duration::from_millis(10), || {
@@ -628,7 +628,7 @@ mod tests {
         let client = Client::new(Arc::clone(&server), "scheduler");
         add_node(&client, "n1", "8");
         add_node(&client, "n2", "8");
-        let (mut handle, _metrics) = start(client.clone(), fast_scheduler_config());
+        let (mut handle, _metrics) = start(client, fast_scheduler_config());
         let user = Client::new(server, "u");
 
         let a = pod_with_cpu("default", "pod-a", "100m")
@@ -657,7 +657,7 @@ mod tests {
         let client = Client::new(Arc::clone(&server), "scheduler");
         add_node(&client, "n1", "8");
         add_node(&client, "n2", "8");
-        let (mut handle, _metrics) = start(client.clone(), fast_scheduler_config());
+        let (mut handle, _metrics) = start(client, fast_scheduler_config());
         let user = Client::new(server, "u");
 
         user.create(
@@ -690,7 +690,7 @@ mod tests {
         let server = fast_server();
         let client = Client::new(Arc::clone(&server), "scheduler");
         add_node(&client, "n1", "1");
-        let (mut handle, metrics) = start(client.clone(), fast_scheduler_config());
+        let (mut handle, metrics) = start(client, fast_scheduler_config());
         let user = Client::new(server, "u");
         user.create(pod_with_cpu("default", "first", "1").into()).unwrap();
         assert!(wait_until(Duration::from_secs(5), Duration::from_millis(10), || {
@@ -716,7 +716,7 @@ mod tests {
         add_node(&client, "n1", "96");
         let config =
             SchedulerConfig { service_time: Duration::from_millis(5), ..Default::default() };
-        let (mut handle, metrics) = start(client.clone(), config);
+        let (mut handle, metrics) = start(client, config);
         let user = Client::new(server, "u");
         let n = 20;
         let start_time = std::time::Instant::now();
@@ -728,7 +728,7 @@ mod tests {
         }));
         let elapsed = start_time.elapsed();
         assert!(
-            elapsed >= Duration::from_millis(5 * n as u64),
+            elapsed >= Duration::from_millis(5 * n),
             "sequential scheduling must take at least n * service_time, took {elapsed:?}"
         );
         handle.stop();

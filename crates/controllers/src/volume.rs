@@ -181,7 +181,7 @@ fn reconcile_claim(
 
     let volume_name = match candidate {
         Some(pv) => {
-            let name = pv.meta.name.clone();
+            let name = pv.meta.name;
             let ok = retry_on_conflict(3, || {
                 let fresh = client.get(ResourceKind::PersistentVolume, "", &name)?;
                 let mut fresh: PersistentVolume = fresh.try_into()?;
@@ -213,7 +213,7 @@ fn reconcile_claim(
             let mut pv = PersistentVolume::new(name.clone(), claim.requested);
             pv.access_mode = claim.access_mode;
             pv.storage_class = claim.storage_class.clone();
-            pv.claim_ref = claim_ref.clone();
+            pv.claim_ref = claim_ref;
             pv.phase = VolumePhase::Bound;
             let created: Object = pv.into();
             match client.create(created) {
@@ -283,7 +283,7 @@ fn reconcile_volume(
     }
     // Claim gone -> Released.
     if pvc_cache.get(&pv.claim_ref).is_none() {
-        let name = pv.meta.name.clone();
+        let name = pv.meta.name;
         let ok = retry_on_conflict(3, || {
             let fresh = client.get(ResourceKind::PersistentVolume, "", &name)?;
             let mut fresh: PersistentVolume = fresh.try_into()?;

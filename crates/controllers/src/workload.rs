@@ -140,7 +140,6 @@ pub fn start(client: Client) -> (ControllerHandle, Arc<WorkloadMetrics>) {
     // Deployment worker.
     {
         let queue = Arc::clone(&deploy_queue);
-        let client = client.clone();
         let deploy_cache = Arc::clone(deploy_informer.cache());
         let rs_cache = Arc::clone(rs_informer.cache());
         let metrics = Arc::clone(&metrics);

@@ -142,7 +142,7 @@ impl Framework {
             Arc::clone(&registry),
             Arc::clone(&syncer),
             Arc::clone(&clock),
-            config.operator.clone(),
+            config.operator,
         );
         let admin = super_cluster.client("vc-admin");
         Framework {

@@ -274,7 +274,7 @@ mod proptests {
             // User labels survive untouched.
             prop_assert_eq!(&meta.labels, &labels);
             // Converting twice is deterministic.
-            prop_assert_eq!(to_super(&pod.clone().into(), "vc", "vc-abcdef"), converted);
+            prop_assert_eq!(to_super(&pod.into(), "vc", "vc-abcdef"), converted);
         }
     }
 }

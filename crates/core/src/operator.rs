@@ -87,7 +87,7 @@ pub fn start(
         let queue = Arc::clone(&queue);
         informer.add_handler(Box::new(move |event| {
             let obj = event.object();
-            if let Object::CustomObject(custom) = obj {
+            if let Object::CustomObject(custom) = &**obj {
                 if custom.kind == VC_KIND && custom.meta.namespace == VC_MANAGER_NAMESPACE {
                     queue.add(custom.meta.name.clone());
                 }
@@ -152,7 +152,7 @@ fn reconcile(
         teardown(name, super_client, registry, syncer, metrics);
         return;
     };
-    let Object::CustomObject(custom) = &obj else { return };
+    let Object::CustomObject(custom) = &*obj else { return };
     let Ok(vc) = VirtualCluster::from_custom_object(custom) else { return };
 
     if custom.meta.is_terminating() {

@@ -60,13 +60,18 @@ fn custom_object_synced_ref(tenant: &TenantState, obj: &Object) -> bool {
         return false;
     }
     let Object::CustomObject(custom) = obj else { return false };
-    // The tenant must have a CRD of this kind marked for sync.
-    let client = &tenant.client;
-    match client.list(ResourceKind::CustomResourceDefinition, None) {
-        Ok((crds, _)) => crds.iter().any(|c| {
-            matches!(c, Object::CustomResourceDefinition(crd)
-                if crd.kind == custom.kind && crd.sync_to_super)
-        }),
+    let crd_opted_in = |c: &Object| {
+        matches!(c, Object::CustomResourceDefinition(crd)
+            if crd.kind == custom.kind && crd.sync_to_super)
+    };
+    // The tenant must have a CRD of this kind marked for sync. Served
+    // from the tenant's CRD informer cache; the LIST against the tenant
+    // apiserver is a fallback for tenants registered without one.
+    if let Some(informer) = tenant.informers.get(&ResourceKind::CustomResourceDefinition) {
+        return informer.cache().list().iter().any(|c| crd_opted_in(c));
+    }
+    match tenant.client.list(ResourceKind::CustomResourceDefinition, None) {
+        Ok((crds, _)) => crds.iter().any(|c| crd_opted_in(c)),
         Err(_) => false,
     }
 }
@@ -83,7 +88,7 @@ fn ensure_in_super(syncer: &Syncer, tenant: &TenantState, item: &WorkItem, tenan
             // Create path. The super copy might exist but not yet be in
             // our cache; AlreadyExists then routes to the update path via
             // requeue.
-            match create_with_namespace(syncer, tenant, desired.clone()) {
+            match create_with_namespace(syncer, tenant, desired) {
                 Ok(()) => {
                     syncer.metrics.downward_creates.inc();
                     syncer.forget_retries(item);

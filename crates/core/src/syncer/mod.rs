@@ -68,8 +68,14 @@ pub struct SyncerConfig {
     pub fair_queuing: bool,
     /// Resource kinds synchronized downward.
     pub downward_kinds: Vec<ResourceKind>,
-    /// Periodic mismatch scan interval (`None` disables the scanner).
+    /// Incremental mismatch scan tick interval (`None` disables the
+    /// scanner). Each tick re-validates keys dirtied by informer events
+    /// since the last tick plus one cold-sweep slice (see `scan_slice`).
     pub scan_interval: Option<Duration>,
+    /// Keys the incremental scanner's cold sweep visits per tick (the
+    /// dirty set is always drained in full), making a tick O(changed +
+    /// scan_slice) instead of a full O(all objects) pass.
+    pub scan_slice: usize,
     /// vNode heartbeat broadcast interval.
     pub vnode_heartbeat_interval: Duration,
     /// Poll interval for tenant informers (kept modest: 100 tenants ×
@@ -117,6 +123,7 @@ impl Default for SyncerConfig {
                 ResourceKind::CustomObject,
             ],
             scan_interval: Some(Duration::from_secs(60)),
+            scan_slice: 512,
             vnode_heartbeat_interval: Duration::from_secs(10),
             tenant_informer_poll: Duration::from_millis(50),
             downward_process_cost: Duration::ZERO,
@@ -151,6 +158,14 @@ impl SyncerConfig {
 const SYNC_DURATION_BUCKETS_US: &[u64] =
     &[100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000];
 
+/// Items a downward worker drains per wakeup. Batches never cross a
+/// tenant's weighted-round-robin round (see
+/// [`WeightedFairQueue::get_batch`]), so fair shares are unaffected.
+const DOWNWARD_BATCH: usize = 32;
+
+/// Items an upward worker drains per wakeup.
+const UPWARD_BATCH: usize = 64;
+
 /// Kinds synchronized upward (super → tenant).
 pub const UPWARD_KINDS: [ResourceKind; 6] = [
     ResourceKind::Pod,
@@ -165,7 +180,8 @@ pub const UPWARD_KINDS: [ResourceKind; 6] = [
 pub struct TenantState {
     /// Registry handle (control plane, prefix, weight, cert).
     pub handle: Arc<TenantHandle>,
-    /// Tenant-side informers per downward kind.
+    /// Tenant-side informers per downward kind, plus the CRD informer
+    /// backing custom-object sync-eligibility checks.
     pub informers: HashMap<ResourceKind, Arc<SharedInformer>>,
     /// Syncer's client to the tenant apiserver.
     pub client: Client,
@@ -375,6 +391,25 @@ struct Breaker {
     consecutive_failures: u32,
 }
 
+/// Resume position of the incremental scanner's paginated cold sweep.
+///
+/// The sweep walks one cache segment at a time — tenant-side caches first
+/// (divergence, missing super copies), then the super-side caches
+/// (orphans whose tenant source is gone) — visiting at most `scan_slice`
+/// keys per tick and wrapping around. Tenants are visited in name order
+/// so the cursor survives registration churn between ticks.
+#[derive(Debug, Clone, Default)]
+struct ScanCursor {
+    /// `false`: sweeping tenant caches; `true`: sweeping super caches.
+    super_side: bool,
+    /// Current tenant (tenant-side sweep only).
+    tenant: Option<String>,
+    /// Index into the downward kinds for the current segment.
+    kind_idx: usize,
+    /// Last key visited in the current segment (resume strictly after).
+    last_key: Option<String>,
+}
+
 /// The centralized resource syncer.
 pub struct Syncer {
     pub(crate) config: SyncerConfig,
@@ -402,6 +437,12 @@ pub struct Syncer {
     /// Hibernated (idle) tenants: informers stopped, caches released
     /// (paper §V: "reducing the cost of running tenant control planes").
     pub(crate) hibernated: Mutex<HashMap<String, Arc<TenantHandle>>>,
+    /// Tenant-side keys dirtied by informer events since the last scan
+    /// tick; [`scan_tick`](Self::scan_tick) re-validates exactly these
+    /// plus one cold-sweep slice.
+    scan_dirty: Mutex<HashSet<WorkItem>>,
+    /// Cold-sweep resume position.
+    scan_cursor: Mutex<ScanCursor>,
     /// vNode bookkeeping.
     pub vnodes: VNodeManager,
     /// Pod latency phase tracking.
@@ -482,6 +523,8 @@ impl Syncer {
             tenants: RwLock::new(HashMap::new()),
             recent_super_deletions: Mutex::new(HashMap::new()),
             hibernated: Mutex::new(HashMap::new()),
+            scan_dirty: Mutex::new(HashSet::new()),
+            scan_cursor: Mutex::new(ScanCursor::default()),
             vnodes: VNodeManager::new(),
             phases: PhaseTracker::new(),
             metrics: SyncerMetrics::new(&obs.registry),
@@ -509,18 +552,25 @@ impl Syncer {
             handle.add_informer(started);
         }
 
-        // Downward workers.
+        // Downward workers: each wakeup drains a small same-tenant batch
+        // (one queue-lock round-trip per batch instead of per item; the
+        // fair queue bounds batches to the tenant's WRR round, so batching
+        // cannot distort fair shares).
         for worker_id in 0..syncer.config.downward_workers.max(1) {
             let syncer_ref = Arc::clone(&syncer);
             let stop = handle.stop_flag();
             handle.add_thread(
                 std::thread::Builder::new()
                     .name(format!("syncer-dws-{worker_id}"))
-                    .spawn(move || {
-                        while let Some(item) = syncer_ref.downward.get() {
+                    .spawn(move || loop {
+                        let batch = syncer_ref.downward.get_batch(DOWNWARD_BATCH);
+                        if batch.is_empty() {
+                            break; // shutdown
+                        }
+                        for (item, _generation) in batch {
                             if stop.is_set() {
                                 syncer_ref.downward.done(&item);
-                                break;
+                                continue;
                             }
                             if item.kind == ResourceKind::Pod {
                                 syncer_ref.phases.record_dws_dequeued(&item.tenant, &item.key);
@@ -567,18 +617,23 @@ impl Syncer {
                     .expect("spawn downward worker"),
             );
         }
-        // Upward workers.
+        // Upward workers: batched like the downward path (upward items
+        // are independent status writes, so plain FIFO batches are safe).
         for worker_id in 0..syncer.config.upward_workers.max(1) {
             let syncer_ref = Arc::clone(&syncer);
             let stop = handle.stop_flag();
             handle.add_thread(
                 std::thread::Builder::new()
                     .name(format!("syncer-uws-{worker_id}"))
-                    .spawn(move || {
-                        while let Some(item) = syncer_ref.upward.get() {
+                    .spawn(move || loop {
+                        let batch = syncer_ref.upward.get_batch(UPWARD_BATCH);
+                        if batch.is_empty() {
+                            break; // shutdown
+                        }
+                        for (item, _generation) in batch {
                             if stop.is_set() {
                                 syncer_ref.upward.done(&item);
-                                break;
+                                continue;
                             }
                             // (Pod phase stamps and trace spans happen
                             // inside the upward reconciler, which knows
@@ -605,7 +660,7 @@ impl Syncer {
                     .expect("spawn upward worker"),
             );
         }
-        // Periodic mismatch scanner.
+        // Periodic incremental mismatch scanner.
         if let Some(interval) = syncer.config.scan_interval {
             let syncer_ref = Arc::clone(&syncer);
             let stop = handle.stop_flag();
@@ -622,7 +677,7 @@ impl Syncer {
                             std::thread::sleep(step);
                             slept += step;
                         }
-                        syncer_ref.scan_all();
+                        syncer_ref.scan_tick();
                         syncer_ref.publish_tenant_stats();
                     })
                     .expect("spawn scanner"),
@@ -730,8 +785,10 @@ impl Syncer {
         state.handle.cluster.apiserver.detach_observability();
         let _ = self.downward.remove_tenant(name);
         // A hibernated tenant's control plane is deliberately unwatched:
-        // drop any breaker state so a later wake starts Healthy.
+        // drop any breaker and dirty-key state so a later wake starts
+        // fresh.
         self.breakers.lock().remove(name);
+        self.scan_dirty.lock().retain(|i| i.tenant != name);
         self.hibernated.lock().insert(name.to_string(), Arc::clone(&state.handle));
         self.metrics.hibernations.inc();
         true
@@ -1009,6 +1066,29 @@ impl Syncer {
             informer.wait_for_sync(Duration::from_secs(30));
             informers.insert(kind, informer);
         }
+        // Custom objects flow down only when a tenant CRD opts in; that
+        // eligibility check is served from a CRD informer cache rather
+        // than a LIST against the tenant apiserver per work item.
+        if self.config.downward_kinds.contains(&ResourceKind::CustomObject)
+            && !informers.contains_key(&ResourceKind::CustomResourceDefinition)
+        {
+            let mut config = InformerConfig::new(ResourceKind::CustomResourceDefinition);
+            config.poll_interval = self.config.tenant_informer_poll;
+            let informer = SharedInformer::new(client.clone(), config);
+            let weak = Arc::downgrade(self);
+            let tenant_name = handle.name.clone();
+            informer.add_handler(Box::new(move |_event| {
+                // A CRD change (e.g. `sync_to_super` flipped) changes the
+                // eligibility of every custom object of the tenant:
+                // re-evaluate them all.
+                if let Some(syncer) = weak.upgrade() {
+                    syncer.redirty_custom_objects(&tenant_name);
+                }
+            }));
+            let informer = SharedInformer::start(informer);
+            informer.wait_for_sync(Duration::from_secs(30));
+            informers.insert(ResourceKind::CustomResourceDefinition, informer);
+        }
         self.downward.set_weight(&handle.name, handle.weight.max(1));
         let state = Arc::new(TenantState { handle: Arc::clone(&handle), informers, client });
         self.tenants.write().insert(handle.name.clone(), state);
@@ -1038,9 +1118,10 @@ impl Syncer {
         // tenant is gone, so force removal after drain attempts.
         let _ = self.downward.remove_tenant(name);
         // Drop all robustness state tied to the tenant: breaker, parked
-        // upward items and dead letters would otherwise leak.
+        // upward items, dirty keys and dead letters would otherwise leak.
         self.breakers.lock().remove(name);
         self.parked_upward.lock().retain(|i| i.tenant != name);
+        self.scan_dirty.lock().retain(|i| i.tenant != name);
         {
             let mut dead = self.dead_letter.lock();
             dead.retain(|i| i.tenant != name);
@@ -1099,11 +1180,13 @@ impl Syncer {
         // scan re-derives mismatches from caches, so a re-queued item that
         // is already in sync is a cheap no-op.
         self.drain_dead_letters();
+        // A full pass subsumes any pending dirty keys.
+        self.scan_dirty.lock().clear();
         let tenants: Vec<Arc<TenantState>> = self.tenants.read().values().cloned().collect();
 
         // Index super objects by owner once (kind -> tenant -> objects),
         // instead of every tenant thread rescanning the full caches.
-        let mut by_owner: HashMap<ResourceKind, HashMap<String, Vec<vc_api::Object>>> =
+        let mut by_owner: HashMap<ResourceKind, HashMap<String, Vec<Arc<vc_api::Object>>>> =
             HashMap::new();
         let mut scan_kinds = self.config.downward_kinds.clone();
         if !scan_kinds.contains(&ResourceKind::Pod) {
@@ -1111,7 +1194,7 @@ impl Syncer {
         }
         for kind in &scan_kinds {
             let Some(cache) = self.super_cache(*kind) else { continue };
-            let per_tenant: &mut HashMap<String, Vec<vc_api::Object>> =
+            let per_tenant: &mut HashMap<String, Vec<Arc<vc_api::Object>>> =
                 by_owner.entry(*kind).or_default();
             for obj in cache.list() {
                 if let Some(owner) = mapping::owner_cluster(&obj) {
@@ -1135,10 +1218,10 @@ impl Syncer {
     fn scan_tenant(
         &self,
         tenant: &TenantState,
-        by_owner: &HashMap<ResourceKind, HashMap<String, Vec<vc_api::Object>>>,
+        by_owner: &HashMap<ResourceKind, HashMap<String, Vec<Arc<vc_api::Object>>>>,
     ) {
         let prefix = &tenant.handle.prefix;
-        let owned = |kind: ResourceKind| -> &[vc_api::Object] {
+        let owned = |kind: ResourceKind| -> &[Arc<vc_api::Object>] {
             by_owner
                 .get(&kind)
                 .and_then(|m| m.get(&tenant.handle.name))
@@ -1212,6 +1295,238 @@ impl Syncer {
         }
     }
 
+    /// One incremental scan tick: re-validates the keys dirtied by
+    /// informer events since the last tick, then advances the paginated
+    /// cold sweep by up to `scan_slice` keys — O(changed + slice) per
+    /// tick instead of [`scan_all`](Self::scan_all)'s O(all objects).
+    /// The cold sweep guards against the dirty set itself losing entries
+    /// (process restarts, missed watch events): every key is still
+    /// visited eventually, just spread over many ticks. Returns the
+    /// number of items requeued for repair.
+    pub fn scan_tick(&self) -> usize {
+        let start = std::time::Instant::now();
+        self.drain_dead_letters();
+        let mut requeues = 0;
+        let dirty: Vec<WorkItem> = {
+            let mut set = self.scan_dirty.lock();
+            set.drain().collect()
+        };
+        for item in &dirty {
+            if let Some(state) = self.tenant(&item.tenant) {
+                requeues += usize::from(self.check_key(&state, item.kind, &item.key));
+            }
+        }
+        requeues += self.cold_sweep(self.config.scan_slice);
+        self.metrics.scans.inc();
+        self.metrics.scan_duration.observe(start.elapsed());
+        requeues
+    }
+
+    /// Keys currently waiting in the scanner's dirty set.
+    pub fn scan_dirty_len(&self) -> usize {
+        self.scan_dirty.lock().len()
+    }
+
+    /// Test hook: drops pending dirty-set entries so the next
+    /// [`scan_tick`](Self::scan_tick) exercises only the cold sweep.
+    #[doc(hidden)]
+    pub fn scan_drop_dirty(&self) {
+        self.scan_dirty.lock().clear();
+    }
+
+    /// Marks a tenant-side key for re-validation on the next scan tick.
+    fn mark_dirty(&self, tenant: &str, kind: ResourceKind, tenant_key: &str) {
+        if !self.config.downward_kinds.contains(&kind) {
+            return;
+        }
+        self.scan_dirty.lock().insert(WorkItem {
+            tenant: tenant.to_string(),
+            kind,
+            key: tenant_key.to_string(),
+        });
+    }
+
+    /// Re-evaluates every custom object of `tenant` after a CRD change
+    /// (sync eligibility may have flipped for all of them at once).
+    fn redirty_custom_objects(&self, tenant: &str) {
+        let Some(state) = self.tenant(tenant) else { return };
+        let Some(informer) = state.informers.get(&ResourceKind::CustomObject) else { return };
+        for obj in informer.cache().list() {
+            let key = obj.key();
+            self.mark_dirty(tenant, ResourceKind::CustomObject, &key);
+            self.downward.add_coalescing(
+                tenant,
+                WorkItem { tenant: tenant.to_string(), kind: ResourceKind::CustomObject, key },
+                obj.meta().resource_version,
+            );
+        }
+    }
+
+    /// Re-validates one tenant-side key against the caches: requeues
+    /// downward when the super copy is missing, diverged or orphaned, and
+    /// upward when the super pod carries a status the tenant has not
+    /// seen. Returns whether anything was requeued.
+    fn check_key(&self, tenant: &TenantState, kind: ResourceKind, tenant_key: &str) -> bool {
+        if !self.config.downward_kinds.contains(&kind) {
+            return false;
+        }
+        let Some(super_cache) = self.super_cache(kind) else { return false };
+        let name = &tenant.handle.name;
+        let tenant_obj = tenant.cache(kind).get(tenant_key);
+        let super_obj =
+            downward::super_key_for(tenant, kind, tenant_key).and_then(|key| super_cache.get(&key));
+        let mut requeued = false;
+        let requeue_downward = |requeued: &mut bool| {
+            self.metrics.scan_requeues.inc();
+            self.downward
+                .add(name, WorkItem { tenant: name.clone(), kind, key: tenant_key.to_string() });
+            *requeued = true;
+        };
+        match &tenant_obj {
+            Some(obj) => {
+                if !downward::in_sync(self, tenant, kind, obj) {
+                    requeue_downward(&mut requeued);
+                }
+            }
+            None => {
+                // Tenant source gone: an owned super copy is an orphan the
+                // downward delete path must remove.
+                let orphaned = super_obj
+                    .as_ref()
+                    .is_some_and(|o| mapping::owner_cluster(o) == Some(name.as_str()));
+                if orphaned {
+                    requeue_downward(&mut requeued);
+                }
+            }
+        }
+        // Upward repair: super pod status the tenant has not seen.
+        if kind == ResourceKind::Pod {
+            if let (Some(t_obj), Some(s_obj)) = (&tenant_obj, &super_obj) {
+                let diverged = match (t_obj.as_pod(), s_obj.as_pod()) {
+                    (Some(tp), Some(sp)) => {
+                        tp.status != sp.status || tp.spec.node_name != sp.spec.node_name
+                    }
+                    _ => false,
+                };
+                if diverged && mapping::owner_cluster(s_obj) == Some(name.as_str()) {
+                    self.metrics.scan_requeues.inc();
+                    self.upward.add(WorkItem { tenant: name.clone(), kind, key: s_obj.key() });
+                    requeued = true;
+                }
+            }
+        }
+        requeued
+    }
+
+    /// Advances the paginated cold sweep by up to `budget` keys. The
+    /// sweep walks (tenant × downward kind) cache segments in name
+    /// order, then the super-side caches (mapping each owned object back
+    /// to its tenant key), wrapping around at the end. At most one full
+    /// lap runs per call so empty caches cannot spin the scanner.
+    fn cold_sweep(&self, budget: usize) -> usize {
+        let kinds = &self.config.downward_kinds;
+        if kinds.is_empty() || budget == 0 {
+            return 0;
+        }
+        let mut tenants: Vec<Arc<TenantState>> = self.tenants.read().values().cloned().collect();
+        tenants.sort_by(|a, b| a.handle.name.cmp(&b.handle.name));
+
+        // Segment list for this tick: every (tenant, kind) pair, then one
+        // super-side segment per kind.
+        let mut segments: Vec<(Option<Arc<TenantState>>, ResourceKind)> = Vec::new();
+        for tenant in &tenants {
+            for kind in kinds {
+                segments.push((Some(Arc::clone(tenant)), *kind));
+            }
+        }
+        for kind in kinds {
+            segments.push((None, *kind));
+        }
+        let total = segments.len();
+
+        // Map the persisted cursor onto this tick's segment list. A
+        // tenant unregistered since the last tick resolves to the next
+        // tenant in name order (a one-time partial skip is harmless: the
+        // sweep wraps around).
+        let mut cursor = self.scan_cursor.lock().clone();
+        let kind_idx = cursor.kind_idx.min(kinds.len() - 1);
+        let mut idx = if cursor.super_side {
+            tenants.len() * kinds.len() + kind_idx
+        } else {
+            match &cursor.tenant {
+                Some(name) => match tenants.iter().position(|t| t.handle.name >= *name) {
+                    Some(t_idx) => t_idx * kinds.len() + kind_idx,
+                    None => tenants.len() * kinds.len(), // past the last tenant
+                },
+                None => 0,
+            }
+        };
+
+        let mut checked = 0usize;
+        let mut requeues = 0usize;
+        let mut visited = 0usize;
+        let mut resuming = true;
+        while checked < budget && visited <= total {
+            let (state, kind) = &segments[idx % total];
+            let keys = match state {
+                Some(tenant) => tenant.cache(*kind).sorted_keys(),
+                None => self.super_cache(*kind).map(|c| c.sorted_keys()).unwrap_or_default(),
+            };
+            // Resume strictly after the last visited key (first segment
+            // only; later segments start fresh).
+            let start = match (&cursor.last_key, resuming) {
+                (Some(last), true) => keys.partition_point(|k| k.as_str() <= last.as_str()),
+                _ => 0,
+            };
+            resuming = false;
+            let take = (budget - checked).min(keys.len().saturating_sub(start));
+            for key in &keys[start..start + take] {
+                checked += 1;
+                match state {
+                    Some(tenant) => {
+                        requeues += usize::from(self.check_key(tenant, *kind, key));
+                    }
+                    None => {
+                        // Map the super object back to its owner's view.
+                        let Some(cache) = self.super_cache(*kind) else { continue };
+                        let Some(obj) = cache.get(key) else { continue };
+                        let Some(owner) = mapping::owner_cluster(&obj) else { continue };
+                        let Some(tenant) = self.tenant(owner) else { continue };
+                        let Some(tenant_key) =
+                            mapping::super_key_to_tenant(&tenant.handle.prefix, *kind, key)
+                        else {
+                            continue;
+                        };
+                        requeues += usize::from(self.check_key(&tenant, *kind, &tenant_key));
+                    }
+                }
+            }
+            if start + take < keys.len() {
+                // Budget exhausted mid-segment: remember where to resume.
+                cursor = ScanCursor {
+                    super_side: state.is_none(),
+                    tenant: state.as_ref().map(|t| t.handle.name.clone()),
+                    kind_idx: kinds.iter().position(|k| k == kind).unwrap_or(0),
+                    last_key: keys.get(start + take - 1).cloned(),
+                };
+                *self.scan_cursor.lock() = cursor;
+                return requeues;
+            }
+            idx += 1;
+            visited += 1;
+        }
+        // Lap (or budget) complete at a segment boundary: resume at the
+        // start of the segment the cursor now points at.
+        let (state, kind) = &segments[idx % total];
+        *self.scan_cursor.lock() = ScanCursor {
+            super_side: state.is_none(),
+            tenant: state.as_ref().map(|t| t.handle.name.clone()),
+            kind_idx: kinds.iter().position(|k| k == kind).unwrap_or(0),
+            last_key: None,
+        };
+        requeues
+    }
+
     /// Stops workers, scanner, broadcaster and all informers.
     pub fn stop(&self) {
         // Stop tenant informers first so no new work arrives.
@@ -1228,12 +1543,21 @@ impl Syncer {
 
     fn on_tenant_event(&self, tenant: &str, kind: ResourceKind, event: &InformerEvent) {
         let obj = event.object();
+        let key = obj.key();
         let added = matches!(event, InformerEvent::Added(_));
         if kind == ResourceKind::Pod && added {
-            self.phases.record_created(tenant, &obj.key());
+            self.phases.record_created(tenant, &key);
         }
-        self.trace_downward_enqueue(tenant, kind, &obj.key(), added);
-        self.downward.add(tenant, WorkItem { tenant: tenant.to_string(), kind, key: obj.key() });
+        self.trace_downward_enqueue(tenant, kind, &key, added);
+        self.mark_dirty(tenant, kind, &key);
+        // Coalescing enqueue: a key re-added while still queued keeps one
+        // slot and records only the latest generation, so an object
+        // modified N times while waiting is reconciled once.
+        self.downward.add_coalescing(
+            tenant,
+            WorkItem { tenant: tenant.to_string(), kind, key },
+            obj.meta().resource_version,
+        );
     }
 
     fn on_super_event(&self, kind: ResourceKind, event: &InformerEvent) {
@@ -1265,6 +1589,14 @@ impl Syncer {
                                 self.trace_super_ready(&tenant, &tenant_key);
                             }
                         }
+                    }
+                }
+                // Super-side mutations of downward-synced kinds (crashes,
+                // out-of-band writes, evictions) dirty the tenant-side key
+                // so the next scan tick re-validates it.
+                if self.config.downward_kinds.contains(&kind) {
+                    if let Some(tenant_key) = self.tenant_key_for(&tenant, kind, &obj.key()) {
+                        self.mark_dirty(&tenant, kind, &tenant_key);
                     }
                 }
                 // Only kinds with an upward reconciler are queued upward.

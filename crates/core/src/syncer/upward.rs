@@ -176,7 +176,7 @@ fn service(syncer: &Syncer, tenant: &Arc<TenantState>, item: &WorkItem) {
 fn event(syncer: &Syncer, tenant: &Arc<TenantState>, item: &WorkItem) {
     let Some(super_cache) = syncer.super_cache(ResourceKind::Event) else { return };
     let Some(super_obj) = super_cache.get(&item.key) else { return };
-    let Object::Event(super_event) = &super_obj else { return };
+    let Object::Event(super_event) = &*super_obj else { return };
     let Some(tenant_ns) =
         mapping::super_ns_to_tenant(&tenant.handle.prefix, &super_event.meta.namespace)
     else {
@@ -201,7 +201,7 @@ fn event(syncer: &Syncer, tenant: &Arc<TenantState>, item: &WorkItem) {
 fn persistent_volume(syncer: &Syncer, tenant: &Arc<TenantState>, item: &WorkItem) {
     let Some(super_cache) = syncer.super_cache(ResourceKind::PersistentVolume) else { return };
     let Some(super_obj) = super_cache.get(&item.key) else { return };
-    let Object::PersistentVolume(super_pv) = &super_obj else { return };
+    let Object::PersistentVolume(super_pv) = &*super_obj else { return };
     // Only volumes bound to this tenant's claims flow upward.
     let Some((claim_ns, claim_name)) = super_pv.claim_ref.split_once('/') else { return };
     let Some(tenant_ns) = mapping::super_ns_to_tenant(&tenant.handle.prefix, claim_ns) else {
@@ -221,7 +221,7 @@ fn claim_status(syncer: &Syncer, tenant: &Arc<TenantState>, item: &WorkItem) {
         return;
     };
     let Some(super_obj) = super_cache.get(&item.key) else { return };
-    let Object::PersistentVolumeClaim(super_claim) = &super_obj else { return };
+    let Object::PersistentVolumeClaim(super_claim) = &*super_obj else { return };
     let Some(tenant_key) =
         syncer.tenant_key_for(&item.tenant, ResourceKind::PersistentVolumeClaim, &item.key)
     else {
@@ -262,7 +262,8 @@ fn storage_class(syncer: &Syncer, tenant: &Arc<TenantState>, item: &WorkItem) {
     let Some(super_cache) = syncer.super_cache(ResourceKind::StorageClass) else { return };
     match super_cache.get(&item.key) {
         Some(super_obj) => {
-            let mut copy = super_obj.clone();
+            // Mutation site: the shared cache Arc is cloned exactly here.
+            let mut copy = (*super_obj).clone();
             copy.meta_mut().resource_version = 0;
             copy.meta_mut().uid = Default::default();
             upsert(syncer, tenant, copy);

@@ -126,7 +126,6 @@ pub fn start(
         let pod_queue = Arc::clone(&pod_queue);
         let tracked = Arc::clone(&tracked);
         let metrics = Arc::clone(&metrics);
-        let client = client.clone();
         let kata = Arc::clone(&kata);
         let pod_cache = Arc::clone(&pod_cache);
         let service_cache = Arc::clone(&service_cache);

@@ -79,7 +79,7 @@ pub fn start_standard(
     let service_informer =
         SharedInformer::new(client.clone(), InformerConfig::new(ResourceKind::Service));
     let endpoints_informer =
-        SharedInformer::new(client.clone(), InformerConfig::new(ResourceKind::Endpoints));
+        SharedInformer::new(client, InformerConfig::new(ResourceKind::Endpoints));
     for informer in [&service_informer, &endpoints_informer] {
         let queue = Arc::clone(&queue);
         informer.add_handler(Box::new(move |_event| queue.add(())));

@@ -136,7 +136,8 @@ fn main() {
     // 3. The periodic reconciliation scan repairs the guest.
     assert!(
         wait_until(Duration::from_secs(40), Duration::from_millis(200), || {
-            guest.netfilter.len() > 0 || network.connect(&client_key, &cluster_ip, 5432, 0).is_ok()
+            !guest.netfilter.is_empty()
+                || network.connect(&client_key, &cluster_ip, 5432, 0).is_ok()
         }) || {
             // Force one scan if the interval has not elapsed.
             true

@@ -71,7 +71,7 @@ fn shared_apiserver_interference_vs_virtualcluster() {
     for i in 0..10 {
         victim.get(ResourceKind::Namespace, "", "default").unwrap_or_else(|_| {
             // Even errors (queue timeouts) count as interference.
-            Namespace::new(format!("err-{i}")).into()
+            Arc::new(Namespace::new(format!("err-{i}")).into())
         });
     }
     let shared_latency = start.elapsed() / 10;
