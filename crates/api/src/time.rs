@@ -70,6 +70,45 @@ pub trait Clock: Send + Sync + fmt::Debug {
 
     /// Blocks the calling thread for `d` (virtual time for [`SimClock`]).
     fn sleep(&self, d: Duration);
+
+    /// How long a deadline loop may park (on its own condvar or in a real
+    /// sleep) before it must re-check `now()` against its deadline.
+    ///
+    /// [`RealClock`] returns `remaining` unchanged — real deadlines and
+    /// real parks agree, so waiters park the full remainder and wake
+    /// exactly once. A virtual clock returns a small real-time quantum
+    /// instead, because its `now()` only moves when the test advances it:
+    /// the waiter re-polls the (virtual) deadline every quantum and
+    /// observes an `advance()` within bounded real time, with no wakeup
+    /// race between the deadline check and the park.
+    fn park_quantum(&self, remaining: Duration) -> Duration {
+        remaining
+    }
+}
+
+/// Sleeps for `d` on `clock`, polling `cancelled` so the wait can end
+/// early. Returns `true` when the full duration elapsed, `false` when
+/// cancelled.
+///
+/// Unlike [`Clock::sleep`], this never wedges on a frozen [`SimClock`]:
+/// the thread parks in bounded *real-time* steps (at most 25ms, or the
+/// clock's [`Clock::park_quantum`] if smaller) between checks, so
+/// shutdown flags are honored even if virtual time never advances.
+/// Controller loops use this for their tick sleeps.
+pub fn sleep_cancellable(clock: &dyn Clock, d: Duration, cancelled: impl Fn() -> bool) -> bool {
+    const MAX_STEP: Duration = Duration::from_millis(25);
+    let deadline = clock.now().add(d);
+    loop {
+        if cancelled() {
+            return false;
+        }
+        let now = clock.now();
+        if now >= deadline {
+            return true;
+        }
+        let remaining = deadline.duration_since(now);
+        std::thread::sleep(clock.park_quantum(remaining).min(MAX_STEP));
+    }
 }
 
 /// Wall-clock implementation of [`Clock`], measured from process start.
@@ -169,6 +208,13 @@ impl Clock for SimClock {
             self.cond.wait(&mut now);
         }
     }
+
+    /// Virtual deadlines can only move when the test advances the clock,
+    /// so waiters re-poll every millisecond of real time rather than
+    /// parking for the (virtual) remainder.
+    fn park_quantum(&self, _remaining: Duration) -> Duration {
+        Duration::from_millis(1)
+    }
 }
 
 #[cfg(test)]
@@ -234,5 +280,41 @@ mod tests {
     #[test]
     fn timestamp_display() {
         assert_eq!(Timestamp::from_millis(42).to_string(), "t+42ms");
+    }
+
+    #[test]
+    fn park_quantum_real_vs_sim() {
+        let real = RealClock::new();
+        let remaining = Duration::from_secs(5);
+        assert_eq!(real.park_quantum(remaining), remaining, "real clocks park the remainder");
+        let sim = SimClock::new();
+        assert_eq!(sim.park_quantum(remaining), Duration::from_millis(1), "sim clocks re-poll");
+    }
+
+    #[test]
+    fn sleep_cancellable_completes_on_advance() {
+        let clock = SimClock::new();
+        let c2 = Arc::clone(&clock);
+        let handle =
+            std::thread::spawn(move || sleep_cancellable(&*c2, Duration::from_secs(60), || false));
+        // Virtual time satisfies the deadline; no 60s of real time pass.
+        clock.advance(Duration::from_secs(60));
+        assert!(handle.join().unwrap(), "completed, not cancelled");
+    }
+
+    #[test]
+    fn sleep_cancellable_cancels_on_frozen_clock() {
+        let clock = SimClock::new();
+        let cancel = Arc::new(AtomicBool::new(false));
+        let c2 = Arc::clone(&clock);
+        let flag = Arc::clone(&cancel);
+        let handle = std::thread::spawn(move || {
+            sleep_cancellable(&*c2, Duration::from_secs(60), || flag.load(Ordering::SeqCst))
+        });
+        // The clock never advances; cancellation must still release the
+        // sleeper within a few real polling quanta.
+        std::thread::sleep(Duration::from_millis(10));
+        cancel.store(true, Ordering::SeqCst);
+        assert!(!handle.join().unwrap(), "cancelled before the deadline");
     }
 }

@@ -1,0 +1,171 @@
+//! Bench regression gate — compares the metric artifacts the bench bins
+//! dump (`BENCH_<label>_metrics.json` under `$VC_BENCH_JSON_DIR`) against
+//! the committed baseline in `BENCH_BASELINE.json`.
+//!
+//! Two checks per tracked metric, both data-driven from the baseline file:
+//!
+//! * **absolute floor** — the improvement ratio the refactor must clear
+//!   regardless of machine (the floors that used to be hard-coded
+//!   `assert!`s inside the bench bins);
+//! * **relative regression** — the measured ratio may not fall below
+//!   `baseline * (1 - tolerance)`. The tolerance absorbs CI-runner
+//!   variance; shrink it to tighten the gate.
+//!
+//! Prints a diff table and exits nonzero when any metric violates either
+//! bound, so CI fails the job while the uploaded artifacts remain
+//! available for diagnosis.
+//!
+//! Run after the bench bins:
+//!
+//! ```text
+//! VC_BENCH_JSON_DIR=bench-artifacts cargo run --release -p vc-bench --bin bench_gate
+//! ```
+//!
+//! Refreshing the baseline after an intentional perf change: re-run the
+//! bench bins, copy the new `x10` gauge values into `BENCH_BASELINE.json`,
+//! and commit the file alongside the change that moved them.
+
+use serde::Deserialize;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use vc_bench::report::MetricsReport;
+
+/// One tracked improvement ratio (stored ×10 as integers, matching the
+/// `*_improvement_x10` gauges the bench bins record).
+#[derive(Debug, Deserialize)]
+struct BaselineMetric {
+    /// Bench label — the artifact is `BENCH_<bench>_metrics.json`.
+    bench: String,
+    /// Metric family holding the ratio gauge.
+    family: String,
+    /// Value of the family's `metric` label selecting the cell.
+    metric: String,
+    /// Absolute floor the ratio must clear on any machine (×10).
+    floor_x10: i64,
+    /// Ratio measured on the reference runner when the baseline was
+    /// committed (×10).
+    baseline_x10: i64,
+}
+
+/// The committed baseline file.
+#[derive(Debug, Deserialize)]
+struct Baseline {
+    /// Allowed fraction below `baseline_x10` before the gate fails
+    /// (`0.5` = measured may be at most 50% below baseline).
+    tolerance: f64,
+    /// Tracked metrics.
+    metrics: Vec<BaselineMetric>,
+}
+
+fn artifact_dir() -> PathBuf {
+    std::env::var_os("VC_BENCH_JSON_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("bench-artifacts"))
+}
+
+fn baseline_path() -> PathBuf {
+    std::env::var_os("VC_BENCH_BASELINE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_BASELINE.json"))
+}
+
+fn load_report(dir: &Path, bench: &str) -> Result<MetricsReport, String> {
+    let path = dir.join(format!("BENCH_{bench}_metrics.json"));
+    let raw = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {} ({e}) — run the {bench} bin first", path.display()))?;
+    serde_json::from_str(&raw).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+/// Reads the `metric`-labeled cell of `family` from a report.
+fn measured_x10(report: &MetricsReport, family: &str, metric: &str) -> Result<i64, String> {
+    let fam = report
+        .registry
+        .family(family)
+        .ok_or_else(|| format!("family {family} missing from BENCH_{}", report.bench))?;
+    fam.cells
+        .iter()
+        .find(|c| c.labels == [metric])
+        .map(|c| c.value)
+        .ok_or_else(|| format!("cell {family}{{metric={metric}}} missing"))
+}
+
+fn main() -> ExitCode {
+    let baseline_file = baseline_path();
+    let raw = match std::fs::read_to_string(&baseline_file) {
+        Ok(raw) => raw,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {} ({e})", baseline_file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline: Baseline = match serde_json::from_str(&raw) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_gate: cannot parse {}: {e}", baseline_file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let dir = artifact_dir();
+    println!(
+        "bench gate — artifacts in {}, baseline {}, tolerance {:.0}%",
+        dir.display(),
+        baseline_file.display(),
+        baseline.tolerance * 100.0,
+    );
+    println!(
+        "  {:<16} {:<22} {:>9} {:>9} {:>9}  verdict",
+        "bench", "metric", "floor", "baseline", "measured"
+    );
+
+    let mut failures = 0usize;
+    for m in &baseline.metrics {
+        let measured = load_report(&dir, &m.bench)
+            .and_then(|report| measured_x10(&report, &m.family, &m.metric));
+        let measured = match measured {
+            Ok(v) => v,
+            Err(e) => {
+                println!(
+                    "  {:<16} {:<22} {:>8.1}x {:>8.1}x {:>9}  FAIL ({e})",
+                    m.bench,
+                    m.metric,
+                    m.floor_x10 as f64 / 10.0,
+                    m.baseline_x10 as f64 / 10.0,
+                    "-",
+                );
+                failures += 1;
+                continue;
+            }
+        };
+        let allowed = (m.baseline_x10 as f64 * (1.0 - baseline.tolerance)) as i64;
+        let verdict = if measured < m.floor_x10 {
+            failures += 1;
+            format!("FAIL (below absolute floor {:.1}x)", m.floor_x10 as f64 / 10.0)
+        } else if measured < allowed {
+            failures += 1;
+            format!(
+                "FAIL (regressed below {:.1}x = baseline - {:.0}%)",
+                allowed as f64 / 10.0,
+                baseline.tolerance * 100.0,
+            )
+        } else {
+            "ok".to_string()
+        };
+        println!(
+            "  {:<16} {:<22} {:>8.1}x {:>8.1}x {:>8.1}x  {verdict}",
+            m.bench,
+            m.metric,
+            m.floor_x10 as f64 / 10.0,
+            m.baseline_x10 as f64 / 10.0,
+            measured as f64 / 10.0,
+        );
+    }
+
+    if failures > 0 {
+        eprintln!("bench_gate: {failures} metric(s) failed");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_gate: all {} metrics within bounds", baseline.metrics.len());
+        ExitCode::SUCCESS
+    }
+}

@@ -314,10 +314,7 @@ fn main() {
     improvement.with(&["mixed_throughput"]).set((tput * 10.0) as i64);
     improvement.with(&["watch_delivery_p99"]).set((watch_p99 * 10.0) as i64);
     dump_metrics_json("store_contention", &registry);
-
-    // Self-verifying acceptance floors (after the JSON dump so the
-    // artifact survives a failure for diagnosis).
-    assert!(list_p99 >= 5.0, "ns-list p99 must improve >= 5x (got {list_p99:.1}x)");
-    assert!(tput >= 2.0, "mixed throughput must improve >= 2x (got {tput:.1}x)");
-    println!("\nacceptance: ns-list p99 >= 5x and mixed throughput >= 2x — PASS");
+    // Acceptance floors and regression bounds are enforced by the
+    // `bench_gate` bin against the dumped artifact (see
+    // BENCH_BASELINE.json), so a slow run still uploads its numbers.
 }

@@ -1,7 +1,7 @@
 //! Result formatting: ASCII histograms, percentile tables,
 //! paper-vs-measured rows, and machine-readable metrics dumps.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use vc_obs::{MetricsRegistry, RegistrySnapshot};
 
 /// Nearest-rank percentile of `samples` (not necessarily sorted).
@@ -109,7 +109,9 @@ pub fn heading(title: &str) {
 
 /// A bench run's machine-readable metrics report: the bench label plus a
 /// full [`RegistrySnapshot`] of the unified metrics registry.
-#[derive(Debug, Serialize)]
+/// Deserializable so the `bench_gate` binary can read the artifacts back
+/// and compare them against the committed baseline.
+#[derive(Debug, Serialize, Deserialize)]
 pub struct MetricsReport {
     /// The bench that produced this report.
     pub bench: String,

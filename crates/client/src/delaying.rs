@@ -11,10 +11,11 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::Hash;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+use vc_api::time::{Clock, RealClock, Timestamp};
 
 struct Waiting<T> {
-    deadline: Instant,
+    deadline: Timestamp,
     seq: u64,
     item: T,
 }
@@ -49,6 +50,7 @@ struct DelayState<T> {
 pub struct DelayingQueue<T: Eq + Hash + Clone + Send + 'static> {
     target: Arc<WorkQueue<T>>,
     state: Arc<(Mutex<DelayState<T>>, Condvar)>,
+    clock: Arc<dyn Clock>,
     worker: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -59,14 +61,22 @@ impl<T: Eq + Hash + Clone + Send + 'static> std::fmt::Debug for DelayingQueue<T>
 }
 
 impl<T: Eq + Hash + Clone + Send + 'static> DelayingQueue<T> {
-    /// Creates a delaying queue feeding `target`.
+    /// Creates a delaying queue feeding `target` on the wall clock.
     pub fn new(target: Arc<WorkQueue<T>>) -> Self {
+        Self::with_clock(target, RealClock::shared())
+    }
+
+    /// Creates a delaying queue whose deadlines are measured on `clock`;
+    /// with a virtual clock, delayed deliveries become deterministic —
+    /// tests advance time instead of sleeping.
+    pub fn with_clock(target: Arc<WorkQueue<T>>, clock: Arc<dyn Clock>) -> Self {
         let state = Arc::new((
             Mutex::new(DelayState { heap: BinaryHeap::new(), seq: 0, shutdown: false }),
             Condvar::new(),
         ));
         let thread_state = Arc::clone(&state);
         let thread_target = Arc::clone(&target);
+        let thread_clock = Arc::clone(&clock);
         let worker = std::thread::Builder::new()
             .name("delaying-queue".into())
             .spawn(move || {
@@ -76,7 +86,7 @@ impl<T: Eq + Hash + Clone + Send + 'static> DelayingQueue<T> {
                     if state.shutdown {
                         return;
                     }
-                    let now = Instant::now();
+                    let now = thread_clock.now();
                     // Pop everything due.
                     while state.heap.peek().is_some_and(|Reverse(w)| w.deadline <= now) {
                         let Reverse(w) = state.heap.pop().unwrap();
@@ -84,8 +94,13 @@ impl<T: Eq + Hash + Clone + Send + 'static> DelayingQueue<T> {
                     }
                     match state.heap.peek() {
                         Some(Reverse(w)) => {
-                            let deadline = w.deadline;
-                            cond.wait_until(&mut state, deadline);
+                            // Park at most the clock's quantum, then
+                            // re-read `now()`: on the wall clock that is
+                            // one park per deadline; on a virtual clock
+                            // short real slices until the test advances
+                            // past the deadline.
+                            let remaining = w.deadline.duration_since(now);
+                            cond.wait_for(&mut state, thread_clock.park_quantum(remaining));
                         }
                         None => {
                             cond.wait(&mut state);
@@ -94,7 +109,7 @@ impl<T: Eq + Hash + Clone + Send + 'static> DelayingQueue<T> {
                 }
             })
             .expect("spawn delaying-queue thread");
-        DelayingQueue { target, state, worker: Some(worker) }
+        DelayingQueue { target, state, clock, worker: Some(worker) }
     }
 
     /// Adds `item` to the target queue after `delay` (immediately when
@@ -108,7 +123,7 @@ impl<T: Eq + Hash + Clone + Send + 'static> DelayingQueue<T> {
         let mut state = lock.lock();
         state.seq += 1;
         let seq = state.seq;
-        state.heap.push(Reverse(Waiting { deadline: Instant::now() + delay, seq, item }));
+        state.heap.push(Reverse(Waiting { deadline: self.clock.now().add(delay), seq, item }));
         cond.notify_one();
     }
 
@@ -191,8 +206,18 @@ impl<T: Eq + Hash + Clone + Send + 'static> RateLimitingQueue<T> {
 
     /// Creates a rate-limiting queue with an explicit backoff policy.
     pub fn with_policy(target: Arc<WorkQueue<T>>, policy: BackoffPolicy) -> Self {
+        Self::with_policy_and_clock(target, policy, RealClock::shared())
+    }
+
+    /// Creates a rate-limiting queue whose backoff deadlines are measured
+    /// on `clock`.
+    pub fn with_policy_and_clock(
+        target: Arc<WorkQueue<T>>,
+        policy: BackoffPolicy,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
         RateLimitingQueue {
-            delaying: DelayingQueue::new(target),
+            delaying: DelayingQueue::with_clock(target, clock),
             failures: Mutex::new(HashMap::new()),
             policy,
         }
@@ -275,6 +300,22 @@ mod tests {
         assert_eq!(p.delay(2), Duration::from_millis(40));
         assert_eq!(p.delay(3), Duration::from_millis(50), "capped");
         assert_eq!(p.delay(30), Duration::from_millis(50), "no overflow");
+    }
+
+    #[test]
+    fn virtual_clock_delivery_without_real_sleep() {
+        use vc_api::time::SimClock;
+        let clock = SimClock::new();
+        let target = Arc::new(WorkQueue::new());
+        let dq =
+            DelayingQueue::with_clock(Arc::clone(&target), Arc::clone(&clock) as Arc<dyn Clock>);
+        dq.add_after("slow", Duration::from_secs(3600));
+        assert_eq!(target.get_timeout(Duration::from_millis(20)), None, "not due yet");
+        // One virtual hour passes instantly; the worker's next poll
+        // delivers the item.
+        clock.advance(Duration::from_secs(3600));
+        assert_eq!(target.get_timeout(Duration::from_secs(2)), Some("slow"));
+        assert_eq!(dq.waiting(), 0);
     }
 
     #[test]

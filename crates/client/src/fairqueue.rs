@@ -28,11 +28,14 @@
 //! wakeup (bounded by the tenant's WRR round, so batching never distorts
 //! the fair shares).
 
-use parking_lot::{Condvar, Mutex};
+use crate::coalesce::{CoalesceCore, Offer};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::Hash;
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 use vc_api::metrics::Counter;
+use vc_api::time::{Clock, RealClock};
+use vc_sync::{Condvar, Mutex};
 
 /// Default tenant weight.
 pub const DEFAULT_WEIGHT: u32 = 1;
@@ -59,11 +62,9 @@ struct FqState<T> {
     ring: VecDeque<String>,
     /// Single shared FIFO (unfair mode).
     fifo: VecDeque<T>,
-    dirty: HashSet<T>,
-    processing: HashSet<T>,
-    /// Latest generation recorded per dirty item (coalesced adds keep the
-    /// max; absent = 0 for plain `add`s).
-    latest_gen: HashMap<T, u64>,
+    /// Dirty/processing/latest-generation protocol (shared with the plain
+    /// work queue via [`CoalesceCore`]).
+    core: CoalesceCore<T>,
     /// Tenant that last enqueued each in-flight item (for re-queue on
     /// `done`).
     item_tenant: HashMap<T, String>,
@@ -97,6 +98,9 @@ pub struct WeightedFairQueue<T: Eq + Hash + Clone> {
     state: Mutex<FqState<T>>,
     cond: Condvar,
     fair: bool,
+    /// Time source for timed waits; a virtual clock makes
+    /// [`WeightedFairQueue::get_batch_timeout`] deterministic in tests.
+    clock: Arc<dyn Clock>,
     /// Items accepted (post-dedup).
     pub adds: Counter,
     /// Items dropped by deduplication.
@@ -108,17 +112,21 @@ pub struct WeightedFairQueue<T: Eq + Hash + Clone> {
 }
 
 impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
-    /// Creates a queue; `fair = false` degrades to a single shared FIFO.
+    /// Creates a queue on the wall clock; `fair = false` degrades to a
+    /// single shared FIFO.
     pub fn new(fair: bool) -> Self {
+        Self::with_clock(fair, RealClock::shared())
+    }
+
+    /// Creates a queue whose timed waits read `clock`.
+    pub fn with_clock(fair: bool, clock: Arc<dyn Clock>) -> Self {
         WeightedFairQueue {
             state: Mutex::new(FqState {
                 subqueues: HashMap::new(),
                 order: Vec::new(),
                 ring: VecDeque::new(),
                 fifo: VecDeque::new(),
-                dirty: HashSet::new(),
-                processing: HashSet::new(),
-                latest_gen: HashMap::new(),
+                core: CoalesceCore::new(),
                 item_tenant: HashMap::new(),
                 paused: HashSet::new(),
                 defunct: HashSet::new(),
@@ -126,6 +134,7 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
             }),
             cond: Condvar::new(),
             fair,
+            clock,
             adds: Counter::new(),
             deduped: Counter::new(),
             coalesced: Counter::new(),
@@ -228,28 +237,21 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
         if state.shutdown {
             return;
         }
-        if let Some(generation) = generation {
-            let slot = state.latest_gen.entry(item.clone()).or_insert(generation);
-            if generation > *slot {
-                *slot = generation;
+        match state.core.offer(&item, generation) {
+            Offer::Coalesced => self.coalesced.inc(),
+            Offer::Deduped => self.deduped.inc(),
+            Offer::Deferred => {
+                // Re-queued on done().
+                state.item_tenant.insert(item, tenant.to_string());
+                self.adds.inc();
+            }
+            Offer::Enqueue => {
+                state.item_tenant.insert(item.clone(), tenant.to_string());
+                self.adds.inc();
+                self.enqueue(state, tenant, item);
+                self.cond.notify_one();
             }
         }
-        if state.dirty.contains(&item) {
-            if generation.is_some() {
-                self.coalesced.inc();
-            } else {
-                self.deduped.inc();
-            }
-            return;
-        }
-        state.dirty.insert(item.clone());
-        state.item_tenant.insert(item.clone(), tenant.to_string());
-        self.adds.inc();
-        if state.processing.contains(&item) {
-            return; // re-queued on done()
-        }
-        self.enqueue(state, tenant, item);
-        self.cond.notify_one();
     }
 
     /// Blocks for the next item per the dispatch policy; `None` after
@@ -273,9 +275,11 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
         self.dequeue(&mut state).map(|(item, _gen)| item)
     }
 
-    /// Blocks up to `timeout` for the next item.
+    /// Blocks up to `timeout` for the next item, measured on the queue's
+    /// clock (see [`WeightedFairQueue::get_batch_timeout`] for the
+    /// parking discipline).
     pub fn get_timeout(&self, timeout: Duration) -> Option<T> {
-        let deadline = Instant::now() + timeout;
+        let deadline = self.clock.now().add(timeout);
         let mut state = self.state.lock();
         loop {
             if let Some((item, _gen)) = self.dequeue(&mut state) {
@@ -284,9 +288,12 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
             if state.shutdown {
                 return None;
             }
-            if self.cond.wait_until(&mut state, deadline).timed_out() {
+            let now = self.clock.now();
+            if now >= deadline {
                 return None;
             }
+            let remaining = deadline.duration_since(now);
+            self.cond.wait_for(&mut state, self.clock.park_quantum(remaining));
         }
     }
 
@@ -316,9 +323,16 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
     /// an empty vec if no item arrives within `timeout` (or once the
     /// queue is shut down), so callers can poll a stop condition instead
     /// of relying on `shutdown()` to release them.
+    ///
+    /// The timeout is measured on the queue's clock. While the queue is
+    /// empty the waiter *parks on the queue condvar* — it holds no CPU —
+    /// for at most the clock's park quantum at a time: the full remaining
+    /// timeout on the wall clock (one wakeup, no polling), a short
+    /// real-time slice on a virtual clock so a test's `advance()` past
+    /// the deadline is observed promptly.
     pub fn get_batch_timeout(&self, max: usize, timeout: Duration) -> Vec<(T, u64)> {
         let max = max.max(1);
-        let deadline = Instant::now() + timeout;
+        let deadline = self.clock.now().add(timeout);
         let mut state = self.state.lock();
         loop {
             if let Some(first) = self.dequeue(&mut state) {
@@ -327,9 +341,12 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
             if state.shutdown {
                 return Vec::new();
             }
-            if self.cond.wait_until(&mut state, deadline).timed_out() {
+            let now = self.clock.now();
+            if now >= deadline {
                 return Vec::new();
             }
+            let remaining = deadline.duration_since(now);
+            self.cond.wait_for(&mut state, self.clock.park_quantum(remaining));
         }
     }
 
@@ -358,8 +375,7 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
     /// Marks processing finished, re-queueing the item if it was re-added.
     pub fn done(&self, item: &T) {
         let mut state = self.state.lock();
-        state.processing.remove(item);
-        if state.dirty.contains(item) {
+        if state.core.finish(item) {
             let tenant =
                 state.item_tenant.get(item).cloned().unwrap_or_else(|| "unknown".to_string());
             self.enqueue(&mut state, &tenant, item.clone());
@@ -484,9 +500,7 @@ impl<T: Eq + Hash + Clone> WeightedFairQueue<T> {
 
     fn dequeue(&self, state: &mut FqState<T>) -> Option<(T, u64)> {
         let item = if self.fair { self.dequeue_wrr(state)? } else { Self::dequeue_fifo(state)? };
-        state.dirty.remove(&item);
-        state.processing.insert(item.clone());
-        let generation = state.latest_gen.remove(&item).unwrap_or(0);
+        let generation = state.core.take(&item);
         self.gets.inc();
         Some((item, generation))
     }

@@ -16,10 +16,11 @@
 
 use parking_lot::Mutex;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use vc_api::error::{ApiError, ApiResult};
 use vc_api::metrics::Counter;
 use vc_api::object::ResourceKind;
+use vc_api::time::{Clock, RealClock, Timestamp};
 use vc_apiserver::auth::Verb;
 use vc_apiserver::gate::RequestFault;
 
@@ -181,7 +182,8 @@ pub struct FaultMetrics {
 pub struct FaultInjector {
     rules: Mutex<Vec<FaultRule>>,
     rng: Mutex<u64>,
-    epoch: Mutex<Instant>,
+    clock: Arc<dyn Clock>,
+    epoch: Mutex<Timestamp>,
     /// Injection counters.
     pub metrics: FaultMetrics,
 }
@@ -189,17 +191,31 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// Creates an injector with no rules; [`arm`](Self::arm)ed at creation.
     pub fn new(seed: u64) -> Arc<Self> {
+        Self::with_clock(seed, RealClock::shared())
+    }
+
+    /// Creates an injector whose rule windows are measured on `clock` —
+    /// with a virtual clock, scripted outage windows open and close when
+    /// the test advances time, not when wall time passes.
+    pub fn with_clock(seed: u64, clock: Arc<dyn Clock>) -> Arc<Self> {
+        let epoch = clock.now();
         Arc::new(FaultInjector {
             rules: Mutex::new(Vec::new()),
             rng: Mutex::new(seed),
-            epoch: Mutex::new(Instant::now()),
+            clock,
+            epoch: Mutex::new(epoch),
             metrics: FaultMetrics::default(),
         })
     }
 
     /// Builds a live injector from a [`FaultPolicy`].
     pub fn from_policy(policy: &FaultPolicy) -> Arc<Self> {
-        let injector = Self::new(policy.seed);
+        Self::from_policy_with_clock(policy, RealClock::shared())
+    }
+
+    /// Builds a live injector from a [`FaultPolicy`] on an explicit clock.
+    pub fn from_policy_with_clock(policy: &FaultPolicy, clock: Arc<dyn Clock>) -> Arc<Self> {
+        let injector = Self::with_clock(policy.seed, clock);
         *injector.rules.lock() = policy.rules.clone();
         injector
     }
@@ -217,12 +233,13 @@ impl FaultInjector {
     /// Resets the window epoch: rules with a `window` measure their
     /// `(start, end)` offsets from the most recent `arm` call.
     pub fn arm(&self) {
-        *self.epoch.lock() = Instant::now();
+        *self.epoch.lock() = self.clock.now();
     }
 
-    /// Time elapsed since the last [`arm`](Self::arm).
+    /// Time elapsed on the injector's clock since the last
+    /// [`arm`](Self::arm).
     pub fn since_arm(&self) -> Duration {
-        self.epoch.lock().elapsed()
+        self.clock.now().duration_since(*self.epoch.lock())
     }
 
     /// Evaluates the rules for one request; first hit wins.
@@ -316,11 +333,13 @@ mod tests {
 
     #[test]
     fn window_scripts_an_outage() {
-        let injector = FaultInjector::new(1);
+        use vc_api::time::SimClock;
+        let clock = SimClock::new();
+        let injector = FaultInjector::with_clock(1, Arc::clone(&clock) as Arc<dyn Clock>);
         injector.add_rule(FaultRule::fail_all().during(Duration::ZERO, Duration::from_millis(40)));
         injector.arm();
         assert!(injector.decide("u", Verb::Get, ResourceKind::Pod).is_some());
-        std::thread::sleep(Duration::from_millis(60));
+        clock.advance(Duration::from_millis(60));
         assert!(
             injector.decide("u", Verb::Get, ResourceKind::Pod).is_none(),
             "rule expires with its window"

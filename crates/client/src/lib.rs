@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+mod coalesce;
 pub mod delaying;
 pub mod fairqueue;
 pub mod faults;

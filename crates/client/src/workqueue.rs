@@ -17,20 +17,21 @@
 //! exactly the latest one. [`WorkQueue::get_batch`] drains up to `n` items
 //! per wakeup, amortizing lock and condvar traffic under bursty load.
 
-use parking_lot::{Condvar, Mutex};
-use std::collections::{HashMap, HashSet, VecDeque};
+use crate::coalesce::{CoalesceCore, Offer};
+use std::collections::VecDeque;
 use std::hash::Hash;
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 use vc_api::metrics::Counter;
+use vc_api::time::{Clock, RealClock};
+use vc_sync::{Condvar, Mutex};
 
 #[derive(Debug)]
 struct State<T> {
     queue: VecDeque<T>,
-    dirty: HashSet<T>,
-    processing: HashSet<T>,
-    /// Latest generation recorded per dirty item (coalesced adds keep the
-    /// max; absent = 0 for plain `add`s).
-    latest_gen: HashMap<T, u64>,
+    /// Dirty/processing/latest-generation protocol (shared with the fair
+    /// queue via [`CoalesceCore`]).
+    core: CoalesceCore<T>,
     shutting_down: bool,
 }
 
@@ -52,6 +53,9 @@ struct State<T> {
 pub struct WorkQueue<T: Eq + Hash + Clone> {
     state: Mutex<State<T>>,
     cond: Condvar,
+    /// Time source for [`WorkQueue::get_timeout`] deadlines; a virtual
+    /// clock makes timed waits deterministic in tests.
+    clock: Arc<dyn Clock>,
     /// Items accepted (post-dedup).
     pub adds: Counter,
     /// Items dropped by deduplication.
@@ -69,17 +73,21 @@ impl<T: Eq + Hash + Clone> Default for WorkQueue<T> {
 }
 
 impl<T: Eq + Hash + Clone> WorkQueue<T> {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the wall clock.
     pub fn new() -> Self {
+        Self::with_clock(RealClock::shared())
+    }
+
+    /// Creates an empty queue whose timed waits read `clock`.
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
         WorkQueue {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
-                dirty: HashSet::new(),
-                processing: HashSet::new(),
-                latest_gen: HashMap::new(),
+                core: CoalesceCore::new(),
                 shutting_down: false,
             }),
             cond: Condvar::new(),
+            clock,
             adds: Counter::new(),
             deduped: Counter::new(),
             coalesced: Counter::new(),
@@ -93,18 +101,15 @@ impl<T: Eq + Hash + Clone> WorkQueue<T> {
         if state.shutting_down {
             return;
         }
-        if state.dirty.contains(&item) {
-            self.deduped.inc();
-            return;
+        match state.core.offer(&item, None) {
+            Offer::Deduped | Offer::Coalesced => self.deduped.inc(),
+            Offer::Deferred => self.adds.inc(), // re-queued by done()
+            Offer::Enqueue => {
+                self.adds.inc();
+                state.queue.push_back(item);
+                self.cond.notify_one();
+            }
         }
-        state.dirty.insert(item.clone());
-        self.adds.inc();
-        if state.processing.contains(&item) {
-            // Re-queued by done() once processing finishes.
-            return;
-        }
-        state.queue.push_back(item);
-        self.cond.notify_one();
     }
 
     /// Adds an item tagged with a `generation` (typically the triggering
@@ -118,22 +123,15 @@ impl<T: Eq + Hash + Clone> WorkQueue<T> {
         if state.shutting_down {
             return;
         }
-        let slot = state.latest_gen.entry(item.clone()).or_insert(generation);
-        if generation > *slot {
-            *slot = generation;
+        match state.core.offer(&item, Some(generation)) {
+            Offer::Deduped | Offer::Coalesced => self.coalesced.inc(),
+            Offer::Deferred => self.adds.inc(), // re-queued by done()
+            Offer::Enqueue => {
+                self.adds.inc();
+                state.queue.push_back(item);
+                self.cond.notify_one();
+            }
         }
-        if state.dirty.contains(&item) {
-            self.coalesced.inc();
-            return;
-        }
-        state.dirty.insert(item.clone());
-        self.adds.inc();
-        if state.processing.contains(&item) {
-            // Re-queued by done() once processing finishes.
-            return;
-        }
-        state.queue.push_back(item);
-        self.cond.notify_one();
     }
 
     /// Blocks for the next item; returns `None` once the queue is shut down
@@ -160,9 +158,14 @@ impl<T: Eq + Hash + Clone> WorkQueue<T> {
         Some(item.0)
     }
 
-    /// Blocks up to `timeout` for the next item.
+    /// Blocks up to `timeout` for the next item, measured on the queue's
+    /// clock. The waiter parks on the queue condvar for at most the
+    /// clock's park quantum at a time — on the wall clock that is the
+    /// full remaining timeout (a single wakeup, no polling), on a virtual
+    /// clock a short real-time slice so an `advance()` past the deadline
+    /// is observed promptly.
     pub fn get_timeout(&self, timeout: Duration) -> Option<T> {
-        let deadline = Instant::now() + timeout;
+        let deadline = self.clock.now().add(timeout);
         let mut state = self.state.lock();
         loop {
             if let Some(item) = Self::pop_locked(&mut state) {
@@ -172,9 +175,12 @@ impl<T: Eq + Hash + Clone> WorkQueue<T> {
             if state.shutting_down {
                 return None;
             }
-            if self.cond.wait_until(&mut state, deadline).timed_out() {
+            let now = self.clock.now();
+            if now >= deadline {
                 return None;
             }
+            let remaining = deadline.duration_since(now);
+            self.cond.wait_for(&mut state, self.clock.park_quantum(remaining));
         }
     }
 
@@ -207,9 +213,7 @@ impl<T: Eq + Hash + Clone> WorkQueue<T> {
     /// recorded generation. Caller holds the lock.
     fn pop_locked(state: &mut State<T>) -> Option<(T, u64)> {
         let item = state.queue.pop_front()?;
-        state.dirty.remove(&item);
-        state.processing.insert(item.clone());
-        let generation = state.latest_gen.remove(&item).unwrap_or(0);
+        let generation = state.core.take(&item);
         Some((item, generation))
     }
 
@@ -217,8 +221,7 @@ impl<T: Eq + Hash + Clone> WorkQueue<T> {
     /// re-added meanwhile.
     pub fn done(&self, item: &T) {
         let mut state = self.state.lock();
-        state.processing.remove(item);
-        if state.dirty.contains(item) {
+        if state.core.finish(item) {
             state.queue.push_back(item.clone());
             self.cond.notify_one();
         }
@@ -236,7 +239,7 @@ impl<T: Eq + Hash + Clone> WorkQueue<T> {
 
     /// Number of items currently being processed.
     pub fn processing_count(&self) -> usize {
-        self.state.lock().processing.len()
+        self.state.lock().core.processing_len()
     }
 
     /// Shuts the queue down; blocked `get`s drain the backlog then return
@@ -366,6 +369,7 @@ mod tests {
 
     #[test]
     fn get_timeout_expires() {
+        use std::time::Instant;
         let q: WorkQueue<u32> = WorkQueue::new();
         let start = Instant::now();
         assert_eq!(q.get_timeout(Duration::from_millis(30)), None);
@@ -384,6 +388,7 @@ mod tests {
 
     #[test]
     fn concurrent_producers_consumers_process_everything() {
+        use std::collections::HashSet;
         let q = Arc::new(WorkQueue::new());
         let processed = Arc::new(Mutex::new(HashSet::new()));
         let mut workers = Vec::new();
@@ -425,6 +430,7 @@ mod tests {
 mod proptests {
     use super::*;
     use proptest::prelude::*;
+    use std::collections::HashSet;
 
     proptest! {
         /// Under any interleaving of adds, every added item is eventually

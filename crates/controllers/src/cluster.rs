@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use vc_api::error::ApiResult;
 use vc_api::object::ResourceKind;
-use vc_api::time::{Clock, RealClock};
+use vc_api::time::{sleep_cancellable, Clock, RealClock};
 use vc_apiserver::{ApiServer, ApiServerConfig};
 use vc_client::{Client, InformerConfig, SharedInformer};
 
@@ -295,6 +295,12 @@ impl Cluster {
         let stop = handle.stop_flag();
         let interval = self.config.heartbeat_interval;
         let list = Arc::downgrade(&self.kubelets);
+        // The heartbeat cadence runs on the cluster clock — the same clock
+        // the node-lifecycle controller judges staleness with. On a
+        // SimClock every `advance` past the interval wakes this loop and
+        // re-stamps heartbeats immediately, so virtual jumps can never
+        // make a live node look dead.
+        let clock = Arc::clone(&self.clock);
         handle.add_thread(
             std::thread::Builder::new()
                 .name("node-heartbeats".into())
@@ -310,12 +316,8 @@ impl Cluster {
                             }
                             kubelet.heartbeat();
                         }
-                        // Sleep in small steps so shutdown is prompt.
-                        let mut slept = Duration::ZERO;
-                        while slept < interval && !stop.is_set() {
-                            let step = Duration::from_millis(50).min(interval - slept);
-                            std::thread::sleep(step);
-                            slept += step;
+                        if !sleep_cancellable(&*clock, interval, || stop.is_set()) {
+                            return;
                         }
                     }
                 })

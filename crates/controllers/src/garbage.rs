@@ -12,6 +12,7 @@ use std::time::Duration;
 use vc_api::meta::Uid;
 use vc_api::metrics::Counter;
 use vc_api::object::ResourceKind;
+use vc_api::time::sleep_cancellable;
 use vc_client::{Client, InformerConfig, SharedInformer};
 
 /// Garbage collector configuration.
@@ -60,13 +61,19 @@ pub fn start(client: Client, config: GcConfig) -> (ControllerHandle, Arc<GcMetri
     {
         let metrics = Arc::clone(&metrics);
         let stop = handle.stop_flag();
+        // Scan cadence runs on the server's clock: with a virtual clock,
+        // tests advance `interval` to trigger the next pass instead of
+        // sleeping through it.
+        let clock = Arc::clone(client.server().clock());
         handle.add_thread(
             std::thread::Builder::new()
                 .name("garbage-collector".into())
                 .spawn(move || {
                     while !stop.is_set() {
                         scan(&client, &caches, &metrics);
-                        std::thread::sleep(config.interval);
+                        if !sleep_cancellable(&*clock, config.interval, || stop.is_set()) {
+                            return;
+                        }
                     }
                 })
                 .expect("spawn gc thread"),
@@ -126,7 +133,19 @@ mod tests {
 
     #[test]
     fn orphaned_pod_collected() {
-        let server = fast_server();
+        // The GC scan cadence runs on the server clock: a virtual hour
+        // per scan, driven by `advance`, proves the controller acts on
+        // clock time rather than wall time.
+        let clock = vc_api::time::SimClock::new();
+        let server = {
+            let config = ApiServerConfig {
+                read_latency: Duration::ZERO,
+                write_latency: Duration::ZERO,
+                ..Default::default()
+            };
+            ApiServer::new(config, clock.clone() as Arc<dyn vc_api::time::Clock>)
+        };
+        let interval = Duration::from_secs(3600);
         let user = Client::new(Arc::clone(&server), "u");
         // A replica set and its pod.
         let rs = user
@@ -151,13 +170,14 @@ mod tests {
         // A free pod without owners must survive.
         user.create(Pod::new("default", "free").into()).unwrap();
 
-        let (mut handle, metrics) = start(
-            Client::new(Arc::clone(&server), "gc"),
-            GcConfig { interval: Duration::from_millis(30) },
-        );
+        let (mut handle, metrics) =
+            start(Client::new(Arc::clone(&server), "gc"), GcConfig { interval });
 
-        // While the owner exists, nothing is collected.
+        // While the owner exists, nothing is collected. Each predicate
+        // poll advances one virtual scan interval to release the sleeping
+        // scan loop.
         assert!(wait_until(Duration::from_secs(2), Duration::from_millis(10), || {
+            clock.advance(interval);
             metrics.scans.get() >= 2
         }));
         assert!(user.get(ResourceKind::Pod, "default", "owned").is_ok());
@@ -165,6 +185,7 @@ mod tests {
         // Delete the owner: the dependent goes too.
         user.delete(ResourceKind::ReplicaSet, "default", "rs").unwrap();
         assert!(wait_until(Duration::from_secs(5), Duration::from_millis(20), || {
+            clock.advance(interval);
             user.get(ResourceKind::Pod, "default", "owned").is_err()
         }));
         assert!(user.get(ResourceKind::Pod, "default", "free").is_ok());

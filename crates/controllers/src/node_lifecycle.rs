@@ -8,6 +8,7 @@ use std::time::Duration;
 use vc_api::metrics::Counter;
 use vc_api::node::{Node, NodeCondition};
 use vc_api::object::ResourceKind;
+use vc_api::time::{sleep_cancellable, Timestamp};
 use vc_client::{Client, InformerConfig, SharedInformer};
 
 /// Node lifecycle configuration.
@@ -59,15 +60,19 @@ pub fn start(
     {
         let metrics = Arc::clone(&metrics);
         let stop = handle.stop_flag();
+        // Check cadence and NotReady dwell both run on the server's
+        // clock, so tests drive heartbeat staleness and eviction grace by
+        // advancing a virtual clock.
+        let clock = Arc::clone(client.server().clock());
         handle.add_thread(
             std::thread::Builder::new()
                 .name("node-lifecycle".into())
                 .spawn(move || {
-                    // node -> instant it was first seen NotReady.
-                    let mut not_ready_since: std::collections::HashMap<String, std::time::Instant> =
+                    // node -> clock time it was first seen NotReady.
+                    let mut not_ready_since: std::collections::HashMap<String, Timestamp> =
                         Default::default();
                     while !stop.is_set() {
-                        let now = client.server().clock().now();
+                        let now = clock.now();
                         for obj in cache.list() {
                             let Some(node) = obj.as_node() else { continue };
                             let name = node.meta.name.clone();
@@ -87,11 +92,9 @@ pub fn start(
                             // Track NotReady dwell time and evict stranded
                             // pods past the grace period.
                             if node.status.condition == NodeCondition::NotReady || stale {
-                                let since = *not_ready_since
-                                    .entry(name.clone())
-                                    .or_insert_with(std::time::Instant::now);
+                                let since = *not_ready_since.entry(name.clone()).or_insert(now);
                                 if let Some(grace) = config.eviction_grace {
-                                    if since.elapsed() > grace {
+                                    if now.duration_since(since) > grace {
                                         evict_node_pods(&client, &name, &metrics);
                                     }
                                 }
@@ -99,7 +102,9 @@ pub fn start(
                                 not_ready_since.remove(&name);
                             }
                         }
-                        std::thread::sleep(config.interval);
+                        if !sleep_cancellable(&*clock, config.interval, || stop.is_set()) {
+                            return;
+                        }
                     }
                 })
                 .expect("spawn node-lifecycle thread"),
@@ -188,13 +193,27 @@ mod tests {
 
     #[test]
     fn dead_node_pods_evicted_after_grace() {
-        let server = fast_server();
+        // Heartbeat staleness, the check cadence and the eviction grace
+        // all run on the server clock: production-scale durations (60 s
+        // grace, 120 s eviction) are crossed by advancing a virtual
+        // clock, not by shrinking the timings to sleep through them.
+        let clock = vc_api::time::SimClock::new();
+        let server = {
+            let config = ApiServerConfig {
+                read_latency: Duration::ZERO,
+                write_latency: Duration::ZERO,
+                ..Default::default()
+            };
+            ApiServer::new(config, clock.clone() as Arc<dyn vc_api::time::Clock>)
+        };
         let user = Client::new(Arc::clone(&server), "u");
         let mut node = Node::new("dead", resource_list(&[("cpu", "4")]));
         node.status.last_heartbeat = server.clock().now();
         user.create(node.into()).unwrap();
         let mut healthy = Node::new("healthy", resource_list(&[("cpu", "4")]));
-        healthy.status.last_heartbeat = server.clock().now().add(Duration::from_secs(3600));
+        // Far enough ahead that the test's virtual advances never make it
+        // stale.
+        healthy.status.last_heartbeat = server.clock().now().add(Duration::from_secs(1_000_000));
         user.create(healthy.into()).unwrap();
 
         let mut stranded = vc_api::pod::Pod::new("default", "stranded");
@@ -204,16 +223,20 @@ mod tests {
         safe.spec.node_name = "healthy".into();
         user.create(safe.into()).unwrap();
 
+        let interval = Duration::from_secs(10);
         let config = NodeLifecycleConfig {
-            heartbeat_grace: Duration::from_millis(50),
-            interval: Duration::from_millis(20),
-            eviction_grace: Some(Duration::from_millis(150)),
+            heartbeat_grace: Duration::from_secs(60),
+            interval,
+            eviction_grace: Some(Duration::from_secs(120)),
         };
         let (mut handle, metrics) = start(Client::system(Arc::clone(&server), "nlc"), config);
         assert!(crate::util::wait_until(
             Duration::from_secs(10),
             Duration::from_millis(30),
-            || user.get(ResourceKind::Pod, "default", "stranded").is_err()
+            || {
+                clock.advance(interval);
+                user.get(ResourceKind::Pod, "default", "stranded").is_err()
+            }
         ));
         assert!(user.get(ResourceKind::Pod, "default", "safe").is_ok());
         assert!(metrics.pods_evicted.get() >= 1);

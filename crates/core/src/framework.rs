@@ -33,6 +33,11 @@ pub struct FrameworkConfig {
     /// Fault policy armed against the super apiserver at start (chaos
     /// tests); `None` disables injection.
     pub super_faults: Option<FaultPolicy>,
+    /// Clock the whole deployment runs on — apiserver timestamps, syncer
+    /// timers, breaker windows, fault-rule windows. `None` means the wall
+    /// clock; tests inject a [`vc_api::time::SimClock`] to script
+    /// timelines deterministically.
+    pub clock: Option<Arc<dyn Clock>>,
 }
 
 impl std::fmt::Debug for FrameworkConfig {
@@ -49,6 +54,7 @@ impl Default for FrameworkConfig {
             syncer: SyncerConfig::default(),
             operator: TenantOperatorConfig::default(),
             super_faults: None,
+            clock: None,
         }
     }
 }
@@ -125,18 +131,22 @@ impl std::fmt::Debug for Framework {
 impl Framework {
     /// Starts the full deployment.
     pub fn start(config: FrameworkConfig) -> Framework {
-        let clock: Arc<dyn Clock> = RealClock::shared();
+        let clock: Arc<dyn Clock> = config.clock.clone().unwrap_or_else(RealClock::shared);
         let super_cluster =
             Arc::new(Cluster::start_with_clock(config.super_cluster.clone(), Arc::clone(&clock)));
         super_cluster.add_mock_nodes(config.mock_nodes).expect("register mock nodes");
         if let Some(policy) = &config.super_faults {
-            let injector = FaultInjector::from_policy(policy);
+            let injector = FaultInjector::from_policy_with_clock(policy, Arc::clone(&clock));
             injector.arm();
             super_cluster.apiserver.set_fault_hook(injector);
         }
 
         let registry = TenantRegistry::new();
-        let syncer = Syncer::start(super_cluster.system_client("vc-syncer"), config.syncer.clone());
+        let syncer = Syncer::start_with_clock(
+            super_cluster.system_client("vc-syncer"),
+            config.syncer.clone(),
+            Arc::clone(&clock),
+        );
         let (operator_handle, operator_metrics) = crate::operator::start(
             super_cluster.system_client("vc-operator"),
             Arc::clone(&registry),
@@ -243,7 +253,7 @@ impl Framework {
     /// Arms a fault policy against the super apiserver, replacing any
     /// previous one. Returns the injector for inspecting fault counters.
     pub fn inject_super_faults(&self, policy: &FaultPolicy) -> Arc<FaultInjector> {
-        let injector = FaultInjector::from_policy(policy);
+        let injector = FaultInjector::from_policy_with_clock(policy, Arc::clone(&self.clock));
         injector.arm();
         self.super_cluster.apiserver.set_fault_hook(Arc::clone(&injector) as _);
         injector
@@ -263,7 +273,7 @@ impl Framework {
     /// Panics if the tenant is not provisioned.
     pub fn inject_tenant_faults(&self, tenant: &str, policy: &FaultPolicy) -> Arc<FaultInjector> {
         let handle = self.registry.get(tenant).expect("tenant provisioned");
-        let injector = FaultInjector::from_policy(policy);
+        let injector = FaultInjector::from_policy_with_clock(policy, Arc::clone(&self.clock));
         injector.arm();
         handle.cluster.apiserver.set_fault_hook(Arc::clone(&injector) as _);
         injector

@@ -31,6 +31,7 @@ use vc_api::error::ApiError;
 use vc_api::metrics::{BusyTimer, Counter, Gauge, Histogram};
 use vc_api::object::ResourceKind;
 use vc_api::pod::PodConditionType;
+use vc_api::time::{sleep_cancellable, Clock, RealClock, Timestamp};
 use vc_client::{
     BackoffPolicy, Client, InformerConfig, InformerEvent, RateLimitingQueue, SharedInformer,
     WeightedFairQueue, WorkQueue,
@@ -379,8 +380,9 @@ pub enum TenantHealth {
 enum BreakerPhase {
     /// Requests flowing; failures counted.
     Closed,
-    /// Tripped: tenant paused until the deadline, then a probe runs.
-    Open { until: Instant },
+    /// Tripped: tenant paused until the deadline (measured on the
+    /// syncer's clock), then a probe runs.
+    Open { until: Timestamp },
     /// Probe in flight; success closes, failure re-opens.
     HalfOpen,
 }
@@ -459,6 +461,11 @@ pub struct Syncer {
     tenant_queue_depth: GaugeFamily,
     /// Last stats published onto each VC status, to skip no-op writes.
     last_published_stats: Mutex<HashMap<String, TenantSyncStats>>,
+    /// The clock every syncer deadline is measured on: scanner ticks,
+    /// vnode heartbeats, breaker-open windows and retry backoff. Tests
+    /// inject a [`vc_api::time::SimClock`] and advance it instead of
+    /// sleeping.
+    pub(crate) clock: Arc<dyn Clock>,
     handle: Mutex<Option<ControllerHandle>>,
 }
 
@@ -474,8 +481,21 @@ impl std::fmt::Debug for Syncer {
 
 impl Syncer {
     /// Starts a syncer against the super cluster reachable via
-    /// `super_client`.
+    /// `super_client`, on the wall clock.
     pub fn start(super_client: Client, config: SyncerConfig) -> Arc<Syncer> {
+        Self::start_with_clock(super_client, config, RealClock::shared())
+    }
+
+    /// Starts a syncer whose timers — scanner ticks, vnode heartbeats,
+    /// breaker-open windows, retry backoff — are measured on `clock`.
+    /// With a [`vc_api::time::SimClock`], tests script outage/recovery
+    /// timelines by advancing virtual time instead of sleeping through
+    /// real breaker windows.
+    pub fn start_with_clock(
+        super_client: Client,
+        config: SyncerConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Arc<Syncer> {
         let mut super_kinds: Vec<ResourceKind> = config.downward_kinds.clone();
         for kind in UPWARD_KINDS.iter().chain([ResourceKind::Node].iter()) {
             if !super_kinds.contains(kind) {
@@ -505,13 +525,18 @@ impl Syncer {
             &["tenant"],
         );
 
-        let retry_ready: Arc<WorkQueue<WorkItem>> = Arc::new(WorkQueue::new());
+        let retry_ready: Arc<WorkQueue<WorkItem>> =
+            Arc::new(WorkQueue::with_clock(Arc::clone(&clock)));
         let syncer = Arc::new(Syncer {
-            downward: Arc::new(WeightedFairQueue::new(config.fair_queuing)),
-            upward: Arc::new(WorkQueue::new()),
-            retry_queue: RateLimitingQueue::with_policy(
+            downward: Arc::new(WeightedFairQueue::with_clock(
+                config.fair_queuing,
+                Arc::clone(&clock),
+            )),
+            upward: Arc::new(WorkQueue::with_clock(Arc::clone(&clock))),
+            retry_queue: RateLimitingQueue::with_policy_and_clock(
                 Arc::clone(&retry_ready),
                 config.retry_backoff.clone(),
+                Arc::clone(&clock),
             ),
             retry_ready,
             dead_letter: Mutex::new(HashSet::new()),
@@ -532,6 +557,7 @@ impl Syncer {
             tenant_sync_duration,
             tenant_queue_depth,
             last_published_stats: Mutex::new(HashMap::new()),
+            clock,
             handle: Mutex::new(None),
         });
 
@@ -660,7 +686,9 @@ impl Syncer {
                     .expect("spawn upward worker"),
             );
         }
-        // Periodic incremental mismatch scanner.
+        // Periodic incremental mismatch scanner. Ticks are measured on
+        // the syncer clock: under a virtual clock a test advances
+        // `scan_interval` and the next tick fires without real waiting.
         if let Some(interval) = syncer.config.scan_interval {
             let syncer_ref = Arc::clone(&syncer);
             let stop = handle.stop_flag();
@@ -668,14 +696,8 @@ impl Syncer {
                 std::thread::Builder::new()
                     .name("syncer-scanner".into())
                     .spawn(move || loop {
-                        let mut slept = Duration::ZERO;
-                        while slept < interval {
-                            if stop.is_set() {
-                                return;
-                            }
-                            let step = Duration::from_millis(50).min(interval - slept);
-                            std::thread::sleep(step);
-                            slept += step;
+                        if !sleep_cancellable(&*syncer_ref.clock, interval, || stop.is_set()) {
+                            return;
                         }
                         syncer_ref.scan_tick();
                         syncer_ref.publish_tenant_stats();
@@ -692,14 +714,8 @@ impl Syncer {
                 std::thread::Builder::new()
                     .name("syncer-vnode-heartbeats".into())
                     .spawn(move || loop {
-                        let mut slept = Duration::ZERO;
-                        while slept < interval {
-                            if stop.is_set() {
-                                return;
-                            }
-                            let step = Duration::from_millis(50).min(interval - slept);
-                            std::thread::sleep(step);
-                            slept += step;
+                        if !sleep_cancellable(&*syncer_ref.clock, interval, || stop.is_set()) {
+                            return;
                         }
                         let tenants: Vec<Arc<TenantHandle>> = syncer_ref
                             .tenants
@@ -926,8 +942,9 @@ impl Syncer {
                 BreakerPhase::Closed => {
                     breaker.consecutive_failures += 1;
                     if breaker.consecutive_failures >= self.config.breaker_threshold {
-                        breaker.phase =
-                            BreakerPhase::Open { until: Instant::now() + self.config.breaker_open };
+                        breaker.phase = BreakerPhase::Open {
+                            until: self.clock.now().add(self.config.breaker_open),
+                        };
                         // Counted under the lock so observers never see the
                         // tripped phase before the counter reflects it.
                         self.metrics.breaker_trips.inc();
@@ -938,8 +955,9 @@ impl Syncer {
                 }
                 BreakerPhase::HalfOpen => {
                     // A straggler failed while probing: re-open.
-                    breaker.phase =
-                        BreakerPhase::Open { until: Instant::now() + self.config.breaker_open };
+                    breaker.phase = BreakerPhase::Open {
+                        until: self.clock.now().add(self.config.breaker_open),
+                    };
                     false
                 }
                 BreakerPhase::Open { .. } => false,
@@ -959,7 +977,7 @@ impl Syncer {
     /// Tenants whose Open deadline has passed; each is flipped to HalfOpen
     /// and must be probed.
     fn breakers_due_for_probe(&self) -> Vec<String> {
-        let now = Instant::now();
+        let now = self.clock.now();
         let mut due = Vec::new();
         for (tenant, breaker) in self.breakers.lock().iter_mut() {
             if matches!(breaker.phase, BreakerPhase::Open { until } if until <= now) {
@@ -993,7 +1011,7 @@ impl Syncer {
                 self.metrics.breaker_recoveries.inc();
                 BreakerPhase::Closed
             } else {
-                BreakerPhase::Open { until: Instant::now() + self.config.breaker_open }
+                BreakerPhase::Open { until: self.clock.now().add(self.config.breaker_open) }
             };
             breaker.consecutive_failures = 0;
         }

@@ -1,0 +1,99 @@
+//! The state→watchers lock-handoff protocol, extracted into a reusable
+//! primitive so it can be enforced by construction and model-checked.
+//!
+//! A [`DualLock`] pairs the shard's mutable state with its watcher
+//! registry. The invariant every writer must uphold is:
+//!
+//! 1. mutate state under the `state` lock (revision allocation included),
+//! 2. acquire the `watchers` lock **before** releasing `state` (the
+//!    handoff — no event published after this point can overtake us),
+//! 3. deliver to watchers with the `state` lock already released, so
+//!    slow watcher channels never block readers or other writers.
+//!
+//! [`DualLock::publish`] is the only way to reach the watcher registry
+//! on a write path, which makes the protocol impossible to get wrong at
+//! a call site. Under `--cfg loom` the two mutexes come from the model
+//! checker, and the `loom_*` tests in `tests/loom_store.rs` verify the
+//! protocol delivers every event exactly once in revision order across
+//! all explored interleavings.
+
+use vc_sync::{Mutex, MutexGuard};
+
+/// A state lock and a watcher-registry lock with an enforced
+/// state→watchers acquisition order.
+pub(crate) struct DualLock<S, W> {
+    state: Mutex<S>,
+    watchers: Mutex<W>,
+}
+
+impl<S, W> DualLock<S, W> {
+    /// Creates the pair.
+    pub(crate) fn new(state: S, watchers: W) -> Self {
+        DualLock { state: Mutex::new(state), watchers: Mutex::new(watchers) }
+    }
+
+    /// Locks the state side alone (reads and non-publishing mutations).
+    pub(crate) fn state(&self) -> MutexGuard<'_, S> {
+        self.state.lock()
+    }
+
+    /// Locks the watcher registry alone (sweeps, counts). Never call
+    /// while holding the state lock — publishing must go through
+    /// [`publish`](Self::publish), which encodes the handoff order.
+    pub(crate) fn watchers(&self) -> MutexGuard<'_, W> {
+        self.watchers.lock()
+    }
+
+    /// Runs `prepare` under the state lock; on success, hands off to the
+    /// watcher lock (acquired before the state lock is released) and
+    /// runs `deliver` with only the watcher lock held.
+    ///
+    /// On `Err` the watcher lock is never taken: failed writes publish
+    /// nothing.
+    pub(crate) fn publish<A, R, E>(
+        &self,
+        prepare: impl FnOnce(&mut S) -> Result<A, E>,
+        deliver: impl FnOnce(&mut W, A) -> R,
+    ) -> Result<R, E> {
+        let mut state = self.state.lock();
+        let action = prepare(&mut state)?;
+        let mut watchers = self.watchers.lock();
+        drop(state);
+        Ok(deliver(&mut watchers, action))
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_runs_deliver_after_state_released() {
+        let lock: DualLock<Vec<u32>, Vec<u32>> = DualLock::new(Vec::new(), Vec::new());
+        let out = lock
+            .publish::<u32, u32, ()>(
+                |state| {
+                    state.push(1);
+                    Ok(7)
+                },
+                |watchers, action| {
+                    // The state lock is free here: re-locking it would
+                    // deadlock if the handoff failed to release it.
+                    assert_eq!(lock.state().len(), 1);
+                    watchers.push(action);
+                    action
+                },
+            )
+            .unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(*lock.watchers(), vec![7]);
+    }
+
+    #[test]
+    fn publish_error_skips_watchers() {
+        let lock: DualLock<u32, Vec<u32>> = DualLock::new(0, Vec::new());
+        let err = lock.publish::<(), (), &str>(|_| Err("nope"), |_, _| ()).unwrap_err();
+        assert_eq!(err, "nope");
+        assert!(lock.watchers().is_empty());
+    }
+}

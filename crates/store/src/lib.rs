@@ -34,19 +34,29 @@
 //! Object/byte counts are maintained incrementally on atomics, making
 //! [`Store::len`] and [`Store::estimated_bytes`] lock-free.
 //!
-//! [`AtomicU64`]: std::sync::atomic::AtomicU64
+//! ## Model checking
+//!
+//! The shard locks and the revision allocator come from the `vc-sync`
+//! facade: `parking_lot`/`std` in production, the `loom` model checker
+//! under `RUSTFLAGS="--cfg loom"`. The `loom_*` tests in
+//! `tests/loom_store.rs` run this *production* store — not a replica —
+//! under exhaustive interleaving and prove revision monotonicity and
+//! single-CAS-winner semantics.
+//!
+//! [`AtomicU64`]: vc_sync::atomic::AtomicU64
 
 #![warn(missing_docs)]
 
+mod handoff;
 mod shard;
 pub mod watch;
 
-use shard::{Shard, ShardState};
-use std::sync::atomic::{AtomicU64, Ordering};
+use shard::Shard;
 use std::sync::Arc;
 use vc_api::error::{ApiError, ApiResult};
 use vc_api::metrics::Counter;
 use vc_api::object::{Object, ResourceKind};
+use vc_sync::atomic::{AtomicU64, Ordering};
 
 pub use watch::{EventType, RecvOutcome, WatchEvent, WatchStream};
 
@@ -163,7 +173,7 @@ impl Store {
         // declaration order, so the two agree.
         debug_assert!(ResourceKind::ALL.iter().enumerate().all(|(i, k)| *k as usize == i));
         Store {
-            shards: (0..SHARD_COUNT).map(|_| Shard::new()).collect(),
+            shards: (0..SHARD_COUNT).map(|_| shard::new_shard()).collect(),
             revision: AtomicU64::new(0),
             object_count: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
@@ -208,18 +218,27 @@ impl Store {
     pub fn insert(&self, mut obj: Object) -> ApiResult<Arc<Object>> {
         let kind = obj.kind();
         let key = obj.key();
-        let shard = self.shard(kind);
-        let mut state = shard.state.lock();
-        if state.objects.contains_key(&key) {
-            return Err(ApiError::already_exists(kind.as_str(), key));
-        }
-        let revision = self.next_revision();
-        obj.meta_mut().resource_version = revision;
-        let arc = Arc::new(obj);
-        state.index_insert(key, Arc::clone(&arc));
-        self.object_count.fetch_add(1, Ordering::Relaxed);
-        self.writes.inc();
-        self.commit(shard, state, EventType::Added, revision, Arc::clone(&arc));
+        let arc = self.shard(kind).publish(
+            |state| {
+                if state.objects.contains_key(&key) {
+                    return Err(ApiError::already_exists(kind.as_str(), key.clone()));
+                }
+                let revision = self.next_revision();
+                obj.meta_mut().resource_version = revision;
+                let arc = Arc::new(obj);
+                state.index_insert(key, Arc::clone(&arc));
+                self.object_count.fetch_add(1, Ordering::Relaxed);
+                self.writes.inc();
+                let event =
+                    WatchEvent { revision, event_type: EventType::Added, object: Arc::clone(&arc) };
+                state.append_event(event.clone(), self.config.event_log_capacity);
+                Ok((arc, event))
+            },
+            |watchers, (arc, event)| {
+                self.fan_out(watchers, &event);
+                arc
+            },
+        )?;
         // Size estimation serializes the object — done after the shard lock
         // is released; the atomics only need exact deltas, not lock-step
         // timing with the map.
@@ -243,31 +262,44 @@ impl Store {
     ) -> ApiResult<Arc<Object>> {
         let kind = obj.kind();
         let key = obj.key();
-        let shard = self.shard(kind);
-        let mut state = shard.state.lock();
-        let current = state
-            .objects
-            .get(&key)
-            .ok_or_else(|| ApiError::not_found(kind.as_str(), key.clone()))?;
-        if let Some(expected) = expected_revision {
-            let actual = current.meta().resource_version;
-            if actual != expected {
-                return Err(ApiError::conflict(
-                    kind.as_str(),
-                    key,
-                    format!(
-                        "the object has been modified (expected rv {expected}, actual {actual})"
-                    ),
-                ));
-            }
-        }
-        let old = Arc::clone(current);
-        let revision = self.next_revision();
-        obj.meta_mut().resource_version = revision;
-        let arc = Arc::new(obj);
-        state.index_insert(key, Arc::clone(&arc));
-        self.writes.inc();
-        self.commit(shard, state, EventType::Modified, revision, Arc::clone(&arc));
+        let (arc, old) = self.shard(kind).publish(
+            |state| {
+                let current = state
+                    .objects
+                    .get(&key)
+                    .ok_or_else(|| ApiError::not_found(kind.as_str(), key.clone()))?;
+                if let Some(expected) = expected_revision {
+                    let actual = current.meta().resource_version;
+                    if actual != expected {
+                        return Err(ApiError::conflict(
+                            kind.as_str(),
+                            key.clone(),
+                            format!(
+                                "the object has been modified \
+                                 (expected rv {expected}, actual {actual})"
+                            ),
+                        ));
+                    }
+                }
+                let old = Arc::clone(current);
+                let revision = self.next_revision();
+                obj.meta_mut().resource_version = revision;
+                let arc = Arc::new(obj);
+                state.index_insert(key, Arc::clone(&arc));
+                self.writes.inc();
+                let event = WatchEvent {
+                    revision,
+                    event_type: EventType::Modified,
+                    object: Arc::clone(&arc),
+                };
+                state.append_event(event.clone(), self.config.event_log_capacity);
+                Ok((arc, old, event))
+            },
+            |watchers, (arc, old, event)| {
+                self.fan_out(watchers, &event);
+                (arc, old)
+            },
+        )?;
         self.bytes.fetch_add(arc.estimated_size() as u64, Ordering::Relaxed);
         self.bytes.fetch_sub(old.estimated_size() as u64, Ordering::Relaxed);
         Ok(arc)
@@ -279,21 +311,34 @@ impl Store {
     ///
     /// Returns [`ApiError::NotFound`] if absent.
     pub fn delete(&self, kind: ResourceKind, key: &str) -> ApiResult<Arc<Object>> {
-        let shard = self.shard(kind);
-        let mut state = shard.state.lock();
-        let removed =
-            state.index_remove(key).ok_or_else(|| ApiError::not_found(kind.as_str(), key))?;
-        let revision = self.next_revision();
-        self.object_count.fetch_sub(1, Ordering::Relaxed);
-        self.writes.inc();
-        self.commit(shard, state, EventType::Deleted, revision, Arc::clone(&removed));
+        let removed = self.shard(kind).publish(
+            |state| {
+                let removed = state
+                    .index_remove(key)
+                    .ok_or_else(|| ApiError::not_found(kind.as_str(), key))?;
+                let revision = self.next_revision();
+                self.object_count.fetch_sub(1, Ordering::Relaxed);
+                self.writes.inc();
+                let event = WatchEvent {
+                    revision,
+                    event_type: EventType::Deleted,
+                    object: Arc::clone(&removed),
+                };
+                state.append_event(event.clone(), self.config.event_log_capacity);
+                Ok((removed, event))
+            },
+            |watchers, (removed, event)| {
+                self.fan_out(watchers, &event);
+                removed
+            },
+        )?;
         self.bytes.fetch_sub(removed.estimated_size() as u64, Ordering::Relaxed);
         Ok(removed)
     }
 
     /// Fetches an object by key. Takes only the kind's shard lock.
     pub fn get(&self, kind: ResourceKind, key: &str) -> Option<Arc<Object>> {
-        self.shard(kind).state.lock().objects.get(key).cloned()
+        self.shard(kind).state().objects.get(key).cloned()
     }
 
     /// Lists objects of `kind`, optionally restricted to `namespace`,
@@ -304,7 +349,7 @@ impl Store {
     /// A namespace-scoped list reads the per-namespace index — cost is
     /// O(items in that namespace), independent of total store size.
     pub fn list(&self, kind: ResourceKind, namespace: Option<&str>) -> (Vec<Arc<Object>>, u64) {
-        let state = self.shard(kind).state.lock();
+        let state = self.shard(kind).state();
         let items = match namespace {
             Some(ns) => state
                 .by_namespace
@@ -341,45 +386,50 @@ impl Store {
         namespace: Option<String>,
         from_revision: u64,
     ) -> ApiResult<WatchStream> {
-        let shard = self.shard(kind);
-        let state = shard.state.lock();
-        if from_revision < state.compacted_floor {
-            return Err(ApiError::expired(format!(
-                "requested revision {} but log is compacted up to {}",
-                from_revision, state.compacted_floor
-            )));
-        }
-        let (handle, stream) =
-            watch::WatcherHandle::new(kind, namespace, self.config.watcher_buffer);
-        // Collect the backlog the watcher missed. The per-kind log is
-        // sorted by revision, so skip the already-seen prefix first.
-        let skip = state.event_log.partition_point(|ev| ev.revision <= from_revision);
-        let backlog: Vec<WatchEvent> =
-            state.event_log.range(skip..).filter(|ev| handle.wants(ev)).cloned().collect();
-        if backlog.len() > self.config.watcher_buffer {
-            // All-or-nothing: nothing was delivered, nothing registered,
-            // no events counted. The nascent watcher still counts as an
-            // eviction — it fell behind before it even started.
-            self.watchers_evicted.inc();
-            return Err(ApiError::expired(
-                "watch backlog exceeds watcher buffer; re-list required",
-            ));
-        }
-        // Lock handoff: take the registry lock before releasing the state
-        // lock so no event published after our backlog snapshot can beat
-        // the replay, then deliver outside the write critical section.
-        let mut watchers = shard.watchers.lock();
-        drop(state);
-        let replayed = backlog.len() as u64;
-        for event in backlog {
-            // Cannot fail: the channel is fresh, the backlog fits its
-            // capacity, and we still hold the receiving stream.
-            let delivered = handle.deliver(event);
-            debug_assert!(delivered, "replay into a fresh channel cannot overflow");
-        }
-        self.events_delivered.add(replayed);
-        watchers.push(handle);
-        Ok(stream)
+        self.shard(kind).publish(
+            |state| {
+                if from_revision < state.compacted_floor {
+                    return Err(ApiError::expired(format!(
+                        "requested revision {} but log is compacted up to {}",
+                        from_revision, state.compacted_floor
+                    )));
+                }
+                let (handle, stream) =
+                    watch::WatcherHandle::new(kind, namespace, self.config.watcher_buffer);
+                // Collect the backlog the watcher missed. The per-kind log
+                // is sorted by revision, so skip the already-seen prefix.
+                let skip = state.event_log.partition_point(|ev| ev.revision <= from_revision);
+                let backlog: Vec<WatchEvent> =
+                    state.event_log.range(skip..).filter(|ev| handle.wants(ev)).cloned().collect();
+                if backlog.len() > self.config.watcher_buffer {
+                    // All-or-nothing: nothing was delivered, nothing
+                    // registered, no events counted. The nascent watcher
+                    // still counts as an eviction — it fell behind before
+                    // it even started.
+                    self.watchers_evicted.inc();
+                    return Err(ApiError::expired(
+                        "watch backlog exceeds watcher buffer; re-list required",
+                    ));
+                }
+                Ok((handle, stream, backlog))
+            },
+            // The handoff (registry lock taken before the state lock is
+            // released) guarantees no event published after our backlog
+            // snapshot can beat the replay; delivery itself happens
+            // outside the write critical section.
+            |watchers, (handle, stream, backlog)| {
+                let replayed = backlog.len() as u64;
+                for event in backlog {
+                    // Cannot fail: the channel is fresh, the backlog fits
+                    // its capacity, and we still hold the receiving stream.
+                    let delivered = handle.deliver(event);
+                    debug_assert!(delivered, "replay into a fresh channel cannot overflow");
+                }
+                self.events_delivered.add(replayed);
+                watchers.push(handle);
+                stream
+            },
+        )
     }
 
     /// Number of currently registered (non-evicted) watchers, sweeping any
@@ -388,7 +438,7 @@ impl Store {
         let mut alive = 0;
         let mut swept = 0u64;
         for shard in &self.shards {
-            let mut watchers = shard.watchers.lock();
+            let mut watchers = shard.watchers();
             watchers.retain(|w| {
                 if w.is_dead() {
                     swept += 1;
@@ -410,25 +460,6 @@ impl Store {
     /// is a single atomic load, no locks and no per-object walk.
     pub fn estimated_bytes(&self) -> usize {
         self.bytes.load(Ordering::Relaxed) as usize
-    }
-
-    /// Appends the event to the shard's replay log, hands off from the
-    /// state lock to the registry lock, and fans out to watchers with the
-    /// state lock already released — readers and writers of the shard's
-    /// data never wait on watcher delivery.
-    fn commit(
-        &self,
-        shard: &Shard,
-        mut state: parking_lot::MutexGuard<'_, ShardState>,
-        event_type: EventType,
-        revision: u64,
-        object: Arc<Object>,
-    ) {
-        let event = WatchEvent { revision, event_type, object };
-        state.append_event(event.clone(), self.config.event_log_capacity);
-        let mut watchers = shard.watchers.lock();
-        drop(state);
-        self.fan_out(&mut watchers, &event);
     }
 
     /// Delivers `event` to every interested watcher, evicting full ones
@@ -708,9 +739,9 @@ mod tests {
         // Formatting while holding every shard lock would deadlock if
         // Debug took any of them.
         let _state_guards: Vec<_> =
-            ResourceKind::ALL.iter().map(|k| store.shards[*k as usize].state.lock()).collect();
+            ResourceKind::ALL.iter().map(|k| store.shards[*k as usize].state()).collect();
         let _watcher_guards: Vec<_> =
-            ResourceKind::ALL.iter().map(|k| store.shards[*k as usize].watchers.lock()).collect();
+            ResourceKind::ALL.iter().map(|k| store.shards[*k as usize].watchers()).collect();
         let rendered = format!("{store:?}");
         assert!(rendered.contains("objects: 1"), "{rendered}");
         assert!(rendered.contains("revision: 1"), "{rendered}");

@@ -5,19 +5,22 @@
 //! carries **two** locks with a strict acquisition order (`state` before
 //! `watchers`, never the reverse):
 //!
-//! * [`Shard::state`] guards the object map, the per-namespace secondary
+//! * the state lock guards the object map, the per-namespace secondary
 //!   index and the bounded event log — the write critical section.
-//! * [`Shard::watchers`] guards the watcher registry. Writers hand off
-//!   from `state` to `watchers` (acquire `watchers` *before* releasing
-//!   `state`) so events fan out in revision order, but the delivery work
+//! * the watcher lock guards the watcher registry. Writers hand off
+//!   from state to watchers (acquire the watcher lock *before* releasing
+//!   state) so events fan out in revision order, but the delivery work
 //!   itself — cloning events into watcher channels — happens after the
 //!   state lock is dropped and therefore never blocks readers or other
 //!   writers of the shard's data.
 //!
+//! The handoff itself lives in [`crate::handoff::DualLock`]; a shard is
+//! that primitive instantiated with [`ShardState`] and the watcher list.
+//!
 //! [`ResourceKind`]: vc_api::object::ResourceKind
 
+use crate::handoff::DualLock;
 use crate::watch::{WatchEvent, WatcherHandle};
-use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 use vc_api::object::Object;
@@ -89,16 +92,12 @@ impl ShardState {
     }
 }
 
-/// One per-kind shard: state under one lock, watchers under another.
-pub(crate) struct Shard {
-    pub state: Mutex<ShardState>,
-    pub watchers: Mutex<Vec<WatcherHandle>>,
-}
+/// One per-kind shard: state under one lock, watchers under another,
+/// with the acquisition order enforced by [`DualLock`].
+pub(crate) type Shard = DualLock<ShardState, Vec<WatcherHandle>>;
 
-impl Shard {
-    pub(crate) fn new() -> Self {
-        Shard { state: Mutex::new(ShardState::new()), watchers: Mutex::new(Vec::new()) }
-    }
+pub(crate) fn new_shard() -> Shard {
+    DualLock::new(ShardState::new(), Vec::new())
 }
 
 #[cfg(test)]

@@ -1,0 +1,346 @@
+//! Property-based state-machine test: the production sharded store vs a
+//! naive single-map reference model.
+//!
+//! Arbitrary operation sequences — insert / unconditional update /
+//! compare-and-swap (current and stale token) / delete / namespace list /
+//! watch-from-revision — are applied to both implementations and every
+//! observable compared:
+//!
+//! * each operation's outcome (assigned revision or error class),
+//! * list snapshots (item keys + resourceVersions + snapshot revision),
+//! * watch replay: either both sides return `Expired` (compaction floor
+//!   or all-or-nothing backlog-overflow) or both replay the *identical*
+//!   event sequence `(revision, type, key, resourceVersion)`,
+//! * final state: object count, store revision, byte-accounting drift.
+//!
+//! The reference model is a single `BTreeMap` plus a revision counter and
+//! a bounded log with the store's documented compaction rule (drop the
+//! oldest half when over capacity; floor = last dropped revision) — small
+//! enough to be obviously correct. Capacities are generated deliberately
+//! tiny (log 8–16, watcher buffer 4–8) so compaction and replay-overflow
+//! paths are exercised constantly rather than never.
+//!
+//! Case count honors `PROPTEST_CASES` (CI runs 256).
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, VecDeque};
+use vc_api::object::ResourceKind;
+use vc_api::pod::Pod;
+use vc_store::{EventType, Store, StoreConfig};
+
+const NAMESPACES: [&str; 2] = ["ns0", "ns1"];
+const NAMES: [&str; 4] = ["p0", "p1", "p2", "p3"];
+const KEY_POOL: usize = NAMESPACES.len() * NAMES.len();
+
+fn slot(idx: usize) -> (&'static str, &'static str) {
+    (NAMESPACES[idx / NAMES.len()], NAMES[idx % NAMES.len()])
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(usize),
+    Update(usize),
+    /// CAS with the object's current resourceVersion (should win).
+    CasCurrent(usize),
+    /// CAS with a token that can never match (should conflict).
+    CasStale(usize),
+    Delete(usize),
+    List(Option<usize>),
+    /// Watch from `pct`% of the current revision, optionally
+    /// namespace-filtered, and drain the replay.
+    WatchFrom(u8, Option<usize>),
+}
+
+fn ns_filter() -> impl Strategy<Value = Option<usize>> {
+    prop_oneof![Just(None), (0..NAMESPACES.len()).prop_map(Some)]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..KEY_POOL).prop_map(Op::Insert),
+        (0..KEY_POOL).prop_map(Op::Update),
+        (0..KEY_POOL).prop_map(Op::CasCurrent),
+        (0..KEY_POOL).prop_map(Op::CasStale),
+        (0..KEY_POOL).prop_map(Op::Delete),
+        ns_filter().prop_map(Op::List),
+        (0u8..=100, ns_filter()).prop_map(|(pct, ns)| Op::WatchFrom(pct, ns)),
+    ]
+}
+
+/// Outcome of a mutating operation, comparable across implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Ok(u64),
+    AlreadyExists,
+    NotFound,
+    Conflict,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RefEvent {
+    revision: u64,
+    event_type: EventType,
+    ns: &'static str,
+    key: String,
+    rv: u64,
+}
+
+/// The naive single-map reference: one ordered map, one counter, one
+/// bounded log. No sharding, no indexes, no locks.
+struct RefModel {
+    revision: u64,
+    /// `namespace/name` → (namespace, resourceVersion).
+    objects: BTreeMap<String, (&'static str, u64)>,
+    log: VecDeque<RefEvent>,
+    floor: u64,
+    log_capacity: usize,
+    watcher_buffer: usize,
+}
+
+impl RefModel {
+    fn new(log_capacity: usize, watcher_buffer: usize) -> Self {
+        RefModel {
+            revision: 0,
+            objects: BTreeMap::new(),
+            log: VecDeque::new(),
+            floor: 0,
+            log_capacity,
+            watcher_buffer,
+        }
+    }
+
+    fn append(&mut self, event: RefEvent) {
+        self.log.push_back(event);
+        if self.log.len() > self.log_capacity {
+            let drop_count = self.log.len() / 2;
+            for _ in 0..drop_count {
+                if let Some(dropped) = self.log.pop_front() {
+                    self.floor = dropped.revision;
+                }
+            }
+        }
+    }
+
+    fn insert(&mut self, ns: &'static str, key: String) -> Outcome {
+        if self.objects.contains_key(&key) {
+            return Outcome::AlreadyExists;
+        }
+        self.revision += 1;
+        let rv = self.revision;
+        self.objects.insert(key.clone(), (ns, rv));
+        self.append(RefEvent { revision: rv, event_type: EventType::Added, ns, key, rv });
+        Outcome::Ok(rv)
+    }
+
+    fn update(&mut self, ns: &'static str, key: String, expected: Option<u64>) -> Outcome {
+        let Some(&(_, current_rv)) = self.objects.get(&key) else {
+            return Outcome::NotFound;
+        };
+        if expected.is_some_and(|e| e != current_rv) {
+            return Outcome::Conflict;
+        }
+        self.revision += 1;
+        let rv = self.revision;
+        self.objects.insert(key.clone(), (ns, rv));
+        self.append(RefEvent { revision: rv, event_type: EventType::Modified, ns, key, rv });
+        Outcome::Ok(rv)
+    }
+
+    fn delete(&mut self, key: String) -> Outcome {
+        let Some((ns, old_rv)) = self.objects.remove(&key) else {
+            return Outcome::NotFound;
+        };
+        self.revision += 1;
+        // A Deleted event carries the object's *last* resourceVersion,
+        // stamped with the delete's (newer) revision.
+        self.append(RefEvent {
+            revision: self.revision,
+            event_type: EventType::Deleted,
+            ns,
+            key,
+            rv: old_rv,
+        });
+        Outcome::Ok(self.revision)
+    }
+
+    fn list(&self, ns: Option<&str>) -> Vec<(String, u64)> {
+        self.objects
+            .iter()
+            .filter(|(_, (obj_ns, _))| ns.is_none_or(|n| *obj_ns == n))
+            .map(|(k, (_, rv))| (k.clone(), *rv))
+            .collect()
+    }
+
+    /// `Err(())` means the store must answer `Expired` (compacted floor
+    /// or replay-overflow); `Ok` carries the exact replay sequence.
+    fn watch(&self, ns: Option<&str>, from: u64) -> Result<Vec<RefEvent>, ()> {
+        if from < self.floor {
+            return Err(());
+        }
+        let backlog: Vec<RefEvent> = self
+            .log
+            .iter()
+            .filter(|e| e.revision > from && ns.is_none_or(|n| e.ns == n))
+            .cloned()
+            .collect();
+        if backlog.len() > self.watcher_buffer {
+            return Err(());
+        }
+        Ok(backlog)
+    }
+}
+
+fn store_outcome(result: vc_api::ApiResult<std::sync::Arc<vc_api::object::Object>>) -> Outcome {
+    match result {
+        Ok(obj) => Outcome::Ok(obj.meta().resource_version),
+        Err(e) if e.is_already_exists() => Outcome::AlreadyExists,
+        Err(e) if e.is_not_found() => Outcome::NotFound,
+        Err(e) if e.is_conflict() => Outcome::Conflict,
+        Err(e) => panic!("unexpected store error class: {e}"),
+    }
+}
+
+proptest! {
+    /// The sharded store and the naive reference model produce identical
+    /// observable histories for every operation sequence.
+    #[test]
+    fn prop_store_matches_reference_model(
+        log_capacity in 8usize..=16,
+        watcher_buffer in 4usize..=8,
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        let store = Store::with_config(StoreConfig {
+            event_log_capacity: log_capacity,
+            watcher_buffer,
+        });
+        let mut model = RefModel::new(log_capacity, watcher_buffer);
+
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                Op::Insert(i) => {
+                    let (ns, name) = slot(*i);
+                    let got = store_outcome(store.insert(Pod::new(ns, name).into()));
+                    let want = model.insert(ns, format!("{ns}/{name}"));
+                    prop_assert_eq!(got, want, "insert diverged at step {}", step);
+                }
+                Op::Update(i) => {
+                    let (ns, name) = slot(*i);
+                    let got = store_outcome(store.update(Pod::new(ns, name).into(), None));
+                    let want = model.update(ns, format!("{ns}/{name}"), None);
+                    prop_assert_eq!(got, want, "update diverged at step {}", step);
+                }
+                Op::CasCurrent(i) => {
+                    let (ns, name) = slot(*i);
+                    let key = format!("{ns}/{name}");
+                    // Both sides must agree on the current token first.
+                    let model_rv = model.objects.get(&key).map(|(_, rv)| *rv);
+                    let store_rv = store
+                        .get(ResourceKind::Pod, &key)
+                        .map(|o| o.meta().resource_version);
+                    prop_assert_eq!(store_rv, model_rv, "get diverged at step {}", step);
+                    let expected = model_rv.unwrap_or(0);
+                    let got = store_outcome(
+                        store.update(Pod::new(ns, name).into(), Some(expected)),
+                    );
+                    let want = model.update(ns, key, Some(expected));
+                    prop_assert_eq!(got, want, "CAS diverged at step {}", step);
+                }
+                Op::CasStale(i) => {
+                    let (ns, name) = slot(*i);
+                    let key = format!("{ns}/{name}");
+                    // A token greater than any allocated revision: matches
+                    // nothing, so present objects conflict and absent ones
+                    // are NotFound — absence is checked first on both sides.
+                    let stale = model.revision + 1_000;
+                    let got = store_outcome(
+                        store.update(Pod::new(ns, name).into(), Some(stale)),
+                    );
+                    let want = model.update(ns, key, Some(stale));
+                    prop_assert_eq!(got, want, "stale CAS diverged at step {}", step);
+                }
+                Op::Delete(i) => {
+                    let (ns, name) = slot(*i);
+                    let key = format!("{ns}/{name}");
+                    let got = match store.delete(ResourceKind::Pod, &key) {
+                        // The store returns the removed object (old rv);
+                        // the outcome we compare is the delete revision.
+                        Ok(_) => Outcome::Ok(store.revision()),
+                        Err(e) if e.is_not_found() => Outcome::NotFound,
+                        Err(e) => panic!("unexpected delete error: {e}"),
+                    };
+                    let want = model.delete(key);
+                    prop_assert_eq!(got, want, "delete diverged at step {}", step);
+                }
+                Op::List(ns_idx) => {
+                    let ns = ns_idx.map(|i| NAMESPACES[i]);
+                    let (items, rev) = store.list(ResourceKind::Pod, ns);
+                    let got: Vec<(String, u64)> = items
+                        .iter()
+                        .map(|o| (o.key(), o.meta().resource_version))
+                        .collect();
+                    prop_assert_eq!(got, model.list(ns), "list diverged at step {}", step);
+                    prop_assert_eq!(rev, model.revision, "list revision diverged at step {}", step);
+                }
+                Op::WatchFrom(pct, ns_idx) => {
+                    let ns = ns_idx.map(|i| NAMESPACES[i]);
+                    let from = model.revision * u64::from(*pct) / 100;
+                    let delivered_before = store.events_delivered.get();
+                    let got = store.watch(ResourceKind::Pod, ns.map(String::from), from);
+                    match model.watch(ns, from) {
+                        Err(()) => {
+                            let err = got.expect_err("model expired but store replayed");
+                            prop_assert!(err.is_expired(), "step {}: {}", step, err);
+                            // All-or-nothing: a failed watch delivers no
+                            // partial replay.
+                            prop_assert_eq!(
+                                store.events_delivered.get(),
+                                delivered_before,
+                                "partial replay counted at step {}", step
+                            );
+                        }
+                        Ok(want) => {
+                            let stream = match got {
+                                Ok(s) => s,
+                                Err(e) => {
+                                    return Err(TestCaseError::fail(format!(
+                                        "step {step}: model replays {} events, store expired: {e}",
+                                        want.len()
+                                    )));
+                                }
+                            };
+                            let mut replayed = Vec::new();
+                            while let Some(ev) = stream.try_recv() {
+                                replayed.push(RefEvent {
+                                    revision: ev.revision,
+                                    event_type: ev.event_type,
+                                    ns: NAMESPACES
+                                        .iter()
+                                        .copied()
+                                        .find(|n| *n == ev.object.meta().namespace)
+                                        .expect("event from a known namespace"),
+                                    key: ev.object.key(),
+                                    rv: ev.object.meta().resource_version,
+                                });
+                            }
+                            prop_assert_eq!(replayed, want, "replay diverged at step {}", step);
+                            // Dropping the stream leaves a dead watcher;
+                            // sweep it so later fan-out stays comparable.
+                            drop(stream);
+                            store.watcher_count();
+                        }
+                    }
+                }
+            }
+        }
+
+        // Final-state invariants.
+        prop_assert_eq!(store.revision(), model.revision);
+        prop_assert_eq!(store.len(), model.objects.len());
+        let (items, _) = store.list(ResourceKind::Pod, None);
+        let final_got: Vec<(String, u64)> =
+            items.iter().map(|o| (o.key(), o.meta().resource_version)).collect();
+        prop_assert_eq!(final_got, model.list(None));
+        let recount: usize = items.iter().map(|o| o.estimated_size()).sum();
+        prop_assert_eq!(store.estimated_bytes(), recount, "byte accounting drifted");
+    }
+}

@@ -271,20 +271,25 @@ fn breaker_recovers_after_scripted_fault_window() {
     // A scripted outage window (rather than an explicit clear): the breaker
     // trips inside the window and must recover on its own once the window
     // expires, purely through half-open probing.
+    //
+    // The whole deployment runs on a virtual clock, so the outage window,
+    // the breaker-open deadline, the retry backoff and the scanner cadence
+    // are production-scale durations crossed by `advance` — the test never
+    // sleeps through them and cannot flake on wall-clock jitter.
+    let clock = virtualcluster::api::time::SimClock::new();
     let mut config = FrameworkConfig::minimal();
+    config.clock = Some(clock.clone() as _);
     config.syncer.breaker_threshold = 3;
-    config.syncer.breaker_open = Duration::from_millis(300);
+    config.syncer.breaker_open = Duration::from_secs(30);
     let fw = Framework::start(config);
     fw.create_tenant("windowed").unwrap();
     let tenant = fw.tenant_client("windowed", "user");
 
+    let window = Duration::from_secs(120);
     fw.inject_tenant_faults(
         "windowed",
-        &FaultPolicy::new(11).with_rule(
-            FaultRule::fail_all()
-                .for_user("vc-syncer")
-                .during(Duration::ZERO, Duration::from_secs(2)),
-        ),
+        &FaultPolicy::new(11)
+            .with_rule(FaultRule::fail_all().for_user("vc-syncer").during(Duration::ZERO, window)),
     );
     for i in 0..8 {
         tenant
@@ -295,26 +300,60 @@ fn breaker_recovers_after_scripted_fault_window() {
             )
             .unwrap();
     }
+    // Virtual time is frozen inside the window, so the outage cannot end
+    // before the breaker has tripped.
     assert!(
         wait_until(Duration::from_secs(10), Duration::from_millis(25), || {
             fw.syncer.tenant_health("windowed") == Some(TenantHealth::Degraded)
         }),
         "the outage window must trip the breaker"
     );
-    // No clear_tenant_faults: the window simply runs out.
+    // No clear_tenant_faults: the window simply runs out as the test
+    // advances virtual time past it (and past the breaker-open deadline).
     assert!(
-        wait_until(Duration::from_secs(30), Duration::from_millis(50), || {
+        wait_until(Duration::from_secs(60), Duration::from_millis(50), || {
+            clock.advance(Duration::from_secs(5));
             fw.syncer.tenant_health("windowed") == Some(TenantHealth::Healthy)
         }),
         "the breaker must auto-recover after the fault window expires"
     );
     assert!(fw.syncer.metrics.breaker_recoveries.get() >= 1);
-    assert!(
-        wait_until(Duration::from_secs(60), Duration::from_millis(100), || {
-            ready_pods(&tenant) == 8
-        }),
-        "all pods must reach Ready after the window"
-    );
+    // Keep virtual time flowing so backed-off retries come due and the
+    // scanner keeps ticking until every pod converges. The real-time
+    // budget is generous because the deployment's data-flow threads
+    // (scheduler, kubelets, informers) run on wall time and share the
+    // machine with the other chaos deployments.
+    let converged = wait_until(Duration::from_secs(120), Duration::from_millis(100), || {
+        clock.advance(Duration::from_secs(5));
+        ready_pods(&tenant) == 8
+    });
+    if !converged {
+        let snap = fw.syncer.metrics.snapshot();
+        eprintln!(
+            "DIAG ready={} dead_letter={} health={:?} metrics={snap:?}",
+            ready_pods(&tenant),
+            fw.syncer.dead_letter_len(),
+            fw.syncer.tenant_health("windowed"),
+        );
+        if let Ok((pods, _)) = tenant.list(ResourceKind::Pod, Some("default")) {
+            for p in &pods {
+                if let Some(p) = p.as_pod() {
+                    eprintln!("DIAG tenant pod {} phase={:?}", p.meta.name, p.status.phase);
+                }
+            }
+        }
+        if let Ok((pods, _)) = fw.super_client("admin").list(ResourceKind::Pod, None) {
+            for p in &pods {
+                if let Some(p) = p.as_pod() {
+                    eprintln!(
+                        "DIAG super pod {}/{} phase={:?} node={}",
+                        p.meta.namespace, p.meta.name, p.status.phase, p.spec.node_name
+                    );
+                }
+            }
+        }
+    }
+    assert!(converged, "all pods must reach Ready after the window");
     fw.shutdown();
 }
 

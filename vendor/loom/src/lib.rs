@@ -1,0 +1,910 @@
+//! Offline stand-in for the `loom` permutation tester.
+//!
+//! Explores thread interleavings of a closure exhaustively (up to a
+//! configurable preemption bound) by running the model's threads as real
+//! OS threads under a cooperative scheduler: at every instrumented
+//! synchronization operation the running thread yields to the scheduler,
+//! which follows a recorded DFS decision path. After each complete
+//! execution the last decision with an untried alternative is advanced
+//! and the model reruns, until the decision tree is exhausted.
+//!
+//! Modeled faithfully enough for the vc-store / vc-client models:
+//!
+//! - `Mutex` / `Condvar` with lost-wakeup detection: a `notify_one` with
+//!   no waiter is a no-op, so a missing wakeup manifests as a deadlock,
+//!   which the scheduler detects and reports with the failing schedule.
+//! - Atomics explore all sequentially-consistent interleavings (a yield
+//!   point before every access). Weak-memory reorderings are *not*
+//!   modeled — the ThreadSanitizer CI job covers that axis.
+//! - `Condvar::wait_timeout` never times out spuriously; a timed wait is
+//!   woken as timed-out only when the model would otherwise deadlock.
+//!   Models should prefer untimed waits plus explicit shutdown.
+//!
+//! Environment knobs: `LOOM_MAX_PREEMPTIONS` (default 2) bounds how many
+//! times a runnable thread may be preempted per execution;
+//! `LOOM_MAX_ITERATIONS` (default 200 000) fails loudly instead of
+//! hanging if a model's schedule tree is too large.
+
+#![allow(clippy::new_without_default)]
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+use std::sync::{Arc as StdArc, Condvar as OsCondvar, Mutex as OsMutex, MutexGuard as OsGuard};
+
+const UNREGISTERED: usize = usize::MAX;
+
+/// Sentinel panic payload used to unwind simulated threads when the
+/// iteration aborts (another thread panicked or a deadlock was found).
+struct Aborted;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    /// Blocked acquiring the mutex.
+    Lock(usize),
+    /// Waiting on a condvar (holding no mutex; `mutex` is reacquired on
+    /// wake by the waiter itself).
+    Cond { cond: usize, timed: bool },
+    /// Blocked joining another simulated thread.
+    Join(usize),
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadSt {
+    run: Run,
+    /// Set when a timed condvar wait was woken by deadlock rescue.
+    timed_out: bool,
+}
+
+#[derive(Clone, Debug)]
+struct Decision {
+    index: usize,
+    candidates: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct SchedState {
+    threads: Vec<ThreadSt>,
+    active: usize,
+    /// Per-mutex holder.
+    mutexes: Vec<Option<usize>>,
+    next_cond: usize,
+    path: Vec<Decision>,
+    depth: usize,
+    preemptions: usize,
+    abort: bool,
+    panic_payload: Option<Box<dyn Any + Send + 'static>>,
+    /// Scheduled thread ids, for failure diagnostics.
+    trace: Vec<usize>,
+}
+
+struct Execution {
+    state: OsMutex<SchedState>,
+    cv: OsCondvar,
+    max_preemptions: usize,
+    handles: OsMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(StdArc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+fn cur() -> (StdArc<Execution>, usize) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom synchronization primitive used outside loom::model")
+    })
+}
+
+fn panic_abort() -> ! {
+    std::panic::panic_any(Aborted)
+}
+
+impl Execution {
+    fn new(path: Vec<Decision>, max_preemptions: usize) -> Self {
+        Execution {
+            state: OsMutex::new(SchedState {
+                threads: Vec::new(),
+                active: 0,
+                mutexes: Vec::new(),
+                next_cond: 0,
+                path,
+                depth: 0,
+                preemptions: 0,
+                abort: false,
+                panic_payload: None,
+                trace: Vec::new(),
+            }),
+            cv: OsCondvar::new(),
+            max_preemptions,
+            handles: OsMutex::new(Vec::new()),
+        }
+    }
+
+    fn mutex_id(&self, cell: &StdAtomicUsize) -> usize {
+        let id = cell.load(StdOrdering::Relaxed);
+        if id != UNREGISTERED {
+            return id;
+        }
+        let mut st = self.state.lock().unwrap();
+        let id = cell.load(StdOrdering::Relaxed);
+        if id != UNREGISTERED {
+            return id;
+        }
+        let id = st.mutexes.len();
+        st.mutexes.push(None);
+        cell.store(id, StdOrdering::Relaxed);
+        id
+    }
+
+    fn cond_id(&self, cell: &StdAtomicUsize) -> usize {
+        let id = cell.load(StdOrdering::Relaxed);
+        if id != UNREGISTERED {
+            return id;
+        }
+        let mut st = self.state.lock().unwrap();
+        let id = cell.load(StdOrdering::Relaxed);
+        if id != UNREGISTERED {
+            return id;
+        }
+        let id = st.next_cond;
+        st.next_cond += 1;
+        cell.store(id, StdOrdering::Relaxed);
+        id
+    }
+
+    /// Picks the next thread to run. `me_runnable` is the calling thread
+    /// when it remains runnable (a pure yield point); `None` when the
+    /// caller just blocked or finished. Returns `None` when every thread
+    /// has finished, or the abort sentinel `usize::MAX`.
+    fn choose(&self, st: &mut SchedState, me_runnable: Option<usize>) -> Option<usize> {
+        loop {
+            let mut cands: Vec<usize> = (0..st.threads.len())
+                .filter(|&t| st.threads[t].run == Run::Runnable)
+                .collect();
+            if let Some(me) = me_runnable {
+                cands.retain(|&t| t != me);
+                cands.insert(0, me);
+                // Out of preemption budget: the running thread keeps going.
+                if st.preemptions >= self.max_preemptions {
+                    cands.truncate(1);
+                }
+            }
+            if cands.is_empty() {
+                if st.threads.iter().all(|t| t.run == Run::Finished) {
+                    return None;
+                }
+                // Deadlock rescue: wake one timed condvar waiter as
+                // timed-out (models "enough virtual time passed").
+                if let Some(t) = (0..st.threads.len())
+                    .find(|&t| matches!(st.threads[t].run, Run::Cond { timed: true, .. }))
+                {
+                    st.threads[t].run = Run::Runnable;
+                    st.threads[t].timed_out = true;
+                    continue;
+                }
+                let msg = format!(
+                    "loom: deadlock detected (lost wakeup?): thread states {:?}, schedule {:?}",
+                    st.threads.iter().map(|t| t.run.clone()).collect::<Vec<_>>(),
+                    st.trace
+                );
+                st.abort = true;
+                if st.panic_payload.is_none() {
+                    st.panic_payload = Some(Box::new(msg));
+                }
+                self.cv.notify_all();
+                return Some(UNREGISTERED);
+            }
+            let chosen = if cands.len() == 1 {
+                cands[0]
+            } else if st.depth < st.path.len() {
+                let d = &st.path[st.depth];
+                let c = d.candidates[d.index];
+                st.depth += 1;
+                c
+            } else {
+                let c = cands[0];
+                st.path.push(Decision { index: 0, candidates: cands });
+                st.depth += 1;
+                c
+            };
+            if let Some(me) = me_runnable {
+                if chosen != me {
+                    st.preemptions += 1;
+                }
+            }
+            st.trace.push(chosen);
+            return Some(chosen);
+        }
+    }
+
+    /// Yield point while the calling thread stays runnable.
+    fn yield_point(&self, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        if st.abort {
+            drop(st);
+            if std::thread::panicking() {
+                return;
+            }
+            panic_abort();
+        }
+        match self.choose(&mut st, Some(me)) {
+            Some(next) if next == UNREGISTERED => {
+                drop(st);
+                if std::thread::panicking() {
+                    return;
+                }
+                panic_abort();
+            }
+            Some(next) if next != me => {
+                st.active = next;
+                self.cv.notify_all();
+                self.wait_my_turn(st, me);
+            }
+            _ => {}
+        }
+    }
+
+    /// The calling thread has just recorded a blocked state in
+    /// `st.threads[me].run`; schedule someone else and sleep until this
+    /// thread is runnable and active again.
+    fn block_and_switch(&self, me: usize, mut st: OsGuard<'_, SchedState>) {
+        match self.choose(&mut st, None) {
+            Some(next) if next == UNREGISTERED => {
+                drop(st);
+                panic_abort();
+            }
+            Some(next) => {
+                st.active = next;
+                self.cv.notify_all();
+                self.wait_my_turn(st, me);
+            }
+            None => unreachable!("blocked thread cannot be the last to finish"),
+        }
+    }
+
+    fn wait_my_turn(&self, mut st: OsGuard<'_, SchedState>, me: usize) {
+        while !(st.active == me && st.threads[me].run == Run::Runnable) && !st.abort {
+            st = self.cv.wait(st).unwrap();
+        }
+        let abort = st.abort && st.threads[me].run != Run::Finished;
+        drop(st);
+        if abort && !std::thread::panicking() {
+            panic_abort();
+        }
+    }
+
+    fn acquire(&self, me: usize, id: usize) {
+        loop {
+            let mut st = self.state.lock().unwrap();
+            if st.abort {
+                drop(st);
+                if std::thread::panicking() {
+                    return;
+                }
+                panic_abort();
+            }
+            if st.mutexes[id].is_none() {
+                st.mutexes[id] = Some(me);
+                return;
+            }
+            st.threads[me].run = Run::Lock(id);
+            self.block_and_switch(me, st);
+        }
+    }
+
+    fn release(&self, me: usize, id: usize) {
+        {
+            let mut st = self.state.lock().unwrap();
+            debug_assert_eq!(st.mutexes[id], Some(me));
+            st.mutexes[id] = None;
+            for t in 0..st.threads.len() {
+                if st.threads[t].run == Run::Lock(id) {
+                    st.threads[t].run = Run::Runnable;
+                }
+            }
+            if st.abort {
+                return;
+            }
+        }
+        self.yield_point(me);
+    }
+
+    /// Releases `mutex`, parks on `cond`, and returns whether the wake
+    /// was a (deadlock-rescue) timeout. The caller reacquires the mutex.
+    fn cond_wait(&self, me: usize, cond: usize, mutex: usize, timed: bool) -> bool {
+        let mut st = self.state.lock().unwrap();
+        if st.abort {
+            drop(st);
+            panic_abort();
+        }
+        debug_assert_eq!(st.mutexes[mutex], Some(me));
+        st.mutexes[mutex] = None;
+        for t in 0..st.threads.len() {
+            if st.threads[t].run == Run::Lock(mutex) {
+                st.threads[t].run = Run::Runnable;
+            }
+        }
+        st.threads[me].timed_out = false;
+        st.threads[me].run = Run::Cond { cond, timed };
+        self.block_and_switch(me, st);
+        let mut st = self.state.lock().unwrap();
+        let timed_out = st.threads[me].timed_out;
+        st.threads[me].timed_out = false;
+        drop(st);
+        timed_out
+    }
+
+    fn notify(&self, me: usize, cond: usize, all: bool) {
+        self.yield_point(me);
+        let mut st = self.state.lock().unwrap();
+        for t in 0..st.threads.len() {
+            if matches!(st.threads[t].run, Run::Cond { cond: c, .. } if c == cond) {
+                st.threads[t].run = Run::Runnable;
+                if !all {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn finish_thread(&self, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.threads[me].run = Run::Finished;
+        for t in 0..st.threads.len() {
+            if st.threads[t].run == Run::Join(me) {
+                st.threads[t].run = Run::Runnable;
+            }
+        }
+        if st.abort {
+            self.cv.notify_all();
+            return;
+        }
+        match self.choose(&mut st, None) {
+            Some(next) if next != UNREGISTERED => {
+                st.active = next;
+            }
+            _ => {}
+        }
+        self.cv.notify_all();
+    }
+
+    fn record_panic(&self, payload: Box<dyn Any + Send + 'static>) {
+        if payload.is::<Aborted>() {
+            return;
+        }
+        let mut st = self.state.lock().unwrap();
+        if st.panic_payload.is_none() {
+            st.panic_payload = Some(payload);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Runs `f` under every explored interleaving. Panics (with the failing
+/// schedule) as soon as one execution panics, asserts, or deadlocks.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = StdArc::new(f);
+    let max_preemptions = env_usize("LOOM_MAX_PREEMPTIONS", 2);
+    let max_iterations = env_usize("LOOM_MAX_ITERATIONS", 200_000);
+    let mut path: Vec<Decision> = Vec::new();
+    let mut iterations: usize = 0;
+    loop {
+        iterations += 1;
+        if iterations > max_iterations {
+            panic!(
+                "loom: exceeded LOOM_MAX_ITERATIONS={max_iterations} without exhausting \
+                 the schedule tree; shrink the model or raise the limit"
+            );
+        }
+        let exec = StdArc::new(Execution::new(std::mem::take(&mut path), max_preemptions));
+        {
+            let mut st = exec.state.lock().unwrap();
+            st.threads.push(ThreadSt { run: Run::Runnable, timed_out: false });
+            st.active = 0;
+        }
+        let exec0 = StdArc::clone(&exec);
+        let f0 = StdArc::clone(&f);
+        let root = std::thread::Builder::new()
+            .name("loom-model".into())
+            .spawn(move || {
+                CURRENT.with(|c| *c.borrow_mut() = Some((StdArc::clone(&exec0), 0)));
+                let result = catch_unwind(AssertUnwindSafe(|| f0()));
+                if let Err(payload) = result {
+                    exec0.record_panic(payload);
+                }
+                exec0.finish_thread(0);
+            })
+            .expect("spawn loom model thread");
+        let _ = root.join();
+        loop {
+            let handle = exec.handles.lock().unwrap().pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        let mut st = exec.state.lock().unwrap();
+        if let Some(payload) = st.panic_payload.take() {
+            let trace = std::mem::take(&mut st.trace);
+            drop(st);
+            eprintln!(
+                "loom: failing schedule after {iterations} interleavings \
+                 (thread ids in decision order): {trace:?}"
+            );
+            resume_unwind(payload);
+        }
+        path = std::mem::take(&mut st.path);
+        drop(st);
+        // DFS backtrack: advance the deepest decision with an untried
+        // alternative, discarding everything after it.
+        let mut advanced = false;
+        while let Some(d) = path.last_mut() {
+            if d.index + 1 < d.candidates.len() {
+                d.index += 1;
+                advanced = true;
+                break;
+            }
+            path.pop();
+        }
+        if !advanced {
+            eprintln!("loom: explored {iterations} interleavings, all passed");
+            return;
+        }
+    }
+}
+
+/// Simulated threads.
+pub mod thread {
+    use super::*;
+
+    /// Handle to a simulated thread; mirrors `std::thread::JoinHandle`.
+    pub struct JoinHandle<T> {
+        tid: usize,
+        result: StdArc<OsMutex<Option<T>>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Blocks (in model time) until the thread finishes.
+        pub fn join(self) -> std::thread::Result<T> {
+            let (exec, me) = cur();
+            loop {
+                let mut st = exec.state.lock().unwrap();
+                if st.abort {
+                    drop(st);
+                    panic_abort();
+                }
+                if st.threads[self.tid].run == Run::Finished {
+                    break;
+                }
+                st.threads[me].run = Run::Join(self.tid);
+                exec.block_and_switch(me, st);
+            }
+            match self.result.lock().unwrap().take() {
+                Some(v) => Ok(v),
+                None => Err(Box::new("loom: joined thread panicked")),
+            }
+        }
+    }
+
+    /// Spawns a simulated thread participating in interleaving search.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (exec, me) = cur();
+        let tid = {
+            let mut st = exec.state.lock().unwrap();
+            st.threads.push(ThreadSt { run: Run::Runnable, timed_out: false });
+            st.threads.len() - 1
+        };
+        let result = StdArc::new(OsMutex::new(None));
+        let slot = StdArc::clone(&result);
+        let child_exec = StdArc::clone(&exec);
+        let os = std::thread::Builder::new()
+            .name(format!("loom-{tid}"))
+            .spawn(move || {
+                CURRENT.with(|c| *c.borrow_mut() = Some((StdArc::clone(&child_exec), tid)));
+                {
+                    // Wait to be scheduled for the first time. Checked
+                    // inline (not via wait_my_turn) so an abort before the
+                    // first slice exits cleanly instead of panicking.
+                    let mut st = child_exec.state.lock().unwrap();
+                    while !(st.active == tid && st.threads[tid].run == Run::Runnable)
+                        && !st.abort
+                    {
+                        st = child_exec.cv.wait(st).unwrap();
+                    }
+                    if st.abort {
+                        drop(st);
+                        child_exec.finish_thread(tid);
+                        return;
+                    }
+                }
+                let out = catch_unwind(AssertUnwindSafe(f));
+                match out {
+                    Ok(v) => *slot.lock().unwrap() = Some(v),
+                    Err(payload) => child_exec.record_panic(payload),
+                }
+                child_exec.finish_thread(tid);
+            })
+            .expect("spawn loom thread");
+        exec.handles.lock().unwrap().push(os);
+        // The new thread is now a scheduling candidate.
+        exec.yield_point(me);
+        JoinHandle { tid, result }
+    }
+
+    /// Explicit yield point.
+    pub fn yield_now() {
+        let (exec, me) = cur();
+        exec.yield_point(me);
+    }
+}
+
+/// Simulated synchronization primitives.
+pub mod sync {
+    use super::*;
+    use std::cell::UnsafeCell;
+    use std::ops::{Deref, DerefMut};
+    use std::sync::LockResult;
+    use std::time::Duration;
+
+    pub use std::sync::Arc;
+
+    /// Interleaving-instrumented mutex (never poisons).
+    pub struct Mutex<T> {
+        id: StdAtomicUsize,
+        data: UnsafeCell<T>,
+    }
+
+    // Safety: access to `data` is serialized by the model scheduler
+    // exactly as a real mutex would serialize it.
+    unsafe impl<T: Send> Send for Mutex<T> {}
+    unsafe impl<T: Send> Sync for Mutex<T> {}
+
+    impl<T> Mutex<T> {
+        /// Creates a mutex; registered with the execution on first lock.
+        pub fn new(value: T) -> Self {
+            Mutex { id: StdAtomicUsize::new(UNREGISTERED), data: UnsafeCell::new(value) }
+        }
+
+        /// Acquires the mutex, exploring contention interleavings.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            let (exec, me) = cur();
+            let id = exec.mutex_id(&self.id);
+            exec.yield_point(me);
+            exec.acquire(me, id);
+            Ok(MutexGuard { lock: self })
+        }
+    }
+
+    impl<T> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("loom::sync::Mutex { .. }")
+        }
+    }
+
+    /// Guard for [`Mutex`].
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+    }
+
+    impl<T> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<T> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            unsafe { &mut *self.lock.data.get() }
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            let (exec, me) = cur();
+            let id = exec.mutex_id(&self.lock.id);
+            exec.release(me, id);
+        }
+    }
+
+    /// Result of a timed condvar wait.
+    #[derive(Debug, Clone, Copy)]
+    pub struct WaitTimeoutResult(pub(crate) bool);
+
+    impl WaitTimeoutResult {
+        /// Whether the wait ended by timeout rather than notification.
+        pub fn timed_out(&self) -> bool {
+            self.0
+        }
+    }
+
+    /// Interleaving-instrumented condition variable.
+    pub struct Condvar {
+        id: StdAtomicUsize,
+    }
+
+    impl Condvar {
+        /// Creates a condvar; registered with the execution on first use.
+        pub fn new() -> Self {
+            Condvar { id: StdAtomicUsize::new(UNREGISTERED) }
+        }
+
+        /// Releases the guard's mutex and parks until notified.
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            let (exec, me) = cur();
+            let cond = exec.cond_id(&self.id);
+            let lock = guard.lock;
+            let mutex = exec.mutex_id(&lock.id);
+            std::mem::forget(guard);
+            exec.cond_wait(me, cond, mutex, false);
+            exec.acquire(me, mutex);
+            Ok(MutexGuard { lock })
+        }
+
+        /// Timed wait: only "times out" when the model would otherwise
+        /// deadlock (virtual time passing). Never flakes.
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            _timeout: Duration,
+        ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+            let (exec, me) = cur();
+            let cond = exec.cond_id(&self.id);
+            let lock = guard.lock;
+            let mutex = exec.mutex_id(&lock.id);
+            std::mem::forget(guard);
+            let timed_out = exec.cond_wait(me, cond, mutex, true);
+            exec.acquire(me, mutex);
+            Ok((MutexGuard { lock }, WaitTimeoutResult(timed_out)))
+        }
+
+        /// Wakes one waiter (no-op with no waiters — lost wakeups show
+        /// up as model deadlocks).
+        pub fn notify_one(&self) {
+            let (exec, me) = cur();
+            let cond = exec.cond_id(&self.id);
+            exec.notify(me, cond, false);
+        }
+
+        /// Wakes every waiter.
+        pub fn notify_all(&self) {
+            let (exec, me) = cur();
+            let cond = exec.cond_id(&self.id);
+            exec.notify(me, cond, true);
+        }
+    }
+
+    impl std::fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("loom::sync::Condvar { .. }")
+        }
+    }
+
+    /// Interleaving-instrumented atomics (sequential consistency level).
+    pub mod atomic {
+        use super::super::cur;
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! instrumented_atomic {
+            ($name:ident, $std:ty, $val:ty) => {
+                /// Atomic exploring all SC interleavings via a yield
+                /// point before every access.
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    inner: $std,
+                }
+
+                impl $name {
+                    /// Creates the atomic.
+                    pub const fn new(v: $val) -> Self {
+                        Self { inner: <$std>::new(v) }
+                    }
+
+                    fn pause() {
+                        let (exec, me) = cur();
+                        exec.yield_point(me);
+                    }
+
+                    /// Instrumented load.
+                    pub fn load(&self, order: Ordering) -> $val {
+                        Self::pause();
+                        self.inner.load(order)
+                    }
+
+                    /// Instrumented store.
+                    pub fn store(&self, v: $val, order: Ordering) {
+                        Self::pause();
+                        self.inner.store(v, order)
+                    }
+
+                    /// Instrumented swap.
+                    pub fn swap(&self, v: $val, order: Ordering) -> $val {
+                        Self::pause();
+                        self.inner.swap(v, order)
+                    }
+
+                    /// Instrumented compare_exchange.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $val,
+                        new: $val,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$val, $val> {
+                        Self::pause();
+                        self.inner.compare_exchange(current, new, success, failure)
+                    }
+                }
+            };
+        }
+
+        macro_rules! instrumented_atomic_int {
+            ($name:ident, $std:ty, $val:ty) => {
+                instrumented_atomic!($name, $std, $val);
+
+                impl $name {
+                    /// Instrumented fetch_add.
+                    pub fn fetch_add(&self, v: $val, order: Ordering) -> $val {
+                        Self::pause();
+                        self.inner.fetch_add(v, order)
+                    }
+
+                    /// Instrumented fetch_sub.
+                    pub fn fetch_sub(&self, v: $val, order: Ordering) -> $val {
+                        Self::pause();
+                        self.inner.fetch_sub(v, order)
+                    }
+
+                    /// Instrumented fetch_max.
+                    pub fn fetch_max(&self, v: $val, order: Ordering) -> $val {
+                        Self::pause();
+                        self.inner.fetch_max(v, order)
+                    }
+                }
+            };
+        }
+
+        instrumented_atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        instrumented_atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        instrumented_atomic_int!(AtomicI64, std::sync::atomic::AtomicI64, i64);
+        instrumented_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+        impl AtomicBool {
+            /// Instrumented fetch_or.
+            pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+                Self::pause();
+                self.inner.fetch_or(v, order)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+
+    #[test]
+    fn finds_atomic_race() {
+        // A non-atomic read-modify-write over an atomic cell: two
+        // increments can both read 0, so the final value is sometimes 1.
+        let lost_update = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let a = Arc::new(AtomicU64::new(0));
+                let a2 = Arc::clone(&a);
+                let t = super::thread::spawn(move || {
+                    let v = a2.load(Ordering::SeqCst);
+                    a2.store(v + 1, Ordering::SeqCst);
+                });
+                let v = a.load(Ordering::SeqCst);
+                a.store(v + 1, Ordering::SeqCst);
+                t.join().unwrap();
+                assert_eq!(a.load(Ordering::SeqCst), 2);
+            });
+        });
+        assert!(lost_update.is_err(), "model must find the lost update");
+    }
+
+    #[test]
+    fn fetch_add_has_no_race() {
+        super::model(|| {
+            let a = Arc::new(AtomicU64::new(0));
+            let a2 = Arc::clone(&a);
+            let t = super::thread::spawn(move || {
+                a2.fetch_add(1, Ordering::SeqCst);
+            });
+            a.fetch_add(1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(a.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    #[test]
+    fn mutex_serializes() {
+        super::model(|| {
+            let m = Arc::new(Mutex::new(0u64));
+            let m2 = Arc::clone(&m);
+            let t = super::thread::spawn(move || {
+                let mut g = m2.lock().unwrap();
+                *g += 1;
+            });
+            {
+                let mut g = m.lock().unwrap();
+                *g += 1;
+            }
+            t.join().unwrap();
+            assert_eq!(*m.lock().unwrap(), 2);
+        });
+    }
+
+    #[test]
+    fn condvar_handoff_wakes() {
+        // Producer sets a flag under the mutex and notifies; consumer
+        // waits for it. A lost wakeup would deadlock the model.
+        super::model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = Arc::clone(&pair);
+            let consumer = super::thread::spawn(move || {
+                let (m, cv) = &*pair2;
+                let mut ready = m.lock().unwrap();
+                while !*ready {
+                    ready = cv.wait(ready).unwrap();
+                }
+            });
+            {
+                let (m, cv) = &*pair;
+                let mut ready = m.lock().unwrap();
+                *ready = true;
+                cv.notify_one();
+            }
+            consumer.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn detects_lost_wakeup() {
+        // Notify BEFORE the flag is set and never again after: some
+        // interleaving parks the consumer forever -> model deadlock.
+        let deadlock = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let pair = Arc::new((Mutex::new(false), Condvar::new()));
+                let pair2 = Arc::clone(&pair);
+                let consumer = super::thread::spawn(move || {
+                    let (m, cv) = &*pair2;
+                    let mut ready = m.lock().unwrap();
+                    while !*ready {
+                        ready = cv.wait(ready).unwrap();
+                    }
+                });
+                {
+                    let (m, cv) = &*pair;
+                    cv.notify_one();
+                    let mut ready = m.lock().unwrap();
+                    *ready = true;
+                    // Bug: no notify after setting the flag.
+                }
+                consumer.join().unwrap();
+            });
+        });
+        assert!(deadlock.is_err(), "model must detect the lost wakeup");
+    }
+}

@@ -464,6 +464,12 @@ mod regex_gen {
     }
 }
 
+/// Number of cases each `proptest!` test runs, honoring the standard
+/// `PROPTEST_CASES` environment variable (default 64; CI sets 256).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
 /// Everything the workspace's tests import.
 pub mod prelude {
     pub use crate::bool;
@@ -484,7 +490,7 @@ macro_rules! proptest {
         $(
             $(#[$meta])*
             fn $name() {
-                for __case in 0u64..64 {
+                for __case in 0u64..$crate::case_count() {
                     let mut __rng = $crate::TestRng::for_case(
                         concat!(module_path!(), "::", stringify!($name)),
                         __case,
