@@ -34,7 +34,7 @@ use vc_api::namespace::{Namespace, NamespacePhase};
 use vc_api::object::{Object, ResourceKind};
 use vc_api::time::{Clock, RealClock};
 use vc_obs::{current_trace, stage, CounterFamily, HistogramFamily, Observability, Tracer};
-use vc_store::{Store, StoreConfig, WatchStream};
+use vc_store::{DurabilityConfig, RecoveryReport, Store, StoreConfig, StoreError, WatchStream};
 
 /// Finalizer the apiserver puts on every namespace so contents are
 /// garbage-collected before the namespace disappears.
@@ -57,6 +57,11 @@ pub struct ApiServerConfig {
     pub queue_timeout: Duration,
     /// Store (event log / watch buffer) configuration.
     pub store: StoreConfig,
+    /// When set, the backing store is durable: writes go through a
+    /// write-ahead log in the given directory and the server recovers its
+    /// state from snapshot + WAL replay on restart (the etcd-survives-a-
+    /// restart property). `None` keeps the store purely in-memory.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ApiServerConfig {
@@ -69,6 +74,7 @@ impl Default for ApiServerConfig {
             max_queued: 10_000,
             queue_timeout: Duration::from_secs(30),
             store: StoreConfig::default(),
+            durability: None,
         }
     }
 }
@@ -159,6 +165,9 @@ pub struct ApiServer {
     pub authorizer: Authorizer,
     /// Request counters.
     pub metrics: ApiServerMetrics,
+    /// What recovery found when a durable store was opened (`None` for
+    /// in-memory servers and fresh directories report zero records).
+    recovery: Option<RecoveryReport>,
 }
 
 impl std::fmt::Debug for ApiServer {
@@ -181,9 +190,37 @@ impl ApiServer {
 
     /// Creates an apiserver with explicit config and clock.
     pub fn new(config: ApiServerConfig, clock: Arc<dyn Clock>) -> Arc<Self> {
+        Self::try_new(config, clock).expect("open apiserver store")
+    }
+
+    /// Like [`ApiServer::new`], surfacing durable-store open/recovery
+    /// failures instead of panicking. With `config.durability` set, the
+    /// backing store is recovered from (or created in) the configured WAL
+    /// directory; restarting a server on the same directory resumes the
+    /// previous state in place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] from opening or recovering the durable
+    /// store (never fails for in-memory configurations).
+    pub fn try_new(
+        config: ApiServerConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Arc<Self>, StoreError> {
+        let (store, recovery) = match &config.durability {
+            Some(durability) => {
+                let (store, report) = Store::open_durable(
+                    config.store.clone(),
+                    durability.clone(),
+                    Arc::clone(&clock),
+                )?;
+                (store, Some(report))
+            }
+            None => (Store::with_config(config.store.clone()), None),
+        };
         let gate = InflightGate::new(config.max_inflight, config.max_queued, config.queue_timeout);
         let server = Arc::new(ApiServer {
-            store: Arc::new(Store::with_config(config.store.clone())),
+            store: Arc::new(store),
             gate,
             fault_hook: RwLock::new(None),
             obs: RwLock::new(None),
@@ -196,13 +233,24 @@ impl ApiServer {
             ]),
             authorizer: Authorizer::new(),
             metrics: ApiServerMetrics::default(),
+            recovery,
         });
         for ns in ["default", "kube-system"] {
-            server
-                .create("system:bootstrap", Namespace::new(ns).into())
-                .expect("bootstrap namespaces");
+            // A recovered store already holds the bootstrap namespaces;
+            // creating them again is the expected AlreadyExists.
+            match server.create("system:bootstrap", Namespace::new(ns).into()) {
+                Ok(_) => {}
+                Err(e) if e.is_already_exists() => {}
+                Err(e) => panic!("bootstrap namespace {ns}: {e}"),
+            }
         }
-        server
+        Ok(server)
+    }
+
+    /// The recovery report from opening a durable store, if this server
+    /// was configured with durability.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// Server name.

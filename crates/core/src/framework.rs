@@ -17,6 +17,7 @@ use vc_api::time::{Clock, RealClock};
 use vc_client::{Client, FaultInjector, FaultPolicy};
 use vc_controllers::util::{wait_until, ControllerHandle};
 use vc_controllers::{Cluster, ClusterConfig};
+use vc_store::DurabilityConfig;
 
 /// Framework configuration.
 #[derive(Clone)]
@@ -38,6 +39,12 @@ pub struct FrameworkConfig {
     /// clock; tests inject a [`vc_api::time::SimClock`] to script
     /// timelines deterministically.
     pub clock: Option<Arc<dyn Clock>>,
+    /// Durability for the super cluster's store: when set, super-cluster
+    /// state is written through a WAL in the given directory and a
+    /// framework started later on the same directory resumes it in place
+    /// (crash-restart chaos tests exercise this). `None` keeps the store
+    /// in-memory, matching the paper's simulation default.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl std::fmt::Debug for FrameworkConfig {
@@ -55,6 +62,7 @@ impl Default for FrameworkConfig {
             operator: TenantOperatorConfig::default(),
             super_faults: None,
             clock: None,
+            durability: None,
         }
     }
 }
@@ -132,8 +140,9 @@ impl Framework {
     /// Starts the full deployment.
     pub fn start(config: FrameworkConfig) -> Framework {
         let clock: Arc<dyn Clock> = config.clock.clone().unwrap_or_else(RealClock::shared);
-        let super_cluster =
-            Arc::new(Cluster::start_with_clock(config.super_cluster.clone(), Arc::clone(&clock)));
+        let mut super_config = config.super_cluster.clone();
+        super_config.apiserver.durability = config.durability.clone();
+        let super_cluster = Arc::new(Cluster::start_with_clock(super_config, Arc::clone(&clock)));
         super_cluster.add_mock_nodes(config.mock_nodes).expect("register mock nodes");
         if let Some(policy) = &config.super_faults {
             let injector = FaultInjector::from_policy_with_clock(policy, Arc::clone(&clock));

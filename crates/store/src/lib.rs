@@ -47,17 +47,24 @@
 
 #![warn(missing_docs)]
 
+mod durability;
 mod handoff;
 mod shard;
+mod wal;
 pub mod watch;
 
+use durability::{Durability, SnapshotData};
 use shard::Shard;
 use std::sync::Arc;
 use vc_api::error::{ApiError, ApiResult};
 use vc_api::metrics::Counter;
 use vc_api::object::{Object, ResourceKind};
+use vc_api::time::Clock;
 use vc_sync::atomic::{AtomicU64, Ordering};
+use wal::{WalEntry, WalOp};
 
+pub use durability::{DurabilityConfig, FlushPolicy, RecoveryReport, WalStats};
+pub use wal::{CrashPoint, StoreError};
 pub use watch::{EventType, RecvOutcome, WatchEvent, WatchStream};
 
 /// Number of shards: one per [`ResourceKind`].
@@ -127,6 +134,8 @@ pub struct Store {
     /// Incrementally maintained estimated byte total (all kinds).
     bytes: AtomicU64,
     config: StoreConfig,
+    /// Durable tier (WAL + snapshots); `None` for the in-memory store.
+    durability: Option<Arc<Durability>>,
     /// Total writes (insert/update/delete) performed.
     pub writes: Counter,
     /// Total watch events fanned out to watchers (replay + live).
@@ -178,6 +187,7 @@ impl Store {
             object_count: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
             config,
+            durability: None,
             writes: Counter::new(),
             events_delivered: Counter::new(),
             watchers_evicted: Counter::new(),
@@ -218,13 +228,40 @@ impl Store {
     pub fn insert(&self, mut obj: Object) -> ApiResult<Arc<Object>> {
         let kind = obj.kind();
         let key = obj.key();
+        let mut wal_ack = None;
         let arc = self.shard(kind).publish(
             |state| {
                 if state.objects.contains_key(&key) {
                     return Err(ApiError::already_exists(kind.as_str(), key.clone()));
                 }
-                let revision = self.next_revision();
-                obj.meta_mut().resource_version = revision;
+                let revision = match self.durability.as_deref() {
+                    // Revision allocation and WAL append happen atomically
+                    // under the WAL lock (still inside the shard state
+                    // lock), so the log's byte order is the commit order.
+                    // A failed append leaves the in-memory state untouched.
+                    Some(d) => {
+                        let (revision, offset) = d
+                            .log_write(
+                                || self.next_revision(),
+                                |revision| {
+                                    obj.meta_mut().resource_version = revision;
+                                    wal::encode_entry(&WalEntry {
+                                        revision,
+                                        op: WalOp::Insert,
+                                        object: obj.clone(),
+                                    })
+                                },
+                            )
+                            .map_err(wal_unavailable)?;
+                        wal_ack = Some(offset);
+                        revision
+                    }
+                    None => {
+                        let revision = self.next_revision();
+                        obj.meta_mut().resource_version = revision;
+                        revision
+                    }
+                };
                 let arc = Arc::new(obj);
                 state.index_insert(key, Arc::clone(&arc));
                 self.object_count.fetch_add(1, Ordering::Relaxed);
@@ -243,6 +280,7 @@ impl Store {
         // is released; the atomics only need exact deltas, not lock-step
         // timing with the map.
         self.bytes.fetch_add(arc.estimated_size() as u64, Ordering::Relaxed);
+        self.durable_ack(wal_ack)?;
         Ok(arc)
     }
 
@@ -262,6 +300,7 @@ impl Store {
     ) -> ApiResult<Arc<Object>> {
         let kind = obj.kind();
         let key = obj.key();
+        let mut wal_ack = None;
         let (arc, old) = self.shard(kind).publish(
             |state| {
                 let current = state
@@ -282,8 +321,30 @@ impl Store {
                     }
                 }
                 let old = Arc::clone(current);
-                let revision = self.next_revision();
-                obj.meta_mut().resource_version = revision;
+                let revision = match self.durability.as_deref() {
+                    Some(d) => {
+                        let (revision, offset) = d
+                            .log_write(
+                                || self.next_revision(),
+                                |revision| {
+                                    obj.meta_mut().resource_version = revision;
+                                    wal::encode_entry(&WalEntry {
+                                        revision,
+                                        op: WalOp::Update,
+                                        object: obj.clone(),
+                                    })
+                                },
+                            )
+                            .map_err(wal_unavailable)?;
+                        wal_ack = Some(offset);
+                        revision
+                    }
+                    None => {
+                        let revision = self.next_revision();
+                        obj.meta_mut().resource_version = revision;
+                        revision
+                    }
+                };
                 let arc = Arc::new(obj);
                 state.index_insert(key, Arc::clone(&arc));
                 self.writes.inc();
@@ -302,6 +363,7 @@ impl Store {
         )?;
         self.bytes.fetch_add(arc.estimated_size() as u64, Ordering::Relaxed);
         self.bytes.fetch_sub(old.estimated_size() as u64, Ordering::Relaxed);
+        self.durable_ack(wal_ack)?;
         Ok(arc)
     }
 
@@ -311,12 +373,38 @@ impl Store {
     ///
     /// Returns [`ApiError::NotFound`] if absent.
     pub fn delete(&self, kind: ResourceKind, key: &str) -> ApiResult<Arc<Object>> {
+        let mut wal_ack = None;
         let removed = self.shard(kind).publish(
             |state| {
-                let removed = state
-                    .index_remove(key)
+                // Log before mutating so a dead WAL rejects the write
+                // without touching in-memory state.
+                let current = state
+                    .objects
+                    .get(key)
                     .ok_or_else(|| ApiError::not_found(kind.as_str(), key))?;
-                let revision = self.next_revision();
+                let revision = match self.durability.as_deref() {
+                    Some(d) => {
+                        let (revision, offset) = d
+                            .log_write(
+                                || self.next_revision(),
+                                |revision| {
+                                    // A delete does not bump the object's
+                                    // resource_version; the record carries
+                                    // its last state for event replay.
+                                    wal::encode_entry(&WalEntry {
+                                        revision,
+                                        op: WalOp::Delete,
+                                        object: (**current).clone(),
+                                    })
+                                },
+                            )
+                            .map_err(wal_unavailable)?;
+                        wal_ack = Some(offset);
+                        revision
+                    }
+                    None => self.next_revision(),
+                };
+                let removed = state.index_remove(key).expect("checked present above");
                 self.object_count.fetch_sub(1, Ordering::Relaxed);
                 self.writes.inc();
                 let event = WatchEvent {
@@ -333,6 +421,7 @@ impl Store {
             },
         )?;
         self.bytes.fetch_sub(removed.estimated_size() as u64, Ordering::Relaxed);
+        self.durable_ack(wal_ack)?;
         Ok(removed)
     }
 
@@ -493,6 +582,252 @@ impl Store {
             self.watchers_swept.add(swept);
         }
     }
+
+    // ---------------------------------------------------------------
+    // Durable tier
+    // ---------------------------------------------------------------
+
+    /// Opens (or recovers) a durable store in `durability.dir`.
+    ///
+    /// Recovery loads `snapshot.snap` (if present), replays every WAL
+    /// record above the snapshot revision in commit order — rebuilding the
+    /// object maps, namespace indexes, event logs, compaction floors and
+    /// the global revision counter — and then opens a fresh WAL segment
+    /// for new writes. A torn record at the tail of the newest segment is
+    /// the expected crash boundary: it is truncated and reported, not an
+    /// error. Damage anywhere else surfaces as [`StoreError::Corrupt`].
+    ///
+    /// `clock` drives the group-commit flush window, so tests using
+    /// `SimClock` stay deterministic.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] for filesystem failures, [`StoreError::Corrupt`]
+    /// for checksum mismatches, torn frames in retired segments, damaged
+    /// snapshots or non-monotonic revisions.
+    pub fn open_durable(
+        config: StoreConfig,
+        durability: DurabilityConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<(Store, RecoveryReport), StoreError> {
+        let recovered = durability::recover_dir(&durability.dir)?;
+        let mut store = Store::with_config(config);
+        let mut report = RecoveryReport { torn_tail: recovered.torn_tail, ..Default::default() };
+
+        if let Some(snapshot) = recovered.snapshot {
+            report.snapshot_revision = snapshot.revision;
+            for arc in snapshot.objects {
+                let kind = arc.kind();
+                let key = arc.key();
+                let mut state = store.shards[kind as usize].state();
+                store.bytes.fetch_add(arc.estimated_size() as u64, Ordering::Relaxed);
+                store.object_count.fetch_add(1, Ordering::Relaxed);
+                state.index_insert(key, arc);
+            }
+            for (revision, op, object) in snapshot.events {
+                let kind = object.kind();
+                let event = WatchEvent { revision, event_type: op.event_type(), object };
+                // Push directly: the snapshot preserved the log exactly as
+                // compaction left it, so no re-compaction on load.
+                store.shards[kind as usize].state().event_log.push_back(event);
+            }
+            for (i, floor) in snapshot.floors.iter().enumerate() {
+                if let Some(shard) = store.shards.get(i) {
+                    shard.state().compacted_floor = *floor;
+                }
+            }
+            store.revision.store(snapshot.revision, Ordering::Relaxed);
+        }
+
+        for entry in recovered.entries {
+            store.apply_recovered(entry);
+            report.wal_records_applied += 1;
+        }
+        report.recovered_revision = store.revision();
+
+        store.durability = Some(Durability::open(durability, clock, recovered.next_seq)?);
+        Ok((store, report))
+    }
+
+    /// Applies one replayed WAL record to the in-memory state, maintaining
+    /// the incremental object/byte counters exactly like the live write
+    /// path so recovery cannot drift from a from-scratch recount.
+    fn apply_recovered(&self, entry: WalEntry) {
+        let kind = entry.object.kind();
+        let key = entry.object.key();
+        let revision = entry.revision;
+        let mut state = self.shards[kind as usize].state();
+        let event_object = match entry.op {
+            WalOp::Insert | WalOp::Update => {
+                let arc = Arc::new(entry.object);
+                self.bytes.fetch_add(arc.estimated_size() as u64, Ordering::Relaxed);
+                match state.index_insert(key, Arc::clone(&arc)) {
+                    Some(old) => {
+                        self.bytes.fetch_sub(old.estimated_size() as u64, Ordering::Relaxed);
+                    }
+                    None => {
+                        self.object_count.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                arc
+            }
+            WalOp::Delete => {
+                if let Some(removed) = state.index_remove(&key) {
+                    self.bytes.fetch_sub(removed.estimated_size() as u64, Ordering::Relaxed);
+                    self.object_count.fetch_sub(1, Ordering::Relaxed);
+                }
+                Arc::new(entry.object)
+            }
+        };
+        let event =
+            WatchEvent { revision, event_type: entry.op.event_type(), object: event_object };
+        state.append_event(event, self.config.event_log_capacity);
+        self.revision.store(revision, Ordering::Relaxed);
+    }
+
+    /// Completes a durable write after the shard lock is released: inline
+    /// fsync for `PerWrite`, block on the covering group fsync for
+    /// `GroupCommit`, nothing for `Async`. The write is already visible to
+    /// readers at this point — durability lags visibility by at most one
+    /// flush window (documented in DESIGN.md §13).
+    fn durable_ack(&self, offset: Option<u64>) -> ApiResult<()> {
+        let (Some(d), Some(offset)) = (self.durability.as_deref(), offset) else {
+            return Ok(());
+        };
+        match d.config.flush {
+            FlushPolicy::PerWrite => d.flush().map_err(wal_unavailable)?,
+            FlushPolicy::GroupCommit { .. } => {
+                d.wal.wait_durable(offset).map_err(wal_unavailable)?
+            }
+            FlushPolicy::Async { .. } => {}
+        }
+        self.maybe_auto_snapshot(d);
+        Ok(())
+    }
+
+    /// Cuts a snapshot when the configured write threshold is reached and
+    /// no other cut is in flight. Failures are swallowed: the WAL still
+    /// holds every record, so a missed snapshot only delays compaction.
+    fn maybe_auto_snapshot(&self, d: &Durability) {
+        let every = d.config.snapshot_every_writes;
+        if every == 0 {
+            return;
+        }
+        let n = d.writes_since_snapshot.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        if n < every {
+            return;
+        }
+        if let Some(_guard) = d.snapshot_try_guard() {
+            if let Ok(data) = self.collect_cut(d) {
+                let _ = d.write_snapshot(&data);
+            }
+        }
+    }
+
+    /// Writes a snapshot of the current state and retires WAL segments it
+    /// covers. Returns `false` (and does nothing) on a non-durable store.
+    ///
+    /// The cut is consistent: all shard state locks are held (in kind
+    /// order) while the revision, objects, event logs and floors are
+    /// captured and the WAL is rotated, so the snapshot plus the new
+    /// segment is exactly the store's history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] from serialization or the filesystem.
+    pub fn snapshot_now(&self) -> Result<bool, StoreError> {
+        let Some(d) = self.durability.as_deref() else {
+            return Ok(false);
+        };
+        let _guard = d.snapshot_guard();
+        let data = self.collect_cut(d)?;
+        d.write_snapshot(&data)?;
+        Ok(true)
+    }
+
+    /// Captures a consistent cut under every shard state lock and rotates
+    /// the WAL before releasing them. Only `Arc`s are cloned under the
+    /// locks; serialization happens later, outside them.
+    fn collect_cut(&self, d: &Durability) -> Result<SnapshotData, StoreError> {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.state()).collect();
+        let revision = self.revision.load(Ordering::Relaxed);
+        let mut objects = Vec::with_capacity(self.len());
+        let mut events = Vec::new();
+        let mut floors = Vec::with_capacity(self.shards.len());
+        for state in &guards {
+            floors.push(state.compacted_floor);
+            objects.extend(state.objects.values().cloned());
+            for ev in &state.event_log {
+                events.push((ev.revision, WalOp::of_event(ev.event_type), Arc::clone(&ev.object)));
+            }
+        }
+        // Rotate while still holding the locks: every record at or below
+        // `revision` is in the retiring segments, everything after goes to
+        // the fresh one.
+        d.rotate_wal()?;
+        drop(guards);
+        Ok(SnapshotData { revision, floors, objects, events })
+    }
+
+    /// Flushes (write + fsync) any batched WAL records immediately,
+    /// regardless of flush policy. No-op on a non-durable store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL I/O failures (including an injected crash firing).
+    pub fn flush_wal(&self) -> Result<(), StoreError> {
+        match self.durability.as_deref() {
+            Some(d) => d.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Arms an injected crash point on the durable tier (chaos tests): the
+    /// next flush or snapshot dies at that point, leaving the directory
+    /// exactly as a `kill -9` would, and every later durable operation
+    /// fails. No-op on a non-durable store.
+    pub fn inject_crash(&self, point: CrashPoint) {
+        if let Some(d) = self.durability.as_deref() {
+            d.arm_crash(point);
+        }
+    }
+
+    /// Durable-tier activity counters, when durability is enabled.
+    pub fn wal_stats(&self) -> Option<&WalStats> {
+        self.durability.as_deref().map(|d| &d.stats)
+    }
+
+    /// Walks every shard and recounts objects and estimated bytes from
+    /// scratch — the ground truth the incremental [`Store::len`] /
+    /// [`Store::estimated_bytes`] counters must match (recovery asserts
+    /// this; drift means the incremental path missed a transition).
+    pub fn recount(&self) -> (usize, usize) {
+        let mut count = 0usize;
+        let mut bytes = 0usize;
+        for shard in &self.shards {
+            let state = shard.state();
+            count += state.objects.len();
+            bytes += state.objects.values().map(|o| o.estimated_size()).sum::<usize>();
+        }
+        (count, bytes)
+    }
+}
+
+impl Drop for Store {
+    /// Stops the flusher thread and performs a final WAL flush (skipped if
+    /// an injected crash already killed the WAL — the point of the crash
+    /// is that nothing more reaches disk).
+    fn drop(&mut self) {
+        if let Some(d) = self.durability.take() {
+            d.shutdown();
+        }
+    }
+}
+
+/// Maps a durability failure onto the API error surface: the store cannot
+/// currently accept durable writes.
+fn wal_unavailable(err: StoreError) -> ApiError {
+    ApiError::unavailable(format!("durable store: {err}"))
 }
 
 #[cfg(test)]
