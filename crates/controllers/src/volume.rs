@@ -400,7 +400,11 @@ mod tests {
                 .and_then(|o| PersistentVolume::try_from(o).ok())
                 .is_some_and(|pv| pv.phase == VolumePhase::Released)
         }));
-        assert_eq!(metrics.released.get(), 1);
+        // The counter is bumped after the phase update lands, so poll it
+        // too rather than racing the reconciler's last instruction.
+        assert!(wait_until(Duration::from_secs(5), Duration::from_millis(20), || {
+            metrics.released.get() == 1
+        }));
         handle.stop();
     }
 }

@@ -18,7 +18,7 @@
 
 use crate::wal::{
     self, decode_frame, encode_frame, CrashPoint, Frame, StoreError, Wal, WalEntry, WalOp,
-    SNAP_MAGIC,
+    SNAP_MAGIC, WAL_MAGIC,
 };
 use serde::{Deserialize, Serialize};
 use std::fs::{self, File, OpenOptions};
@@ -101,6 +101,13 @@ pub struct WalStats {
     pub bytes_appended: Counter,
     /// Snapshots successfully written.
     pub snapshots: Counter,
+    /// Group-commit flushes that failed. The WAL is fail-stop, so after
+    /// the first real failure every durable write errors out.
+    pub flush_failures: Counter,
+    /// Auto-snapshot attempts that failed (cut or write error). A
+    /// persistently failing snapshot means the WAL keeps growing until
+    /// one succeeds — watch this counter.
+    pub snapshot_failures: Counter,
 }
 
 /// One frame payload inside a snapshot file: metadata first, then the
@@ -216,7 +223,15 @@ impl Durability {
                         if engine.wal.is_crashed() {
                             return;
                         }
-                        let _ = engine.flush();
+                        if engine.flush().is_err() {
+                            // The WAL is fail-stop: a flush error (real
+                            // I/O failure or injected crash) killed it,
+                            // the failure is counted in
+                            // `stats.flush_failures`, and every pending
+                            // and future writer gets the error — nothing
+                            // left for the flusher to do.
+                            return;
+                        }
                         if engine.stop.load(Ordering::Relaxed) {
                             return;
                         }
@@ -228,10 +243,16 @@ impl Durability {
         Ok(durability)
     }
 
-    /// Writes and fsyncs the pending batch (one group commit).
+    /// Writes and fsyncs the pending batch (one group commit). Failures
+    /// are counted in [`WalStats::flush_failures`] before propagating.
     pub(crate) fn flush(&self) -> Result<(), StoreError> {
-        if self.wal.flush()? {
-            self.stats.fsyncs.inc();
+        match self.wal.flush() {
+            Ok(true) => self.stats.fsyncs.inc(),
+            Ok(false) => {}
+            Err(e) => {
+                self.stats.flush_failures.inc();
+                return Err(e);
+            }
         }
         Ok(())
     }
@@ -493,14 +514,25 @@ pub(crate) fn recover_dir(dir: &Path) -> Result<Recovered, StoreError> {
         }
         if let Some(offset) = torn_at {
             torn_tail = true;
-            // Truncate the torn record so this segment reads clean if it
-            // is no longer the active one on the next recovery.
-            let file = OpenOptions::new()
-                .write(true)
-                .open(path)
-                .map_err(|e| StoreError::io("open segment for truncate", e))?;
-            file.set_len(offset).map_err(|e| StoreError::io("truncate torn tail", e))?;
-            file.sync_all().map_err(|e| StoreError::io("fsync truncated segment", e))?;
+            if offset < WAL_MAGIC.len() as u64 {
+                // The active segment died before even its magic reached
+                // disk: no frame can exist. Delete it — truncating would
+                // leave a sub-magic segment that, once it is no longer
+                // the active one, the next recovery rejects as "bad
+                // segment magic".
+                fs::remove_file(path)
+                    .map_err(|e| StoreError::io("remove headerless segment", e))?;
+                sync_dir(dir)?;
+            } else {
+                // Truncate the torn record so this segment reads clean
+                // if it is no longer the active one on the next recovery.
+                let file = OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .map_err(|e| StoreError::io("open segment for truncate", e))?;
+                file.set_len(offset).map_err(|e| StoreError::io("truncate torn tail", e))?;
+                file.sync_all().map_err(|e| StoreError::io("fsync truncated segment", e))?;
+            }
         }
     }
     Ok(Recovered { snapshot, entries, torn_tail, next_seq: last_seq + 1 })

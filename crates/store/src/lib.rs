@@ -706,8 +706,11 @@ impl Store {
     }
 
     /// Cuts a snapshot when the configured write threshold is reached and
-    /// no other cut is in flight. Failures are swallowed: the WAL still
-    /// holds every record, so a missed snapshot only delays compaction.
+    /// no other cut is in flight. Failures don't fail the triggering
+    /// write — the WAL still holds every record, so a missed snapshot
+    /// only delays compaction — but they are counted in
+    /// [`WalStats::snapshot_failures`]: a persistently failing snapshot
+    /// means unbounded WAL growth.
     fn maybe_auto_snapshot(&self, d: &Durability) {
         let every = d.config.snapshot_every_writes;
         if every == 0 {
@@ -718,8 +721,8 @@ impl Store {
             return;
         }
         if let Some(_guard) = d.snapshot_try_guard() {
-            if let Ok(data) = self.collect_cut(d) {
-                let _ = d.write_snapshot(&data);
+            if self.collect_cut(d).and_then(|data| d.write_snapshot(&data)).is_err() {
+                d.stats.snapshot_failures.inc();
             }
         }
     }

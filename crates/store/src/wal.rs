@@ -263,17 +263,21 @@ pub enum CrashPoint {
 /// Mutable WAL state: the open segment plus the unflushed batch.
 struct WalState {
     file: File,
-    /// Bytes appended (batched) since the segment was opened, including
-    /// what is already flushed.
+    /// Logical bytes appended (batched) over the WAL's lifetime,
+    /// including what is already flushed. Monotonic across segment
+    /// rotations — these are ack tokens for [`Wal::wait_durable`], not
+    /// file offsets.
     appended: u64,
-    /// Bytes durably fsynced to the segment file.
+    /// Logical bytes durably fsynced; same monotonic coordinate space as
+    /// `appended`.
     synced: u64,
     /// The pending batch: encoded frames not yet written to the file.
     batch: Vec<u8>,
     /// Armed crash point, consumed by the next flush/snapshot.
     armed_crash: Option<CrashPoint>,
-    /// Set once the WAL has "died" (injected crash); every durable
-    /// operation afterwards fails and nothing more reaches disk.
+    /// Set once the WAL has "died" — an injected crash or a real
+    /// write/fsync failure; every durable operation afterwards fails and
+    /// nothing more reaches disk.
     crashed: bool,
 }
 
@@ -321,7 +325,12 @@ impl Wal {
     /// WAL lock, so WAL byte order always equals revision order even when
     /// writers on different shards race. Returns
     /// `(revision, ack offset, frame bytes)`; fails — without burning a
-    /// revision — if the WAL is dead.
+    /// revision — if the WAL is dead, and rejects frames whose payload
+    /// exceeds [`MAX_FRAME_LEN`] (decode would read them back as
+    /// corruption, so letting one reach disk poisons every later
+    /// recovery). An oversized write burns its revision; the resulting
+    /// WAL gap is legal — recovery only rejects revisions moving
+    /// backwards.
     pub(crate) fn append_allocating(
         &self,
         alloc: impl FnOnce() -> u64,
@@ -329,13 +338,20 @@ impl Wal {
     ) -> Result<(u64, u64, u64), StoreError> {
         let mut state = self.state.lock();
         if state.crashed {
-            return Err(StoreError::io(
-                "append after crash",
-                std::io::Error::other("wal is dead (injected crash)"),
-            ));
+            return Err(StoreError::io("append after crash", std::io::Error::other("wal is dead")));
         }
         let revision = alloc();
         let frame = encode(revision);
+        let payload_len = frame.len() - FRAME_HEADER;
+        if payload_len > MAX_FRAME_LEN {
+            return Err(StoreError::io(
+                "append",
+                std::io::Error::other(format!(
+                    "record payload of {payload_len} bytes exceeds the \
+                     {MAX_FRAME_LEN}-byte frame limit"
+                )),
+            ));
+        }
         state.batch.extend_from_slice(&frame);
         state.appended += frame.len() as u64;
         Ok((revision, state.appended, frame.len() as u64))
@@ -351,10 +367,7 @@ impl Wal {
 
     fn flush_locked(&self, state: &mut WalState) -> Result<bool, StoreError> {
         if state.crashed {
-            return Err(StoreError::io(
-                "flush after crash",
-                std::io::Error::other("wal is dead (injected crash)"),
-            ));
+            return Err(StoreError::io("flush after crash", std::io::Error::other("wal is dead")));
         }
         match state.armed_crash.take() {
             Some(CrashPoint::MidBatchAppend) => {
@@ -390,22 +403,30 @@ impl Wal {
             return Ok(false);
         }
         let batch = std::mem::take(&mut state.batch);
-        state.file.write_all(&batch).map_err(|e| StoreError::io("write batch", e))?;
-        state.file.sync_all().map_err(|e| StoreError::io("fsync batch", e))?;
+        if let Err(e) = state.file.write_all(&batch).and_then(|()| state.file.sync_all()) {
+            // After a failed write or fsync the batch's durability is
+            // unknown and the records are gone from the in-memory batch:
+            // fail-stop so GroupCommit waiters error out instead of
+            // hanging and no later append acks on top of a hole.
+            self.die(state);
+            return Err(StoreError::io("write+fsync batch", e));
+        }
         state.synced = state.appended;
         self.synced_cond.notify_all();
         Ok(true)
     }
 
+    /// Marks the WAL dead (injected crash or real flush failure): wakes
+    /// blocked writers so they observe the death, and every durable
+    /// operation afterwards fails.
     fn die(&self, state: &mut WalState) {
         state.crashed = true;
         state.batch.clear();
-        // Wake blocked GroupCommit writers so they observe the death.
         self.synced_cond.notify_all();
     }
 
     /// Blocks until `offset` is durably synced. Errors if the WAL died
-    /// (injected crash) before the record landed.
+    /// (injected crash or flush failure) before the record landed.
     pub(crate) fn wait_durable(&self, offset: u64) -> Result<(), StoreError> {
         let mut state = self.state.lock();
         while state.synced < offset && !state.crashed {
@@ -440,7 +461,8 @@ impl Wal {
         }
     }
 
-    /// Returns `true` once an injected crash killed this WAL.
+    /// Returns `true` once this WAL died (injected crash or real flush
+    /// failure).
     pub(crate) fn is_crashed(&self) -> bool {
         self.state.lock().crashed
     }
@@ -457,11 +479,16 @@ impl Wal {
         let mut state = self.state.lock();
         self.flush_locked(&mut state)?;
         let fresh = Wal::create(dir, seq)?;
-        // Carry the armed crash point across the swap — a mid-snapshot
-        // crash is armed before rotation but fires after it.
-        let armed = state.armed_crash.take();
-        *state = fresh.state.into_inner();
-        state.armed_crash = armed;
+        // Swap only the file handle. `appended`/`synced` are logical ack
+        // tokens and must stay monotonic across rotations: a GroupCommit
+        // writer may still be parked in `wait_durable` on an offset from
+        // the retiring segment (`durable_ack` runs after the shard locks
+        // drop, so it can interleave with a snapshot cut), and resetting
+        // the counters would strand it forever. The batch is empty and
+        // `synced == appended` after the pre-rotation flush; the armed
+        // crash point stays put — a mid-snapshot crash is armed before
+        // rotation but fires after it.
+        state.file = fresh.state.into_inner().file;
         Ok(())
     }
 }
@@ -524,10 +551,41 @@ pub(crate) fn read_segment(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
     use vc_api::pod::Pod;
 
     fn entry(revision: u64) -> WalEntry {
         WalEntry { revision, op: WalOp::Insert, object: Pod::new("ns", "p").into() }
+    }
+
+    /// Fresh scratch directory (no tempfile crate: pid + counter keeps
+    /// parallel tests apart).
+    fn scratch(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "vc-store-wal-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// A `Wal` over an arbitrary file handle (no segment naming), for
+    /// driving real I/O failures through the flush path.
+    fn wal_on(file: File) -> Wal {
+        Wal {
+            state: Mutex::new(WalState {
+                file,
+                appended: 0,
+                synced: 0,
+                batch: Vec::new(),
+                armed_crash: None,
+                crashed: false,
+            }),
+            synced_cond: Condvar::new(),
+        }
     }
 
     #[test]
@@ -591,6 +649,60 @@ mod tests {
             }
             _ => panic!("frame must decode"),
         }
+    }
+
+    #[test]
+    fn ack_offsets_stay_monotonic_across_rotation() {
+        let dir = scratch("rotate");
+        let wal = Wal::create(&dir, 1).unwrap();
+        let (_, off1, _) = wal.append_allocating(|| 1, |r| encode_entry(&entry(r))).unwrap();
+        // rotate() flushes the pending batch itself, exactly like the
+        // snapshot-cut path.
+        wal.rotate(&dir, 2).unwrap();
+        // A writer parked on a retired-segment offset must see it as
+        // durable — a regression here hangs this call forever.
+        wal.wait_durable(off1).unwrap();
+        let (_, off2, _) = wal.append_allocating(|| 2, |r| encode_entry(&entry(r))).unwrap();
+        assert!(off2 > off1, "ack offsets reset across rotation: {off2} <= {off1}");
+        wal.flush().unwrap();
+        wal.wait_durable(off2).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn real_flush_failure_is_fail_stop_not_a_hang() {
+        // /dev/full accepts the open but fails every write with ENOSPC —
+        // a real I/O failure, not an injected crash.
+        let Ok(full) = OpenOptions::new().write(true).open("/dev/full") else {
+            return; // platform without /dev/full
+        };
+        let wal = wal_on(full);
+        let (_, offset, _) = wal.append_allocating(|| 1, |r| encode_entry(&entry(r))).unwrap();
+        let err = wal.flush().expect_err("write to /dev/full must fail");
+        assert!(!err.is_corrupt(), "{err}");
+        assert!(wal.is_crashed(), "flush failure must kill the WAL");
+        // Waiters error out instead of hanging on a record that was
+        // dropped from the batch, and later appends are refused.
+        wal.wait_durable(offset).expect_err("waiter must observe the death");
+        wal.append_allocating(|| 2, |r| encode_entry(&entry(r)))
+            .expect_err("append after flush failure must fail");
+    }
+
+    #[test]
+    fn oversized_record_is_rejected_before_reaching_disk() {
+        let dir = scratch("oversize");
+        let wal = Wal::create(&dir, 1).unwrap();
+        let err = wal
+            .append_allocating(|| 1, |_| vec![0u8; FRAME_HEADER + MAX_FRAME_LEN + 1])
+            .expect_err("payload beyond MAX_FRAME_LEN must be rejected");
+        assert!(!err.is_corrupt(), "{err}");
+        assert!(err.to_string().contains("frame limit"), "{err}");
+        assert_eq!(wal.pending_bytes(), 0, "the oversized frame must not be batched");
+        // The WAL stays alive: a normal append still commits.
+        let (_, offset, _) = wal.append_allocating(|| 2, |r| encode_entry(&entry(r))).unwrap();
+        wal.flush().unwrap();
+        wal.wait_durable(offset).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -333,6 +333,67 @@ fn truncated_tail_is_a_clean_shutdown_boundary() {
 }
 
 #[test]
+fn headerless_active_segment_survives_repeated_recovery() {
+    let dir = scratch_dir("headerless");
+    let (store, _) = open(StoreConfig::default(), per_write(&dir));
+    store.insert(pod("ns", "a")).unwrap();
+    drop(store);
+
+    // Simulate a crash right after the next segment file was created but
+    // before its 8-byte magic reached disk.
+    let newest = newest_segment(&dir);
+    let seq: u64 = newest
+        .file_name()
+        .and_then(|n| n.to_str())
+        .and_then(|n| n.trim_start_matches("wal-").trim_end_matches(".log").parse().ok())
+        .unwrap();
+    let stub = dir.join(format!("wal-{:010}.log", seq + 1));
+    std::fs::write(&stub, b"VC").unwrap();
+
+    let (recovered, report) = open(StoreConfig::default(), per_write(&dir));
+    assert!(report.torn_tail, "a sub-magic active segment is a torn tail");
+    assert_eq!(recovered.revision(), 1);
+    assert!(!stub.exists(), "the headerless segment must be deleted, not truncated to 0");
+    drop(recovered);
+
+    // Second recovery: the stub would no longer be the active segment.
+    // Had it been left behind as a 0-byte file, this open would fail
+    // with "bad segment magic".
+    let (again, report) = open(StoreConfig::default(), per_write(&dir));
+    assert!(!report.torn_tail);
+    assert_eq!(again.revision(), 1);
+    assert_eq!(keys(&again, ResourceKind::Pod), vec!["ns/a"]);
+    assert_counters_consistent(&again);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_auto_snapshot_is_counted_and_write_still_succeeds() {
+    let dir = scratch_dir("snapfail");
+    let dur = per_write(&dir).with_snapshot_every(3);
+    let (store, _) = open(StoreConfig::default(), dur);
+    store.insert(pod("ns", "a")).unwrap();
+    store.insert(pod("ns", "b")).unwrap();
+    store.inject_crash(CrashPoint::MidSnapshot);
+    // The third durable write crosses the snapshot threshold; the cut
+    // dies at the injected point but the triggering write is already
+    // durable and must succeed.
+    store.insert(pod("ns", "c")).unwrap();
+    let stats = store.wal_stats().unwrap();
+    assert_eq!(stats.snapshot_failures.get(), 1, "failed auto-snapshot must be observable");
+    assert_eq!(stats.snapshots.get(), 0);
+    drop(store);
+
+    // Nothing was lost: every record is still in the WAL.
+    let (recovered, report) = open(StoreConfig::default(), per_write(&dir));
+    assert_eq!(report.snapshot_revision, 0, "no snapshot was completed");
+    assert_eq!(recovered.revision(), 3);
+    assert_eq!(recovered.len(), 3);
+    assert_counters_consistent(&recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn corrupt_snapshot_is_typed_corruption() {
     let dir = scratch_dir("snapflip");
     let (store, _) = open(StoreConfig::default(), per_write(&dir));
