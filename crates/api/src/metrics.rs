@@ -84,13 +84,24 @@ impl Gauge {
     }
 }
 
-/// A latency histogram with exact percentiles.
+/// Raw samples a [`Histogram`] retains for percentile and bucket
+/// computation. Count, sum, min and max stay exact forever; beyond this
+/// many observations the retained set becomes a sliding window of the
+/// most recent samples, so percentiles reflect recent behavior and a
+/// long-lived cell's memory is bounded (128 KiB) instead of growing with
+/// every observation. At 1,000+ tenants × per-tenant histogram cells,
+/// unbounded retention is the dominant memory leak under churn.
+pub const HISTOGRAM_RETAINED_SAMPLES: usize = 16_384;
+
+/// A latency histogram with exact percentiles over a bounded window.
 ///
 /// Samples are recorded in milliseconds. In addition to configurable
 /// bucket counts (used to print the paper's histogram figures and Table I),
-/// all raw samples are retained so percentiles are exact rather than
-/// interpolated — the experiments record at most a few hundred thousand
-/// samples, so memory is not a concern.
+/// the most recent [`HISTOGRAM_RETAINED_SAMPLES`] raw samples are retained
+/// so percentiles are exact rather than interpolated — exact over the
+/// whole run until the window fills, then over the most recent window.
+/// `count`, `sum`, `mean`, `min` and `max` are always exact over every
+/// observation.
 ///
 /// # Examples
 ///
@@ -105,20 +116,58 @@ impl Gauge {
 /// assert_eq!(h.percentile(0.5), 30);
 /// assert_eq!(h.max(), 50);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Histogram {
-    samples: Mutex<Vec<u64>>,
+    /// Retained samples; a ring once `HISTOGRAM_RETAINED_SAMPLES` is
+    /// reached (`next` is the overwrite position).
+    window: Mutex<SampleWindow>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    /// `u64::MAX` sentinel while empty.
+    min: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct SampleWindow {
+    buf: Vec<u64>,
+    next: usize,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
 }
 
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Histogram { samples: Mutex::new(Vec::new()) }
+        Histogram {
+            window: Mutex::new(SampleWindow::default()),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
     }
 
     /// Records a sample in milliseconds.
     pub fn observe_ms(&self, ms: u64) {
-        self.samples.lock().push(ms);
+        {
+            let mut w = self.window.lock();
+            if w.buf.len() < HISTOGRAM_RETAINED_SAMPLES {
+                w.buf.push(ms);
+            } else {
+                let slot = w.next;
+                w.buf[slot] = ms;
+                w.next = (slot + 1) % HISTOGRAM_RETAINED_SAMPLES;
+            }
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ms, Ordering::Relaxed);
+        self.max.fetch_max(ms, Ordering::Relaxed);
+        self.min.fetch_min(ms, Ordering::Relaxed);
     }
 
     /// Records a [`Duration`] sample.
@@ -126,15 +175,21 @@ impl Histogram {
         self.observe_ms(d.as_millis() as u64);
     }
 
-    /// Returns the number of recorded samples.
+    /// Returns the number of recorded samples (exact over every
+    /// observation, not just the retained window).
     pub fn count(&self) -> usize {
-        self.samples.lock().len()
+        self.count.load(Ordering::Relaxed) as usize
     }
 
-    /// Returns the exact `q`-quantile (0.0 ..= 1.0) in milliseconds, or 0 if
-    /// empty. Uses the nearest-rank method.
+    /// Returns the sum of all recorded samples in milliseconds (exact).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Returns the exact `q`-quantile (0.0 ..= 1.0) in milliseconds over
+    /// the retained window, or 0 if empty. Uses the nearest-rank method.
     pub fn percentile(&self, q: f64) -> u64 {
-        let mut samples = self.samples.lock().clone();
+        let mut samples = self.window.lock().buf.clone();
         if samples.is_empty() {
             return 0;
         }
@@ -143,53 +198,65 @@ impl Histogram {
         samples[rank - 1]
     }
 
-    /// Returns the arithmetic mean in milliseconds (0 if empty).
+    /// Returns the arithmetic mean in milliseconds over every observation
+    /// (0 if empty).
     pub fn mean(&self) -> f64 {
-        let samples = self.samples.lock();
-        if samples.is_empty() {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
             return 0.0;
         }
-        samples.iter().sum::<u64>() as f64 / samples.len() as f64
+        self.sum.load(Ordering::Relaxed) as f64 / count as f64
     }
 
-    /// Returns the maximum sample (0 if empty).
+    /// Returns the maximum sample over every observation (0 if empty).
     pub fn max(&self) -> u64 {
-        self.samples.lock().iter().copied().max().unwrap_or(0)
+        self.max.load(Ordering::Relaxed)
     }
 
-    /// Returns the minimum sample (0 if empty).
+    /// Returns the minimum sample over every observation (0 if empty).
     pub fn min(&self) -> u64 {
-        self.samples.lock().iter().copied().min().unwrap_or(0)
+        match self.min.load(Ordering::Relaxed) {
+            u64::MAX => 0,
+            min => min,
+        }
     }
 
-    /// Buckets the samples by `width_ms`, returning counts for
-    /// `[0,w), [w,2w), …` up to and including the bucket holding the max.
+    /// Buckets the retained samples by `width_ms`, returning counts for
+    /// `[0,w), [w,2w), …` up to and including the bucket holding the max
+    /// retained sample.
     ///
     /// This is the representation used by the paper's Fig 7 histograms and
     /// Table I bucket counts (bucket unit = 2 seconds there).
     pub fn buckets(&self, width_ms: u64) -> Vec<usize> {
         assert!(width_ms > 0, "bucket width must be positive");
-        let samples = self.samples.lock();
-        if samples.is_empty() {
+        let w = self.window.lock();
+        if w.buf.is_empty() {
             return Vec::new();
         }
-        let max = samples.iter().copied().max().unwrap_or(0);
+        let max = w.buf.iter().copied().max().unwrap_or(0);
         let n = (max / width_ms + 1) as usize;
         let mut buckets = vec![0usize; n];
-        for &s in samples.iter() {
+        for &s in w.buf.iter() {
             buckets[(s / width_ms) as usize] += 1;
         }
         buckets
     }
 
-    /// Returns a copy of the raw samples.
+    /// Returns a copy of the retained samples (unordered once the window
+    /// has wrapped).
     pub fn snapshot(&self) -> Vec<u64> {
-        self.samples.lock().clone()
+        self.window.lock().buf.clone()
     }
 
-    /// Removes all samples.
+    /// Removes all samples and zeroes the exact counters.
     pub fn reset(&self) {
-        self.samples.lock().clear();
+        let mut w = self.window.lock();
+        w.buf.clear();
+        w.next = 0;
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
     }
 }
 
@@ -305,6 +372,26 @@ mod tests {
         assert_eq!(h.snapshot(), vec![7]);
         h.reset();
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn histogram_window_bounds_retention_but_keeps_exact_totals() {
+        let h = Histogram::new();
+        let total = (HISTOGRAM_RETAINED_SAMPLES + 100) as u64;
+        for ms in 0..total {
+            h.observe_ms(ms);
+        }
+        // Count/sum/min/max stay exact past the window.
+        assert_eq!(h.count() as u64, total);
+        assert_eq!(h.sum(), total * (total - 1) / 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), total - 1);
+        // Retention is bounded; the window holds the most recent samples,
+        // so the retained minimum has moved past the overwritten prefix.
+        let snap = h.snapshot();
+        assert_eq!(snap.len(), HISTOGRAM_RETAINED_SAMPLES);
+        assert_eq!(snap.iter().copied().min().unwrap(), 100);
+        assert_eq!(h.percentile(1.0), total - 1);
     }
 
     #[test]

@@ -325,9 +325,17 @@ impl ApiServer {
     }
 
     /// Detaches the observability hook attached by
-    /// [`ApiServer::attach_observability`].
+    /// [`ApiServer::attach_observability`] and reclaims this server's
+    /// cells from the shared metric families. Without the reclaim, every
+    /// tenant control plane ever attached would leave its
+    /// `server="<scope>"` cells behind in the registry — a label-space
+    /// leak that grows without bound under tenant onboarding/teardown
+    /// churn.
     pub fn detach_observability(&self) {
-        *self.obs.write() = None;
+        if let Some(hook) = self.obs.write().take() {
+            hook.requests.remove_label_value("server", &hook.scope);
+            hook.duration.remove_label_value("server", &hook.scope);
+        }
     }
 
     /// Records a client-side wait (e.g. rate-limiter throttling before a

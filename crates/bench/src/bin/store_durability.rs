@@ -55,6 +55,8 @@ struct ModeResult {
     wal_appends: u64,
     wal_fsyncs: u64,
     wal_bytes: u64,
+    wal_flush_failures: u64,
+    wal_snapshot_failures: u64,
 }
 
 impl ModeResult {
@@ -99,10 +101,18 @@ fn run_mode(label: &'static str, store: Arc<Store>) -> ModeResult {
         latencies.extend(h.join().unwrap());
     }
     let wall = start.elapsed().as_secs_f64();
-    let (wal_appends, wal_fsyncs, wal_bytes) = store
+    let (wal_appends, wal_fsyncs, wal_bytes, wal_flush_failures, wal_snapshot_failures) = store
         .wal_stats()
-        .map(|s| (s.appends.get(), s.fsyncs.get(), s.bytes_appended.get()))
-        .unwrap_or((0, 0, 0));
+        .map(|s| {
+            (
+                s.appends.get(),
+                s.fsyncs.get(),
+                s.bytes_appended.get(),
+                s.flush_failures.get(),
+                s.snapshot_failures.get(),
+            )
+        })
+        .unwrap_or((0, 0, 0, 0, 0));
     ModeResult {
         label,
         latencies,
@@ -110,6 +120,8 @@ fn run_mode(label: &'static str, store: Arc<Store>) -> ModeResult {
         wal_appends,
         wal_fsyncs,
         wal_bytes,
+        wal_flush_failures,
+        wal_snapshot_failures,
     }
 }
 
@@ -170,6 +182,8 @@ fn record(registry: &MetricsRegistry, r: &ModeResult) {
     );
     wal.with(&[r.label, "appends"]).set(r.wal_appends as i64);
     wal.with(&[r.label, "fsyncs"]).set(r.wal_fsyncs as i64);
+    wal.with(&[r.label, "flush_failures"]).set(r.wal_flush_failures as i64);
+    wal.with(&[r.label, "snapshot_failures"]).set(r.wal_snapshot_failures as i64);
     // The full commit-latency distribution, µs buckets, for the artifact.
     let histogram = registry.histogram(
         "vc_durability_commit_latency_us",

@@ -2,9 +2,10 @@
 //!
 //! Shared machinery for the per-figure/table binaries (see `src/bin/*`):
 //! calibrated framework construction ([`calibration`]), burst load
-//! generation and latency collection ([`load`]), and result formatting
-//! ([`report`]). Each binary prints the paper-reported values next to the
-//! measured ones; EXPERIMENTS.md records a full run.
+//! generation and latency collection ([`load`]), tenant-density campaigns
+//! ([`scale`]), and result formatting ([`report`]). Each binary prints the
+//! paper-reported values next to the measured ones; EXPERIMENTS.md records
+//! a full run.
 
 #![warn(missing_docs)]
 
@@ -13,4 +14,5 @@ pub mod baseline_sync;
 pub mod calibration;
 pub mod load;
 pub mod report;
+pub mod scale;
 pub mod sync_harness;

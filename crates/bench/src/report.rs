@@ -182,6 +182,28 @@ pub fn record_store_metrics(registry: &MetricsRegistry, server: &str, store: &vc
     bytes.with(&[server]).set(store.estimated_bytes() as i64);
     let revision = registry.gauge("vc_store_revision", "Current store revision.", &["server"]);
     revision.with(&[server]).set(store.revision() as i64);
+    if let Some(wal) = store.wal_stats() {
+        let ops = registry.counter(
+            "vc_store_wal_ops_total",
+            "Durable-tier WAL operations: record appends, group-commit \
+             fsyncs, snapshots written, and the two failure counters \
+             (flush_failure = a group-commit fsync failed, after which the \
+             fail-stop WAL errors every durable write; snapshot_failure = \
+             an auto-snapshot attempt failed and the WAL keeps growing).",
+            &["server", "op"],
+        );
+        ops.with(&[server, "append"]).add(wal.appends.get());
+        ops.with(&[server, "fsync"]).add(wal.fsyncs.get());
+        ops.with(&[server, "snapshot"]).add(wal.snapshots.get());
+        ops.with(&[server, "flush_failure"]).add(wal.flush_failures.get());
+        ops.with(&[server, "snapshot_failure"]).add(wal.snapshot_failures.get());
+        let wal_bytes = registry.counter(
+            "vc_store_wal_bytes_appended_total",
+            "Durable-tier WAL frame bytes appended (headers + payloads).",
+            &["server"],
+        );
+        wal_bytes.with(&[server]).add(wal.bytes_appended.get());
+    }
 }
 
 /// Writes a JSON [`MetricsReport`] of `registry` to

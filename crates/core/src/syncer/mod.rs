@@ -418,6 +418,12 @@ pub struct Syncer {
     pub(crate) super_client: Client,
     pub(crate) super_informers: HashMap<ResourceKind, Arc<SharedInformer>>,
     pub(crate) tenants: RwLock<HashMap<String, Arc<TenantState>>>,
+    /// Namespace prefix → tenant name, maintained alongside `tenants`.
+    /// Super-cluster objects without an owner annotation (events,
+    /// endpoints, PVs) resolve their tenant through this index in
+    /// O(dashes-in-namespace) hash lookups instead of a scan over every
+    /// registered tenant per super event.
+    prefix_index: RwLock<HashMap<String, String>>,
     pub(crate) downward: Arc<WeightedFairQueue<WorkItem>>,
     pub(crate) upward: Arc<WorkQueue<WorkItem>>,
     /// Super-side deletions awaiting upward processing: key → tenant uid.
@@ -546,6 +552,7 @@ impl Syncer {
             super_client,
             super_informers,
             tenants: RwLock::new(HashMap::new()),
+            prefix_index: RwLock::new(HashMap::new()),
             recent_super_deletions: Mutex::new(HashMap::new()),
             hibernated: Mutex::new(HashMap::new()),
             scan_dirty: Mutex::new(HashSet::new()),
@@ -799,6 +806,9 @@ impl Syncer {
             informer.stop();
         }
         state.handle.cluster.apiserver.detach_observability();
+        // Keep the prefix index aligned with the `tenants` map; waking
+        // re-registers and re-inserts the prefix.
+        self.prefix_index.write().remove(&state.handle.prefix);
         let _ = self.downward.remove_tenant(name);
         // A hibernated tenant's control plane is deliberately unwatched:
         // drop any breaker and dirty-key state so a later wake starts
@@ -1109,6 +1119,7 @@ impl Syncer {
         }
         self.downward.set_weight(&handle.name, handle.weight.max(1));
         let state = Arc::new(TenantState { handle: Arc::clone(&handle), informers, client });
+        self.prefix_index.write().insert(handle.prefix.clone(), handle.name.clone());
         self.tenants.write().insert(handle.name.clone(), state);
 
         // Existing storage classes flow to the new tenant immediately.
@@ -1126,11 +1137,18 @@ impl Syncer {
     /// Detaches a tenant: stops its informers and drops its sub-queue.
     pub fn unregister_tenant(&self, name: &str) {
         let state = self.tenants.write().remove(name);
-        if let Some(state) = state {
+        if let Some(state) = &state {
             for informer in state.informers.values() {
                 informer.stop();
             }
+            // Reclaims the tenant apiserver's `server=<name>` metric cells
+            // as a side effect.
             state.handle.cluster.apiserver.detach_observability();
+            self.prefix_index.write().remove(&state.handle.prefix);
+        } else {
+            // Unknown state (e.g. double unregister): fall back to a
+            // value scan so the index can never go stale.
+            self.prefix_index.write().retain(|_, tenant| tenant != name);
         }
         // The sub-queue may still hold items; they become no-ops once the
         // tenant is gone, so force removal after drain attempts.
@@ -1145,6 +1163,14 @@ impl Syncer {
             dead.retain(|i| i.tenant != name);
             self.metrics.dead_letter_len.set(dead.len() as i64);
         }
+        // Reclaim the tenant's cells from every `tenant`-labeled metric
+        // family (sync-duration histograms, queue-depth gauges) and the
+        // stats-publish dedup map. Without this sweep the registry's
+        // label space grows monotonically under onboarding/teardown
+        // churn — each short-lived tenant would permanently leave its
+        // cells (and their retained histogram windows) behind.
+        self.obs.registry.remove_label_value("tenant", name);
+        self.last_published_stats.lock().remove(name);
     }
 
     /// The registered tenants.
@@ -1636,19 +1662,32 @@ impl Syncer {
         // PVs) carry no annotation; match the namespace prefix.
         let ns = &obj.meta().namespace;
         if !ns.is_empty() {
-            for (name, state) in self.tenants.read().iter() {
-                if mapping::super_ns_to_tenant(&state.handle.prefix, ns).is_some() {
-                    return Some(name.clone());
-                }
+            if let Some(tenant) = self.tenant_for_super_ns(ns) {
+                return Some(tenant);
             }
         }
         // Cluster-scoped PVs: match via claim_ref prefix.
         if let vc_api::Object::PersistentVolume(pv) = obj {
             if let Some((claim_ns, _)) = pv.claim_ref.split_once('/') {
-                for (name, state) in self.tenants.read().iter() {
-                    if mapping::super_ns_to_tenant(&state.handle.prefix, claim_ns).is_some() {
-                        return Some(name.clone());
-                    }
+                return self.tenant_for_super_ns(claim_ns);
+            }
+        }
+        None
+    }
+
+    /// Resolves the owning tenant of a super-cluster namespace through
+    /// the prefix index. Super namespaces are `{prefix}-{tenant_ns}`, so
+    /// the candidate prefixes are exactly the splits of `ns` at each `-`
+    /// — O(dashes) hash lookups per event, independent of how many
+    /// tenants are registered. (The previous implementation scanned every
+    /// tenant per super event: O(tenants) on the informer hot path, which
+    /// dominated at 1,000+ tenants.)
+    fn tenant_for_super_ns(&self, ns: &str) -> Option<String> {
+        let index = self.prefix_index.read();
+        for (i, b) in ns.bytes().enumerate() {
+            if b == b'-' {
+                if let Some(tenant) = index.get(&ns[..i]) {
+                    return Some(tenant.clone());
                 }
             }
         }
@@ -1731,10 +1770,16 @@ impl Syncer {
     /// dashboard row the syncer publishes onto the tenant's VC status.
     /// `None` for unknown (unregistered or hibernated) tenants.
     pub fn tenant_stats(&self, tenant: &str) -> Option<TenantSyncStats> {
+        let slow_ops = self.obs.tracer.slow_op_counts().remove(tenant).unwrap_or(0);
+        self.tenant_stats_with_slow(tenant, slow_ops)
+    }
+
+    /// [`Self::tenant_stats`] with the slow-op count supplied by the
+    /// caller, so the dashboard can aggregate the slow-op ring once per
+    /// pass instead of once per tenant.
+    fn tenant_stats_with_slow(&self, tenant: &str, slow_ops: u64) -> Option<TenantSyncStats> {
         let health = self.tenant_health(tenant)?;
         let hist = self.tenant_sync_duration.with(&[tenant, "downward"]);
-        let slow_ops =
-            self.obs.tracer.slow_ops().iter().filter(|s| s.tenant == tenant).count() as u64;
         Some(TenantSyncStats {
             queue_depth: self.downward.tenant_len(tenant) as u64,
             sync_p50_us: hist.percentile(0.5),
@@ -1749,7 +1794,14 @@ impl Syncer {
     pub fn tenant_dashboard(&self) -> Vec<(String, TenantSyncStats)> {
         let mut names = self.tenant_names();
         names.sort();
-        names.into_iter().filter_map(|n| self.tenant_stats(&n).map(|s| (n, s))).collect()
+        let slow = self.obs.tracer.slow_op_counts();
+        names
+            .into_iter()
+            .filter_map(|n| {
+                let slow_ops = slow.get(&n).copied().unwrap_or(0);
+                self.tenant_stats_with_slow(&n, slow_ops).map(|s| (n, s))
+            })
+            .collect()
     }
 
     /// Refreshes the per-tenant queue-depth gauges and publishes each

@@ -106,10 +106,17 @@ impl VNodeManager {
     }
 
     /// Broadcasts physical-node heartbeats to every tenant vNode.
+    ///
+    /// Tenants are indexed by name up front, so a round costs
+    /// O(bindings + tenants) instead of the O(bindings × tenants) a
+    /// per-pair scan over the tenant list would — at 1,000+ registered
+    /// tenants the scan dominated every heartbeat round.
     pub fn broadcast_heartbeats(&self, tenants: &[Arc<TenantHandle>], super_node_cache: &Cache) {
+        let by_name: HashMap<&str, &Arc<TenantHandle>> =
+            tenants.iter().map(|t| (t.name.as_str(), t)).collect();
         let pairs: Vec<(String, String)> = self.bindings.lock().keys().cloned().collect();
         for (tenant_name, node_name) in pairs {
-            let Some(tenant) = tenants.iter().find(|t| t.name == tenant_name) else { continue };
+            let Some(&tenant) = by_name.get(tenant_name.as_str()) else { continue };
             let Some(super_obj) = super_node_cache.get(&node_name) else { continue };
             let Some(super_node) = super_obj.as_node() else { continue };
             let client = tenant.system_client("vc-syncer");

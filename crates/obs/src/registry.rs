@@ -65,6 +65,16 @@ struct Family {
 }
 
 impl Family {
+    /// Drops every cell whose value for `label` equals `value`. Returns
+    /// the number of cells removed (0 when the family has no such label).
+    fn remove_matching(&self, label: &str, value: &str) -> usize {
+        let Some(idx) = self.labels.iter().position(|l| l == label) else { return 0 };
+        let mut cells = self.cells.lock();
+        let before = cells.len();
+        cells.retain(|values, _| values[idx] != value);
+        before - cells.len()
+    }
+
     fn cell(&self, label_values: &[&str], make: impl FnOnce() -> Cell) -> Cell {
         assert_eq!(
             label_values.len(),
@@ -101,6 +111,14 @@ impl CounterFamily {
             _ => unreachable!("counter family holds counter cells"),
         }
     }
+
+    /// Drops every cell whose value for `label` equals `value` (e.g. all
+    /// cells of a torn-down tenant). Returns the number removed. Handles
+    /// returned by [`CounterFamily::with`] stay valid; the cells simply
+    /// stop appearing in expositions and snapshots.
+    pub fn remove_label_value(&self, label: &str, value: &str) -> usize {
+        self.0.remove_matching(label, value)
+    }
 }
 
 /// Handle to a registered gauge family.
@@ -118,6 +136,12 @@ impl GaugeFamily {
             Cell::Gauge(g) => g,
             _ => unreachable!("gauge family holds gauge cells"),
         }
+    }
+
+    /// Drops every cell whose value for `label` equals `value`. Returns
+    /// the number removed; see [`CounterFamily::remove_label_value`].
+    pub fn remove_label_value(&self, label: &str, value: &str) -> usize {
+        self.0.remove_matching(label, value)
     }
 }
 
@@ -137,6 +161,12 @@ impl HistogramFamily {
             Cell::Histogram(h) => h,
             _ => unreachable!("histogram family holds histogram cells"),
         }
+    }
+
+    /// Drops every cell whose value for `label` equals `value`. Returns
+    /// the number removed; see [`CounterFamily::remove_label_value`].
+    pub fn remove_label_value(&self, label: &str, value: &str) -> usize {
+        self.0.remove_matching(label, value)
     }
 }
 
@@ -276,6 +306,26 @@ impl MetricsRegistry {
         buckets: &[u64],
     ) -> HistogramFamily {
         HistogramFamily(self.register(name, help, MetricKind::Histogram, labels, buckets))
+    }
+
+    /// Drops every cell, in every family, whose value for `label` equals
+    /// `value` — the tenant-teardown sweep: without it the label space
+    /// grows monotonically under onboarding/teardown churn, because cells
+    /// are created lazily but were never removed. Returns the total number
+    /// of cells removed. Live handles previously returned by `with` stay
+    /// usable; they just no longer appear in expositions or snapshots (a
+    /// later `with` for the same labels starts a fresh cell).
+    pub fn remove_label_value(&self, label: &str, value: &str) -> usize {
+        let families: Vec<Arc<Family>> = self.families.lock().values().cloned().collect();
+        families.iter().map(|f| f.remove_matching(label, value)).sum()
+    }
+
+    /// Total number of cells across every family — the registry's label
+    /// space. Scale harnesses watch this across tenant churn to catch
+    /// label-space leaks.
+    pub fn cell_count(&self) -> usize {
+        let families: Vec<Arc<Family>> = self.families.lock().values().cloned().collect();
+        families.iter().map(|f| f.cells.lock().len()).sum()
     }
 
     /// Renders every family in Prometheus text exposition format
@@ -484,6 +534,32 @@ mod tests {
         reg.counter("c_total", "h", &["k"]).with(&["a\"b\\c\nd"]).inc();
         let text = reg.render_text();
         assert!(text.contains(r#"c_total{k="a\"b\\c\nd"} 1"#), "{text}");
+    }
+
+    #[test]
+    fn remove_label_value_reclaims_cells() {
+        let reg = MetricsRegistry::new();
+        let reqs = reg.counter("reqs_total", "Requests.", &["server", "verb"]);
+        reqs.with(&["t-1", "create"]).inc();
+        reqs.with(&["t-1", "get"]).inc();
+        reqs.with(&["t-2", "create"]).inc();
+        let depth = reg.gauge("depth", "Depth.", &["tenant"]);
+        depth.with(&["t-1"]).set(3);
+        assert_eq!(reg.cell_count(), 4);
+
+        // Registry-wide sweep by one label value.
+        assert_eq!(reg.remove_label_value("server", "t-1"), 2);
+        // Family-level sweep by a different label.
+        assert_eq!(depth.remove_label_value("tenant", "t-1"), 1);
+        assert_eq!(reg.cell_count(), 1);
+        let text = reg.render_text();
+        assert!(!text.contains(r#"server="t-1""#), "{text}");
+        assert!(text.contains(r#"server="t-2""#), "{text}");
+        // Unknown labels and values are no-ops.
+        assert_eq!(reg.remove_label_value("no_such_label", "x"), 0);
+        assert_eq!(reg.remove_label_value("server", "t-9"), 0);
+        // A later `with` for removed labels starts a fresh cell.
+        assert_eq!(reqs.with(&["t-1", "create"]).get(), 0);
     }
 
     #[test]

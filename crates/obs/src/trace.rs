@@ -401,6 +401,19 @@ impl Tracer {
         self.state.lock().slow.iter().cloned().collect()
     }
 
+    /// Per-tenant counts over the retained slow-op ring, computed in one
+    /// pass. Dashboards over many tenants use this instead of filtering
+    /// [`Tracer::slow_ops`] per tenant, which clones the whole ring
+    /// (breakdowns included) once per tenant — O(tenants × ring).
+    pub fn slow_op_counts(&self) -> HashMap<String, u64> {
+        let state = self.state.lock();
+        let mut counts: HashMap<String, u64> = HashMap::new();
+        for op in state.slow.iter() {
+            *counts.entry(op.tenant.clone()).or_insert(0) += 1;
+        }
+        counts
+    }
+
     /// Replaces the slow-op threshold at runtime.
     pub fn set_slow_threshold(&self, threshold: Duration) {
         self.slow_threshold_ns.store(threshold.as_nanos() as u64, Ordering::Relaxed);

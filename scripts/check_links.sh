@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Intra-repo markdown link check.
+#
+# Extracts every inline markdown link from the top-level documents and
+# verifies that relative targets (files or directories in this repo)
+# exist. External links (http/https/mailto) and pure #fragment anchors are
+# skipped. Exits nonzero listing every broken link.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DOCS=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md CHANGES.md)
+
+broken=0
+for doc in "${DOCS[@]}"; do
+    [ -f "$doc" ] || { echo "missing document: $doc"; broken=1; continue; }
+    # Inline links: [text](target). Reference-style links are not used in
+    # this repo's docs.
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|'#'*) continue ;;
+        esac
+        # Strip a trailing #fragment before checking the path.
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        if [ ! -e "$path" ]; then
+            echo "$doc: broken link -> $target"
+            broken=1
+        fi
+    done < <(grep -oE '\[[^]]*\]\([^)]+\)' "$doc" | sed -E 's/^\[[^]]*\]\(([^) ]+).*\)$/\1/')
+done
+
+if [ "$broken" -ne 0 ]; then
+    echo "link check failed"
+    exit 1
+fi
+echo "link check ok (${DOCS[*]})"

@@ -276,7 +276,7 @@ fn incremental_scanner_converges_within_two_ticks() {
     rogue.meta.labels.insert("tampered".into(), "yes".into());
     super_client.update(rogue.into()).unwrap();
     assert!(
-        wait_until(Duration::from_secs(10), Duration::from_millis(20), || {
+        wait_until(Duration::from_secs(30), Duration::from_millis(20), || {
             fw.syncer.scan_dirty_len() >= 1
         }),
         "super-side event must feed the scanner's dirty set"
@@ -286,8 +286,10 @@ fn incremental_scanner_converges_within_two_ticks() {
     fw.syncer.scan_tick();
 
     // The ticks only REQUEUE the divergent key; give the downward worker
-    // a moment to apply the repair.
-    assert!(wait_until(Duration::from_secs(10), Duration::from_millis(50), || {
+    // a moment to apply the repair. Generous deadline: `cargo test` runs
+    // test binaries in parallel, and on small machines a concurrent heavy
+    // suite (e.g. the density smoke) can starve this worker for seconds.
+    assert!(wait_until(Duration::from_secs(30), Duration::from_millis(50), || {
         super_client
             .get(ResourceKind::Pod, &super_ns, "target")
             .is_ok_and(|o| !o.meta().labels.contains_key("tampered"))
