@@ -53,6 +53,11 @@ fn main() {
         print_density_header();
         print_density_row(&point);
         println!(
+            "  onboarded {:.0} tenants/s with {} operator workers",
+            point.onboard_rate(),
+            cfg.onboard_workers,
+        );
+        println!(
             "  synced {} objects; cache {} KiB; {} metric cells (churn teardown {} -> {}); \
              {}s of virtual maintenance crossed in {:.1}s",
             point.pods_synced,

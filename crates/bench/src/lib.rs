@@ -16,3 +16,4 @@ pub mod load;
 pub mod report;
 pub mod scale;
 pub mod sync_harness;
+pub mod wire_load;

@@ -78,6 +78,10 @@ pub struct ScaleConfig {
     pub target_p99_ms: u64,
     /// Mock super-cluster nodes (`VC_SCALE_NODES`, default 20).
     pub mock_nodes: u32,
+    /// Operator reconcile workers provisioning tenants concurrently
+    /// (`VC_SCALE_ONBOARD_WORKERS`, default 4; set 1 to measure the old
+    /// serial onboarding path).
+    pub onboard_workers: usize,
 }
 
 fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
@@ -94,6 +98,7 @@ impl Default for ScaleConfig {
             sim_minutes: 60,
             target_p99_ms: 500,
             mock_nodes: 20,
+            onboard_workers: 4,
         }
     }
 }
@@ -110,6 +115,7 @@ impl ScaleConfig {
             sim_minutes: env_parse("VC_SCALE_SIM_MINUTES", d.sim_minutes),
             target_p99_ms: env_parse("VC_SCALE_TARGET_P99_MS", d.target_p99_ms),
             mock_nodes: env_parse("VC_SCALE_NODES", d.mock_nodes),
+            onboard_workers: env_parse("VC_SCALE_ONBOARD_WORKERS", d.onboard_workers),
         }
     }
 }
@@ -158,6 +164,12 @@ pub struct DensityPoint {
 }
 
 impl DensityPoint {
+    /// Tenants provisioned per wall-clock second during the onboarding
+    /// wave — the parallel-onboarding win shows up here.
+    pub fn onboard_rate(&self) -> f64 {
+        self.tenants as f64 / self.onboard_wall.as_secs_f64().max(1e-9)
+    }
+
     /// Onboarding RSS growth attributed to each tenant.
     pub fn bytes_per_tenant(&self) -> u64 {
         self.rss_after_onboard.saturating_sub(self.rss_before) / self.tenants.max(1) as u64
@@ -289,6 +301,7 @@ pub fn run_density_campaign(cfg: &ScaleConfig) -> DensityPoint {
     fc.clock = Some(clock.clone() as _);
     fc.operator.tenant_template = minimal_tenant_template();
     fc.operator.cloud_provision_latency = Duration::ZERO;
+    fc.operator.onboard_workers = cfg.onboard_workers.max(1);
     let fw = Framework::start(fc);
 
     let rss_before = rss_bytes();
@@ -467,6 +480,13 @@ pub fn record_density_metrics(registry: &MetricsRegistry, cfg: &ScaleConfig, p: 
     );
     p99.with(&["worst"]).set(p.worst_p99_us as i64);
     p99.with(&["median"]).set(p.median_p99_us as i64);
+    let onboard = gauge(
+        "vc_scale_onboard",
+        "Onboarding wave: operator reconcile workers and tenants provisioned per second.",
+        &["stat"],
+    );
+    onboard.with(&["workers"]).set(cfg.onboard_workers as i64);
+    onboard.with(&["tenants_per_s"]).set(p.onboard_rate() as i64);
     let wall = gauge("vc_scale_wall_ms", "Wall time per campaign phase.", &["phase"]);
     wall.with(&["onboard"]).set(p.onboard_wall.as_millis() as i64);
     wall.with(&["deploy"]).set(p.deploy_wall.as_millis() as i64);
@@ -546,6 +566,7 @@ mod tests {
             sim_minutes: 2,
             target_p99_ms: 500,
             mock_nodes: 4,
+            onboard_workers: 4,
         };
         let point = run_density_campaign(&cfg);
         assert_eq!(point.tenants, 40);

@@ -24,6 +24,7 @@ pub mod delaying;
 pub mod fairqueue;
 pub mod faults;
 pub mod informer;
+pub mod surface;
 pub mod workqueue;
 
 pub use client::{Client, RateLimiter};
@@ -31,4 +32,5 @@ pub use delaying::{BackoffPolicy, DelayingQueue, RateLimitingQueue};
 pub use fairqueue::WeightedFairQueue;
 pub use faults::{FaultAction, FaultInjector, FaultPolicy, FaultRule};
 pub use informer::{Cache, InformerConfig, InformerEvent, SharedInformer};
+pub use surface::{ObjectApi, WatchHandle};
 pub use workqueue::WorkQueue;

@@ -1,0 +1,157 @@
+//! The transport-independent client surface.
+//!
+//! [`ObjectApi`] abstracts the verb set every VirtualCluster client
+//! exposes — CRUD, list-with-resourceVersion, and revision-anchored
+//! watch — so a controller or tenant workload can attach to a control
+//! plane either **in-process** (through [`crate::Client`], sharing `Arc`s
+//! with the store) or **over the wire** (through `vc_wire::WireClient`,
+//! paying real serialization and socket costs). Code written against
+//! `dyn ObjectApi` runs unchanged in both modes, which is what makes the
+//! in-process-vs-wire benchmarks an apples-to-apples comparison.
+
+use std::sync::Arc;
+use std::time::Duration;
+use vc_api::error::ApiResult;
+use vc_api::object::{Object, ResourceKind};
+use vc_store::{RecvOutcome, WatchEvent};
+
+/// Consumer side of a watch, independent of how events arrive (an
+/// in-process channel or a chunked HTTP stream).
+pub trait WatchHandle: Send {
+    /// Blocks up to `timeout` for the next event, distinguishing an idle
+    /// stream ([`RecvOutcome::Timeout`]) from a terminated one
+    /// ([`RecvOutcome::Closed`] — the consumer must re-list and re-watch).
+    fn recv_deadline(&self, timeout: Duration) -> RecvOutcome;
+
+    /// Blocks up to `ms` milliseconds for the next event; `None` on
+    /// timeout or closure.
+    fn recv_timeout_ms(&self, ms: u64) -> Option<WatchEvent> {
+        match self.recv_deadline(Duration::from_millis(ms)) {
+            RecvOutcome::Event(ev) => Some(ev),
+            RecvOutcome::Timeout | RecvOutcome::Closed => None,
+        }
+    }
+}
+
+impl WatchHandle for vc_store::WatchStream {
+    fn recv_deadline(&self, timeout: Duration) -> RecvOutcome {
+        vc_store::WatchStream::recv_deadline(self, timeout)
+    }
+}
+
+/// The verb surface shared by every client transport.
+///
+/// Semantics match [`crate::Client`] exactly: `list` returns the items
+/// plus the snapshot revision to start a watch from, `update` is CAS on a
+/// non-zero `resource_version`, and `watch` replays events strictly after
+/// `from_revision`.
+pub trait ObjectApi: Send + Sync {
+    /// Creates `obj`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates apiserver errors (`Forbidden`, `Invalid`,
+    /// `AlreadyExists`, …).
+    fn create(&self, obj: Object) -> ApiResult<Arc<Object>>;
+
+    /// Fetches one object.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` / `Forbidden`.
+    fn get(&self, kind: ResourceKind, namespace: &str, name: &str) -> ApiResult<Arc<Object>>;
+
+    /// Lists objects, returning the items plus the watch-start revision.
+    ///
+    /// # Errors
+    ///
+    /// `Forbidden`.
+    fn list(
+        &self,
+        kind: ResourceKind,
+        namespace: Option<&str>,
+    ) -> ApiResult<(Vec<Arc<Object>>, u64)>;
+
+    /// Replaces an object (CAS when its `resource_version` is non-zero).
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` / `Conflict` / `Forbidden` / `Invalid`.
+    fn update(&self, obj: Object) -> ApiResult<Arc<Object>>;
+
+    /// Deletes an object (graceful when finalizers are present).
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` / `Forbidden`.
+    fn delete(&self, kind: ResourceKind, namespace: &str, name: &str) -> ApiResult<Arc<Object>>;
+
+    /// Opens a watch delivering events after `from_revision`.
+    ///
+    /// # Errors
+    ///
+    /// `Forbidden` / `Expired` (compacted start revision — re-list).
+    fn watch(
+        &self,
+        kind: ResourceKind,
+        namespace: Option<&str>,
+        from_revision: u64,
+    ) -> ApiResult<Box<dyn WatchHandle>>;
+}
+
+impl ObjectApi for crate::Client {
+    fn create(&self, obj: Object) -> ApiResult<Arc<Object>> {
+        crate::Client::create(self, obj)
+    }
+
+    fn get(&self, kind: ResourceKind, namespace: &str, name: &str) -> ApiResult<Arc<Object>> {
+        crate::Client::get(self, kind, namespace, name)
+    }
+
+    fn list(
+        &self,
+        kind: ResourceKind,
+        namespace: Option<&str>,
+    ) -> ApiResult<(Vec<Arc<Object>>, u64)> {
+        crate::Client::list(self, kind, namespace)
+    }
+
+    fn update(&self, obj: Object) -> ApiResult<Arc<Object>> {
+        crate::Client::update(self, obj)
+    }
+
+    fn delete(&self, kind: ResourceKind, namespace: &str, name: &str) -> ApiResult<Arc<Object>> {
+        crate::Client::delete(self, kind, namespace, name)
+    }
+
+    fn watch(
+        &self,
+        kind: ResourceKind,
+        namespace: Option<&str>,
+        from_revision: u64,
+    ) -> ApiResult<Box<dyn WatchHandle>> {
+        let stream = crate::Client::watch(self, kind, namespace, from_revision)?;
+        Ok(Box::new(stream))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_api::pod::Pod;
+    use vc_apiserver::ApiServer;
+
+    #[test]
+    fn client_through_trait_object() {
+        let server = ApiServer::new_default("surface");
+        let api: Box<dyn ObjectApi> = Box::new(crate::Client::new(server, "u"));
+        api.create(Pod::new("default", "p").into()).unwrap();
+        let (items, rev) = api.list(ResourceKind::Pod, Some("default")).unwrap();
+        assert_eq!(items.len(), 1);
+        let watch = api.watch(ResourceKind::Pod, Some("default"), rev).unwrap();
+        api.create(Pod::new("default", "q").into()).unwrap();
+        assert_eq!(watch.recv_timeout_ms(1000).unwrap().object.meta().name, "q");
+        api.delete(ResourceKind::Pod, "default", "p").unwrap();
+        assert!(api.get(ResourceKind::Pod, "default", "p").unwrap_err().is_not_found());
+    }
+}

@@ -227,8 +227,15 @@ impl Framework {
     /// stalls.
     pub fn delete_tenant(&self, name: &str) -> ApiResult<()> {
         self.admin.delete(ResourceKind::CustomObject, VC_MANAGER_NAMESPACE, name)?;
+        // The operator releases the protection finalizer only after
+        // teardown (registry removal, syncer unregistration, metric-cell
+        // reclamation) has completed, so waiting for the VC object to
+        // disappear waits for the whole teardown — not just the registry
+        // removal that happens first. With several reconcile workers the
+        // two can otherwise be hundreds of milliseconds apart.
         let gone = wait_until(Duration::from_secs(30), Duration::from_millis(20), || {
             self.registry.get(name).is_none()
+                && self.admin.get(ResourceKind::CustomObject, VC_MANAGER_NAMESPACE, name).is_err()
         });
         if gone {
             Ok(())

@@ -35,12 +35,19 @@ pub struct TenantOperatorConfig {
     pub cloud_provision_latency: Duration,
     /// Template for tenant control planes; the operator sets the name.
     pub tenant_template: ClusterConfig,
+    /// Reconcile workers pulling from the shared work queue. The queue's
+    /// dirty/processing protocol guarantees a VC name is never reconciled
+    /// by two workers at once, so onboarding waves provision up to this
+    /// many tenant control planes concurrently (cloud provisioning
+    /// latency overlaps instead of serializing).
+    pub onboard_workers: usize,
 }
 
 impl std::fmt::Debug for TenantOperatorConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TenantOperatorConfig")
             .field("cloud_provision_latency", &self.cloud_provision_latency)
+            .field("onboard_workers", &self.onboard_workers)
             .finish()
     }
 }
@@ -50,6 +57,7 @@ impl Default for TenantOperatorConfig {
         TenantOperatorConfig {
             cloud_provision_latency: Duration::from_millis(500),
             tenant_template: ClusterConfig::tenant("tenant-template"),
+            onboard_workers: 4,
         }
     }
 }
@@ -98,13 +106,19 @@ pub fn start(
     informer.wait_for_sync(Duration::from_secs(10));
     let cache = Arc::clone(informer.cache());
 
-    {
+    for worker in 0..config.onboard_workers.max(1) {
         let queue = Arc::clone(&queue);
         let stop = handle.stop_flag();
         let metrics = Arc::clone(&metrics);
+        let super_client = super_client.clone();
+        let cache = Arc::clone(&cache);
+        let registry = Arc::clone(&registry);
+        let syncer = Arc::clone(&syncer);
+        let clock = Arc::clone(&clock);
+        let config = config.clone();
         handle.add_thread(
             std::thread::Builder::new()
-                .name("tenant-operator".into())
+                .name(format!("tenant-operator-{worker}"))
                 .spawn(move || {
                     while let Some(name) = queue.get() {
                         if stop.is_set() {

@@ -467,6 +467,11 @@ pub struct Syncer {
     tenant_queue_depth: GaugeFamily,
     /// Last stats published onto each VC status, to skip no-op writes.
     last_published_stats: Mutex<HashMap<String, TenantSyncStats>>,
+    /// Tenants whose dashboard inputs changed since the last publish
+    /// pass (reconciles, breaker transitions, registration). The scanner
+    /// republishes exactly these instead of walking every tenant — the
+    /// event-fed analogue of [`Self::scan_dirty`] for stats.
+    stats_dirty: Mutex<HashSet<String>>,
     /// The clock every syncer deadline is measured on: scanner ticks,
     /// vnode heartbeats, breaker-open windows and retry backoff. Tests
     /// inject a [`vc_api::time::SimClock`] and advance it instead of
@@ -564,6 +569,7 @@ impl Syncer {
             tenant_sync_duration,
             tenant_queue_depth,
             last_published_stats: Mutex::new(HashMap::new()),
+            stats_dirty: Mutex::new(HashSet::new()),
             clock,
             handle: Mutex::new(None),
         });
@@ -644,6 +650,7 @@ impl Syncer {
                                 .tenant_sync_duration
                                 .with(&[&item.tenant, "downward"])
                                 .observe_ms(elapsed.as_micros() as u64);
+                            syncer_ref.mark_stats_dirty(&item.tenant);
                             syncer_ref.downward.done(&item);
                         }
                     })
@@ -687,6 +694,7 @@ impl Syncer {
                                 .tenant_sync_duration
                                 .with(&[&item.tenant, "upward"])
                                 .observe_ms(started.elapsed().as_micros() as u64);
+                            syncer_ref.mark_stats_dirty(&item.tenant);
                             syncer_ref.upward.done(&item);
                         }
                     })
@@ -815,6 +823,7 @@ impl Syncer {
         // fresh.
         self.breakers.lock().remove(name);
         self.scan_dirty.lock().retain(|i| i.tenant != name);
+        self.stats_dirty.lock().remove(name);
         self.hibernated.lock().insert(name.to_string(), Arc::clone(&state.handle));
         self.metrics.hibernations.inc();
         true
@@ -974,6 +983,7 @@ impl Syncer {
             }
         };
         if tripped {
+            self.mark_stats_dirty(tenant);
             self.downward.pause_tenant(tenant);
             self.publish_tenant_condition(
                 tenant,
@@ -994,6 +1004,9 @@ impl Syncer {
                 breaker.phase = BreakerPhase::HalfOpen;
                 due.push(tenant.clone());
             }
+        }
+        for tenant in &due {
+            self.mark_stats_dirty(tenant);
         }
         due
     }
@@ -1028,6 +1041,7 @@ impl Syncer {
         if !healthy {
             return;
         }
+        self.mark_stats_dirty(tenant);
         self.downward.resume_tenant(tenant);
         let parked: Vec<WorkItem> = {
             let mut parked = self.parked_upward.lock();
@@ -1121,6 +1135,8 @@ impl Syncer {
         let state = Arc::new(TenantState { handle: Arc::clone(&handle), informers, client });
         self.prefix_index.write().insert(handle.prefix.clone(), handle.name.clone());
         self.tenants.write().insert(handle.name.clone(), state);
+        // Seed the first dashboard publish for the new tenant.
+        self.mark_stats_dirty(&handle.name);
 
         // Existing storage classes flow to the new tenant immediately.
         if let Some(cache) = self.super_cache(ResourceKind::StorageClass) {
@@ -1171,6 +1187,7 @@ impl Syncer {
         // cells (and their retained histogram windows) behind.
         self.obs.registry.remove_label_value("tenant", name);
         self.last_published_stats.lock().remove(name);
+        self.stats_dirty.lock().remove(name);
     }
 
     /// The registered tenants.
@@ -1804,16 +1821,48 @@ impl Syncer {
             .collect()
     }
 
+    /// Marks a tenant's dashboard inputs changed, scheduling it for the
+    /// next [`Self::publish_tenant_stats`] pass. Called from the reconcile
+    /// workers, breaker transitions and registration — the event feed that
+    /// lets the publish pass touch only tenants with news instead of
+    /// walking every registered tenant (O(dirty), not O(tenants)).
+    pub(crate) fn mark_stats_dirty(&self, tenant: &str) {
+        self.stats_dirty.lock().insert(tenant.to_string());
+    }
+
+    /// Tenants currently scheduled for a dashboard republish.
+    pub fn stats_dirty_len(&self) -> usize {
+        self.stats_dirty.lock().len()
+    }
+
     /// Refreshes the per-tenant queue-depth gauges and publishes each
-    /// tenant's [`TenantSyncStats`] onto its VC object status. Best-effort
-    /// (registry-only tenants have no VC object) and write-avoiding: a
-    /// tenant whose stats are unchanged since the last publish is skipped.
-    /// Runs from the scanner thread after every scan pass.
+    /// tenant's [`TenantSyncStats`] onto its VC object status — but only
+    /// for tenants dirtied since the last pass (reconcile activity,
+    /// breaker transitions, fresh registration). Under tenant-density
+    /// load with mostly-idle tenants this pass is O(active tenants), not
+    /// O(all tenants). Best-effort (registry-only tenants have no VC
+    /// object) and write-avoiding: a tenant whose stats are unchanged
+    /// since the last publish is skipped. Runs from the scanner thread
+    /// after every scan pass.
     pub fn publish_tenant_stats(&self) {
-        for (tenant, depth) in self.downward.tenant_lens() {
-            self.tenant_queue_depth.with(&[&tenant]).set(depth as i64);
+        let mut dirty: Vec<String> =
+            std::mem::take(&mut *self.stats_dirty.lock()).into_iter().collect();
+        if dirty.is_empty() {
+            return;
         }
-        for (tenant, stats) in self.tenant_dashboard() {
+        dirty.sort();
+        // One slow-op ring aggregation per pass, shared by every row.
+        let slow = self.obs.tracer.slow_op_counts();
+        for tenant in dirty {
+            let slow_ops = slow.get(&tenant).copied().unwrap_or(0);
+            let Some(stats) = self.tenant_stats_with_slow(&tenant, slow_ops) else {
+                continue; // unregistered or hibernated since marked
+            };
+            // Per-tenant depth reads instead of a tenant_lens() walk. Kept
+            // behind the registration check: re-creating the cell for a
+            // tenant that was just torn down would undo the label-space
+            // reclamation unregister_tenant performs.
+            self.tenant_queue_depth.with(&[&tenant]).set(self.downward.tenant_len(&tenant) as i64);
             {
                 let mut last = self.last_published_stats.lock();
                 if last.get(&tenant) == Some(&stats) {

@@ -1,0 +1,373 @@
+//! The wire-side client: [`WireClient`] speaks the HTTP protocol served
+//! by [`crate::server::WireServer`] and implements the same
+//! [`ObjectApi`] trait as the in-process `vc_client::Client`, so
+//! controllers and tenant workloads written against `dyn ObjectApi` run
+//! unchanged over a real socket.
+//!
+//! Unary verbs reuse one persistent keep-alive connection (guarded by a
+//! mutex — clone the client for concurrency; each clone owns its own
+//! connection). Watches each open a dedicated connection whose chunked
+//! response is pumped by a background reader thread into a channel; a
+//! terminal `RESYNC` chunk or socket closure surfaces as
+//! [`RecvOutcome::Closed`], telling the consumer to re-list and re-watch
+//! exactly like an in-process overflow eviction would.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+use vc_api::error::{ApiError, ApiResult};
+use vc_api::object::{Object, ResourceKind};
+use vc_client::{ObjectApi, RateLimiter, WatchHandle};
+use vc_store::{EventType, RecvOutcome, WatchEvent};
+
+/// Wire framing of a list response; field order matches what the server
+/// splices byte-for-byte from its encode cache.
+#[derive(Debug, Serialize, Deserialize)]
+struct WireList {
+    resource_version: u64,
+    items: Vec<Object>,
+}
+
+/// Wire framing of one watch event chunk.
+#[derive(Debug, Serialize, Deserialize)]
+struct WireEventMsg {
+    event_type: String,
+    revision: u64,
+    object: Object,
+}
+
+/// Chunk prefix announcing stream termination with a resync hint; checked
+/// textually because the payload carries no object.
+const RESYNC_PREFIX: &str = "{\"event_type\":\"RESYNC\"";
+
+/// One persistent unary connection (write half + buffered read half).
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: &str) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Conn { stream, reader })
+    }
+}
+
+/// A client for a [`crate::server::WireServer`], interchangeable with the
+/// in-process client through [`ObjectApi`].
+pub struct WireClient {
+    addr: String,
+    user: String,
+    flow: Option<String>,
+    limiter: Arc<RateLimiter>,
+    conn: Mutex<Option<Conn>>,
+}
+
+impl std::fmt::Debug for WireClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireClient").field("addr", &self.addr).field("user", &self.user).finish()
+    }
+}
+
+impl Clone for WireClient {
+    /// Clones share identity and rate budget but not the connection —
+    /// each clone opens its own socket, which is what makes a clone safe
+    /// to hand to another thread.
+    fn clone(&self) -> Self {
+        WireClient {
+            addr: self.addr.clone(),
+            user: self.user.clone(),
+            flow: self.flow.clone(),
+            limiter: self.limiter.clone(),
+            conn: Mutex::new(None),
+        }
+    }
+}
+
+impl WireClient {
+    /// Creates a client with the default tenant rate limits (matching
+    /// `vc_client::Client::new`).
+    pub fn new(addr: impl Into<String>, user: impl Into<String>) -> WireClient {
+        WireClient::with_limits(addr, user, 50.0, 100)
+    }
+
+    /// Creates a client with explicit client-side `qps`/`burst` limits.
+    pub fn with_limits(
+        addr: impl Into<String>,
+        user: impl Into<String>,
+        qps: f64,
+        burst: usize,
+    ) -> WireClient {
+        WireClient {
+            addr: addr.into(),
+            user: user.into(),
+            flow: None,
+            limiter: Arc::new(RateLimiter::new(qps, burst)),
+            conn: Mutex::new(None),
+        }
+    }
+
+    /// Sets the request-classing flow label (`x-vc-flow`); defaults to
+    /// the user when unset.
+    pub fn with_flow(mut self, flow: impl Into<String>) -> WireClient {
+        self.flow = Some(flow.into());
+        self
+    }
+
+    /// The identity this client presents in `x-vc-user`.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn head(&self, method: &str, target: &str, body_len: usize) -> String {
+        let mut head = format!(
+            "{method} {target} HTTP/1.1\r\nhost: {}\r\nx-vc-user: {}\r\ncontent-length: {body_len}\r\n",
+            self.addr, self.user,
+        );
+        if let Some(flow) = &self.flow {
+            head.push_str("x-vc-flow: ");
+            head.push_str(flow);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        head
+    }
+
+    /// Sends one unary request over the persistent connection, returning
+    /// `(status, body)`. Reconnects (and retries once) only when the
+    /// *write* fails — a request whose bytes may already have been
+    /// executed is never blindly resent.
+    fn request(&self, method: &str, target: &str, body: &[u8]) -> ApiResult<(u16, Vec<u8>)> {
+        self.limiter.acquire();
+        let head = self.head(method, target, body.len());
+        let mut guard = self.conn.lock();
+        for attempt in 0..2 {
+            if guard.is_none() {
+                *guard =
+                    Some(Conn::open(&self.addr).map_err(|e| {
+                        ApiError::unavailable(format!("connect {}: {e}", self.addr))
+                    })?);
+            }
+            let conn = guard.as_mut().expect("connection just ensured");
+            let wrote = conn
+                .stream
+                .write_all(head.as_bytes())
+                .and_then(|()| conn.stream.write_all(body))
+                .and_then(|()| conn.stream.flush());
+            if let Err(e) = wrote {
+                // A stale keep-alive connection the server already closed;
+                // nothing was executed, so retrying on a fresh socket is safe.
+                *guard = None;
+                if attempt == 0 {
+                    continue;
+                }
+                return Err(ApiError::unavailable(format!("write {}: {e}", self.addr)));
+            }
+            return match crate::http::read_response_head(&mut conn.reader) {
+                Ok(resp) => Ok((resp.status, resp.body)),
+                Err(e) => {
+                    *guard = None;
+                    Err(ApiError::unavailable(format!("read {}: {e}", self.addr)))
+                }
+            };
+        }
+        unreachable!("second attempt either returned or errored")
+    }
+
+    fn object_request(&self, method: &str, target: &str, body: &[u8]) -> ApiResult<Arc<Object>> {
+        let (status, body) = self.request(method, target, body)?;
+        if status == 200 {
+            parse_object(&body).map(Arc::new)
+        } else {
+            Err(parse_error(status, &body))
+        }
+    }
+
+    fn target(kind: ResourceKind, namespace: &str, name: &str) -> String {
+        let ns = if kind.is_cluster_scoped() || namespace.is_empty() { "_" } else { namespace };
+        format!("/api/{}/{ns}/{name}", kind.as_str())
+    }
+}
+
+fn parse_object(body: &[u8]) -> ApiResult<Object> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| ApiError::internal("wire response is not UTF-8"))?;
+    serde_json::from_str(text)
+        .map_err(|e| ApiError::internal(format!("undecodable wire object: {e}")))
+}
+
+/// Decodes an error response; an undecodable body degrades to `Internal`
+/// with the raw status attached rather than masking the failure.
+fn parse_error(status: u16, body: &[u8]) -> ApiError {
+    if let Ok(text) = std::str::from_utf8(body) {
+        if let Ok(err) = serde_json::from_str::<ApiError>(text) {
+            return err;
+        }
+    }
+    ApiError::internal(format!("wire status {status} with undecodable error body"))
+}
+
+impl ObjectApi for WireClient {
+    fn create(&self, obj: Object) -> ApiResult<Arc<Object>> {
+        let body = serde_json::to_string(&obj)
+            .map_err(|e| ApiError::internal(format!("unencodable object: {e}")))?;
+        self.object_request("POST", &format!("/api/{}", obj.kind().as_str()), body.as_bytes())
+    }
+
+    fn get(&self, kind: ResourceKind, namespace: &str, name: &str) -> ApiResult<Arc<Object>> {
+        self.object_request("GET", &Self::target(kind, namespace, name), &[])
+    }
+
+    fn list(
+        &self,
+        kind: ResourceKind,
+        namespace: Option<&str>,
+    ) -> ApiResult<(Vec<Arc<Object>>, u64)> {
+        let mut target = format!("/api/{}", kind.as_str());
+        if let Some(ns) = namespace {
+            target.push_str("?namespace=");
+            target.push_str(ns);
+        }
+        let (status, body) = self.request("GET", &target, &[])?;
+        if status != 200 {
+            return Err(parse_error(status, &body));
+        }
+        let text = std::str::from_utf8(&body)
+            .map_err(|_| ApiError::internal("wire list response is not UTF-8"))?;
+        let list: WireList = serde_json::from_str(text)
+            .map_err(|e| ApiError::internal(format!("undecodable wire list: {e}")))?;
+        Ok((list.items.into_iter().map(Arc::new).collect(), list.resource_version))
+    }
+
+    fn update(&self, obj: Object) -> ApiResult<Arc<Object>> {
+        let target = Self::target(obj.kind(), &obj.meta().namespace, &obj.meta().name);
+        let body = serde_json::to_string(&obj)
+            .map_err(|e| ApiError::internal(format!("unencodable object: {e}")))?;
+        self.object_request("PUT", &target, body.as_bytes())
+    }
+
+    fn delete(&self, kind: ResourceKind, namespace: &str, name: &str) -> ApiResult<Arc<Object>> {
+        self.object_request("DELETE", &Self::target(kind, namespace, name), &[])
+    }
+
+    fn watch(
+        &self,
+        kind: ResourceKind,
+        namespace: Option<&str>,
+        from_revision: u64,
+    ) -> ApiResult<Box<dyn WatchHandle>> {
+        self.limiter.acquire();
+        let mut target = format!("/watch/{}?from={from_revision}", kind.as_str());
+        if let Some(ns) = namespace {
+            target.push_str("&namespace=");
+            target.push_str(ns);
+        }
+        let mut conn = Conn::open(&self.addr)
+            .map_err(|e| ApiError::unavailable(format!("connect {}: {e}", self.addr)))?;
+        let head = self.head("GET", &target, 0);
+        conn.stream
+            .write_all(head.as_bytes())
+            .and_then(|()| conn.stream.flush())
+            .map_err(|e| ApiError::unavailable(format!("write {}: {e}", self.addr)))?;
+        let resp = crate::http::read_response_head(&mut conn.reader)
+            .map_err(|e| ApiError::unavailable(format!("read {}: {e}", self.addr)))?;
+        if resp.status != 200 {
+            return Err(parse_error(resp.status, &resp.body));
+        }
+        if !resp.chunked {
+            return Err(ApiError::internal("watch response was not chunked"));
+        }
+        Ok(Box::new(WireWatch::spawn(conn)))
+    }
+}
+
+/// Client side of a watch stream: a reader thread decodes chunks into
+/// [`WatchEvent`]s; dropping the handle tears the socket down.
+pub struct WireWatch {
+    rx: Receiver<WatchEvent>,
+    shutdown: TcpStream,
+}
+
+impl std::fmt::Debug for WireWatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireWatch").finish()
+    }
+}
+
+impl WireWatch {
+    fn spawn(mut conn: Conn) -> WireWatch {
+        let shutdown = conn.stream.try_clone().expect("clone watch socket");
+        let (tx, rx) = unbounded();
+        std::thread::Builder::new()
+            .name("wire-watch-reader".to_string())
+            .spawn(move || {
+                // A clean terminator or a broken socket both end the stream;
+                // dropping `tx` surfaces `Closed` to the receiver.
+                while let Ok(Some(chunk)) = crate::http::read_chunk(&mut conn.reader) {
+                    let Ok(text) = std::str::from_utf8(&chunk) else { break };
+                    let mut done = false;
+                    for line in text.lines().filter(|l| !l.is_empty()) {
+                        if line.starts_with(RESYNC_PREFIX) {
+                            done = true;
+                            break;
+                        }
+                        let Ok(msg) = serde_json::from_str::<WireEventMsg>(line) else {
+                            done = true;
+                            break;
+                        };
+                        let event_type = match msg.event_type.as_str() {
+                            "ADDED" => EventType::Added,
+                            "MODIFIED" => EventType::Modified,
+                            "DELETED" => EventType::Deleted,
+                            _ => {
+                                done = true;
+                                break;
+                            }
+                        };
+                        let ev = WatchEvent {
+                            revision: msg.revision,
+                            event_type,
+                            object: Arc::new(msg.object),
+                        };
+                        if tx.send(ev).is_err() {
+                            done = true;
+                            break;
+                        }
+                    }
+                    if done {
+                        break;
+                    }
+                }
+                let _ = conn.stream.shutdown(Shutdown::Both);
+            })
+            .expect("spawn watch reader");
+        WireWatch { rx, shutdown }
+    }
+}
+
+impl WatchHandle for WireWatch {
+    fn recv_deadline(&self, timeout: Duration) -> RecvOutcome {
+        match self.rx.recv_timeout(timeout) {
+            Ok(ev) => RecvOutcome::Event(ev),
+            Err(RecvTimeoutError::Timeout) => RecvOutcome::Timeout,
+            Err(RecvTimeoutError::Disconnected) => RecvOutcome::Closed,
+        }
+    }
+}
+
+impl Drop for WireWatch {
+    fn drop(&mut self) {
+        let _ = self.shutdown.shutdown(Shutdown::Both);
+    }
+}

@@ -1,0 +1,154 @@
+//! Memoized object encoding — serialize once per revision, reuse the
+//! bytes across every lister and watcher.
+//!
+//! Serialization is the cost the in-process simulator hides (`Arc`
+//! aliasing makes a "send" free) and the wire tier makes real. The store
+//! already guarantees that an object's `resource_version` is globally
+//! unique — one atomic revision counter spans all kinds — so `(rv)` is a
+//! perfect cache key for a stored object's JSON encoding: any two reads
+//! observing the same rv observe byte-identical state. The cache encodes
+//! on first sight and afterwards hands out the same [`Bytes`] buffer
+//! (an `Arc<[u8]>` under the hood), so fanning an event out to a thousand
+//! watchers costs one encode and a thousand pointer bumps.
+//!
+//! Eviction is revision-ordered: revisions only grow, and old revisions
+//! stop being referenced as soon as newer state lands, so when the cache
+//! exceeds its cap it drops the oldest half — an LRU approximation with
+//! no per-hit bookkeeping on the read path.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use vc_api::metrics::Counter;
+use vc_api::object::Object;
+
+/// Default bound on cached encodings (revisions).
+pub const DEFAULT_ENCODE_CACHE_CAP: usize = 8192;
+
+/// A bounded rv → encoded-bytes cache.
+#[derive(Debug)]
+pub struct EncodeCache {
+    entries: Mutex<BTreeMap<u64, Bytes>>,
+    cap: usize,
+    /// Lookups served from the cache (the "serialized once" wins).
+    pub hits: Counter,
+    /// Lookups that had to serialize.
+    pub misses: Counter,
+}
+
+impl EncodeCache {
+    /// Creates a cache bounded to `cap` entries.
+    pub fn new(cap: usize) -> EncodeCache {
+        EncodeCache {
+            entries: Mutex::new(BTreeMap::new()),
+            cap: cap.max(2),
+            hits: Counter::new(),
+            misses: Counter::new(),
+        }
+    }
+
+    /// The JSON encoding of `obj`, memoized on its `resource_version`.
+    pub fn encode(&self, obj: &Arc<Object>) -> Bytes {
+        let rv = obj.meta().resource_version;
+        if rv > 0 {
+            if let Some(bytes) = self.entries.lock().get(&rv) {
+                self.hits.inc();
+                return bytes.clone();
+            }
+        }
+        self.misses.inc();
+        let encoded: Bytes =
+            serde_json::to_string(&**obj).expect("objects always serialize").into();
+        if rv > 0 {
+            let mut entries = self.entries.lock();
+            entries.insert(rv, encoded.clone());
+            if entries.len() > self.cap {
+                // Drop the oldest half: revisions are monotone, so the
+                // low keys are the entries least likely to be re-read.
+                let split = entries.len() - self.cap / 2;
+                if let Some(&pivot) = entries.keys().nth(split) {
+                    *entries = entries.split_off(&pivot);
+                }
+            }
+        }
+        encoded
+    }
+
+    /// Cached encodings currently held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Returns `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fraction of lookups served from cache, 0.0 when unused.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits.get() as f64;
+        let total = hits + self.misses.get() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+}
+
+impl Default for EncodeCache {
+    fn default() -> Self {
+        EncodeCache::new(DEFAULT_ENCODE_CACHE_CAP)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_api::pod::Pod;
+
+    fn pod_at_rv(name: &str, rv: u64) -> Arc<Object> {
+        let mut pod = Pod::new("default", name);
+        pod.meta.resource_version = rv;
+        Arc::new(pod.into())
+    }
+
+    #[test]
+    fn second_encode_hits() {
+        let cache = EncodeCache::default();
+        let obj = pod_at_rv("p", 7);
+        let a = cache.encode(&obj);
+        let b = cache.encode(&obj);
+        assert_eq!(a, b);
+        assert_eq!(cache.hits.get(), 1);
+        assert_eq!(cache.misses.get(), 1);
+        assert!(cache.hit_rate() > 0.49);
+        // The memoized buffer is the stored JSON.
+        let text = String::from_utf8(a.to_vec()).unwrap();
+        let back: Object = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.meta().name, "p");
+    }
+
+    #[test]
+    fn rv_zero_never_cached() {
+        let cache = EncodeCache::default();
+        let obj = pod_at_rv("p", 0);
+        cache.encode(&obj);
+        cache.encode(&obj);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.misses.get(), 2);
+    }
+
+    #[test]
+    fn eviction_keeps_newest() {
+        let cache = EncodeCache::new(8);
+        for rv in 1..=40 {
+            cache.encode(&pod_at_rv("p", rv));
+        }
+        assert!(cache.len() <= 8, "cap respected, got {}", cache.len());
+        // Newest revision still resident.
+        cache.encode(&pod_at_rv("p", 40));
+        assert!(cache.hits.get() >= 1);
+    }
+}

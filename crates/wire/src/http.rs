@@ -1,0 +1,270 @@
+//! Minimal HTTP/1.1 framing, shared by [`crate::server`] and
+//! [`crate::client`].
+//!
+//! The build is offline (no tokio/hyper), so the wire tier speaks exactly
+//! the HTTP subset a list/watch apiserver needs: request line + headers +
+//! `Content-Length` bodies for the unary verbs, persistent connections
+//! (`keep-alive` default), and `Transfer-Encoding: chunked` responses for
+//! watch streams where each chunk carries one JSON-framed event.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request body / header section, a crude defense
+/// against a misbehaving peer streaming garbage at the server.
+pub const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// Largest accepted single header line.
+const MAX_LINE: usize = 64 * 1024;
+
+/// A parsed HTTP/1.1 request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, `PUT`, `DELETE`).
+    pub method: String,
+    /// Path component of the request target, percent-decoding not
+    /// required (the wire protocol only uses DNS-safe names).
+    pub path: String,
+    /// Query parameters (`?a=b&c=d`), last occurrence wins.
+    pub query: HashMap<String, String>,
+    /// Headers, keys lower-cased.
+    pub headers: HashMap<String, String>,
+    /// Request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The `keep-alive`/`close` decision for this request: HTTP/1.1
+    /// defaults to persistent unless the peer asked to close.
+    pub fn keep_alive(&self) -> bool {
+        !self.headers.get("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// A header value, `None` when absent.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(name).map(String::as_str)
+    }
+}
+
+/// Reads one line terminated by `\r\n` (or bare `\n`), without the
+/// terminator. Returns `None` on clean EOF before any byte.
+fn read_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<String>> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if line.len() > MAX_LINE {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "header line too long"));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Reads one request off a persistent connection. `Ok(None)` means the
+/// peer closed cleanly between requests.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Request>> {
+    let Some(request_line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed request line"));
+    };
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.to_string(), ""),
+    };
+    let mut query = HashMap::new();
+    for pair in query_str.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.insert(k.to_string(), v.to_string());
+    }
+    let mut headers = HashMap::new();
+    loop {
+        let Some(line) = read_line(reader)? else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof inside headers",
+            ));
+        };
+        if line.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+        }
+    }
+    let len: usize = headers.get("content-length").and_then(|v| v.parse().ok()).unwrap_or(0);
+    if len > MAX_BODY {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "body too large"));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request { method: method.to_string(), path, query, headers, body }))
+}
+
+/// Canonical reason phrase for the status codes the wire protocol emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        410 => "Gone",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Status",
+    }
+}
+
+/// Writes a unary response with a `Content-Length` body. Returns the
+/// total bytes put on the wire.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<usize> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+        reason(status),
+        body.len(),
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str(if keep_alive { "connection: keep-alive\r\n" } else { "connection: close\r\n" });
+    head.push_str("\r\n");
+    let mut out = Vec::with_capacity(head.len() + body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body);
+    stream.write_all(&out)?;
+    stream.flush()?;
+    Ok(out.len())
+}
+
+/// Starts a chunked (streaming) response; chunks follow via
+/// [`write_chunk`] and the stream ends with [`finish_chunks`]. Returns
+/// the header bytes written.
+pub fn start_chunked(
+    stream: &mut TcpStream,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<usize> {
+    let mut head = String::from(
+        "HTTP/1.1 200 OK\r\ncontent-type: application/json\r\ntransfer-encoding: chunked\r\n",
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("connection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.flush()?;
+    Ok(head.len())
+}
+
+/// Writes one chunk. Returns the bytes put on the wire (size line +
+/// payload + terminator).
+pub fn write_chunk(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<usize> {
+    let head = format!("{:x}\r\n", payload.len());
+    let mut out = Vec::with_capacity(head.len() + payload.len() + 2);
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(b"\r\n");
+    stream.write_all(&out)?;
+    stream.flush()?;
+    Ok(out.len())
+}
+
+/// Terminates a chunked response.
+pub fn finish_chunks(stream: &mut TcpStream) -> std::io::Result<usize> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()?;
+    Ok(5)
+}
+
+/// A parsed unary response (client side).
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers, keys lower-cased.
+    pub headers: HashMap<String, String>,
+    /// Response body (already de-framed).
+    pub body: Vec<u8>,
+    /// Whether the body arrived chunked (watch streams); when `true` the
+    /// body is empty and chunks are read incrementally off the reader.
+    pub chunked: bool,
+}
+
+/// Reads the status line + headers of a response; for `Content-Length`
+/// responses also consumes the body. For chunked responses the caller
+/// drains chunks with [`read_chunk`].
+pub fn read_response_head(reader: &mut BufReader<TcpStream>) -> std::io::Result<Response> {
+    let Some(status_line) = read_line(reader)? else {
+        return Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "connection closed"));
+    };
+    let status: u16 =
+        status_line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+        })?;
+    let mut headers = HashMap::new();
+    loop {
+        let Some(line) = read_line(reader)? else {
+            return Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof in headers"));
+        };
+        if line.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+        }
+    }
+    let chunked =
+        headers.get("transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked"));
+    let mut body = Vec::new();
+    if !chunked {
+        let len: usize = headers.get("content-length").and_then(|v| v.parse().ok()).unwrap_or(0);
+        if len > MAX_BODY {
+            return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "body too large"));
+        }
+        body = vec![0u8; len];
+        reader.read_exact(&mut body)?;
+    }
+    Ok(Response { status, headers, body, chunked })
+}
+
+/// Reads one chunk of a chunked response. `Ok(None)` signals the
+/// terminating zero-length chunk (clean end of stream).
+pub fn read_chunk(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Vec<u8>>> {
+    let Some(size_line) = read_line(reader)? else {
+        return Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof before chunk"));
+    };
+    let size = usize::from_str_radix(size_line.trim(), 16)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad chunk size"))?;
+    if size > MAX_BODY {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "chunk too large"));
+    }
+    let mut payload = vec![0u8; size + 2];
+    reader.read_exact(&mut payload)?;
+    payload.truncate(size); // drop trailing \r\n
+    if size == 0 {
+        return Ok(None);
+    }
+    Ok(Some(payload))
+}

@@ -1,0 +1,656 @@
+//! The networked apiserver front end.
+//!
+//! [`WireServer`] binds a [`TcpListener`] and serves the full
+//! [`ApiServer`] verb surface over HTTP/1.1:
+//!
+//! | route | verb |
+//! |---|---|
+//! | `POST /api/{kind}` | create (body = object JSON) |
+//! | `GET /api/{kind}/{ns}/{name}` | get (`_` for cluster-scoped ns) |
+//! | `GET /api/{kind}?namespace=ns` | list → `{resource_version, items}` |
+//! | `PUT /api/{kind}/{ns}/{name}` | update (body = object JSON) |
+//! | `DELETE /api/{kind}/{ns}/{name}` | delete |
+//! | `GET /watch/{kind}?namespace=ns&from=rv` | chunked watch stream |
+//! | `GET /healthz`, `GET /metrics` | liveness / Prometheus exposition |
+//!
+//! Identity travels in the `x-vc-user` header and maps straight onto the
+//! apiserver's `user` parameter, so the in-process tenancy gates apply
+//! unchanged over the wire.
+//!
+//! Three perf-critical mechanisms live here:
+//!
+//! - **Memoized encoding** — every object body (unary reads, list items,
+//!   watch events) comes out of one shared [`EncodeCache`], so an object
+//!   revision is serialized once no matter how many connections read it.
+//! - **Request classing** — unary requests are not executed on the
+//!   connection thread; they enter a [`WeightedFairQueue`] keyed by flow
+//!   (the `x-vc-flow` header, defaulting to the user) and a small
+//!   dispatcher pool drains flows by weighted round-robin. A flood from
+//!   one flow queues behind its own bucket instead of starving others.
+//! - **Degrade-to-resync** — watch connections carry a socket write
+//!   timeout. A stalled reader fails its own write and is dropped
+//!   (counted in `degraded_watchers`); store-side overflow eviction
+//!   surfaces as a terminal `RESYNC` chunk telling the client to re-list.
+//!   Either way fan-out to healthy watchers never blocks.
+
+use crate::encode::EncodeCache;
+use crate::http;
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use vc_api::error::ApiError;
+use vc_api::metrics::{Counter, Gauge};
+use vc_api::object::{Object, ResourceKind};
+use vc_apiserver::ApiServer;
+use vc_client::fairqueue::WeightedFairQueue;
+use vc_obs::registry::MetricsRegistry;
+use vc_store::{EventType, RecvOutcome};
+
+/// Tunables for a [`WireServer`].
+#[derive(Debug, Clone)]
+pub struct WireServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Maximum concurrent connections; excess are answered `503` and
+    /// closed immediately rather than queued.
+    pub max_connections: usize,
+    /// Dispatcher threads draining the request-classing queue.
+    pub dispatch_workers: usize,
+    /// Weighted round-robin across flows (`false` = plain FIFO).
+    pub fair: bool,
+    /// Bound on how long a unary request may sit in the classing queue
+    /// before the connection gives up with `504`.
+    pub queue_timeout: Duration,
+    /// Socket write budget per watch event; a reader stalled longer than
+    /// this is degraded (dropped) so fan-out never blocks on it.
+    pub write_timeout: Duration,
+    /// Capacity of the memoized encode cache (revisions).
+    pub encode_cache_cap: usize,
+}
+
+impl Default for WireServerConfig {
+    fn default() -> Self {
+        WireServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 256,
+            dispatch_workers: 4,
+            fair: true,
+            queue_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(2),
+            encode_cache_cap: crate::encode::DEFAULT_ENCODE_CACHE_CAP,
+        }
+    }
+}
+
+/// Wire-tier counters, published as `vc_wire_*` families by
+/// [`WireServer::publish_metrics`].
+#[derive(Debug, Default)]
+pub struct WireMetrics {
+    /// Connections accepted.
+    pub connections_opened: Counter,
+    /// Connections refused because `max_connections` was reached.
+    pub connections_rejected: Counter,
+    /// Connections currently open.
+    pub active_connections: Gauge,
+    /// Unary requests served (all verbs, any status).
+    pub requests: Counter,
+    /// Approximate bytes read off sockets.
+    pub bytes_in: Counter,
+    /// Bytes written to sockets.
+    pub bytes_out: Counter,
+    /// Watch streams opened.
+    pub watch_streams: Counter,
+    /// Watch streams currently live.
+    pub active_watches: Gauge,
+    /// Watch events fanned out on the wire.
+    pub watch_events_sent: Counter,
+    /// Watchers degraded (slow-reader write timeout, or store-side
+    /// overflow eviction surfaced as a terminal `RESYNC`).
+    pub degraded_watchers: Counter,
+    /// Unary requests that timed out in the classing queue (`504`).
+    pub queue_timeouts: Counter,
+}
+
+/// One queued unary request: the op plus the channel its connection
+/// thread is blocked on.
+struct UnaryJob {
+    user: String,
+    op: UnaryOp,
+    reply: Sender<Result<Bytes, ApiError>>,
+}
+
+enum UnaryOp {
+    Create(Object),
+    Get(ResourceKind, String, String),
+    List(ResourceKind, Option<String>),
+    Update(Object),
+    Delete(ResourceKind, String, String),
+}
+
+/// Shared server state; connection/dispatcher threads hold this, while
+/// the [`WireServer`] handle itself owns the join handles so dropping the
+/// handle tears everything down.
+struct Inner {
+    api: Arc<ApiServer>,
+    cfg: WireServerConfig,
+    local_addr: SocketAddr,
+    cache: EncodeCache,
+    metrics: WireMetrics,
+    queue: WeightedFairQueue<u64>,
+    jobs: Mutex<HashMap<u64, UnaryJob>>,
+    next_job: AtomicU64,
+    next_conn: AtomicU64,
+    active: AtomicUsize,
+    stop: AtomicBool,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running wire server; dropping the handle shuts it down.
+pub struct WireServer {
+    inner: Arc<Inner>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for WireServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireServer").field("addr", &self.inner.local_addr).finish()
+    }
+}
+
+impl WireServer {
+    /// Binds `cfg.addr` and starts the acceptor plus dispatcher pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(api: Arc<ApiServer>, cfg: WireServerConfig) -> std::io::Result<WireServer> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            cache: EncodeCache::new(cfg.encode_cache_cap),
+            metrics: WireMetrics::default(),
+            queue: WeightedFairQueue::new(cfg.fair),
+            jobs: Mutex::new(HashMap::new()),
+            next_job: AtomicU64::new(1),
+            next_conn: AtomicU64::new(1),
+            active: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            conn_threads: Mutex::new(Vec::new()),
+            api,
+            local_addr,
+            cfg,
+        });
+        let mut threads = Vec::new();
+        for i in 0..inner.cfg.dispatch_workers.max(1) {
+            let inner = inner.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("wire-dispatch-{i}"))
+                    .spawn(move || dispatch_loop(&inner))
+                    .expect("spawn dispatcher"),
+            );
+        }
+        {
+            let inner = inner.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("wire-accept".to_string())
+                    .spawn(move || accept_loop(&inner, &listener))
+                    .expect("spawn acceptor"),
+            );
+        }
+        Ok(WireServer { inner, threads: Mutex::new(threads) })
+    }
+
+    /// The bound socket address (`host:port`), for clients.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr
+    }
+
+    /// The wire-tier counters.
+    pub fn metrics(&self) -> &WireMetrics {
+        &self.inner.metrics
+    }
+
+    /// The shared encode cache (hit rate is the "serialized once" win).
+    pub fn encode_cache(&self) -> &EncodeCache {
+        &self.inner.cache
+    }
+
+    /// Sets the WRR weight for one flow class (default 1).
+    pub fn set_flow_weight(&self, flow: &str, weight: u32) {
+        self.inner.queue.set_weight(flow, weight);
+    }
+
+    /// Publishes the `vc_wire_*` families into `registry`, labeled by
+    /// `server`. Gauge semantics (`set`) make repeated publication — e.g.
+    /// on every `/metrics` scrape — idempotent.
+    pub fn publish_metrics(&self, registry: &MetricsRegistry, server: &str) {
+        self.inner.publish_metrics(registry, server)
+    }
+
+    /// Stops accepting, tears down every connection, and joins all
+    /// threads. Idempotent.
+    pub fn shutdown(&self) {
+        if self.inner.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.inner.queue.shutdown();
+        // Unblock the acceptor: accept() has no timeout, so poke it.
+        let _ = TcpStream::connect(self.inner.local_addr);
+        let conns: Vec<TcpStream> = self.inner.conns.lock().drain().map(|(_, s)| s).collect();
+        for conn in conns {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+        for t in self.inner.conn_threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Inner {
+    fn publish_metrics(&self, registry: &MetricsRegistry, server: &str) {
+        let m = &self.metrics;
+        let conns = registry.gauge(
+            "vc_wire_connections",
+            "Wire connections by state (opened/rejected are lifetime totals).",
+            &["server", "state"],
+        );
+        conns.with(&[server, "opened"]).set(m.connections_opened.get() as i64);
+        conns.with(&[server, "rejected"]).set(m.connections_rejected.get() as i64);
+        conns.with(&[server, "active"]).set(m.active_connections.get());
+        let bytes = registry.gauge("vc_wire_bytes", "Bytes moved on the wire.", &["server", "dir"]);
+        bytes.with(&[server, "in"]).set(m.bytes_in.get() as i64);
+        bytes.with(&[server, "out"]).set(m.bytes_out.get() as i64);
+        let reqs = registry.gauge("vc_wire_requests", "Unary requests served.", &["server"]);
+        reqs.with(&[server]).set(m.requests.get() as i64);
+        let cache = registry.gauge(
+            "vc_wire_encode_cache",
+            "Memoized-encoding lookups (serialized-once hits vs misses).",
+            &["server", "outcome"],
+        );
+        cache.with(&[server, "hit"]).set(self.cache.hits.get() as i64);
+        cache.with(&[server, "miss"]).set(self.cache.misses.get() as i64);
+        let watchers = registry.gauge(
+            "vc_wire_watchers",
+            "Watch streams by state (opened/degraded are lifetime totals).",
+            &["server", "state"],
+        );
+        watchers.with(&[server, "opened"]).set(m.watch_streams.get() as i64);
+        watchers.with(&[server, "active"]).set(m.active_watches.get());
+        watchers.with(&[server, "degraded"]).set(m.degraded_watchers.get() as i64);
+        let events = registry.gauge(
+            "vc_wire_watch_events",
+            "Watch events fanned out on the wire.",
+            &["server"],
+        );
+        events.with(&[server]).set(m.watch_events_sent.get() as i64);
+        let timeouts = registry.gauge(
+            "vc_wire_queue_timeouts",
+            "Unary requests expired in the classing queue.",
+            &["server"],
+        );
+        timeouts.with(&[server]).set(m.queue_timeouts.get() as i64);
+        let depth = registry.gauge(
+            "vc_wire_class_queue_depth",
+            "Queued unary requests per flow class.",
+            &["server", "flow"],
+        );
+        for (flow, len) in self.queue.tenant_lens() {
+            depth.with(&[server, &flow]).set(len as i64);
+        }
+    }
+
+    fn execute(&self, user: &str, op: UnaryOp) -> Result<Bytes, ApiError> {
+        match op {
+            UnaryOp::Create(obj) => self.api.create(user, obj).map(|o| self.cache.encode(&o)),
+            UnaryOp::Get(kind, ns, name) => {
+                self.api.get(user, kind, &ns, &name).map(|o| self.cache.encode(&o))
+            }
+            UnaryOp::Update(obj) => self.api.update(user, obj).map(|o| self.cache.encode(&o)),
+            UnaryOp::Delete(kind, ns, name) => {
+                self.api.delete(user, kind, &ns, &name).map(|o| self.cache.encode(&o))
+            }
+            UnaryOp::List(kind, ns) => {
+                let (items, revision) = self.api.list(user, kind, ns.as_deref())?;
+                let mut body =
+                    format!("{{\"resource_version\":{revision},\"items\":[").into_bytes();
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        body.push(b',');
+                    }
+                    body.extend_from_slice(&self.cache.encode(item));
+                }
+                body.extend_from_slice(b"]}");
+                Ok(Bytes::from(body))
+            }
+        }
+    }
+}
+
+/// HTTP status for each [`ApiError`] variant.
+fn status_of(err: &ApiError) -> u16 {
+    match err {
+        ApiError::NotFound { .. } => 404,
+        ApiError::AlreadyExists { .. } | ApiError::Conflict { .. } => 409,
+        ApiError::Invalid { .. } => 422,
+        ApiError::Forbidden { .. } => 403,
+        ApiError::TooManyRequests { .. } => 429,
+        ApiError::Expired { .. } => 410,
+        ApiError::Timeout { .. } => 504,
+        ApiError::Unavailable { .. } => 503,
+        ApiError::Internal { .. } => 500,
+    }
+}
+
+fn parse_kind(s: &str) -> Option<ResourceKind> {
+    ResourceKind::ALL.iter().copied().find(|k| k.as_str().eq_ignore_ascii_case(s))
+}
+
+fn dispatch_loop(inner: &Arc<Inner>) {
+    while let Some(id) = inner.queue.get() {
+        let job = inner.jobs.lock().remove(&id);
+        inner.queue.done(&id);
+        let Some(job) = job else {
+            continue; // the connection gave up waiting and withdrew it
+        };
+        let result = inner.execute(&job.user, job.op);
+        let _ = job.reply.send(result); // receiver may have timed out
+    }
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
+    for accepted in listener.incoming() {
+        if inner.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = accepted else { continue };
+        if inner.active.load(Ordering::SeqCst) >= inner.cfg.max_connections {
+            inner.metrics.connections_rejected.inc();
+            let err = ApiError::unavailable("wire: connection limit reached");
+            let body = serde_json::to_string(&err).unwrap_or_default();
+            let _ = http::write_response(&mut stream, 503, &[], body.as_bytes(), false);
+            continue;
+        }
+        inner.metrics.connections_opened.inc();
+        inner.metrics.active_connections.inc();
+        inner.active.fetch_add(1, Ordering::SeqCst);
+        let conn_id = inner.next_conn.fetch_add(1, Ordering::SeqCst);
+        if let Ok(clone) = stream.try_clone() {
+            inner.conns.lock().insert(conn_id, clone);
+        }
+        let inner2 = inner.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("wire-conn-{conn_id}"))
+            .spawn(move || {
+                serve_connection(&inner2, stream);
+                inner2.conns.lock().remove(&conn_id);
+                inner2.active.fetch_sub(1, Ordering::SeqCst);
+                inner2.metrics.active_connections.dec();
+            })
+            .expect("spawn connection thread");
+        inner.conn_threads.lock().push(handle);
+        // Opportunistically reap finished threads so a long-lived server
+        // doesn't accumulate handles; join only the ones already done.
+        let mut threads = inner.conn_threads.lock();
+        if threads.len() > inner.cfg.max_connections * 2 {
+            let (done, live): (Vec<_>, Vec<_>) = threads.drain(..).partition(|t| t.is_finished());
+            *threads = live;
+            drop(threads);
+            for t in done {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+/// Rough size of a parsed request, for the `bytes_in` counter (the exact
+/// on-wire framing overhead is not worth re-counting).
+fn request_size(req: &http::Request) -> u64 {
+    let headers: usize = req.headers.iter().map(|(k, v)| k.len() + v.len() + 4).sum();
+    (req.method.len() + req.path.len() + headers + req.body.len() + 16) as u64
+}
+
+fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    loop {
+        let req = match http::read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => break,
+            Err(e) => {
+                if e.kind() == std::io::ErrorKind::InvalidData {
+                    let err = ApiError::invalid("wire", "request", e.to_string());
+                    let body = serde_json::to_string(&err).unwrap_or_default();
+                    let _ = http::write_response(&mut stream, 400, &[], body.as_bytes(), false);
+                }
+                break;
+            }
+        };
+        inner.metrics.bytes_in.add(request_size(&req));
+        let keep_alive = req.keep_alive() && !inner.stop.load(Ordering::SeqCst);
+        let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        match segments.as_slice() {
+            ["healthz"] => match http::write_response(&mut stream, 200, &[], b"ok", keep_alive) {
+                Ok(n) => inner.metrics.bytes_out.add(n as u64),
+                Err(_) => break,
+            },
+            ["metrics"] => {
+                let registry = MetricsRegistry::new();
+                inner.publish_metrics(&registry, "wire");
+                let text = registry.render_text();
+                match http::write_response(&mut stream, 200, &[], text.as_bytes(), keep_alive) {
+                    Ok(n) => inner.metrics.bytes_out.add(n as u64),
+                    Err(_) => break,
+                }
+            }
+            ["watch", kind] => {
+                // The stream takes over the connection; never keep-alive.
+                serve_watch(inner, &mut stream, &req, kind);
+                break;
+            }
+            ["api", rest @ ..] => {
+                let done = serve_unary(inner, &mut stream, &req, rest, keep_alive);
+                if !done || !keep_alive {
+                    break;
+                }
+            }
+            _ => {
+                let err = ApiError::not_found("route", &req.path);
+                let body = serde_json::to_string(&err).unwrap_or_default();
+                match http::write_response(&mut stream, 404, &[], body.as_bytes(), keep_alive) {
+                    Ok(n) => inner.metrics.bytes_out.add(n as u64),
+                    Err(_) => break,
+                }
+                if !keep_alive {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Serves one unary request through the classing queue. Returns `false`
+/// when the connection is broken and should be dropped.
+fn serve_unary(
+    inner: &Arc<Inner>,
+    stream: &mut TcpStream,
+    req: &http::Request,
+    path: &[&str],
+    keep_alive: bool,
+) -> bool {
+    inner.metrics.requests.inc();
+    let user = req.header("x-vc-user").unwrap_or("anonymous").to_string();
+    let flow = req.header("x-vc-flow").unwrap_or(&user).to_string();
+    let op = match route_unary(req, path) {
+        Ok(op) => op,
+        Err(err) => return write_error(inner, stream, &err, keep_alive),
+    };
+    let (tx, rx) = bounded(1);
+    let id = inner.next_job.fetch_add(1, Ordering::SeqCst);
+    inner.jobs.lock().insert(id, UnaryJob { user, op, reply: tx });
+    inner.queue.add(&flow, id);
+    let result = match rx.recv_timeout(inner.cfg.queue_timeout) {
+        Ok(result) => result,
+        Err(_) => {
+            // Withdraw the job so a late dispatch doesn't execute it;
+            // if it's already gone the dispatcher won the race and its
+            // reply lands on a dropped channel.
+            inner.jobs.lock().remove(&id);
+            inner.metrics.queue_timeouts.inc();
+            Err(ApiError::timeout(format!(
+                "request expired in classing queue after {:?}",
+                inner.cfg.queue_timeout
+            )))
+        }
+    };
+    match result {
+        Ok(body) => match http::write_response(stream, 200, &[], &body, keep_alive) {
+            Ok(n) => {
+                inner.metrics.bytes_out.add(n as u64);
+                true
+            }
+            Err(_) => false,
+        },
+        Err(err) => write_error(inner, stream, &err, keep_alive),
+    }
+}
+
+fn route_unary(req: &http::Request, path: &[&str]) -> Result<UnaryOp, ApiError> {
+    let kind_str = path.first().ok_or_else(|| ApiError::not_found("route", &req.path))?;
+    let kind = parse_kind(kind_str).ok_or_else(|| {
+        ApiError::invalid("wire", *kind_str, format!("unknown resource kind {kind_str:?}"))
+    })?;
+    match (req.method.as_str(), path.len()) {
+        ("POST", 1) => Ok(UnaryOp::Create(parse_body(&req.body)?)),
+        ("PUT", _) => Ok(UnaryOp::Update(parse_body(&req.body)?)),
+        ("GET", 1) => Ok(UnaryOp::List(kind, req.query.get("namespace").cloned())),
+        ("GET", 3) => Ok(UnaryOp::Get(kind, ns_of(path[1]), path[2].to_string())),
+        ("DELETE", 3) => Ok(UnaryOp::Delete(kind, ns_of(path[1]), path[2].to_string())),
+        _ => Err(ApiError::invalid(
+            "wire",
+            &req.path,
+            format!("unsupported method {} on {}", req.method, req.path),
+        )),
+    }
+}
+
+/// `_` is the cluster-scoped namespace placeholder in paths.
+fn ns_of(segment: &str) -> String {
+    if segment == "_" {
+        String::new()
+    } else {
+        segment.to_string()
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<Object, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::invalid("wire", "body", "request body is not UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| ApiError::invalid("wire", "body", e.to_string()))
+}
+
+fn write_error(inner: &Inner, stream: &mut TcpStream, err: &ApiError, keep_alive: bool) -> bool {
+    let body = serde_json::to_string(err).unwrap_or_default();
+    match http::write_response(stream, status_of(err), &[], body.as_bytes(), keep_alive) {
+        Ok(n) => {
+            inner.metrics.bytes_out.add(n as u64);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Serves a watch stream until the client goes away, the store closes the
+/// stream, or the server stops. Consumes the connection.
+fn serve_watch(inner: &Arc<Inner>, stream: &mut TcpStream, req: &http::Request, kind_str: &str) {
+    let user = req.header("x-vc-user").unwrap_or("anonymous");
+    let Some(kind) = parse_kind(kind_str) else {
+        write_error(
+            inner,
+            stream,
+            &ApiError::invalid("wire", kind_str, format!("unknown resource kind {kind_str:?}")),
+            false,
+        );
+        return;
+    };
+    let namespace = req.query.get("namespace").cloned();
+    let from: u64 = req.query.get("from").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let ws = match inner.api.watch(user, kind, namespace.as_deref(), from) {
+        Ok(ws) => ws,
+        Err(err) => {
+            write_error(inner, stream, &err, false);
+            return;
+        }
+    };
+    inner.metrics.watch_streams.inc();
+    inner.metrics.active_watches.inc();
+    let _ = stream.set_write_timeout(Some(inner.cfg.write_timeout));
+    if http::start_chunked(stream, &[]).is_err() {
+        inner.metrics.active_watches.dec();
+        return;
+    }
+    loop {
+        match ws.recv_deadline(Duration::from_millis(250)) {
+            RecvOutcome::Event(ev) => {
+                let tag = match ev.event_type {
+                    EventType::Added => "ADDED",
+                    EventType::Modified => "MODIFIED",
+                    EventType::Deleted => "DELETED",
+                };
+                let encoded = inner.cache.encode(&ev.object);
+                let mut payload =
+                    format!("{{\"event_type\":\"{tag}\",\"revision\":{},\"object\":", ev.revision)
+                        .into_bytes();
+                payload.extend_from_slice(&encoded);
+                payload.extend_from_slice(b"}\n");
+                match http::write_chunk(stream, &payload) {
+                    Ok(n) => {
+                        inner.metrics.bytes_out.add(n as u64);
+                        inner.metrics.watch_events_sent.inc();
+                    }
+                    Err(_) => {
+                        // Slow or dead reader: its own write budget blew,
+                        // nobody else waited on it. Drop the stream.
+                        inner.metrics.degraded_watchers.inc();
+                        break;
+                    }
+                }
+            }
+            RecvOutcome::Timeout => {
+                if inner.stop.load(Ordering::SeqCst) {
+                    let _ = http::finish_chunks(stream);
+                    break;
+                }
+            }
+            RecvOutcome::Closed => {
+                // Store-side eviction (this watcher overflowed its buffer)
+                // or server teardown: tell the client to re-list.
+                inner.metrics.degraded_watchers.inc();
+                let _ = http::write_chunk(stream, b"{\"event_type\":\"RESYNC\",\"revision\":0}\n");
+                let _ = http::finish_chunks(stream);
+                break;
+            }
+        }
+    }
+    inner.metrics.active_watches.dec();
+}

@@ -25,3 +25,4 @@ pub use vc_dataplane as dataplane;
 pub use vc_obs as obs;
 pub use vc_runtime as runtime;
 pub use vc_store as store;
+pub use vc_wire as wire;

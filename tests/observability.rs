@@ -160,6 +160,53 @@ fn tenant_dashboard_lands_on_the_vc_status() {
 }
 
 #[test]
+fn stats_publish_is_event_fed() {
+    // Disable the scanner so this test owns every publish pass (the
+    // scanner would otherwise race the dirty-set assertions).
+    let mut config = FrameworkConfig::minimal();
+    config.syncer.scan_interval = None;
+    let fw = Framework::start(config);
+    fw.create_tenant("tenant-1").unwrap();
+    sync_one_pod(&fw, "tenant-1", "dirtying");
+
+    // The reconcile workers dirtied the tenant; the publish pass drains
+    // exactly the dirty set.
+    assert!(fw.syncer.stats_dirty_len() >= 1, "sync activity marks the tenant dirty");
+    fw.syncer.publish_tenant_stats();
+    assert_eq!(fw.syncer.stats_dirty_len(), 0, "publish drains the dirty set");
+    let published = fw
+        .super_client("admin")
+        .get(
+            ResourceKind::CustomObject,
+            virtualcluster::core::vc_object::VC_MANAGER_NAMESPACE,
+            "tenant-1",
+        )
+        .unwrap();
+    let rv_after_publish = published.meta().resource_version;
+
+    // An idle pass is a no-op: nothing dirty, no VC status write.
+    fw.syncer.publish_tenant_stats();
+    let obj = fw
+        .super_client("admin")
+        .get(
+            ResourceKind::CustomObject,
+            virtualcluster::core::vc_object::VC_MANAGER_NAMESPACE,
+            "tenant-1",
+        )
+        .unwrap();
+    assert_eq!(
+        obj.meta().resource_version,
+        rv_after_publish,
+        "idle publish passes must not rewrite the VC status"
+    );
+
+    // New activity re-dirties and republishes.
+    sync_one_pod(&fw, "tenant-1", "dirtying-again");
+    assert!(fw.syncer.stats_dirty_len() >= 1, "fresh activity re-dirties the tenant");
+    fw.shutdown();
+}
+
+#[test]
 fn brownout_slowed_syncs_land_in_the_slow_op_log() {
     // A 400ms injected delay on the syncer's super-cluster writes pushes
     // every end-to-end sync past the 250ms slow-op threshold.
