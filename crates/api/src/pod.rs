@@ -78,9 +78,9 @@ pub enum Protocol {
 pub struct Toleration {
     /// Taint key tolerated; empty tolerates all keys.
     pub key: String,
-    /// Taint value that must match when `key` is non-empty and this is
-    /// `Some`.
-    pub value: Option<String>,
+    /// Taint value that must match when non-empty; empty tolerates any
+    /// value.
+    pub value: String,
     /// Which taint effect is tolerated; `None` tolerates all effects.
     pub effect: Option<TaintEffect>,
 }

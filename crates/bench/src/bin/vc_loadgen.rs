@@ -1,23 +1,28 @@
-//! Wire throughput campaign — the in-process-vs-wire comparison.
+//! Wire throughput campaign — the in-process-vs-wire comparison, with a
+//! codec axis on the wire rung.
 //!
-//! Drives the *same* `dyn ObjectApi` workload twice:
+//! Drives the *same* `dyn ObjectApi` workload three times:
 //!
 //! 1. **in-process** — `vc_client::Client` against a local `ApiServer`
 //!    (shared-memory `Arc` handoff, the simulator's native mode);
-//! 2. **wire** — `vc_wire::WireClient` against a `WireServer` on a real
-//!    `127.0.0.1` socket (HTTP/1.1 framing, serialization, kernel round
-//!    trips).
+//! 2. **wire/json** — `vc_wire::WireClient` against a `WireServer` on a
+//!    real `127.0.0.1` socket (HTTP/1.1 framing, JSON serialization,
+//!    kernel round trips);
+//! 3. **wire/vcbin** — the same workload over the compact binary codec
+//!    (a second server, so byte counters and namespaces stay clean).
 //!
-//! Two campaigns each: a mixed unary workload (10% create / 20% list /
-//! 10% update / 60% get) across N threads, and a watch fan-out run
-//! measuring create→delivery latency across W concurrent watchers. The
+//! Unary campaigns run a mixed workload (10% create / 20% list /
+//! 10% update / 60% get) across N threads; the watch fan-out run
+//! measures create→delivery latency across W concurrent watchers. The
 //! wire columns also report bytes/op and the memoized-encoding hit rate —
 //! the "serialize once per revision" win that makes W-way fan-out cost
 //! one encode.
 //!
 //! With `VC_BENCH_JSON_DIR` set, dumps `BENCH_wire_throughput_metrics.json`
-//! including the two `vc_wire_bench_improvement_x10` ratios `bench_gate`
-//! holds floors on (`unary_rate`, `fanout_headroom`).
+//! including the four `vc_wire_bench_improvement_x10` ratios `bench_gate`
+//! holds floors on (`unary_rate`, `fanout_headroom`, `binary_unary_rate`,
+//! and `bytes_per_op` — the JSON÷vcbin bytes-per-op ratio, whose floor
+//! of 4.0x enforces the "binary ships ≤¼ the bytes" contract).
 //!
 //! Env knobs: `VC_LOADGEN_THREADS`, `VC_LOADGEN_OPS`,
 //! `VC_LOADGEN_SEED_PODS`, `VC_LOADGEN_WATCHERS`, `VC_LOADGEN_EVENTS`,
@@ -31,7 +36,7 @@ use vc_bench::report::{dump_metrics_json, heading};
 use vc_bench::wire_load::{
     fanout_campaign, seed_namespaces, unary_campaign, FanoutResult, LoadgenConfig, UnaryResult,
 };
-use vc_client::{Client, ObjectApi};
+use vc_client::{Client, Encoding, ObjectApi};
 use vc_obs::MetricsRegistry;
 use vc_wire::{WireClient, WireServer, WireServerConfig};
 
@@ -72,27 +77,43 @@ fn main() {
     });
     print_unary("in-process", &inproc_unary);
 
-    // ---- wire ----
-    let wire_api = ApiServer::new_default("loadgen-wire");
-    let server =
-        WireServer::start(wire_api, WireServerConfig::default()).expect("bind loadgen wire server");
-    let addr = server.local_addr().to_string();
-    seed_namespaces(&cfg, &WireClient::with_limits(addr.clone(), "seeder", QPS, BURST));
-    let bytes_before = server.metrics().bytes_out.get() + server.metrics().bytes_in.get();
-    let reqs_before = server.metrics().requests.get();
-    let wire_addr = addr.clone();
-    let wire_unary = unary_campaign(&cfg, &move |t| {
-        Box::new(WireClient::with_limits(wire_addr.clone(), format!("tenant-{t}"), QPS, BURST))
-    });
-    print_unary("wire", &wire_unary);
-    let unary_reqs = (server.metrics().requests.get() - reqs_before).max(1);
-    let bytes_per_op = (server.metrics().bytes_out.get() + server.metrics().bytes_in.get()
-        - bytes_before)
-        / unary_reqs;
+    // ---- wire: one server per codec so byte counters stay clean ----
+    let wire_codec = |codec: Encoding| {
+        let api = ApiServer::new_default(format!("loadgen-wire-{}", codec.as_str()));
+        let server =
+            WireServer::start(api, WireServerConfig::default()).expect("bind loadgen wire server");
+        let addr = server.local_addr().to_string();
+        seed_namespaces(
+            &cfg,
+            &WireClient::with_limits(addr.clone(), "seeder", QPS, BURST).with_codec(codec),
+        );
+        let bytes_before = server.metrics().bytes_out.get() + server.metrics().bytes_in.get();
+        let reqs_before = server.metrics().requests.get();
+        let unary = unary_campaign(&cfg, &move |t| {
+            Box::new(
+                WireClient::with_limits(addr.clone(), format!("tenant-{t}"), QPS, BURST)
+                    .with_codec(codec),
+            )
+        });
+        let reqs = (server.metrics().requests.get() - reqs_before).max(1);
+        let bytes_per_op = (server.metrics().bytes_out.get() + server.metrics().bytes_in.get()
+            - bytes_before)
+            / reqs;
+        (server, unary, bytes_per_op)
+    };
+    let (server, wire_unary, json_bytes_per_op) = wire_codec(Encoding::Json);
+    print_unary("wire/json", &wire_unary);
+    let (vcbin_server, vcbin_unary, vcbin_bytes_per_op) = wire_codec(Encoding::Binary);
+    print_unary("wire/vcbin", &vcbin_unary);
+    let bytes_ratio = json_bytes_per_op as f64 / vcbin_bytes_per_op.max(1) as f64;
     println!(
-        "  wire costs: {bytes_per_op} bytes/op, {:.1}x slower p99 than in-process",
-        wire_unary.p99_us as f64 / inproc_unary.p99_us.max(1) as f64
+        "  wire costs: json {json_bytes_per_op} bytes/op, vcbin {vcbin_bytes_per_op} bytes/op \
+         ({bytes_ratio:.1}x smaller); json p99 {:.1}x in-process, vcbin {:.2}x json req/s",
+        wire_unary.p99_us as f64 / inproc_unary.p99_us.max(1) as f64,
+        vcbin_unary.rate / wire_unary.rate.max(1e-9),
     );
+    vcbin_server.shutdown();
+    let addr = server.local_addr().to_string();
 
     // ---- fan-out ----
     heading("watch fan-out: create -> delivery latency");
@@ -129,9 +150,15 @@ fn main() {
     let fanout_p99_ms = (wire_fanout.p99_us as f64 / 1000.0).max(0.001);
     let headroom = cfg.target_fanout_p99_ms as f64 / fanout_p99_ms;
     let rate_x10 = (wire_unary.rate * 10.0) as i64;
-    println!("  unary_rate      {:>10.0} req/s (x10 = {rate_x10})", wire_unary.rate);
+    let binary_rate_x10 = (vcbin_unary.rate * 10.0) as i64;
+    println!("  unary_rate        {:>10.0} req/s (x10 = {rate_x10})", wire_unary.rate);
+    println!("  binary_unary_rate {:>10.0} req/s (x10 = {binary_rate_x10})", vcbin_unary.rate);
     println!(
-        "  fanout_headroom {:>10.1} (target {} ms / measured p99 {:.1} ms)",
+        "  bytes_per_op      {:>10.1} (json {json_bytes_per_op} B / vcbin {vcbin_bytes_per_op} B)",
+        bytes_ratio
+    );
+    println!(
+        "  fanout_headroom   {:>10.1} (target {} ms / measured p99 {:.1} ms)",
         headroom, cfg.target_fanout_p99_ms, fanout_p99_ms
     );
 
@@ -146,10 +173,14 @@ fn main() {
     unary.with(&["inproc", "rate"]).set(inproc_unary.rate as i64);
     unary.with(&["inproc", "p50_us"]).set(inproc_unary.p50_us as i64);
     unary.with(&["inproc", "p99_us"]).set(inproc_unary.p99_us as i64);
-    unary.with(&["wire", "rate"]).set(wire_unary.rate as i64);
-    unary.with(&["wire", "p50_us"]).set(wire_unary.p50_us as i64);
-    unary.with(&["wire", "p99_us"]).set(wire_unary.p99_us as i64);
-    unary.with(&["wire", "bytes_per_op"]).set(bytes_per_op as i64);
+    unary.with(&["wire_json", "rate"]).set(wire_unary.rate as i64);
+    unary.with(&["wire_json", "p50_us"]).set(wire_unary.p50_us as i64);
+    unary.with(&["wire_json", "p99_us"]).set(wire_unary.p99_us as i64);
+    unary.with(&["wire_json", "bytes_per_op"]).set(json_bytes_per_op as i64);
+    unary.with(&["wire_vcbin", "rate"]).set(vcbin_unary.rate as i64);
+    unary.with(&["wire_vcbin", "p50_us"]).set(vcbin_unary.p50_us as i64);
+    unary.with(&["wire_vcbin", "p99_us"]).set(vcbin_unary.p99_us as i64);
+    unary.with(&["wire_vcbin", "bytes_per_op"]).set(vcbin_bytes_per_op as i64);
     let fanout = gauge(
         "vc_loadgen_fanout",
         "Fan-out campaign results by transport (rate in ev/s, latency us).",
@@ -170,10 +201,13 @@ fn main() {
     let improvement = registry.gauge(
         "vc_wire_bench_improvement_x10",
         "Wire ratios (x10, integer) checked by bench_gate: sustained wire \
-         unary req/s, and fan-out target-p99 / measured-p99 headroom.",
+         unary req/s per codec, JSON/vcbin bytes-per-op ratio, and fan-out \
+         target-p99 / measured-p99 headroom.",
         &["metric"],
     );
     improvement.with(&["unary_rate"]).set(rate_x10);
+    improvement.with(&["binary_unary_rate"]).set(binary_rate_x10);
+    improvement.with(&["bytes_per_op"]).set((bytes_ratio * 10.0) as i64);
     improvement.with(&["fanout_headroom"]).set((headroom * 10.0) as i64);
     dump_metrics_json("wire_throughput", &registry);
 

@@ -32,5 +32,5 @@ pub use delaying::{BackoffPolicy, DelayingQueue, RateLimitingQueue};
 pub use fairqueue::WeightedFairQueue;
 pub use faults::{FaultAction, FaultInjector, FaultPolicy, FaultRule};
 pub use informer::{Cache, InformerConfig, InformerEvent, SharedInformer};
-pub use surface::{ObjectApi, WatchHandle};
+pub use surface::{Encoding, ObjectApi, WatchHandle};
 pub use workqueue::WorkQueue;

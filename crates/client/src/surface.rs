@@ -15,6 +15,35 @@ use vc_api::error::ApiResult;
 use vc_api::object::{Object, ResourceKind};
 use vc_store::{RecvOutcome, WatchEvent};
 
+/// The payload encoding a networked transport negotiates per connection.
+///
+/// The in-process client ignores this (objects cross as `Arc`s, nothing
+/// is encoded); `vc_wire` maps it onto `accept`/`content-type` so a
+/// binary client and a JSON client can attach to the same server — the
+/// encoding is a property of the connection, never of the stored data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Encoding {
+    /// Self-describing JSON text — the default, and what every peer
+    /// that never heard of `vcbin` speaks.
+    #[default]
+    Json,
+    /// The compact `vcbin` binary codec (length-prefixed frames with a
+    /// streaming string dictionary), negotiated via
+    /// `accept: application/vcbin`.
+    Binary,
+}
+
+impl Encoding {
+    /// Short lowercase label (`"json"` / `"vcbin"`), used in metric
+    /// labels and bench tables.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Encoding::Json => "json",
+            Encoding::Binary => "vcbin",
+        }
+    }
+}
+
 /// Consumer side of a watch, independent of how events arrive (an
 /// in-process channel or a chunked HTTP stream).
 pub trait WatchHandle: Send {

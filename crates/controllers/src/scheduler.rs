@@ -425,10 +425,8 @@ fn tolerates(toleration: &vc_api::pod::Toleration, taint: &vc_api::node::Taint) 
     if !toleration.key.is_empty() && toleration.key != taint.key {
         return false;
     }
-    if let Some(value) = &toleration.value {
-        if *value != taint.value {
-            return false;
-        }
+    if !toleration.value.is_empty() && toleration.value != taint.value {
+        return false;
     }
     if let Some(effect) = &toleration.effect {
         if *effect != taint.effect {
@@ -610,7 +608,7 @@ mod tests {
         let mut tolerant = pod_with_cpu("default", "tolerant", "100m");
         tolerant.spec.tolerations.push(Toleration {
             key: "dedicated".into(),
-            value: Some("db".into()),
+            value: "db".into(),
             effect: None,
         });
         user.create(tolerant.into()).unwrap();

@@ -1,0 +1,956 @@
+//! `vcbin` — the compact length-prefixed binary wire codec.
+//!
+//! JSON framing costs the wire tier ~18 KiB per list op: quoted field
+//! names, base-10 integers, and escape scanning on both ends. `vcbin`
+//! encodes the same [`Value`] tree the serde layer already produces, so
+//! every `Serialize` type gets the binary path for free, and a decode
+//! through [`decode_value`] is equivalent to a decode of the JSON text
+//! (the proptest suite in `tests/codec_roundtrip.rs` holds the two
+//! codecs to that contract).
+//!
+//! # Value encoding
+//!
+//! One tag byte per node, then payload:
+//!
+//! | tag | node | payload |
+//! |---|---|---|
+//! | `0x00` | null | — |
+//! | `0x01` | false | — |
+//! | `0x02` | true | — |
+//! | `0x03` | u64 | LEB128 varint |
+//! | `0x04` | i64 | zigzag LEB128 varint |
+//! | `0x05` | f64 | 8 bytes, little-endian IEEE 754 |
+//! | `0x06` | string | varint length + UTF-8 bytes |
+//! | `0x07` | string ref | varint index into the dictionary |
+//! | `0x08` | array | varint count + count values |
+//! | `0x09` | object | varint count + count (key, value) pairs |
+//!
+//! Object keys are strings and use the same `0x06`/`0x07` encoding.
+//!
+//! **Static dictionary**: the codec ships a built-in string table
+//! ([`STATIC_STRINGS`]) holding every API field name, enum variant, and
+//! common value in the workspace schema. Indices `0..N` always refer to
+//! it, on both ends, so `"resource_version"` costs two bytes in *every*
+//! message — including the first occurrence, and including single-object
+//! bodies that have no intra-message repetition to exploit. The table is
+//! part of the wire format: changing it is a [`VCBIN_VERSION`] bump.
+//!
+//! **Streaming dictionary**: every decoded `0x06` string of at most
+//! [`INTERN_MAX_LEN`] bytes is appended to a per-message table starting
+//! at index `N`; `0x07` references either table by index. Non-schema
+//! strings repeated within a message (a namespace name across list
+//! items) collapse to one or two bytes after first sight. The streaming
+//! table is implicit — no dictionary section, so any prefix of a message
+//! decodes without lookahead and each encoded object is fully
+//! self-contained (the [`crate::EncodeCache`] splices cached object
+//! bytes into lists and watch frames without re-encoding).
+//!
+//! **Sparse object encoding**: typed payloads go through
+//! [`encode_value_sparse`], which skips *struct field* entries
+//! (`Value::Struct`, produced by derived serializers) whose value is
+//! `null`, an empty array, or an empty string. The serde layer treats a
+//! missing field as `null`, and `Option`/collection/`String` fields
+//! deserialize `null` back to `None`/empty (proto3-style), so the drop
+//! is lossless for every API type — none carry raw `Value` fields, and
+//! no API field is `Option<String>`, so `Some("")` can never round-trip
+//! to `None`. Data maps (`Value::Object` — labels, annotations) keep
+//! every entry: their keys are information, not schema. A default-heavy
+//! object shrinks to the fields that actually say something.
+//! [`encode_value`] stays exact for generic value trees.
+//!
+//! # Frame layout
+//!
+//! Every HTTP body or watch chunk payload in the binary encoding starts
+//! with a version byte ([`VCBIN_VERSION`]) and a frame-kind byte:
+//!
+//! | kind | frame | payload after the two header bytes |
+//! |---|---|---|
+//! | `0x00` | object | one value encoding |
+//! | `0x01` | list | varint revision, varint count, then per item: varint byte-length + value encoding |
+//! | `0x02` | event | type byte (0 ADDED / 1 MODIFIED / 2 DELETED / 3 RESYNC), varint revision, then (non-RESYNC) varint byte-length + value encoding |
+//! | `0x03` | error | one [`ApiError`] value encoding |
+//!
+//! Event frames are self-delimiting, so a watch chunk may carry any
+//! number of them back-to-back — that is the batching unit the server
+//! drains ready events into.
+//!
+//! Codec negotiation is plain HTTP: a client sends
+//! `accept: application/vcbin` (and the same `content-type` on bodies it
+//! uploads); the server echoes the codec it chose in the response
+//! `content-type`. Anything else means JSON, so existing clients keep
+//! working unchanged.
+
+use serde::Value;
+use std::collections::HashMap;
+use vc_api::error::ApiError;
+use vc_client::Encoding;
+
+/// Version byte leading every `vcbin` frame. Bump on any incompatible
+/// layout change; decoders reject versions they do not speak.
+pub const VCBIN_VERSION: u8 = 1;
+
+/// Longest string (bytes) admitted to the streaming dictionary. Longer
+/// strings are emitted verbatim every time — they are almost never
+/// repeated, and skipping them keeps the table small.
+pub const INTERN_MAX_LEN: usize = 128;
+
+/// MIME type announcing the binary codec in `accept`/`content-type`.
+pub const VCBIN_CONTENT_TYPE: &str = "application/vcbin";
+
+/// MIME type of the default JSON encoding.
+pub const JSON_CONTENT_TYPE: &str = "application/json";
+
+const TAG_NULL: u8 = 0x00;
+const TAG_FALSE: u8 = 0x01;
+const TAG_TRUE: u8 = 0x02;
+const TAG_U64: u8 = 0x03;
+const TAG_I64: u8 = 0x04;
+const TAG_F64: u8 = 0x05;
+const TAG_STR: u8 = 0x06;
+const TAG_REF: u8 = 0x07;
+const TAG_ARR: u8 = 0x08;
+const TAG_OBJ: u8 = 0x09;
+
+/// Frame kind: one object value.
+pub const FRAME_OBJECT: u8 = 0x00;
+/// Frame kind: a list (revision + length-prefixed items).
+pub const FRAME_LIST: u8 = 0x01;
+/// Frame kind: one watch event.
+pub const FRAME_EVENT: u8 = 0x02;
+/// Frame kind: an [`ApiError`].
+pub const FRAME_ERROR: u8 = 0x03;
+
+/// Watch event type byte: object added.
+pub const EVENT_ADDED: u8 = 0;
+/// Watch event type byte: object modified.
+pub const EVENT_MODIFIED: u8 = 1;
+/// Watch event type byte: object deleted.
+pub const EVENT_DELETED: u8 = 2;
+/// Watch event type byte: terminal resync hint (no object follows).
+pub const EVENT_RESYNC: u8 = 3;
+
+/// The built-in string table: every schema field name, enum variant, and
+/// common value, referenceable as `TAG_REF <index>` without ever being
+/// transmitted. Order is part of the wire format — append only, and bump
+/// [`VCBIN_VERSION`] on any reorder or removal.
+pub static STATIC_STRINGS: &[&str] = &[
+    // Field names across the vc-api types.
+    "access_mode",
+    "address",
+    "addresses",
+    "affinity",
+    "allocatable",
+    "annotations",
+    "block_owner_deletion",
+    "capacity",
+    "claim_ref",
+    "cluster_ip",
+    "command",
+    "condition",
+    "condition_type",
+    "conditions",
+    "config_map_names",
+    "container_port",
+    "containers",
+    "controller",
+    "count",
+    "creation_timestamp",
+    "data",
+    "deletion_timestamp",
+    "effect",
+    "env",
+    "event_type",
+    "finalizers",
+    "first_seen",
+    "generation",
+    "group",
+    "host_ip",
+    "image",
+    "init_containers",
+    "involved_object",
+    "ip",
+    "key",
+    "kind",
+    "kubelet_version",
+    "labels",
+    "last_heartbeat",
+    "last_seen",
+    "last_transition",
+    "limits",
+    "load_balancer_ip",
+    "match_expressions",
+    "match_labels",
+    "message",
+    "meta",
+    "name",
+    "namespace",
+    "namespaces",
+    "node_name",
+    "node_selector",
+    "observed_generation",
+    "operator",
+    "owner_references",
+    "payload",
+    "phase",
+    "pod_affinity",
+    "pod_anti_affinity",
+    "pod_ip",
+    "port",
+    "ports",
+    "protocol",
+    "provider_id",
+    "provisioner",
+    "ready_replicas",
+    "reason",
+    "replicas",
+    "requested",
+    "requests",
+    "resource_version",
+    "retry_after_ms",
+    "runtime_class",
+    "scope",
+    "secret_names",
+    "secret_type",
+    "secrets",
+    "selector",
+    "service_account_name",
+    "service_type",
+    "source",
+    "spec",
+    "started_at",
+    "status",
+    "storage_class",
+    "sync_to_super",
+    "taints",
+    "target_pod",
+    "target_port",
+    "template",
+    "tolerations",
+    "uid",
+    "unschedulable",
+    "user",
+    "value",
+    "values",
+    "verb",
+    "resource",
+    "volume_claim_names",
+    "volume_name",
+    "wait_for_first_consumer",
+    // Object / enum variant names (externally tagged representation).
+    "Namespace",
+    "Pod",
+    "Node",
+    "Service",
+    "Endpoints",
+    "Secret",
+    "ConfigMap",
+    "ServiceAccount",
+    "Event",
+    "PersistentVolumeClaim",
+    "PersistentVolume",
+    "StorageClass",
+    "ReplicaSet",
+    "Deployment",
+    "CustomResourceDefinition",
+    "CustomObject",
+    "Active",
+    "Bound",
+    "Cluster",
+    "ClusterIp",
+    "ContainersReady",
+    "DoesNotExist",
+    "Exists",
+    "Failed",
+    "Headless",
+    "In",
+    "Initialized",
+    "Kata",
+    "LoadBalancer",
+    "Namespaced",
+    "NoExecute",
+    "NoSchedule",
+    "NodePort",
+    "Normal",
+    "NotIn",
+    "NotReady",
+    "Opaque",
+    "Pending",
+    "PodScheduled",
+    "PreferNoSchedule",
+    "ReadOnlyMany",
+    "ReadWriteMany",
+    "ReadWriteOnce",
+    "Ready",
+    "Released",
+    "Runc",
+    "Running",
+    "ServiceAccountToken",
+    "Succeeded",
+    "Tcp",
+    "Terminating",
+    "Tls",
+    "Udp",
+    "Warning",
+    // ApiError variants.
+    "NotFound",
+    "AlreadyExists",
+    "Conflict",
+    "Invalid",
+    "Forbidden",
+    "TooManyRequests",
+    "Expired",
+    "Timeout",
+    "Unavailable",
+    "Internal",
+    // Wire envelope keys and ubiquitous values.
+    "items",
+    "type",
+    "object",
+    "revision",
+    "default",
+    "True",
+    "False",
+    "Unknown",
+];
+
+/// Index of `s` in [`STATIC_STRINGS`], if present.
+fn static_index(s: &str) -> Option<u64> {
+    use std::sync::OnceLock;
+    static MAP: OnceLock<HashMap<&'static str, u64>> = OnceLock::new();
+    MAP.get_or_init(|| STATIC_STRINGS.iter().enumerate().map(|(i, &s)| (s, i as u64)).collect())
+        .get(s)
+        .copied()
+}
+
+/// Decode failure: malformed, truncated, or version-mismatched input.
+pub type CodecError = serde::Error;
+
+fn err(message: impl std::fmt::Display) -> CodecError {
+    CodecError::custom(message)
+}
+
+/// The `content-type` string for an encoding.
+pub fn content_type(encoding: Encoding) -> &'static str {
+    match encoding {
+        Encoding::Json => JSON_CONTENT_TYPE,
+        Encoding::Binary => VCBIN_CONTENT_TYPE,
+    }
+}
+
+/// Parses a `content-type`/`accept` header value, defaulting to JSON for
+/// anything that does not name the binary codec (so legacy peers and
+/// wildcard accepts keep the JSON path).
+pub fn encoding_of(header: Option<&str>) -> Encoding {
+    match header {
+        Some(v) if v.to_ascii_lowercase().contains(VCBIN_CONTENT_TYPE) => Encoding::Binary,
+        _ => Encoding::Json,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Varints
+// ---------------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// A cursor over an encoded buffer; decode helpers advance it.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    dict: Vec<String>,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0, dict: Vec::new() }
+    }
+
+    fn byte(&mut self) -> Result<u8, CodecError> {
+        let b = *self.buf.get(self.pos).ok_or_else(|| err("vcbin: truncated input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| err("vcbin: length overflow"))?;
+        if end > self.buf.len() {
+            return Err(err("vcbin: truncated input"));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn varint(&mut self) -> Result<u64, CodecError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.byte()?;
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(err("vcbin: varint too long"))
+    }
+
+    fn string(&mut self, tag: u8) -> Result<String, CodecError> {
+        match tag {
+            TAG_STR => {
+                let len = self.varint()? as usize;
+                let bytes = self.take(len)?;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|_| err("vcbin: invalid UTF-8 string"))?
+                    .to_string();
+                if s.len() <= INTERN_MAX_LEN {
+                    self.dict.push(s.clone());
+                }
+                Ok(s)
+            }
+            TAG_REF => {
+                // Indices below the static table length are schema strings;
+                // the streaming table starts right after it.
+                let idx = self.varint()? as usize;
+                if let Some(&s) = STATIC_STRINGS.get(idx) {
+                    return Ok(s.to_string());
+                }
+                self.dict
+                    .get(idx - STATIC_STRINGS.len())
+                    .cloned()
+                    .ok_or_else(|| err(format!("vcbin: dangling string ref {idx}")))
+            }
+            other => Err(err(format!("vcbin: expected string, found tag {other:#04x}"))),
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, CodecError> {
+        if depth > 128 {
+            return Err(err("vcbin: nesting too deep"));
+        }
+        let tag = self.byte()?;
+        match tag {
+            TAG_NULL => Ok(Value::Null),
+            TAG_FALSE => Ok(Value::Bool(false)),
+            TAG_TRUE => Ok(Value::Bool(true)),
+            TAG_U64 => Ok(Value::U64(self.varint()?)),
+            TAG_I64 => Ok(Value::I64(unzigzag(self.varint()?))),
+            TAG_F64 => {
+                let bytes = self.take(8)?;
+                Ok(Value::F64(f64::from_le_bytes(bytes.try_into().expect("8 bytes"))))
+            }
+            TAG_STR | TAG_REF => Ok(Value::String(self.string(tag)?)),
+            TAG_ARR => {
+                let count = self.varint()? as usize;
+                if count > self.buf.len() - self.pos.min(self.buf.len()) {
+                    return Err(err("vcbin: array count exceeds input"));
+                }
+                let mut items = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    items.push(self.value(depth + 1)?);
+                }
+                Ok(Value::Array(items))
+            }
+            TAG_OBJ => {
+                let count = self.varint()? as usize;
+                if count > self.buf.len() - self.pos.min(self.buf.len()) {
+                    return Err(err("vcbin: object count exceeds input"));
+                }
+                let mut map = std::collections::BTreeMap::new();
+                for _ in 0..count {
+                    let key_tag = self.byte()?;
+                    let key = self.string(key_tag)?;
+                    map.insert(key, self.value(depth + 1)?);
+                }
+                Ok(Value::Object(map))
+            }
+            other => Err(err(format!("vcbin: unknown tag {other:#04x}"))),
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// The encoder's dictionary state for one message. Schema strings hit
+/// the static table without touching it; everything else goes through
+/// the streaming map (indices offset past the static table).
+struct Interner {
+    dict: HashMap<String, u64>,
+    /// Skip map entries whose value is `null`/`[]` (typed payloads only).
+    sparse: bool,
+}
+
+impl Interner {
+    fn new(sparse: bool) -> Interner {
+        Interner { dict: HashMap::new(), sparse }
+    }
+
+    fn put_str(&mut self, out: &mut Vec<u8>, s: &str) {
+        if let Some(idx) = static_index(s) {
+            out.push(TAG_REF);
+            put_varint(out, idx);
+            return;
+        }
+        if s.len() <= INTERN_MAX_LEN {
+            if let Some(&idx) = self.dict.get(s) {
+                out.push(TAG_REF);
+                put_varint(out, idx);
+                return;
+            }
+            let next = STATIC_STRINGS.len() as u64 + self.dict.len() as u64;
+            self.dict.insert(s.to_string(), next);
+        }
+        out.push(TAG_STR);
+        put_varint(out, s.len() as u64);
+        out.extend_from_slice(s.as_bytes());
+    }
+
+    /// Whether a map entry carries no information under the serde layer's
+    /// missing-field rules (absent decodes as `null`; `Option`, collection,
+    /// and `String` types decode `null` as empty/`None`).
+    fn droppable(&self, v: &Value) -> bool {
+        self.sparse
+            && match v {
+                Value::Null => true,
+                Value::Array(items) => items.is_empty(),
+                Value::String(s) => s.is_empty(),
+                _ => false,
+            }
+    }
+
+    fn put_value(&mut self, out: &mut Vec<u8>, value: &Value) {
+        match value {
+            Value::Null => out.push(TAG_NULL),
+            Value::Bool(false) => out.push(TAG_FALSE),
+            Value::Bool(true) => out.push(TAG_TRUE),
+            Value::U64(v) => {
+                out.push(TAG_U64);
+                put_varint(out, *v);
+            }
+            Value::I64(v) => {
+                out.push(TAG_I64);
+                put_varint(out, zigzag(*v));
+            }
+            Value::F64(v) => {
+                out.push(TAG_F64);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Value::String(s) => self.put_str(out, s),
+            Value::Array(items) => {
+                out.push(TAG_ARR);
+                put_varint(out, items.len() as u64);
+                for item in items {
+                    self.put_value(out, item);
+                }
+            }
+            // Data maps keep every entry — the keys themselves carry
+            // information (a label present with an empty value is not the
+            // same as no label).
+            Value::Object(map) => {
+                out.push(TAG_OBJ);
+                put_varint(out, map.len() as u64);
+                for (k, v) in map {
+                    self.put_str(out, k);
+                    self.put_value(out, v);
+                }
+            }
+            // Struct field maps are schema: a typed reader re-derives a
+            // missing field as its default, so sparse mode drops defaults.
+            Value::Struct(map) => {
+                out.push(TAG_OBJ);
+                let kept = map.values().filter(|v| !self.droppable(v)).count();
+                put_varint(out, kept as u64);
+                for (k, v) in map {
+                    if self.droppable(v) {
+                        continue;
+                    }
+                    self.put_str(out, k);
+                    self.put_value(out, v);
+                }
+            }
+        }
+    }
+}
+
+/// Appends the self-contained encoding of `value` to `out` (no frame
+/// header — callers wrap it in a frame or length-prefix it themselves).
+/// Exact: decodes back to an identical tree.
+pub fn encode_value(value: &Value, out: &mut Vec<u8>) {
+    Interner::new(false).put_value(out, value);
+}
+
+/// Like [`encode_value`], but drops map entries whose value is `null` or
+/// an empty array — safe (and much smaller) for payloads that decode
+/// through the serde layer's missing-field defaults, which is every API
+/// type the wire tier carries. Do **not** use it for generic value trees
+/// consumed as raw [`Value`]s.
+pub fn encode_value_sparse(value: &Value, out: &mut Vec<u8>) {
+    Interner::new(true).put_value(out, value);
+}
+
+/// Decodes one value occupying the whole of `buf`.
+///
+/// # Errors
+///
+/// Fails on truncation, trailing bytes, unknown tags, or dangling
+/// dictionary references.
+pub fn decode_value(buf: &[u8]) -> Result<Value, CodecError> {
+    let mut r = Reader::new(buf);
+    let v = r.value(0)?;
+    if !r.finished() {
+        return Err(err("vcbin: trailing bytes after value"));
+    }
+    Ok(v)
+}
+
+/// Encodes any serializable `value` as a framed `vcbin` body of `kind`
+/// ([`FRAME_OBJECT`] or [`FRAME_ERROR`]). Uses the sparse encoding —
+/// typed payloads round-trip through the serde missing-field defaults.
+pub fn to_framed_vec<T: serde::Serialize + ?Sized>(kind: u8, value: &T) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    out.push(VCBIN_VERSION);
+    out.push(kind);
+    encode_value_sparse(&value.serialize_value(), &mut out);
+    out
+}
+
+/// Checks the two-byte frame header, returning the payload slice.
+///
+/// # Errors
+///
+/// Fails on a short buffer, wrong version, or unexpected frame kind.
+pub fn frame_payload(buf: &[u8], expect_kind: u8) -> Result<&[u8], CodecError> {
+    if buf.len() < 2 {
+        return Err(err("vcbin: missing frame header"));
+    }
+    if buf[0] != VCBIN_VERSION {
+        return Err(err(format!("vcbin: unsupported version {}", buf[0])));
+    }
+    if buf[1] != expect_kind {
+        return Err(err(format!("vcbin: expected frame kind {expect_kind}, found {}", buf[1])));
+    }
+    Ok(&buf[2..])
+}
+
+/// Decodes a framed body of `kind` into any deserializable type.
+///
+/// # Errors
+///
+/// Propagates frame-header and value-decode failures, then the type's own
+/// deserialization errors.
+pub fn from_framed_slice<T: serde::Deserialize>(kind: u8, buf: &[u8]) -> Result<T, CodecError> {
+    let value = decode_value(frame_payload(buf, kind)?)?;
+    T::deserialize_value(&value)
+}
+
+/// Decodes an error-frame body, degrading to `Internal` (with the raw
+/// status attached) when the body is not a well-formed error frame.
+pub fn decode_error(status: u16, buf: &[u8]) -> ApiError {
+    from_framed_slice::<ApiError>(FRAME_ERROR, buf).unwrap_or_else(|_| {
+        ApiError::internal(format!("wire status {status} with undecodable vcbin error body"))
+    })
+}
+
+// ---------------------------------------------------------------------------
+// List frames
+// ---------------------------------------------------------------------------
+
+/// Assembles a list frame into `out` from pre-encoded item buffers (the
+/// splice path: each item is a self-contained value encoding straight out
+/// of the [`crate::EncodeCache`]).
+pub fn write_list_frame<'a>(
+    out: &mut Vec<u8>,
+    revision: u64,
+    items: impl ExactSizeIterator<Item = &'a [u8]>,
+) {
+    out.push(VCBIN_VERSION);
+    out.push(FRAME_LIST);
+    put_varint(out, revision);
+    put_varint(out, items.len() as u64);
+    for item in items {
+        put_varint(out, item.len() as u64);
+        out.extend_from_slice(item);
+    }
+}
+
+/// Decodes a list frame into `(revision, items)`.
+///
+/// # Errors
+///
+/// Fails on malformed framing or any undecodable item.
+pub fn read_list_frame<T: serde::Deserialize>(buf: &[u8]) -> Result<(u64, Vec<T>), CodecError> {
+    let payload = frame_payload(buf, FRAME_LIST)?;
+    let mut r = Reader::new(payload);
+    let revision = r.varint()?;
+    let count = r.varint()? as usize;
+    let mut items = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let len = r.varint()? as usize;
+        let item = r.take(len)?;
+        let value = decode_value(item)?;
+        items.push(T::deserialize_value(&value)?);
+    }
+    if !r.finished() {
+        return Err(err("vcbin: trailing bytes after list"));
+    }
+    Ok((revision, items))
+}
+
+// ---------------------------------------------------------------------------
+// Event frames
+// ---------------------------------------------------------------------------
+
+/// One decoded watch-event frame.
+#[derive(Debug)]
+pub struct EventFrame {
+    /// Event type byte ([`EVENT_ADDED`] … [`EVENT_RESYNC`]).
+    pub event_type: u8,
+    /// Store revision the event was committed at (0 for RESYNC).
+    pub revision: u64,
+    /// The object payload; `None` for RESYNC.
+    pub object: Option<Value>,
+}
+
+/// Appends one event frame to `out`; `encoded` is the object's
+/// self-contained value encoding (`None` only for [`EVENT_RESYNC`]).
+pub fn write_event_frame(out: &mut Vec<u8>, event_type: u8, revision: u64, encoded: Option<&[u8]>) {
+    out.push(VCBIN_VERSION);
+    out.push(FRAME_EVENT);
+    out.push(event_type);
+    put_varint(out, revision);
+    if let Some(encoded) = encoded {
+        put_varint(out, encoded.len() as u64);
+        out.extend_from_slice(encoded);
+    }
+}
+
+/// Decodes every event frame packed back-to-back in one watch chunk.
+///
+/// # Errors
+///
+/// Fails on malformed framing; a RESYNC frame decodes successfully and is
+/// expected to be the chunk's last frame.
+pub fn read_event_frames(buf: &[u8]) -> Result<Vec<EventFrame>, CodecError> {
+    let mut frames = Vec::new();
+    let mut rest = buf;
+    while !rest.is_empty() {
+        let payload = frame_payload(rest, FRAME_EVENT)?;
+        let mut r = Reader::new(payload);
+        let event_type = r.byte()?;
+        let revision = r.varint()?;
+        let object = if event_type == EVENT_RESYNC {
+            None
+        } else {
+            let len = r.varint()? as usize;
+            Some(decode_value(r.take(len)?)?)
+        };
+        let consumed = 2 + r.pos;
+        rest = &rest[consumed..];
+        frames.push(EventFrame { event_type, revision, object });
+    }
+    Ok(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+    use vc_api::object::Object;
+    use vc_api::pod::Pod;
+
+    fn roundtrip(v: &Value) -> Value {
+        let mut out = Vec::new();
+        encode_value(v, &mut out);
+        decode_value(&out).expect("decode")
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::U64(0),
+            Value::U64(u64::MAX),
+            Value::I64(-1),
+            Value::I64(i64::MIN),
+            Value::F64(3.25),
+            Value::F64(-0.0),
+            Value::String(String::new()),
+            Value::String("héllo \u{1F600}\n".to_string()),
+        ] {
+            assert_eq!(roundtrip(&v), v, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn repeated_strings_use_streaming_dictionary() {
+        // Schema keys are static refs already; the streaming dictionary
+        // earns its keep on non-schema strings repeated across items.
+        let mut pod = Pod::new("default", "p");
+        pod.meta.labels.insert("app".into(), "a-long-nonschema-workload-name".into());
+        let value = Object::from(pod).serialize_value();
+        let many = Value::Array(vec![value.clone(); 16]);
+        let mut one = Vec::new();
+        encode_value(&value, &mut one);
+        let mut sixteen = Vec::new();
+        encode_value(&many, &mut sixteen);
+        // Items after the first reference the first item's strings, so 16
+        // copies cost meaningfully less than 16x one copy.
+        assert!(
+            sixteen.len() < one.len() * 16 * 9 / 10,
+            "dictionary never kicked in: 1x={} 16x={}",
+            one.len(),
+            sixteen.len()
+        );
+        assert_eq!(roundtrip(&many), many);
+    }
+
+    #[test]
+    fn binary_beats_json_on_objects() {
+        let mut pod = Pod::new("kube-system", "coredns-5dd5756b68-x7x2v");
+        pod.meta.labels.insert("app".into(), "coredns".into());
+        pod.meta.labels.insert("pod-template-hash".into(), "5dd5756b68".into());
+        pod.meta.resource_version = 123456;
+        let obj: Object = pod.into();
+        let json = serde_json::to_string(&obj).unwrap();
+        let mut bin = Vec::new();
+        encode_value(&obj.serialize_value(), &mut bin);
+        assert!(
+            bin.len() < json.len(),
+            "vcbin ({}) should be smaller than JSON ({})",
+            bin.len(),
+            json.len()
+        );
+    }
+
+    #[test]
+    fn framed_object_roundtrip() {
+        let obj: Object = Pod::new("default", "p").into();
+        let framed = to_framed_vec(FRAME_OBJECT, &obj);
+        assert_eq!(framed[0], VCBIN_VERSION);
+        let back: Object = from_framed_slice(FRAME_OBJECT, &framed).unwrap();
+        assert_eq!(back, obj);
+        // Wrong kind and wrong version are both rejected.
+        assert!(from_framed_slice::<Object>(FRAME_LIST, &framed).is_err());
+        let mut wrong = framed.clone();
+        wrong[0] = 99;
+        assert!(from_framed_slice::<Object>(FRAME_OBJECT, &wrong).is_err());
+    }
+
+    #[test]
+    fn list_frame_splices_preencoded_items() {
+        let a: Object = Pod::new("ns", "a").into();
+        let b: Object = Pod::new("ns", "b").into();
+        let mut ea = Vec::new();
+        encode_value(&a.serialize_value(), &mut ea);
+        let mut eb = Vec::new();
+        encode_value(&b.serialize_value(), &mut eb);
+        let mut out = Vec::new();
+        write_list_frame(&mut out, 42, [ea.as_slice(), eb.as_slice()].into_iter());
+        let (rev, items): (u64, Vec<Object>) = read_list_frame(&out).unwrap();
+        assert_eq!(rev, 42);
+        assert_eq!(items, vec![a, b]);
+    }
+
+    #[test]
+    fn batched_event_frames_roundtrip() {
+        let obj: Object = Pod::new("ns", "ev").into();
+        let mut encoded = Vec::new();
+        encode_value(&obj.serialize_value(), &mut encoded);
+        let mut chunk = Vec::new();
+        write_event_frame(&mut chunk, EVENT_ADDED, 7, Some(&encoded));
+        write_event_frame(&mut chunk, EVENT_MODIFIED, 8, Some(&encoded));
+        write_event_frame(&mut chunk, EVENT_RESYNC, 0, None);
+        let frames = read_event_frames(&chunk).unwrap();
+        assert_eq!(frames.len(), 3);
+        assert_eq!((frames[0].event_type, frames[0].revision), (EVENT_ADDED, 7));
+        assert_eq!((frames[1].event_type, frames[1].revision), (EVENT_MODIFIED, 8));
+        assert_eq!(frames[2].event_type, EVENT_RESYNC);
+        assert!(frames[2].object.is_none());
+        let back: Object =
+            serde::Deserialize::deserialize_value(frames[1].object.as_ref().unwrap()).unwrap();
+        assert_eq!(back, obj);
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_errors_not_panics() {
+        let obj: Object = Pod::new("default", "p").into();
+        let mut buf = Vec::new();
+        encode_value(&obj.serialize_value(), &mut buf);
+        for cut in 0..buf.len() {
+            assert!(decode_value(&buf[..cut]).is_err(), "prefix of len {cut} must not decode");
+        }
+        assert!(decode_value(&[0xff, 0x00]).is_err());
+        // An index past both the static table and the (empty) streaming
+        // table is dangling.
+        assert!(decode_value(&[TAG_REF, 0xff, 0x7f]).is_err(), "dangling ref");
+        assert!(decode_value(&[TAG_REF, 0x05]).is_ok(), "static refs always resolve");
+        // Hostile count: claims 2^40 array items in a 3-byte buffer.
+        assert!(decode_value(&[TAG_ARR, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01]).is_err());
+    }
+
+    #[test]
+    fn static_dictionary_has_no_duplicates() {
+        let mut seen = std::collections::HashSet::new();
+        for s in STATIC_STRINGS {
+            assert!(seen.insert(*s), "duplicate static string {s:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_encoding_shrinks_and_roundtrips_typed() {
+        let obj: Object = Pod::new("default", "mostly-empty").into();
+        let value = obj.serialize_value();
+        let mut exact = Vec::new();
+        encode_value(&value, &mut exact);
+        let mut sparse = Vec::new();
+        encode_value_sparse(&value, &mut sparse);
+        // A default-heavy pod is mostly empty collections and nulls.
+        assert!(
+            sparse.len() + 30 < exact.len(),
+            "sparse ({}) should be well below exact ({})",
+            sparse.len(),
+            exact.len()
+        );
+        let back: Object =
+            serde::Deserialize::deserialize_value(&decode_value(&sparse).unwrap()).unwrap();
+        assert_eq!(back, obj, "missing-field defaults restore the dropped entries");
+    }
+
+    #[test]
+    fn schema_keys_cost_two_bytes_via_static_dictionary() {
+        let mut out = Vec::new();
+        encode_value(&Value::String("resource_version".into()), &mut out);
+        assert_eq!(out.len(), 2, "static-table hit must be TAG_REF + one-byte index");
+        assert_eq!(decode_value(&out).unwrap(), Value::String("resource_version".into()));
+    }
+
+    #[test]
+    fn negotiation_defaults_to_json() {
+        assert_eq!(encoding_of(None), Encoding::Json);
+        assert_eq!(encoding_of(Some("application/json")), Encoding::Json);
+        assert_eq!(encoding_of(Some("*/*")), Encoding::Json);
+        assert_eq!(encoding_of(Some("application/vcbin")), Encoding::Binary);
+        assert_eq!(encoding_of(Some("Application/VCBIN")), Encoding::Binary);
+        assert_eq!(content_type(Encoding::Binary), VCBIN_CONTENT_TYPE);
+    }
+}

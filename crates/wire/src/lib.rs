@@ -8,15 +8,24 @@
 //! list-with-resourceVersion + streaming-watch surface over HTTP/1.1 on
 //! `std::net::TcpListener` (the build is offline: no tokio, no hyper).
 //!
-//! The three perf mechanisms the wire tier is built around:
+//! The perf mechanisms the wire tier is built around:
 //!
-//! 1. **Serialize once per revision** ([`EncodeCache`]): object
-//!    revisions are globally unique, so their JSON encodings are
-//!    memoized and fanned out as shared [`bytes::Bytes`] buffers.
-//! 2. **Request classing** ([`WireServer`]): unary requests queue in
+//! 1. **Compact binary codec** ([`codec`]): the `vcbin` encoding
+//!    (varints + streaming string dictionary) is negotiated per
+//!    connection via `accept`/`content-type`; JSON stays the default so
+//!    legacy clients keep working unchanged.
+//! 2. **Serialize once per revision per codec** ([`EncodeCache`]):
+//!    object revisions are globally unique, so their encodings are
+//!    memoized and fanned out as shared [`bytes::Bytes`] buffers,
+//!    bounded by total cached bytes.
+//! 3. **Pipelined, vectored I/O**: responses leave in one vectored
+//!    syscall (head + frame prefix + cached body), watch bursts batch
+//!    into single chunks, and [`WireClient`] pipelines idempotent reads
+//!    on its persistent connection.
+//! 4. **Request classing** ([`WireServer`]): unary requests queue in
 //!    per-flow buckets drained by weighted round-robin, so one noisy
 //!    tenant queues behind itself, not in front of everyone.
-//! 3. **Degrade-to-resync**: a watcher that cannot keep up is dropped
+//! 5. **Degrade-to-resync**: a watcher that cannot keep up is dropped
 //!    (write timeout) or told to re-list (`RESYNC` terminal chunk) —
 //!    fan-out to healthy watchers never blocks on the slowest socket.
 //!
@@ -50,10 +59,12 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod codec;
 pub mod encode;
 pub mod http;
 pub mod server;
 
 pub use client::{WireClient, WireWatch};
-pub use encode::{EncodeCache, DEFAULT_ENCODE_CACHE_CAP};
+pub use codec::{JSON_CONTENT_TYPE, VCBIN_CONTENT_TYPE, VCBIN_VERSION};
+pub use encode::{EncodeCache, DEFAULT_ENCODE_CACHE_BYTES};
 pub use server::{WireMetrics, WireServer, WireServerConfig};

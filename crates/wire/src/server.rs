@@ -5,10 +5,10 @@
 //!
 //! | route | verb |
 //! |---|---|
-//! | `POST /api/{kind}` | create (body = object JSON) |
+//! | `POST /api/{kind}` | create (body = encoded object) |
 //! | `GET /api/{kind}/{ns}/{name}` | get (`_` for cluster-scoped ns) |
-//! | `GET /api/{kind}?namespace=ns` | list → `{resource_version, items}` |
-//! | `PUT /api/{kind}/{ns}/{name}` | update (body = object JSON) |
+//! | `GET /api/{kind}?namespace=ns` | list → revision + items |
+//! | `PUT /api/{kind}/{ns}/{name}` | update (body = encoded object) |
 //! | `DELETE /api/{kind}/{ns}/{name}` | delete |
 //! | `GET /watch/{kind}?namespace=ns&from=rv` | chunked watch stream |
 //! | `GET /healthz`, `GET /metrics` | liveness / Prometheus exposition |
@@ -17,22 +17,40 @@
 //! apiserver's `user` parameter, so the in-process tenancy gates apply
 //! unchanged over the wire.
 //!
-//! Three perf-critical mechanisms live here:
+//! **Codec negotiation** is per request: `accept: application/vcbin`
+//! selects the compact [`crate::codec`] binary encoding for the response
+//! (and `content-type: application/vcbin` marks a binary request body);
+//! anything else is JSON, so pre-`vcbin` clients keep working unchanged.
+//! The chosen codec is echoed in the response `content-type`.
+//!
+//! The perf-critical mechanisms that live here:
 //!
 //! - **Memoized encoding** — every object body (unary reads, list items,
 //!   watch events) comes out of one shared [`EncodeCache`], so an object
-//!   revision is serialized once no matter how many connections read it.
-//! - **Request classing** — unary requests are not executed on the
-//!   connection thread; they enter a [`WeightedFairQueue`] keyed by flow
-//!   (the `x-vc-flow` header, defaulting to the user) and a small
-//!   dispatcher pool drains flows by weighted round-robin. A flood from
-//!   one flow queues behind its own bucket instead of starving others.
+//!   revision is serialized once *per codec* no matter how many
+//!   connections read it.
+//! - **One syscall per response** — response head, frame prefix, and the
+//!   cache-shared body go out through one vectored write; connection
+//!   threads reuse their head/line scratch buffers across requests.
+//! - **Request classing** — under contention, unary requests enter a
+//!   [`WeightedFairQueue`] keyed by flow (the `x-vc-flow` header,
+//!   defaulting to the user) and a small dispatcher pool drains flows by
+//!   weighted round-robin. A flood from one flow queues behind its own
+//!   bucket instead of starving others. When the queue is empty and an
+//!   inline slot is free (capped at the dispatcher pool size, so classing
+//!   capacity is unchanged), the request executes directly on its
+//!   connection thread — two thread handoffs fewer per request.
+//! - **Watch batching** — when a watcher's stream has several ready
+//!   events, they are drained ([`vc_store::WatchStream::try_recv`]) into
+//!   one chunk: self-delimiting event frames in `vcbin`, newline-delimited
+//!   event objects in JSON. One write (and one wakeup) covers the burst.
 //! - **Degrade-to-resync** — watch connections carry a socket write
 //!   timeout. A stalled reader fails its own write and is dropped
 //!   (counted in `degraded_watchers`); store-side overflow eviction
-//!   surfaces as a terminal `RESYNC` chunk telling the client to re-list.
+//!   surfaces as a terminal `RESYNC` event telling the client to re-list.
 //!   Either way fan-out to healthy watchers never blocks.
 
+use crate::codec;
 use crate::encode::EncodeCache;
 use crate::http;
 use bytes::Bytes;
@@ -50,8 +68,13 @@ use vc_api::metrics::{Counter, Gauge};
 use vc_api::object::{Object, ResourceKind};
 use vc_apiserver::ApiServer;
 use vc_client::fairqueue::WeightedFairQueue;
+use vc_client::Encoding;
 use vc_obs::registry::MetricsRegistry;
-use vc_store::{EventType, RecvOutcome};
+use vc_store::{EventType, RecvOutcome, WatchEvent};
+
+/// Most events packed into a single watch chunk; bounds chunk size and
+/// per-burst latency for the first event in the batch.
+const MAX_WATCH_BATCH: usize = 128;
 
 /// Tunables for a [`WireServer`].
 #[derive(Debug, Clone)]
@@ -68,11 +91,12 @@ pub struct WireServerConfig {
     /// Bound on how long a unary request may sit in the classing queue
     /// before the connection gives up with `504`.
     pub queue_timeout: Duration,
-    /// Socket write budget per watch event; a reader stalled longer than
+    /// Socket write budget per watch chunk; a reader stalled longer than
     /// this is degraded (dropped) so fan-out never blocks on it.
     pub write_timeout: Duration,
-    /// Capacity of the memoized encode cache (revisions).
-    pub encode_cache_cap: usize,
+    /// Byte budget of the memoized encode cache (total cached encoding
+    /// bytes across both codecs).
+    pub encode_cache_bytes: usize,
 }
 
 impl Default for WireServerConfig {
@@ -84,7 +108,7 @@ impl Default for WireServerConfig {
             fair: true,
             queue_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(2),
-            encode_cache_cap: crate::encode::DEFAULT_ENCODE_CACHE_CAP,
+            encode_cache_bytes: crate::encode::DEFAULT_ENCODE_CACHE_BYTES,
         }
     }
 }
@@ -101,6 +125,9 @@ pub struct WireMetrics {
     pub active_connections: Gauge,
     /// Unary requests served (all verbs, any status).
     pub requests: Counter,
+    /// Unary requests answered in the binary codec (the remainder of
+    /// `requests` were JSON).
+    pub binary_requests: Counter,
     /// Approximate bytes read off sockets.
     pub bytes_in: Counter,
     /// Bytes written to sockets.
@@ -111,11 +138,16 @@ pub struct WireMetrics {
     pub active_watches: Gauge,
     /// Watch events fanned out on the wire.
     pub watch_events_sent: Counter,
+    /// Watch chunks that carried more than one event (batched bursts).
+    pub watch_batches: Counter,
     /// Watchers degraded (slow-reader write timeout, or store-side
     /// overflow eviction surfaced as a terminal `RESYNC`).
     pub degraded_watchers: Counter,
     /// Unary requests that timed out in the classing queue (`504`).
     pub queue_timeouts: Counter,
+    /// Unary requests executed inline on their connection thread (queue
+    /// empty + inline slot free), skipping the dispatcher handoff.
+    pub inline_dispatches: Counter,
 }
 
 /// One queued unary request: the op plus the channel its connection
@@ -123,6 +155,7 @@ pub struct WireMetrics {
 struct UnaryJob {
     user: String,
     op: UnaryOp,
+    encoding: Encoding,
     reply: Sender<Result<Bytes, ApiError>>,
 }
 
@@ -148,6 +181,7 @@ struct Inner {
     next_job: AtomicU64,
     next_conn: AtomicU64,
     active: AtomicUsize,
+    inline_active: AtomicUsize,
     stop: AtomicBool,
     conns: Mutex<HashMap<u64, TcpStream>>,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
@@ -175,13 +209,14 @@ impl WireServer {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         let inner = Arc::new(Inner {
-            cache: EncodeCache::new(cfg.encode_cache_cap),
+            cache: EncodeCache::new(cfg.encode_cache_bytes),
             metrics: WireMetrics::default(),
             queue: WeightedFairQueue::new(cfg.fair),
             jobs: Mutex::new(HashMap::new()),
             next_job: AtomicU64::new(1),
             next_conn: AtomicU64::new(1),
             active: AtomicUsize::new(0),
+            inline_active: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
             conn_threads: Mutex::new(Vec::new()),
@@ -282,6 +317,14 @@ impl Inner {
         bytes.with(&[server, "out"]).set(m.bytes_out.get() as i64);
         let reqs = registry.gauge("vc_wire_requests", "Unary requests served.", &["server"]);
         reqs.with(&[server]).set(m.requests.get() as i64);
+        let by_codec = registry.gauge(
+            "vc_wire_codec_requests",
+            "Unary requests served, by negotiated response codec.",
+            &["server", "codec"],
+        );
+        let binary = m.binary_requests.get();
+        by_codec.with(&[server, "json"]).set(m.requests.get().saturating_sub(binary) as i64);
+        by_codec.with(&[server, "vcbin"]).set(binary as i64);
         let cache = registry.gauge(
             "vc_wire_encode_cache",
             "Memoized-encoding lookups (serialized-once hits vs misses).",
@@ -289,6 +332,18 @@ impl Inner {
         );
         cache.with(&[server, "hit"]).set(self.cache.hits.get() as i64);
         cache.with(&[server, "miss"]).set(self.cache.misses.get() as i64);
+        let cache_bytes = registry.gauge(
+            "vc_wire_encode_cache_bytes",
+            "Bytes of cached encodings resident in the encode cache.",
+            &["server"],
+        );
+        cache_bytes.with(&[server]).set(self.cache.bytes() as i64);
+        let cache_evict = registry.gauge(
+            "vc_wire_encode_cache_evictions",
+            "Encode-cache entries dropped to stay under the byte budget.",
+            &["server"],
+        );
+        cache_evict.with(&[server]).set(self.cache.evictions.get() as i64);
         let watchers = registry.gauge(
             "vc_wire_watchers",
             "Watch streams by state (opened/degraded are lifetime totals).",
@@ -303,12 +358,25 @@ impl Inner {
             &["server"],
         );
         events.with(&[server]).set(m.watch_events_sent.get() as i64);
+        let batches = registry.gauge(
+            "vc_wire_watch_batches",
+            "Watch chunks that carried more than one event.",
+            &["server"],
+        );
+        batches.with(&[server]).set(m.watch_batches.get() as i64);
         let timeouts = registry.gauge(
             "vc_wire_queue_timeouts",
             "Unary requests expired in the classing queue.",
             &["server"],
         );
         timeouts.with(&[server]).set(m.queue_timeouts.get() as i64);
+        let inline = registry.gauge(
+            "vc_wire_inline_dispatches",
+            "Unary requests executed inline on their connection thread \
+             (classing queue empty, inline slot free).",
+            &["server"],
+        );
+        inline.with(&[server]).set(m.inline_dispatches.get() as i64);
         let depth = registry.gauge(
             "vc_wire_class_queue_depth",
             "Queued unary requests per flow class.",
@@ -319,28 +387,77 @@ impl Inner {
         }
     }
 
-    fn execute(&self, user: &str, op: UnaryOp) -> Result<Bytes, ApiError> {
+    /// Claims an inline-execution slot: only when the classing queue is
+    /// empty and fewer than `dispatch_workers` inline executions are in
+    /// flight. The cap keeps unary execution capacity identical to the
+    /// dispatcher pool's, so weighted fairness still governs whenever
+    /// demand exceeds it — the fast path only removes the two thread
+    /// handoffs when there is no contention to arbitrate. Pair every
+    /// `true` with a `release_inline`.
+    fn try_inline(&self) -> bool {
+        if !self.queue.is_empty() {
+            return false;
+        }
+        let cap = self.cfg.dispatch_workers.max(1);
+        if self.inline_active.fetch_add(1, Ordering::SeqCst) >= cap {
+            self.inline_active.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
+
+    fn release_inline(&self) {
+        self.inline_active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Executes one unary op, returning the response payload. Single
+    /// objects come back as a bare (cache-shared) value encoding — the
+    /// writer splices the frame prefix in front without copying; lists
+    /// come back as a complete body with the cached item encodings
+    /// spliced in.
+    fn execute(&self, user: &str, op: UnaryOp, encoding: Encoding) -> Result<Bytes, ApiError> {
         match op {
-            UnaryOp::Create(obj) => self.api.create(user, obj).map(|o| self.cache.encode(&o)),
-            UnaryOp::Get(kind, ns, name) => {
-                self.api.get(user, kind, &ns, &name).map(|o| self.cache.encode(&o))
+            UnaryOp::Create(obj) => {
+                self.api.create(user, obj).map(|o| self.cache.encode(&o, encoding))
             }
-            UnaryOp::Update(obj) => self.api.update(user, obj).map(|o| self.cache.encode(&o)),
+            UnaryOp::Get(kind, ns, name) => {
+                self.api.get(user, kind, &ns, &name).map(|o| self.cache.encode(&o, encoding))
+            }
+            UnaryOp::Update(obj) => {
+                self.api.update(user, obj).map(|o| self.cache.encode(&o, encoding))
+            }
             UnaryOp::Delete(kind, ns, name) => {
-                self.api.delete(user, kind, &ns, &name).map(|o| self.cache.encode(&o))
+                self.api.delete(user, kind, &ns, &name).map(|o| self.cache.encode(&o, encoding))
             }
             UnaryOp::List(kind, ns) => {
                 let (items, revision) = self.api.list(user, kind, ns.as_deref())?;
-                let mut body =
-                    format!("{{\"resource_version\":{revision},\"items\":[").into_bytes();
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        body.push(b',');
+                match encoding {
+                    Encoding::Json => {
+                        let mut body =
+                            format!("{{\"resource_version\":{revision},\"items\":[").into_bytes();
+                        for (i, item) in items.iter().enumerate() {
+                            if i > 0 {
+                                body.push(b',');
+                            }
+                            body.extend_from_slice(&self.cache.encode(item, encoding));
+                        }
+                        body.extend_from_slice(b"]}");
+                        Ok(Bytes::from(body))
                     }
-                    body.extend_from_slice(&self.cache.encode(item));
+                    Encoding::Binary => {
+                        let encoded: Vec<Bytes> =
+                            items.iter().map(|item| self.cache.encode(item, encoding)).collect();
+                        let mut body = Vec::with_capacity(
+                            16 + encoded.iter().map(|e| e.len() + 4).sum::<usize>(),
+                        );
+                        codec::write_list_frame(
+                            &mut body,
+                            revision,
+                            encoded.iter().map(|e| &e[..]),
+                        );
+                        Ok(Bytes::from(body))
+                    }
                 }
-                body.extend_from_slice(b"]}");
-                Ok(Bytes::from(body))
             }
         }
     }
@@ -372,7 +489,7 @@ fn dispatch_loop(inner: &Arc<Inner>) {
         let Some(job) = job else {
             continue; // the connection gave up waiting and withdrew it
         };
-        let result = inner.execute(&job.user, job.op);
+        let result = inner.execute(&job.user, job.op, job.encoding);
         let _ = job.reply.send(result); // receiver may have timed out
     }
 }
@@ -387,7 +504,16 @@ fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
             inner.metrics.connections_rejected.inc();
             let err = ApiError::unavailable("wire: connection limit reached");
             let body = serde_json::to_string(&err).unwrap_or_default();
-            let _ = http::write_response(&mut stream, 503, &[], body.as_bytes(), false);
+            let mut head = Vec::new();
+            let _ = http::write_response(
+                &mut stream,
+                503,
+                codec::JSON_CONTENT_TYPE,
+                &[],
+                &[body.as_bytes()],
+                false,
+                &mut head,
+            );
             continue;
         }
         inner.metrics.connections_opened.inc();
@@ -433,55 +559,84 @@ fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
+    // Connection-lifetime scratch buffers: head assembly and line reads
+    // stop allocating once the connection is warm.
+    let mut head = Vec::with_capacity(256);
+    let mut scratch = String::with_capacity(256);
     loop {
-        let req = match http::read_request(&mut reader) {
+        let req = match http::read_request(&mut reader, &mut scratch) {
             Ok(Some(req)) => req,
             Ok(None) => break,
             Err(e) => {
                 if e.kind() == std::io::ErrorKind::InvalidData {
                     let err = ApiError::invalid("wire", "request", e.to_string());
                     let body = serde_json::to_string(&err).unwrap_or_default();
-                    let _ = http::write_response(&mut stream, 400, &[], body.as_bytes(), false);
+                    let _ = http::write_response(
+                        &mut stream,
+                        400,
+                        codec::JSON_CONTENT_TYPE,
+                        &[],
+                        &[body.as_bytes()],
+                        false,
+                        &mut head,
+                    );
                 }
                 break;
             }
         };
         inner.metrics.bytes_in.add(request_size(&req));
         let keep_alive = req.keep_alive() && !inner.stop.load(Ordering::SeqCst);
+        let encoding = codec::encoding_of(req.header("accept"));
         let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
         match segments.as_slice() {
-            ["healthz"] => match http::write_response(&mut stream, 200, &[], b"ok", keep_alive) {
-                Ok(n) => inner.metrics.bytes_out.add(n as u64),
-                Err(_) => break,
-            },
+            ["healthz"] => {
+                match http::write_response(
+                    &mut stream,
+                    200,
+                    "text/plain",
+                    &[],
+                    &[b"ok"],
+                    keep_alive,
+                    &mut head,
+                ) {
+                    Ok(n) => inner.metrics.bytes_out.add(n as u64),
+                    Err(_) => break,
+                }
+            }
             ["metrics"] => {
                 let registry = MetricsRegistry::new();
                 inner.publish_metrics(&registry, "wire");
                 let text = registry.render_text();
-                match http::write_response(&mut stream, 200, &[], text.as_bytes(), keep_alive) {
+                match http::write_response(
+                    &mut stream,
+                    200,
+                    "text/plain",
+                    &[],
+                    &[text.as_bytes()],
+                    keep_alive,
+                    &mut head,
+                ) {
                     Ok(n) => inner.metrics.bytes_out.add(n as u64),
                     Err(_) => break,
                 }
             }
             ["watch", kind] => {
                 // The stream takes over the connection; never keep-alive.
-                serve_watch(inner, &mut stream, &req, kind);
+                serve_watch(inner, &mut stream, &req, kind, encoding);
                 break;
             }
             ["api", rest @ ..] => {
-                let done = serve_unary(inner, &mut stream, &req, rest, keep_alive);
+                let done =
+                    serve_unary(inner, &mut stream, &req, rest, encoding, keep_alive, &mut head);
                 if !done || !keep_alive {
                     break;
                 }
             }
             _ => {
                 let err = ApiError::not_found("route", &req.path);
-                let body = serde_json::to_string(&err).unwrap_or_default();
-                match http::write_response(&mut stream, 404, &[], body.as_bytes(), keep_alive) {
-                    Ok(n) => inner.metrics.bytes_out.add(n as u64),
-                    Err(_) => break,
-                }
-                if !keep_alive {
+                if !write_error(inner, &mut stream, &err, encoding, keep_alive, &mut head)
+                    || !keep_alive
+                {
                     break;
                 }
             }
@@ -496,42 +651,74 @@ fn serve_unary(
     stream: &mut TcpStream,
     req: &http::Request,
     path: &[&str],
+    encoding: Encoding,
     keep_alive: bool,
+    head: &mut Vec<u8>,
 ) -> bool {
     inner.metrics.requests.inc();
+    if encoding == Encoding::Binary {
+        inner.metrics.binary_requests.inc();
+    }
     let user = req.header("x-vc-user").unwrap_or("anonymous").to_string();
     let flow = req.header("x-vc-flow").unwrap_or(&user).to_string();
     let op = match route_unary(req, path) {
         Ok(op) => op,
-        Err(err) => return write_error(inner, stream, &err, keep_alive),
+        Err(err) => return write_error(inner, stream, &err, encoding, keep_alive, head),
     };
-    let (tx, rx) = bounded(1);
-    let id = inner.next_job.fetch_add(1, Ordering::SeqCst);
-    inner.jobs.lock().insert(id, UnaryJob { user, op, reply: tx });
-    inner.queue.add(&flow, id);
-    let result = match rx.recv_timeout(inner.cfg.queue_timeout) {
-        Ok(result) => result,
-        Err(_) => {
-            // Withdraw the job so a late dispatch doesn't execute it;
-            // if it's already gone the dispatcher won the race and its
-            // reply lands on a dropped channel.
-            inner.jobs.lock().remove(&id);
-            inner.metrics.queue_timeouts.inc();
-            Err(ApiError::timeout(format!(
-                "request expired in classing queue after {:?}",
-                inner.cfg.queue_timeout
-            )))
+    // Lists come back as complete framed bodies; single objects as bare
+    // value encodings that get the frame prefix spliced in at write time.
+    let is_list = matches!(op, UnaryOp::List(..));
+    // Fast path: with nothing queued and an inline slot free, execute on
+    // this thread — same capacity as the dispatcher pool, two thread
+    // handoffs fewer. Falls back to classing under any contention.
+    let result = if inner.try_inline() {
+        inner.metrics.inline_dispatches.inc();
+        let result = inner.execute(&user, op, encoding);
+        inner.release_inline();
+        result
+    } else {
+        let (tx, rx) = bounded(1);
+        let id = inner.next_job.fetch_add(1, Ordering::SeqCst);
+        inner.jobs.lock().insert(id, UnaryJob { user, op, encoding, reply: tx });
+        inner.queue.add(&flow, id);
+        match rx.recv_timeout(inner.cfg.queue_timeout) {
+            Ok(result) => result,
+            Err(_) => {
+                // Withdraw the job so a late dispatch doesn't execute it;
+                // if it's already gone the dispatcher won the race and its
+                // reply lands on a dropped channel.
+                inner.jobs.lock().remove(&id);
+                inner.metrics.queue_timeouts.inc();
+                Err(ApiError::timeout(format!(
+                    "request expired in classing queue after {:?}",
+                    inner.cfg.queue_timeout
+                )))
+            }
         }
     };
     match result {
-        Ok(body) => match http::write_response(stream, 200, &[], &body, keep_alive) {
-            Ok(n) => {
-                inner.metrics.bytes_out.add(n as u64);
-                true
+        Ok(body) => {
+            let prefix: &[u8] = match (encoding, is_list) {
+                (Encoding::Binary, false) => &[codec::VCBIN_VERSION, codec::FRAME_OBJECT],
+                _ => &[],
+            };
+            match http::write_response(
+                stream,
+                200,
+                codec::content_type(encoding),
+                &[],
+                &[prefix, &body],
+                keep_alive,
+                head,
+            ) {
+                Ok(n) => {
+                    inner.metrics.bytes_out.add(n as u64);
+                    true
+                }
+                Err(_) => false,
             }
-            Err(_) => false,
-        },
-        Err(err) => write_error(inner, stream, &err, keep_alive),
+        }
+        Err(err) => write_error(inner, stream, &err, encoding, keep_alive, head),
     }
 }
 
@@ -540,9 +727,10 @@ fn route_unary(req: &http::Request, path: &[&str]) -> Result<UnaryOp, ApiError> 
     let kind = parse_kind(kind_str).ok_or_else(|| {
         ApiError::invalid("wire", *kind_str, format!("unknown resource kind {kind_str:?}"))
     })?;
+    let body_encoding = codec::encoding_of(req.header("content-type"));
     match (req.method.as_str(), path.len()) {
-        ("POST", 1) => Ok(UnaryOp::Create(parse_body(&req.body)?)),
-        ("PUT", _) => Ok(UnaryOp::Update(parse_body(&req.body)?)),
+        ("POST", 1) => Ok(UnaryOp::Create(parse_body(&req.body, body_encoding)?)),
+        ("PUT", _) => Ok(UnaryOp::Update(parse_body(&req.body, body_encoding)?)),
         ("GET", 1) => Ok(UnaryOp::List(kind, req.query.get("namespace").cloned())),
         ("GET", 3) => Ok(UnaryOp::Get(kind, ns_of(path[1]), path[2].to_string())),
         ("DELETE", 3) => Ok(UnaryOp::Delete(kind, ns_of(path[1]), path[2].to_string())),
@@ -563,15 +751,39 @@ fn ns_of(segment: &str) -> String {
     }
 }
 
-fn parse_body(body: &[u8]) -> Result<Object, ApiError> {
-    let text = std::str::from_utf8(body)
-        .map_err(|_| ApiError::invalid("wire", "body", "request body is not UTF-8"))?;
-    serde_json::from_str(text).map_err(|e| ApiError::invalid("wire", "body", e.to_string()))
+fn parse_body(body: &[u8], encoding: Encoding) -> Result<Object, ApiError> {
+    match encoding {
+        Encoding::Json => {
+            let text = std::str::from_utf8(body)
+                .map_err(|_| ApiError::invalid("wire", "body", "request body is not UTF-8"))?;
+            serde_json::from_str(text).map_err(|e| ApiError::invalid("wire", "body", e.to_string()))
+        }
+        Encoding::Binary => codec::from_framed_slice(codec::FRAME_OBJECT, body)
+            .map_err(|e| ApiError::invalid("wire", "body", e.to_string())),
+    }
 }
 
-fn write_error(inner: &Inner, stream: &mut TcpStream, err: &ApiError, keep_alive: bool) -> bool {
-    let body = serde_json::to_string(err).unwrap_or_default();
-    match http::write_response(stream, status_of(err), &[], body.as_bytes(), keep_alive) {
+fn write_error(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    err: &ApiError,
+    encoding: Encoding,
+    keep_alive: bool,
+    head: &mut Vec<u8>,
+) -> bool {
+    let body = match encoding {
+        Encoding::Json => serde_json::to_string(err).unwrap_or_default().into_bytes(),
+        Encoding::Binary => codec::to_framed_vec(codec::FRAME_ERROR, err),
+    };
+    match http::write_response(
+        stream,
+        status_of(err),
+        codec::content_type(encoding),
+        &[],
+        &[&body],
+        keep_alive,
+        head,
+    ) {
         Ok(n) => {
             inner.metrics.bytes_out.add(n as u64);
             true
@@ -580,16 +792,65 @@ fn write_error(inner: &Inner, stream: &mut TcpStream, err: &ApiError, keep_alive
     }
 }
 
+/// Appends one encoded watch event to a chunk payload being assembled.
+fn append_event(inner: &Inner, payload: &mut Vec<u8>, ev: &WatchEvent, encoding: Encoding) {
+    let encoded = inner.cache.encode(&ev.object, encoding);
+    match encoding {
+        Encoding::Json => {
+            let tag = match ev.event_type {
+                EventType::Added => "ADDED",
+                EventType::Modified => "MODIFIED",
+                EventType::Deleted => "DELETED",
+            };
+            payload.extend_from_slice(
+                format!("{{\"event_type\":\"{tag}\",\"revision\":{},\"object\":", ev.revision)
+                    .as_bytes(),
+            );
+            payload.extend_from_slice(&encoded);
+            payload.extend_from_slice(b"}\n");
+        }
+        Encoding::Binary => {
+            let tag = match ev.event_type {
+                EventType::Added => codec::EVENT_ADDED,
+                EventType::Modified => codec::EVENT_MODIFIED,
+                EventType::Deleted => codec::EVENT_DELETED,
+            };
+            codec::write_event_frame(payload, tag, ev.revision, Some(&encoded));
+        }
+    }
+}
+
+/// The terminal resync hint in the stream's negotiated codec.
+fn resync_payload(encoding: Encoding) -> Vec<u8> {
+    match encoding {
+        Encoding::Json => b"{\"event_type\":\"RESYNC\",\"revision\":0}\n".to_vec(),
+        Encoding::Binary => {
+            let mut out = Vec::with_capacity(8);
+            codec::write_event_frame(&mut out, codec::EVENT_RESYNC, 0, None);
+            out
+        }
+    }
+}
+
 /// Serves a watch stream until the client goes away, the store closes the
 /// stream, or the server stops. Consumes the connection.
-fn serve_watch(inner: &Arc<Inner>, stream: &mut TcpStream, req: &http::Request, kind_str: &str) {
+fn serve_watch(
+    inner: &Arc<Inner>,
+    stream: &mut TcpStream,
+    req: &http::Request,
+    kind_str: &str,
+    encoding: Encoding,
+) {
     let user = req.header("x-vc-user").unwrap_or("anonymous");
+    let mut head = Vec::with_capacity(256);
     let Some(kind) = parse_kind(kind_str) else {
         write_error(
             inner,
             stream,
             &ApiError::invalid("wire", kind_str, format!("unknown resource kind {kind_str:?}")),
+            encoding,
             false,
+            &mut head,
         );
         return;
     };
@@ -598,35 +859,38 @@ fn serve_watch(inner: &Arc<Inner>, stream: &mut TcpStream, req: &http::Request, 
     let ws = match inner.api.watch(user, kind, namespace.as_deref(), from) {
         Ok(ws) => ws,
         Err(err) => {
-            write_error(inner, stream, &err, false);
+            write_error(inner, stream, &err, encoding, false, &mut head);
             return;
         }
     };
     inner.metrics.watch_streams.inc();
     inner.metrics.active_watches.inc();
     let _ = stream.set_write_timeout(Some(inner.cfg.write_timeout));
-    if http::start_chunked(stream, &[]).is_err() {
+    if http::start_chunked(stream, codec::content_type(encoding), &[]).is_err() {
         inner.metrics.active_watches.dec();
         return;
     }
+    // Chunk payload reused across the stream's lifetime; a burst of ready
+    // events is drained into it and leaves in one write.
+    let mut payload: Vec<u8> = Vec::with_capacity(4096);
     loop {
         match ws.recv_deadline(Duration::from_millis(250)) {
             RecvOutcome::Event(ev) => {
-                let tag = match ev.event_type {
-                    EventType::Added => "ADDED",
-                    EventType::Modified => "MODIFIED",
-                    EventType::Deleted => "DELETED",
-                };
-                let encoded = inner.cache.encode(&ev.object);
-                let mut payload =
-                    format!("{{\"event_type\":\"{tag}\",\"revision\":{},\"object\":", ev.revision)
-                        .into_bytes();
-                payload.extend_from_slice(&encoded);
-                payload.extend_from_slice(b"}\n");
+                payload.clear();
+                let mut batched = 0usize;
+                let mut next = Some(ev);
+                while let Some(ev) = next {
+                    append_event(inner, &mut payload, &ev, encoding);
+                    batched += 1;
+                    next = if batched < MAX_WATCH_BATCH { ws.try_recv() } else { None };
+                }
                 match http::write_chunk(stream, &payload) {
                     Ok(n) => {
                         inner.metrics.bytes_out.add(n as u64);
-                        inner.metrics.watch_events_sent.inc();
+                        inner.metrics.watch_events_sent.add(batched as u64);
+                        if batched > 1 {
+                            inner.metrics.watch_batches.inc();
+                        }
                     }
                     Err(_) => {
                         // Slow or dead reader: its own write budget blew,
@@ -646,7 +910,7 @@ fn serve_watch(inner: &Arc<Inner>, stream: &mut TcpStream, req: &http::Request, 
                 // Store-side eviction (this watcher overflowed its buffer)
                 // or server teardown: tell the client to re-list.
                 inner.metrics.degraded_watchers.inc();
-                let _ = http::write_chunk(stream, b"{\"event_type\":\"RESYNC\",\"revision\":0}\n");
+                let _ = http::write_chunk(stream, &resync_payload(encoding));
                 let _ = http::finish_chunks(stream);
                 break;
             }

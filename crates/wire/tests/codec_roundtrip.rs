@@ -1,0 +1,240 @@
+//! Property-based codec-equivalence suite: `vcbin` ↔ JSON.
+//!
+//! The binary codec is only allowed to change *bytes*, never *meaning*:
+//! for any payload the wire tier ships — objects, lists, watch events,
+//! and `ApiError` bodies — decoding the `vcbin` encoding must produce
+//! exactly what decoding the JSON encoding produces. These properties
+//! hold the two codecs to that contract over arbitrary inputs, plus the
+//! raw value layer to exact roundtrip identity (JSON cannot promise that
+//! for `I64`/`U64` boundary cases; `vcbin` must).
+//!
+//! Case count honors `PROPTEST_CASES` (CI runs 256).
+
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize, Value};
+use vc_api::error::ApiError;
+use vc_api::object::Object;
+use vc_api::pod::Pod;
+use vc_wire::codec;
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// Arbitrary scalar [`Value`]s, including the integer boundary cases JSON
+/// text handles worst.
+fn arb_scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        proptest::bool::ANY.prop_map(Value::Bool),
+        (0u64..u64::MAX).prop_map(Value::U64),
+        Just(Value::U64(u64::MAX)),
+        // Full signed range via the bit pattern (the shim's range
+        // strategy cannot span negative..positive).
+        (0u64..u64::MAX).prop_map(|v| Value::I64(v as i64)),
+        Just(Value::I64(i64::MIN)),
+        // Floats derived from integers stay finite (JSON has no NaN/Inf)
+        // while still exercising sign, fractions, and magnitude.
+        (0u64..u64::MAX).prop_map(|v| Value::F64(v as i64 as f64 / 256.0)),
+        "[ -~]{0,20}".prop_map(Value::String),
+        // Multi-byte UTF-8 and strings long enough to skip interning.
+        "[a-zé√😀]{0,80}".prop_map(Value::String),
+    ]
+}
+
+/// Arbitrary [`Value`] trees: scalars nested two levels deep through
+/// arrays and objects (repeated keys exercise the string dictionary).
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = || arb_scalar();
+    let level1 = prop_oneof![
+        leaf(),
+        proptest::collection::vec(leaf(), 0..6).prop_map(Value::Array),
+        proptest::collection::btree_map("[a-z]{1,8}", leaf(), 0..6).prop_map(Value::Object),
+    ];
+    prop_oneof![
+        proptest::collection::vec(level1, 0..5).prop_map(Value::Array),
+        proptest::collection::btree_map("[a-z]{1,8}", leaf(), 0..6).prop_map(Value::Object),
+        leaf(),
+    ]
+}
+
+/// Arbitrary pods with populated metadata, spec, and status — the
+/// payload shape the wire tier actually moves.
+fn arb_object() -> impl Strategy<Value = Object> {
+    (
+        ("[a-z][a-z0-9-]{0,20}", "[a-z][a-z0-9]{0,8}", "[ -~]{0,40}"),
+        (
+            proptest::collection::btree_map("[a-z.-]{1,12}", "[a-zA-Z0-9_-]{0,16}", 0..5),
+            (0u64..1_000_000, 0u64..u64::MAX),
+            "[a-z0-9-]{0,12}",
+        ),
+    )
+        .prop_map(|((name, ns, message), (labels, (generation, rv), node))| {
+            let mut pod = Pod::new(&ns, &name);
+            pod.meta.labels = labels;
+            pod.meta.generation = generation;
+            pod.meta.resource_version = rv;
+            pod.spec.node_name = node;
+            pod.status.message = message;
+            pod.into()
+        })
+}
+
+/// Every [`ApiError`] variant with arbitrary payloads.
+fn arb_api_error() -> impl Strategy<Value = ApiError> {
+    let s = || "[ -~]{0,30}";
+    prop_oneof![
+        (s(), s()).prop_map(|(k, n)| ApiError::not_found(k, n)),
+        (s(), s()).prop_map(|(k, n)| ApiError::already_exists(k, n)),
+        (s(), (s(), s())).prop_map(|(k, (n, m))| ApiError::conflict(k, n, m)),
+        (s(), (s(), s())).prop_map(|(k, (n, m))| ApiError::invalid(k, n, m)),
+        ((s(), s()), (s(), s())).prop_map(|((u, v), (r, m))| ApiError::forbidden(u, v, r, m)),
+        (s(), 0u64..u64::MAX).prop_map(|(m, ms)| ApiError::too_many_requests(m, ms)),
+        s().prop_map(ApiError::expired),
+        s().prop_map(ApiError::timeout),
+        s().prop_map(ApiError::unavailable),
+        s().prop_map(ApiError::internal),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Codec helpers
+// ---------------------------------------------------------------------------
+
+fn via_json<T: Serialize + Deserialize>(value: &T) -> T {
+    let text = serde_json::to_string(value).expect("json encode");
+    serde_json::from_str(&text).expect("json decode")
+}
+
+fn via_vcbin<T: Serialize + Deserialize>(value: &T) -> T {
+    let framed = codec::to_framed_vec(codec::FRAME_OBJECT, value);
+    codec::from_framed_slice(codec::FRAME_OBJECT, &framed).expect("vcbin decode")
+}
+
+proptest! {
+    /// The raw value layer is an exact roundtrip: every tree that goes in
+    /// comes back bit-identical (JSON text cannot promise this for
+    /// integer signedness; `vcbin` must).
+    #[test]
+    fn vcbin_value_roundtrip_is_identity(value in arb_value()) {
+        let mut encoded = Vec::new();
+        codec::encode_value(&value, &mut encoded);
+        let decoded = codec::decode_value(&encoded).expect("decode");
+        prop_assert_eq!(&decoded, &value);
+    }
+
+    /// Truncating an encoded value anywhere yields an error, never a
+    /// panic or a silently-wrong value.
+    #[test]
+    fn vcbin_truncation_never_panics(value in arb_value()) {
+        let mut encoded = Vec::new();
+        codec::encode_value(&value, &mut encoded);
+        // Probe a spread of cut points (all of them on small buffers).
+        let step = (encoded.len() / 16).max(1);
+        for cut in (0..encoded.len()).step_by(step) {
+            prop_assert!(codec::decode_value(&encoded[..cut]).is_err());
+        }
+    }
+
+    /// Objects decode identically through either codec.
+    #[test]
+    fn object_equivalent_across_codecs(obj in arb_object()) {
+        let via_j = via_json(&obj);
+        let via_b = via_vcbin(&obj);
+        prop_assert_eq!(&via_j, &obj);
+        prop_assert_eq!(&via_b, &obj);
+    }
+
+    /// List frames spliced from individually-encoded items (the encode
+    /// cache path) decode to the same list a JSON client sees.
+    #[test]
+    fn list_equivalent_across_codecs(
+        items in proptest::collection::vec(arb_object(), 0..6),
+        revision in 0u64..u64::MAX,
+    ) {
+        // Server-side binary body: splice per-item encodings.
+        let encoded: Vec<Vec<u8>> = items
+            .iter()
+            .map(|o| {
+                let mut out = Vec::new();
+                codec::encode_value(&o.serialize_value(), &mut out);
+                out
+            })
+            .collect();
+        let mut body = Vec::new();
+        codec::write_list_frame(&mut body, revision, encoded.iter().map(|e| e.as_slice()));
+        let (rev_b, items_b): (u64, Vec<Object>) =
+            codec::read_list_frame(&body).expect("vcbin list");
+        // Server-side JSON body: splice per-item JSON.
+        let mut json = format!("{{\"resource_version\":{revision},\"items\":[");
+        for (i, item) in items.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&serde_json::to_string(item).expect("json item"));
+        }
+        json.push_str("]}");
+        let parsed: Value = serde_json::from_str(&json).expect("json list");
+        let rev_j: u64 = match &parsed {
+            Value::Object(map) => match map.get("resource_version") {
+                Some(Value::U64(v)) => *v,
+                other => panic!("bad revision field: {other:?}"),
+            },
+            other => panic!("bad list body: {other:?}"),
+        };
+        let items_j: Vec<Object> = match &parsed {
+            Value::Object(map) => match map.get("items") {
+                Some(Value::Array(vals)) => vals
+                    .iter()
+                    .map(|v| Deserialize::deserialize_value(v).expect("json item decode"))
+                    .collect(),
+                other => panic!("bad items field: {other:?}"),
+            },
+            _ => unreachable!(),
+        };
+        prop_assert_eq!(rev_b, rev_j);
+        prop_assert_eq!(&items_b, &items_j);
+        prop_assert_eq!(&items_b, &items);
+    }
+
+    /// Every `ApiError` variant survives both codecs unchanged, so a
+    /// binary client classifies failures exactly like a JSON client.
+    #[test]
+    fn api_error_equivalent_across_codecs(err in arb_api_error()) {
+        let via_j = via_json(&err);
+        let framed = codec::to_framed_vec(codec::FRAME_ERROR, &err);
+        let via_b: ApiError =
+            codec::from_framed_slice(codec::FRAME_ERROR, &framed).expect("vcbin error");
+        prop_assert_eq!(&via_j, &err);
+        prop_assert_eq!(&via_b, &err);
+        // And through the client's tolerant path with the right status.
+        prop_assert_eq!(&codec::decode_error(500, &framed), &err);
+    }
+
+    /// Batched event chunks carry every event faithfully, in order.
+    #[test]
+    fn event_batch_roundtrips(
+        events in proptest::collection::vec((arb_object(), 0u64..u64::MAX), 1..6),
+    ) {
+        let mut chunk = Vec::new();
+        for (i, (obj, rev)) in events.iter().enumerate() {
+            let mut encoded = Vec::new();
+            codec::encode_value(&obj.serialize_value(), &mut encoded);
+            let tag = match i % 3 {
+                0 => codec::EVENT_ADDED,
+                1 => codec::EVENT_MODIFIED,
+                _ => codec::EVENT_DELETED,
+            };
+            codec::write_event_frame(&mut chunk, tag, *rev, Some(&encoded));
+        }
+        let frames = codec::read_event_frames(&chunk).expect("decode chunk");
+        prop_assert_eq!(frames.len(), events.len());
+        for (frame, (obj, rev)) in frames.iter().zip(&events) {
+            prop_assert_eq!(frame.revision, *rev);
+            let back: Object =
+                Deserialize::deserialize_value(frame.object.as_ref().expect("object"))
+                    .expect("event object");
+            prop_assert_eq!(&back, obj);
+        }
+    }
+}

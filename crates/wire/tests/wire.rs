@@ -1,16 +1,18 @@
 //! Wire-protocol semantics over real sockets: the list→watch handoff,
-//! disconnect/reconnect resume, and slow-reader isolation. These are the
-//! contracts a controller relies on when it attaches over the network
-//! instead of in-process.
+//! disconnect/reconnect resume, slow-reader isolation, mixed-codec
+//! clients, pipelined reads, and transparent watch reconnect. These are
+//! the contracts a controller relies on when it attaches over the
+//! network instead of in-process.
 
 use std::io::Write;
-use std::net::TcpStream;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vc_api::object::ResourceKind;
 use vc_api::pod::Pod;
 use vc_apiserver::ApiServer;
-use vc_client::ObjectApi;
+use vc_client::{Encoding, ObjectApi};
 use vc_wire::{WireClient, WireServer, WireServerConfig};
 
 fn start_server(cfg: WireServerConfig) -> (Arc<ApiServer>, WireServer) {
@@ -155,4 +157,192 @@ fn slow_reader_does_not_stall_fanout() {
         "stalled watcher should be counted as degraded"
     );
     server.shutdown();
+}
+
+/// A `vcbin` client and a JSON client attached to the same server see
+/// identical semantics: cross-codec CRUD, a shared watch fan-out (one
+/// store event → both codecs), and error parity. The encode cache holds
+/// both encodings of the same revision side by side.
+#[test]
+fn mixed_codec_clients_share_one_server() {
+    let (_api, server) = start_server(WireServerConfig::default());
+    let addr = server.local_addr().to_string();
+    let json = WireClient::with_limits(addr.clone(), "tenant-j", 10_000.0, 1000);
+    let binary =
+        WireClient::with_limits(addr, "tenant-b", 10_000.0, 1000).with_codec(Encoding::Binary);
+
+    // Binary writes, JSON reads — and vice versa.
+    let created = binary.create(Pod::new("default", "from-binary").into()).unwrap();
+    assert!(created.meta().resource_version > 0);
+    let via_json = json.get(ResourceKind::Pod, "default", "from-binary").unwrap();
+    assert_eq!(via_json, created);
+    json.create(Pod::new("default", "from-json").into()).unwrap();
+    let via_binary = binary.get(ResourceKind::Pod, "default", "from-json").unwrap();
+    assert_eq!(via_binary.meta().name, "from-json");
+
+    // Lists agree item-for-item and revision-for-revision.
+    let (items_j, rev_j) = json.list(ResourceKind::Pod, Some("default")).unwrap();
+    let (items_b, rev_b) = binary.list(ResourceKind::Pod, Some("default")).unwrap();
+    assert_eq!(rev_j, rev_b);
+    assert_eq!(items_j, items_b);
+
+    // Both codecs watch the same store; one event fans out to each in
+    // its own encoding.
+    let watch_j = json.watch(ResourceKind::Pod, Some("default"), rev_j).unwrap();
+    let watch_b = binary.watch(ResourceKind::Pod, Some("default"), rev_b).unwrap();
+    binary.create(Pod::new("default", "fanned-out").into()).unwrap();
+    let ev_j = watch_j.recv_timeout_ms(5000).expect("json watcher event");
+    let ev_b = watch_b.recv_timeout_ms(5000).expect("binary watcher event");
+    assert_eq!(ev_j.revision, ev_b.revision);
+    assert_eq!(ev_j.object, ev_b.object);
+
+    // Error parity: the binary client classifies failures exactly like
+    // the JSON client.
+    let missing_j = json.get(ResourceKind::Pod, "default", "nope").unwrap_err();
+    let missing_b = binary.get(ResourceKind::Pod, "default", "nope").unwrap_err();
+    assert_eq!(missing_j, missing_b);
+    assert!(missing_b.is_not_found());
+    let dup = binary.create(Pod::new("default", "from-json").into()).unwrap_err();
+    assert!(dup.is_already_exists());
+    server.shutdown();
+}
+
+/// Pipelined `get_batch`: every request head leaves before the first
+/// response is read, responses come back in order, and per-item failures
+/// land in their own slot without poisoning the batch.
+#[test]
+fn pipelined_get_batch_preserves_order() {
+    let (_api, server) = start_server(WireServerConfig::default());
+    for codec in [Encoding::Json, Encoding::Binary] {
+        let client =
+            WireClient::with_limits(server.local_addr().to_string(), "tenant-p", 10_000.0, 1000)
+                .with_codec(codec);
+        for i in 0..8 {
+            client
+                .create(Pod::new("default", format!("batch-{}-{i}", codec.as_str())).into())
+                .unwrap();
+        }
+        let names: Vec<String> = (0..8).map(|i| format!("batch-{}-{i}", codec.as_str())).collect();
+        let mut items: Vec<(&str, &str)> = names.iter().map(|n| ("default", n.as_str())).collect();
+        items.insert(4, ("default", "missing-pod")); // a hole mid-batch
+        let results = client.get_batch(ResourceKind::Pod, &items).unwrap();
+        assert_eq!(results.len(), 9);
+        for (i, (_, name)) in items.iter().enumerate() {
+            match &results[i] {
+                Ok(obj) => assert_eq!(&obj.meta().name, name, "slot {i} out of order"),
+                Err(e) => {
+                    assert_eq!(*name, "missing-pod");
+                    assert!(e.is_not_found(), "slot {i}: {e}");
+                }
+            }
+        }
+    }
+    server.shutdown();
+}
+
+/// A TCP relay whose connections can be severed on demand, to force the
+/// client through its reconnect path while the server stays healthy.
+struct FlakyRelay {
+    addr: String,
+    paused: Arc<AtomicBool>,
+    conns: Arc<parking_lot::Mutex<Vec<TcpStream>>>,
+}
+
+impl FlakyRelay {
+    fn start(upstream: String) -> FlakyRelay {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind relay");
+        let addr = listener.local_addr().unwrap().to_string();
+        let paused = Arc::new(AtomicBool::new(false));
+        let conns: Arc<parking_lot::Mutex<Vec<TcpStream>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        {
+            let paused = paused.clone();
+            let conns = conns.clone();
+            std::thread::spawn(move || {
+                for accepted in listener.incoming() {
+                    let Ok(down) = accepted else { break };
+                    if paused.load(Ordering::SeqCst) {
+                        let _ = down.shutdown(Shutdown::Both);
+                        continue; // connection refused-ish: reconnects fail
+                    }
+                    let Ok(up) = TcpStream::connect(&upstream) else {
+                        let _ = down.shutdown(Shutdown::Both);
+                        continue;
+                    };
+                    let mut registry = conns.lock();
+                    for (mut from, mut to) in [
+                        (down.try_clone().unwrap(), up.try_clone().unwrap()),
+                        (up.try_clone().unwrap(), down.try_clone().unwrap()),
+                    ] {
+                        std::thread::spawn(move || {
+                            let _ = std::io::copy(&mut from, &mut to);
+                            let _ = to.shutdown(Shutdown::Both);
+                        });
+                    }
+                    registry.push(down);
+                    registry.push(up);
+                }
+            });
+        }
+        FlakyRelay { addr, paused, conns }
+    }
+
+    /// Kills every live relayed connection and refuses new ones.
+    fn sever(&self) {
+        self.paused.store(true, Ordering::SeqCst);
+        for conn in self.conns.lock().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Accepts connections again.
+    fn restore(&self) {
+        self.paused.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Regression test for the reconnect anchor: an event committed while
+/// the watch connection is down must be replayed after the transparent
+/// reconnect — the client re-anchors at the last revision it *delivered*,
+/// so nothing in the gap is lost and nothing before it is duplicated.
+#[test]
+fn watch_reconnect_replays_event_from_reconnect_window() {
+    for codec in [Encoding::Json, Encoding::Binary] {
+        let (_api, server) = start_server(WireServerConfig::default());
+        let relay = FlakyRelay::start(server.local_addr().to_string());
+        // Watch through the flaky relay; mutate via a direct connection
+        // so writes keep working while the relay is severed.
+        let direct =
+            WireClient::with_limits(server.local_addr().to_string(), "tenant-r", 10_000.0, 1000);
+        let watcher = WireClient::with_limits(relay.addr.clone(), "tenant-r", 10_000.0, 1000)
+            .with_codec(codec);
+
+        let (_, rev) = direct.list(ResourceKind::Pod, Some("default")).unwrap();
+        let watch = watcher.watch(ResourceKind::Pod, Some("default"), rev).unwrap();
+
+        direct.create(Pod::new("default", "before-cut").into()).unwrap();
+        let first = watch.recv_timeout_ms(5000).expect("event before the cut");
+        assert_eq!(first.object.meta().name, "before-cut");
+
+        // Cut the wire, let an event land in the gap, then heal.
+        relay.sever();
+        direct.create(Pod::new("default", "during-cut").into()).unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        relay.restore();
+
+        let replayed = watch.recv_timeout_ms(10_000).expect("event committed during the cut");
+        assert_eq!(
+            replayed.object.meta().name,
+            "during-cut",
+            "codec {codec:?}: reconnect must re-anchor at the last delivered revision"
+        );
+        assert!(replayed.revision > first.revision);
+        // No duplicates: the next thing on the stream is a fresh event,
+        // not a replay of `before-cut`.
+        direct.create(Pod::new("default", "after-heal").into()).unwrap();
+        let next = watch.recv_timeout_ms(5000).expect("post-heal event");
+        assert_eq!(next.object.meta().name, "after-heal");
+        drop(watch);
+        server.shutdown();
+    }
 }

@@ -20,7 +20,7 @@ use std::fmt;
 pub use serde_derive::{Deserialize, Serialize};
 
 /// A JSON-shaped value tree: the serialization target of this shim.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// JSON `null`.
     Null,
@@ -36,8 +36,14 @@ pub enum Value {
     String(String),
     /// JSON array.
     Array(Vec<Value>),
-    /// JSON object with sorted keys.
+    /// JSON object with sorted keys, produced by map types and parsers:
+    /// the *keys are data*, so encoders must preserve every entry.
     Object(BTreeMap<String, Value>),
+    /// A struct's field map, produced by derived `Serialize` impls.
+    /// Renders identically to [`Value::Object`] as JSON, but the keys are
+    /// schema (field names a typed reader re-derives), so sparse binary
+    /// encoders may drop entries holding default values.
+    Struct(BTreeMap<String, Value>),
 }
 
 impl Value {
@@ -93,10 +99,10 @@ impl Value {
         }
     }
 
-    /// Returns the object map if this is an `Object`.
+    /// Returns the key/value map if this is an `Object` or a `Struct`.
     pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
         match self {
-            Value::Object(m) => Some(m),
+            Value::Object(m) | Value::Struct(m) => Some(m),
             _ => None,
         }
     }
@@ -109,6 +115,28 @@ impl Value {
     /// Looks up `key` if this is an object.
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+// Hand-written so `Struct` and `Object` compare equal when their maps do:
+// the distinction is an encoder hint, not part of the modelled JSON value
+// (a serialized struct must equal its re-parsed tree).
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::I64(a), Value::I64(b)) => a == b,
+            (Value::U64(a), Value::U64(b)) => a == b,
+            (Value::F64(a), Value::F64(b)) => a == b,
+            (Value::String(a), Value::String(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => a == b,
+            (
+                Value::Object(a) | Value::Struct(a),
+                Value::Object(b) | Value::Struct(b),
+            ) => a == b,
+            _ => false,
+        }
     }
 }
 
@@ -332,6 +360,12 @@ impl Serialize for String {
 
 impl Deserialize for String {
     fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        // Null decodes as the empty string (proto3-style missing-field
+        // semantics): sparse encoders may drop `""` fields entirely, and a
+        // dropped field reads back as `Null`.
+        if matches!(value, Value::Null) {
+            return Ok(String::new());
+        }
         value.as_str().map(str::to_string).ok_or_else(|| Error::custom("expected string"))
     }
 }
@@ -680,7 +714,7 @@ fn write_value(value: &Value, out: &mut String) {
             }
             out.push(']');
         }
-        Value::Object(map) => {
+        Value::Object(map) | Value::Struct(map) => {
             out.push('{');
             for (i, (k, v)) in map.iter().enumerate() {
                 if i > 0 {

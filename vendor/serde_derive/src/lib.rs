@@ -270,7 +270,7 @@ fn gen_struct_serialize(name: &str, fields: &Fields) -> String {
                      ::serde::Serialize::serialize_value(&self.{f}));\n"
                 ));
             }
-            code.push_str("::serde::Value::Object(__m)");
+            code.push_str("::serde::Value::Struct(__m)");
             code
         }
         Fields::Tuple(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
@@ -380,7 +380,7 @@ fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
                     "{name}::{vname} {{ {binds} }} => {{\n{inner}\
                      let mut __m = ::std::collections::BTreeMap::new();\n\
                      __m.insert(::std::string::String::from(\"{vname}\"), \
-                     ::serde::Value::Object(__f));\n\
+                     ::serde::Value::Struct(__f));\n\
                      ::serde::Value::Object(__m)\n}}\n"
                 ));
             }
@@ -450,7 +450,8 @@ fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
          __other => ::std::result::Result::Err(::serde::Error::custom(\
          ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n\
          }},\n\
-         ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+         ::serde::Value::Object(__m) | ::serde::Value::Struct(__m) \
+         if __m.len() == 1 => {{\n\
          let (__tag, __inner) = __m.iter().next().expect(\"len checked\");\n\
          match __tag.as_str() {{\n\
          {tagged_arms}\

@@ -41,7 +41,7 @@ fn pretty(value: &Value, indent: usize, out: &mut String) {
             out.push_str(&pad);
             out.push(']');
         }
-        Value::Object(map) if !map.is_empty() => {
+        Value::Object(map) | Value::Struct(map) if !map.is_empty() => {
             out.push_str("{\n");
             for (i, (k, v)) in map.iter().enumerate() {
                 if i > 0 {
