@@ -18,6 +18,12 @@ pub type ApiResult<T> = Result<T, ApiError>;
 /// matching.
 const NAMESPACE_MISSING_PREFIX: &str = "namespace ";
 
+/// Message prefix shared by [`ApiError::policy_denied`] and
+/// [`ApiError::policy_rule`]: the contract that lets the syncer (and
+/// metrics) recover the violated policy-rule label from a `Forbidden`
+/// without changing the variant's serialized shape.
+const POLICY_DENIED_PREFIX: &str = "denied by policy rule ";
+
 /// An error returned by an apiserver operation.
 ///
 /// # Examples
@@ -114,6 +120,43 @@ impl ApiError {
             resource: resource.into(),
             message: message.into(),
         }
+    }
+
+    /// Creates the canonical `Forbidden` produced when an admission
+    /// policy rule rejects an object on the tenant→super sync path.
+    /// Pairs with [`ApiError::policy_rule`], which recovers the rule
+    /// label — callers must not sniff the message text. Policy denials
+    /// are permanently fatal: retrying the identical object can never
+    /// succeed, so the syncer routes these straight to its dead-letter
+    /// set instead of burning retry budget.
+    pub fn policy_denied(
+        user: impl Into<String>,
+        verb: impl Into<String>,
+        resource: impl Into<String>,
+        rule: &str,
+        detail: impl Into<String>,
+    ) -> Self {
+        ApiError::Forbidden {
+            user: user.into(),
+            verb: verb.into(),
+            resource: resource.into(),
+            message: format!("{POLICY_DENIED_PREFIX}{rule:?}: {}", detail.into()),
+        }
+    }
+
+    /// Returns the policy-rule label of a [`ApiError::policy_denied`]
+    /// rejection, or `None` for every other error.
+    pub fn policy_rule(&self) -> Option<&str> {
+        let ApiError::Forbidden { message, .. } = self else { return None };
+        let quoted = message.strip_prefix(POLICY_DENIED_PREFIX)?;
+        let rest = quoted.strip_prefix('"')?;
+        rest.split('"').next().filter(|r| !r.is_empty())
+    }
+
+    /// Returns `true` if this is an admission-policy rejection created by
+    /// [`ApiError::policy_denied`].
+    pub fn is_policy_denied(&self) -> bool {
+        self.policy_rule().is_some()
     }
 
     /// Creates a `TooManyRequests` error with a retry hint.
@@ -286,6 +329,22 @@ mod tests {
         let err = ApiError::forbidden("t1-user", "list", "namespaces", "RBAC denied");
         assert!(err.is_forbidden());
         assert!(!err.is_retriable());
+    }
+
+    #[test]
+    fn policy_denied_carries_rule_label() {
+        let err =
+            ApiError::policy_denied("vc-syncer", "create", "Pod", "host-path-mount", "/etc mount");
+        assert!(err.is_forbidden());
+        assert!(err.is_policy_denied());
+        assert!(!err.is_retriable());
+        assert_eq!(err.policy_rule(), Some("host-path-mount"));
+        // Survives a serde round trip (the rule rides inside the message).
+        let back: ApiError = serde_json::from_str(&serde_json::to_string(&err).unwrap()).unwrap();
+        assert_eq!(back.policy_rule(), Some("host-path-mount"));
+        // Plain Forbidden errors are not mistaken for policy denials.
+        assert!(ApiError::forbidden("u", "get", "Pod", "RBAC denied").policy_rule().is_none());
+        assert!(!ApiError::invalid("Pod", "ns/p", "bad").is_policy_denied());
     }
 
     #[test]

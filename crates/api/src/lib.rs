@@ -35,6 +35,7 @@ pub mod namespace;
 pub mod node;
 pub mod object;
 pub mod pod;
+pub mod policy;
 pub mod quantity;
 pub mod service;
 pub mod sha256;

@@ -33,6 +33,12 @@ pub struct Container {
     pub limits: ResourceList,
     /// Exposed ports.
     pub ports: Vec<ContainerPort>,
+    /// Whether the container runs with full host privileges. Tenant
+    /// workloads are never allowed to set this on the sync path; the
+    /// field exists so the admission policy engine has something typed
+    /// to reject (missing-field defaulting keeps old WAL/wire payloads
+    /// parseable).
+    pub privileged: bool,
 }
 
 impl Container {
@@ -50,6 +56,13 @@ impl Container {
     /// Adds a TCP port (builder style).
     pub fn with_port(mut self, port: u16) -> Self {
         self.ports.push(ContainerPort { container_port: port, protocol: Protocol::Tcp });
+        self
+    }
+
+    /// Requests full host privileges (builder style). Rejected by the
+    /// tenant-isolation admission policy on the sync path.
+    pub fn privileged(mut self) -> Self {
+        self.privileged = true;
         self
     }
 }
@@ -155,6 +168,14 @@ pub struct PodSpec {
     pub config_map_names: Vec<String>,
     /// Names of persistent volume claims used by the pod.
     pub volume_claim_names: Vec<String>,
+    /// Host filesystem paths the pod asks to bind-mount. Always empty
+    /// for tenant workloads — the admission policy engine rejects any
+    /// synced pod that sets it.
+    pub host_paths: Vec<String>,
+    /// Whether the pod shares the host network namespace.
+    pub host_network: bool,
+    /// Whether the pod shares the host PID namespace.
+    pub host_pid: bool,
 }
 
 /// Which container runtime sandbox the pod requires.
@@ -189,6 +210,19 @@ impl PodSpec {
     /// Returns `true` once the scheduler has assigned a node.
     pub fn is_bound(&self) -> bool {
         !self.node_name.is_empty()
+    }
+
+    /// Returns `true` if any workload or init container requests full
+    /// host privileges.
+    pub fn any_privileged(&self) -> bool {
+        self.containers.iter().chain(&self.init_containers).any(|c| c.privileged)
+    }
+
+    /// Returns `true` if the pod asks for any host-level access: a host
+    /// path mount, the host network namespace, or the host PID
+    /// namespace.
+    pub fn requests_host_access(&self) -> bool {
+        !self.host_paths.is_empty() || self.host_network || self.host_pid
     }
 }
 
@@ -350,6 +384,25 @@ impl Pod {
         self.spec.runtime_class = RuntimeClass::Kata;
         self
     }
+
+    /// Bind-mounts a host filesystem path (builder style). Tenant pods
+    /// carrying this are rejected at the sync boundary.
+    pub fn with_host_path(mut self, path: impl Into<String>) -> Self {
+        self.spec.host_paths.push(path.into());
+        self
+    }
+
+    /// Shares the host network namespace (builder style).
+    pub fn with_host_network(mut self) -> Self {
+        self.spec.host_network = true;
+        self
+    }
+
+    /// Shares the host PID namespace (builder style).
+    pub fn with_host_pid(mut self) -> Self {
+        self.spec.host_pid = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -422,6 +475,48 @@ mod tests {
         let json = serde_json::to_string(&pod).unwrap();
         let back: Pod = serde_json::from_str(&json).unwrap();
         assert_eq!(pod, back);
+    }
+
+    #[test]
+    fn host_access_flags() {
+        let plain = Pod::new("ns", "p").with_container(Container::new("c", "img"));
+        assert!(!plain.spec.requests_host_access());
+        assert!(!plain.spec.any_privileged());
+
+        let hostile = Pod::new("ns", "p")
+            .with_container(Container::new("c", "img").privileged())
+            .with_host_path("/var/run/docker.sock")
+            .with_host_network()
+            .with_host_pid();
+        assert!(hostile.spec.requests_host_access());
+        assert!(hostile.spec.any_privileged());
+    }
+
+    #[test]
+    fn security_fields_default_when_absent() {
+        // Payloads serialized before the security fields existed (old WAL
+        // records, old wire peers) must still deserialize to safe defaults.
+        use serde::{Deserialize, Serialize, Value};
+        fn fields(v: &mut Value) -> &mut BTreeMap<String, Value> {
+            match v {
+                Value::Object(m) | Value::Struct(m) => m,
+                _ => panic!("expected object"),
+            }
+        }
+        let mut v =
+            Pod::new("ns", "p").with_container(Container::new("c", "img")).serialize_value();
+        let spec = fields(fields(&mut v).get_mut("spec").unwrap());
+        spec.remove("host_paths");
+        spec.remove("host_network");
+        spec.remove("host_pid");
+        let Some(Value::Array(containers)) = spec.get_mut("containers") else {
+            panic!("expected containers array")
+        };
+        fields(&mut containers[0]).remove("privileged");
+        let pod = Pod::deserialize_value(&v).unwrap();
+        assert!(!pod.spec.requests_host_access());
+        assert!(!pod.spec.any_privileged());
+        assert!(pod.spec.host_paths.is_empty());
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Tenant-isolation policy vocabulary: the rule catalogue and the pure
+//! pod-spec review shared by the admission engine and tenant-side
+//! preflight checks.
+//!
+//! The paper's framework treats tenants as load to be fairly scheduled;
+//! a production control plane must also treat them as potential
+//! adversaries. This module holds the *typed* half of that stance: the
+//! canonical rule names (the `rule` label on
+//! `vc_admission_rejections_total` and inside
+//! [`crate::error::ApiError::policy_denied`] messages) and the
+//! context-free checks that need nothing but the object itself. Checks
+//! that need cluster context — which namespaces belong to which tenant —
+//! live in the apiserver's admission plugin and reuse these names.
+
+use crate::pod::PodSpec;
+
+/// Rule: a synced pod bind-mounts a host filesystem path.
+pub const RULE_HOST_PATH: &str = "host-path-mount";
+/// Rule: a synced pod shares the host network or PID namespace.
+pub const RULE_HOST_NAMESPACE: &str = "host-namespace";
+/// Rule: a synced pod runs a privileged container.
+pub const RULE_PRIVILEGED: &str = "privileged-container";
+/// Rule: node-selector or toleration forgery targeting capacity reserved
+/// for other tenants' vNodes.
+pub const RULE_NODE_FORGERY: &str = "node-forgery";
+/// Rule: an object references a namespace (or a namespace-qualified
+/// secret/config-map/claim) outside its own tenant's prefix.
+pub const RULE_CROSS_TENANT_REF: &str = "cross-tenant-ref";
+/// Rule: an object's serialized size exceeds the per-object byte cap.
+pub const RULE_OVERSIZED_OBJECT: &str = "oversized-object";
+
+/// One violated policy rule with a human-readable detail line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyViolation {
+    /// Canonical rule name (one of the `RULE_*` constants).
+    pub rule: &'static str,
+    /// What exactly tripped the rule.
+    pub detail: String,
+}
+
+impl PolicyViolation {
+    fn new(rule: &'static str, detail: impl Into<String>) -> Self {
+        PolicyViolation { rule, detail: detail.into() }
+    }
+}
+
+/// Reviews a pod spec against the context-free privilege-escalation
+/// rules: host-path mounts, host namespaces, privileged containers.
+///
+/// Returns every violation, not just the first, so callers can log the
+/// full picture; admission rejects on the first entry.
+pub fn review_pod_spec(spec: &PodSpec) -> Vec<PolicyViolation> {
+    let mut violations = Vec::new();
+    if !spec.host_paths.is_empty() {
+        violations.push(PolicyViolation::new(
+            RULE_HOST_PATH,
+            format!("host paths {:?} are not allowed for tenant workloads", spec.host_paths),
+        ));
+    }
+    if spec.host_network || spec.host_pid {
+        let mut shared = Vec::new();
+        if spec.host_network {
+            shared.push("network");
+        }
+        if spec.host_pid {
+            shared.push("pid");
+        }
+        violations.push(PolicyViolation::new(
+            RULE_HOST_NAMESPACE,
+            format!("pod shares host {} namespace(s)", shared.join("+")),
+        ));
+    }
+    for c in spec.containers.iter().chain(&spec.init_containers) {
+        if c.privileged {
+            violations.push(PolicyViolation::new(
+                RULE_PRIVILEGED,
+                format!("container {:?} requests privileged mode", c.name),
+            ));
+            break;
+        }
+    }
+    violations
+}
+
+/// Collects every namespace a pod spec references beyond its own:
+/// affinity-term namespace lists and namespace-qualified (`ns/name`)
+/// secret, config-map, and claim references.
+///
+/// The admission plugin decides which of these are foreign — ownership
+/// needs the tenant's namespace prefix, which only the sync layer knows.
+pub fn referenced_namespaces(spec: &PodSpec) -> Vec<String> {
+    let mut namespaces = Vec::new();
+    for term in spec.affinity.pod_affinity.iter().chain(&spec.affinity.pod_anti_affinity) {
+        for ns in &term.namespaces {
+            namespaces.push(ns.clone());
+        }
+    }
+    for name in
+        spec.secret_names.iter().chain(&spec.config_map_names).chain(&spec.volume_claim_names)
+    {
+        if let Some((ns, _)) = name.split_once('/') {
+            namespaces.push(ns.to_string());
+        }
+    }
+    namespaces.sort();
+    namespaces.dedup();
+    namespaces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::Selector;
+    use crate::pod::{Container, Pod, PodAffinityTerm};
+
+    #[test]
+    fn clean_spec_passes_review() {
+        let pod = Pod::new("ns", "p").with_container(Container::new("c", "img"));
+        assert!(review_pod_spec(&pod.spec).is_empty());
+        assert!(referenced_namespaces(&pod.spec).is_empty());
+    }
+
+    #[test]
+    fn review_reports_each_escalation_class() {
+        let pod = Pod::new("ns", "p")
+            .with_container(Container::new("c", "img").privileged())
+            .with_host_path("/var/run/docker.sock")
+            .with_host_network()
+            .with_host_pid();
+        let rules: Vec<&str> = review_pod_spec(&pod.spec).iter().map(|v| v.rule).collect();
+        assert_eq!(rules, vec![RULE_HOST_PATH, RULE_HOST_NAMESPACE, RULE_PRIVILEGED]);
+    }
+
+    #[test]
+    fn privileged_init_container_caught() {
+        let mut pod = Pod::new("ns", "p").with_container(Container::new("c", "img"));
+        pod.spec.init_containers.push(Container::new("init", "img").privileged());
+        let violations = review_pod_spec(&pod.spec);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, RULE_PRIVILEGED);
+    }
+
+    #[test]
+    fn referenced_namespaces_spans_affinity_and_qualified_refs() {
+        let mut pod = Pod::new("ns", "p").with_container(Container::new("c", "img"));
+        pod.spec.affinity.pod_affinity.push(PodAffinityTerm {
+            selector: Selector::everything(),
+            namespaces: vec!["other-ns".into(), "victim-ns".into()],
+        });
+        pod.spec.secret_names.push("victim-ns/db-creds".into());
+        pod.spec.volume_claim_names.push("local-claim".into());
+        assert_eq!(referenced_namespaces(&pod.spec), vec!["other-ns", "victim-ns"]);
+    }
+}

@@ -98,10 +98,20 @@ impl PolicyRule {
 /// Disabled by default (everything allowed) so substrate tests and the
 /// dedicated tenant control planes — where the tenant *is* cluster-admin —
 /// stay permissive; the shared-cluster scenarios enable it.
+///
+/// Orthogonal to the rule bindings, a user may carry a **tenant scope**:
+/// a namespace prefix it is confined to. Scopes close the
+/// trust-the-header hole in the wire tier — whatever `x-vc-user` a
+/// connection claims, a scoped identity can only ever touch namespaces
+/// under its own tenant's prefix, and never cluster-scoped kinds. Scope
+/// enforcement is active even while rule enforcement is disabled, so the
+/// super apiserver can confine tenant identities without having to spell
+/// out rules for every system component.
 #[derive(Debug, Default)]
 pub struct Authorizer {
     enabled: RwLock<bool>,
     bindings: RwLock<HashMap<String, Vec<PolicyRule>>>,
+    scopes: RwLock<HashMap<String, String>>,
 }
 
 impl Authorizer {
@@ -130,9 +140,31 @@ impl Authorizer {
         self.bindings.write().remove(user);
     }
 
+    /// Confines `user` to namespaces under the tenant namespace `prefix`
+    /// (the syncer's `<vc>-<hash6>` prefix). Scoped users are granted all
+    /// verbs within the prefix and denied everything else — including all
+    /// cluster-scoped kinds — regardless of rule bindings or whether rule
+    /// enforcement is enabled.
+    pub fn bind_tenant_scope(&self, user: impl Into<String>, prefix: impl Into<String>) {
+        self.scopes.write().insert(user.into(), prefix.into());
+    }
+
+    /// Removes `user`'s tenant scope (used at tenant teardown).
+    pub fn unbind_tenant_scope(&self, user: &str) {
+        self.scopes.write().remove(user);
+    }
+
+    /// Returns the tenant namespace prefix `user` is confined to, if any.
+    pub fn tenant_scope(&self, user: &str) -> Option<String> {
+        self.scopes.read().get(user).cloned()
+    }
+
     /// Checks whether `user` may perform `verb` on `kind` in `namespace`
     /// (empty namespace for cluster-scoped objects).
     pub fn authorize(&self, user: &str, verb: Verb, kind: ResourceKind, namespace: &str) -> bool {
+        if let Some(prefix) = self.scopes.read().get(user) {
+            return !kind.is_cluster_scoped() && namespace_in_scope(namespace, prefix);
+        }
         if !self.is_enabled() {
             return true;
         }
@@ -141,6 +173,14 @@ impl Authorizer {
             .get(user)
             .is_some_and(|rules| rules.iter().any(|r| r.permits(verb, kind, namespace)))
     }
+}
+
+/// Returns `true` if `namespace` lives under the tenant prefix: either the
+/// prefix namespace itself or `<prefix>-<tenant-ns>`. The explicit `-`
+/// separator check keeps prefix `t1-aaaaaa` from matching a hostile
+/// `t1-aaaaaab-ns`.
+fn namespace_in_scope(namespace: &str, prefix: &str) -> bool {
+    namespace == prefix || namespace.strip_prefix(prefix).is_some_and(|rest| rest.starts_with('-'))
 }
 
 #[cfg(test)]
@@ -205,5 +245,51 @@ mod tests {
     fn verb_names() {
         assert_eq!(Verb::List.as_str(), "list");
         assert_eq!(Verb::Create.as_str(), "create");
+    }
+
+    #[test]
+    fn tenant_scope_confines_even_when_disabled() {
+        let auth = Authorizer::new();
+        // Rule enforcement off: unscoped users unrestricted…
+        assert!(auth.authorize("vc-syncer", Verb::Delete, ResourceKind::Node, ""));
+        // …but a scoped identity is confined to its prefix.
+        auth.bind_tenant_scope("tenant:t1", "t1-abc123");
+        assert!(auth.authorize("tenant:t1", Verb::Create, ResourceKind::Pod, "t1-abc123-default"));
+        assert!(auth.authorize("tenant:t1", Verb::List, ResourceKind::Pod, "t1-abc123"));
+        assert!(!auth.authorize("tenant:t1", Verb::Get, ResourceKind::Pod, "t2-def456-default"));
+        assert!(!auth.authorize("tenant:t1", Verb::List, ResourceKind::Namespace, ""));
+        assert!(!auth.authorize("tenant:t1", Verb::Watch, ResourceKind::Node, ""));
+        assert_eq!(auth.tenant_scope("tenant:t1").as_deref(), Some("t1-abc123"));
+    }
+
+    #[test]
+    fn tenant_scope_prefix_needs_separator() {
+        let auth = Authorizer::new();
+        auth.bind_tenant_scope("t", "t1-aaaaaa");
+        // A hostile prefix sharing the scope's leading bytes is foreign.
+        assert!(!auth.authorize("t", Verb::Get, ResourceKind::Pod, "t1-aaaaaab-ns"));
+        assert!(auth.authorize("t", Verb::Get, ResourceKind::Pod, "t1-aaaaaa-ns"));
+    }
+
+    #[test]
+    fn tenant_scope_unbind_restores_default() {
+        let auth = Authorizer::new();
+        auth.bind_tenant_scope("u", "t1-abc123");
+        assert!(!auth.authorize("u", Verb::Get, ResourceKind::Pod, "other"));
+        auth.unbind_tenant_scope("u");
+        assert!(auth.authorize("u", Verb::Get, ResourceKind::Pod, "other"));
+        assert_eq!(auth.tenant_scope("u"), None);
+    }
+
+    #[test]
+    fn tenant_scope_overrides_bindings() {
+        let auth = Authorizer::new();
+        auth.enable();
+        auth.bind("u", PolicyRule::allow_all());
+        auth.bind_tenant_scope("u", "t1-abc123");
+        // Scope wins over an allow-all binding: identity confinement is
+        // not escapable via rule grants.
+        assert!(!auth.authorize("u", Verb::Get, ResourceKind::Pod, "other"));
+        assert!(auth.authorize("u", Verb::Get, ResourceKind::Pod, "t1-abc123-ns"));
     }
 }

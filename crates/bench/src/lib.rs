@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod abuse;
 pub mod baseline_store;
 pub mod baseline_sync;
 pub mod calibration;

@@ -318,6 +318,35 @@ impl Framework {
         ));
     }
 
+    /// Installs the adversarial-tenant isolation policy on the super
+    /// cluster apiserver: synced tenant objects requesting host access,
+    /// privileged containers, scheduling forgery against reserved vNode
+    /// labels, cross-tenant references, or oversized payloads are rejected
+    /// with a typed policy rule ([`vc_api::error::ApiError::policy_rule`])
+    /// and counted in `vc_admission_rejections_total{rule,tenant}`.
+    pub fn enforce_tenant_isolation(&self) {
+        self.super_cluster.apiserver.add_admission_plugin(Box::new(
+            vc_apiserver::admission::TenantIsolation::new(
+                crate::mapping::CLUSTER_ANNOTATION,
+                crate::mapping::TENANT_NAMESPACE_ANNOTATION,
+            )
+            .with_metrics(&self.obs().registry),
+        ));
+    }
+
+    /// Confines `user`'s identity at the super apiserver to `tenant`'s
+    /// namespace prefix: requests from that identity outside the prefix
+    /// (and all cluster-scoped access) are denied at the gate, closing the
+    /// trust-the-header hole for tenants handed direct super credentials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant is not provisioned.
+    pub fn bind_super_scope(&self, user: &str, tenant: &str) {
+        let handle = self.registry.get(tenant).expect("tenant provisioned");
+        self.super_cluster.apiserver.authorizer.bind_tenant_scope(user, &handle.prefix);
+    }
+
     /// Builds the vn-agent for `node_name`.
     ///
     /// # Panics

@@ -68,6 +68,32 @@ pub fn to_super(obj: &Object, vc_name: &str, prefix: &str) -> Object {
         ns.meta.name = tenant_ns_to_super(prefix, &ns.meta.name);
         ns.phase = vc_api::namespace::NamespacePhase::Active;
     }
+    // Namespace references *inside* a pod spec — affinity-term namespace
+    // lists and namespace-qualified (`ns/name`) secret/config-map/claim
+    // refs — are tenant-side names too. Rewriting them into the tenant's
+    // prefix domain keeps multi-namespace affinity working after the
+    // rename and neutralizes forgery: a tenant that writes another
+    // tenant's super namespace verbatim just gets it re-prefixed into its
+    // own domain.
+    if let Object::Pod(pod) = &mut converted {
+        let affinity = &mut pod.spec.affinity;
+        for term in affinity.pod_affinity.iter_mut().chain(affinity.pod_anti_affinity.iter_mut()) {
+            for ns in &mut term.namespaces {
+                *ns = tenant_ns_to_super(prefix, ns);
+            }
+        }
+        for name in pod
+            .spec
+            .secret_names
+            .iter_mut()
+            .chain(&mut pod.spec.config_map_names)
+            .chain(&mut pod.spec.volume_claim_names)
+        {
+            if let Some((ns, rest)) = name.split_once('/') {
+                *name = format!("{}/{rest}", tenant_ns_to_super(prefix, ns));
+            }
+        }
+    }
     converted
 }
 

@@ -104,6 +104,13 @@ fn ensure_in_super(syncer: &Syncer, tenant: &TenantState, item: &WorkItem, tenan
                     syncer.metrics.conflicts.inc();
                     syncer.requeue_downward(item.clone());
                 }
+                Err(e) if e.is_forbidden() => {
+                    // Admission policy rejection: permanently fatal for
+                    // this object — retrying verbatim burns backoff
+                    // budget for nothing. Straight to the dead-letter
+                    // set, visible via the SyncerPolicyBlocked condition.
+                    syncer.dead_letter_policy_blocked(item.clone(), &e);
+                }
                 Err(_) => {
                     // Namespace still missing / terminating / transient:
                     // retry after a short delay; the namespace downward
@@ -151,6 +158,11 @@ fn ensure_in_super(syncer: &Syncer, tenant: &TenantState, item: &WorkItem, tenan
                     // Deleted under us (the classic race): requeue; the
                     // create path will handle it.
                     syncer.requeue_downward(item.clone());
+                }
+                Err(e) if e.is_forbidden() => {
+                    // Policy rejection on update: as on create, dead-letter
+                    // immediately instead of retrying forever.
+                    syncer.dead_letter_policy_blocked(item.clone(), &e);
                 }
                 Err(e) => {
                     if e.is_conflict() {
@@ -246,7 +258,15 @@ fn delete_from_super(syncer: &Syncer, tenant: &TenantState, item: &WorkItem) {
         Some(key) => key,
         None => return,
     };
-    let Some(existing) = super_cache.get(&super_key) else { return };
+    let Some(existing) = super_cache.get(&super_key) else {
+        // Nothing to delete: the reconcile succeeded vacuously. This also
+        // clears retry history and the policy-blocked marker for objects
+        // admission rejected at create time — the tenant deleting the
+        // offending object is how a `SyncerPolicyBlocked` condition is
+        // resolved.
+        syncer.forget_retries(item);
+        return;
+    };
     if mapping::owner_cluster(&existing) != Some(tenant.handle.name.as_str()) {
         return; // never delete objects we do not own
     }
@@ -257,6 +277,7 @@ fn delete_from_super(syncer: &Syncer, tenant: &TenantState, item: &WorkItem) {
             syncer.forget_retries(item);
         }
         Err(e) if e.is_not_found() => syncer.forget_retries(item),
+        Err(e) if e.is_forbidden() => syncer.dead_letter_policy_blocked(item.clone(), &e),
         Err(_) => syncer.requeue_downward(item.clone()),
     }
 }

@@ -18,7 +18,8 @@ mod upward;
 use crate::mapping;
 use crate::registry::TenantHandle;
 use crate::vc_object::{
-    TenantSyncStats, VirtualCluster, COND_SYNCER_HEALTHY, VC_MANAGER_NAMESPACE,
+    TenantSyncStats, VirtualCluster, COND_SYNCER_HEALTHY, COND_SYNCER_POLICY_BLOCKED,
+    VC_MANAGER_NAMESPACE,
 };
 use parking_lot::{Mutex, RwLock};
 use phases::PhaseTracker;
@@ -237,6 +238,9 @@ pub struct SyncerMetrics {
     pub retries: Arc<Counter>,
     /// Items dead-lettered after exhausting their retry budget.
     pub retry_exhausted: Arc<Counter>,
+    /// Items dead-lettered immediately because an admission policy
+    /// rejected them (`Forbidden` is permanently fatal — no backoff).
+    pub policy_blocked: Arc<Counter>,
     /// Current size of the dead-letter set (drained by the scanner).
     pub dead_letter_len: Arc<Gauge>,
     /// Per-tenant circuit-breaker trips (tenant marked Degraded).
@@ -292,6 +296,7 @@ impl SyncerMetrics {
             wake_latency: wake_latency.with(&[]),
             retries: events.with(&["retry"]),
             retry_exhausted: events.with(&["retry_exhausted"]),
+            policy_blocked: events.with(&["policy_blocked"]),
             dead_letter_len: dead_letter.with(&[]),
             breaker_trips: events.with(&["breaker_trip"]),
             breaker_recoveries: events.with(&["breaker_recovery"]),
@@ -315,6 +320,7 @@ impl SyncerMetrics {
             hibernations: self.hibernations.get(),
             retries: self.retries.get(),
             retry_exhausted: self.retry_exhausted.get(),
+            policy_blocked: self.policy_blocked.get(),
             breaker_trips: self.breaker_trips.get(),
             breaker_recoveries: self.breaker_recoveries.get(),
             dead_letter_len: self.dead_letter_len.get(),
@@ -356,6 +362,8 @@ pub struct SyncerCounters {
     pub retries: u64,
     /// Items dead-lettered after exhausting their retry budget.
     pub retry_exhausted: u64,
+    /// Items dead-lettered immediately on an admission policy rejection.
+    pub policy_blocked: u64,
     /// Per-tenant circuit-breaker trips.
     pub breaker_trips: u64,
     /// Circuit-breaker recoveries.
@@ -437,6 +445,11 @@ pub struct Syncer {
     /// Items that exhausted their retry budget; parked here until the
     /// periodic scanner re-validates and re-queues (or drops) them.
     dead_letter: Mutex<HashSet<WorkItem>>,
+    /// Per-tenant items dead-lettered by an admission policy rejection.
+    /// A tenant with a non-empty set carries the `SyncerPolicyBlocked` VC
+    /// condition; the condition is lowered when its last blocked item
+    /// reconciles cleanly (tenant fixed or deleted the object).
+    policy_blocked_items: Mutex<HashMap<String, HashSet<WorkItem>>>,
     /// Per-tenant circuit breakers fed by tenant-apiserver failures.
     breakers: Mutex<HashMap<String, Breaker>>,
     /// Upward items parked while their tenant's breaker is open; replayed
@@ -551,6 +564,7 @@ impl Syncer {
             ),
             retry_ready,
             dead_letter: Mutex::new(HashSet::new()),
+            policy_blocked_items: Mutex::new(HashMap::new()),
             breakers: Mutex::new(HashMap::new()),
             parked_upward: Mutex::new(HashSet::new()),
             config,
@@ -865,10 +879,76 @@ impl Syncer {
         self.retry_queue.add_rate_limited(item);
     }
 
+    /// Routes a downward item rejected by an admission policy straight to
+    /// the dead-letter set. `Forbidden` is permanently fatal — retrying
+    /// the identical object can never succeed — so unlike
+    /// [`requeue_downward`](Self::requeue_downward) this spends no retry
+    /// budget and occupies no backoff slot; the scanner re-validates the
+    /// item only after the tenant changes it. The first blocked item per
+    /// tenant raises the `SyncerPolicyBlocked` condition on the tenant's
+    /// VC so the denial is visible on its dashboard.
+    pub(crate) fn dead_letter_policy_blocked(&self, item: WorkItem, err: &ApiError) {
+        let tenant = item.tenant.clone();
+        self.retry_queue.forget(&item);
+        {
+            let mut dead = self.dead_letter.lock();
+            if dead.insert(item.clone()) {
+                self.metrics.policy_blocked.inc();
+                self.metrics.dead_letter_len.set(dead.len() as i64);
+            }
+        }
+        let newly_blocked = {
+            let mut blocked = self.policy_blocked_items.lock();
+            let items = blocked.entry(tenant.clone()).or_default();
+            let was_empty = items.is_empty();
+            items.insert(item);
+            was_empty
+        };
+        if newly_blocked {
+            let rule = err.policy_rule().unwrap_or("forbidden");
+            self.publish_tenant_condition_type(
+                COND_SYNCER_POLICY_BLOCKED,
+                &tenant,
+                true,
+                rule,
+                &err.to_string(),
+            );
+            self.mark_stats_dirty(&tenant);
+        }
+    }
+
     /// Clears an item's retry history after a successful reconcile so its
-    /// next failure starts from the base backoff again.
+    /// next failure starts from the base backoff again. When the item was
+    /// the tenant's last policy-blocked one, the `SyncerPolicyBlocked`
+    /// condition is lowered — the tenant corrected (or deleted) the
+    /// offending object.
     pub(crate) fn forget_retries(&self, item: &WorkItem) {
         self.retry_queue.forget(item);
+        let unblocked = {
+            let mut blocked = self.policy_blocked_items.lock();
+            if blocked.is_empty() {
+                false
+            } else if let Some(items) = blocked.get_mut(&item.tenant) {
+                let removed = items.remove(item);
+                let drained = items.is_empty();
+                if drained {
+                    blocked.remove(&item.tenant);
+                }
+                removed && drained
+            } else {
+                false
+            }
+        };
+        if unblocked {
+            self.publish_tenant_condition_type(
+                COND_SYNCER_POLICY_BLOCKED,
+                &item.tenant,
+                false,
+                "Recovered",
+                "downward sync succeeded after policy rejection",
+            );
+            self.mark_stats_dirty(&item.tenant);
+        }
     }
 
     /// Number of items currently parked in the dead-letter set.
@@ -1069,12 +1149,26 @@ impl Syncer {
     /// exist for registry-only tenants, e.g. in tests bypassing the
     /// operator).
     fn publish_tenant_condition(&self, tenant: &str, healthy: bool, reason: &str, message: &str) {
+        self.publish_tenant_condition_type(COND_SYNCER_HEALTHY, tenant, healthy, reason, message);
+    }
+
+    /// Publishes an arbitrary condition type on the tenant's VC object
+    /// (best-effort, conflict-retried). No-op when the condition already
+    /// holds the given status.
+    fn publish_tenant_condition_type(
+        &self,
+        condition: &str,
+        tenant: &str,
+        status: bool,
+        reason: &str,
+        message: &str,
+    ) {
         let _ = retry_on_conflict(3, || {
             let fresh =
                 self.super_client.get(ResourceKind::CustomObject, VC_MANAGER_NAMESPACE, tenant)?;
             let mut fresh: CustomObject = fresh.try_into()?;
             let mut vc = VirtualCluster::from_custom_object(&fresh)?;
-            if !vc.status.set_condition(COND_SYNCER_HEALTHY, healthy, reason, message) {
+            if !vc.status.set_condition(condition, status, reason, message) {
                 return Ok(());
             }
             vc.write_into(&mut fresh);
@@ -1179,6 +1273,7 @@ impl Syncer {
             dead.retain(|i| i.tenant != name);
             self.metrics.dead_letter_len.set(dead.len() as i64);
         }
+        self.policy_blocked_items.lock().remove(name);
         // Reclaim the tenant's cells from every `tenant`-labeled metric
         // family (sync-duration histograms, queue-depth gauges) and the
         // stats-publish dedup map. Without this sweep the registry's

@@ -22,6 +22,13 @@ pub const VC_KIND: &str = "VirtualCluster";
 /// tenant is healthy, `false` while the breaker holds the tenant Degraded.
 pub const COND_SYNCER_HEALTHY: &str = "SyncerHealthy";
 
+/// Condition type the syncer raises when an admission policy at the super
+/// cluster rejects one of the tenant's objects: `status = true` while at
+/// least one item sits policy-blocked in the dead-letter set (the reason
+/// carries the violated rule), lowered once the tenant fixes or deletes
+/// the offending object.
+pub const COND_SYNCER_POLICY_BLOCKED: &str = "SyncerPolicyBlocked";
+
 /// How the tenant control plane is provisioned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum ProvisionMode {

@@ -851,7 +851,7 @@ mod tests {
         assert_eq!(back, obj);
         // Wrong kind and wrong version are both rejected.
         assert!(from_framed_slice::<Object>(FRAME_LIST, &framed).is_err());
-        let mut wrong = framed.clone();
+        let mut wrong = framed;
         wrong[0] = 99;
         assert!(from_framed_slice::<Object>(FRAME_OBJECT, &wrong).is_err());
     }

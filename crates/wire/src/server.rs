@@ -148,6 +148,10 @@ pub struct WireMetrics {
     /// Unary requests executed inline on their connection thread (queue
     /// empty + inline slot free), skipping the dispatcher handoff.
     pub inline_dispatches: Counter,
+    /// Requests rejected at the identity gate: malformed or oversized
+    /// `x-vc-user` values, and identity switches on a pinned keep-alive
+    /// connection (spoofing attempts).
+    pub identity_rejections: Counter,
 }
 
 /// One queued unary request: the op plus the channel its connection
@@ -377,6 +381,13 @@ impl Inner {
             &["server"],
         );
         inline.with(&[server]).set(m.inline_dispatches.get() as i64);
+        let identity = registry.gauge(
+            "vc_wire_identity_rejections",
+            "Requests rejected at the identity gate (malformed/oversized \
+             x-vc-user, or identity switch on a pinned connection).",
+            &["server"],
+        );
+        identity.with(&[server]).set(m.identity_rejections.get() as i64);
         let depth = registry.gauge(
             "vc_wire_class_queue_depth",
             "Queued unary requests per flow class.",
@@ -563,6 +574,9 @@ fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
     // stop allocating once the connection is warm.
     let mut head = Vec::with_capacity(256);
     let mut scratch = String::with_capacity(256);
+    // First authenticated identity seen on this connection; later requests
+    // presenting a different identity are rejected (keep-alive spoofing).
+    let mut pinned_identity: Option<String> = None;
     loop {
         let req = match http::read_request(&mut reader, &mut scratch) {
             Ok(Some(req)) => req,
@@ -587,6 +601,23 @@ fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
         inner.metrics.bytes_in.add(request_size(&req));
         let keep_alive = req.keep_alive() && !inner.stop.load(Ordering::SeqCst);
         let encoding = codec::encoding_of(req.header("accept"));
+        // Identity gate: runs before any routing so a hostile header never
+        // reaches the classing queue or the apiserver.
+        let user = match request_identity(&req, pinned_identity.as_deref()) {
+            Ok(user) => user,
+            Err(err) => {
+                inner.metrics.identity_rejections.inc();
+                if !write_error(inner, &mut stream, &err, encoding, keep_alive, &mut head)
+                    || !keep_alive
+                {
+                    break;
+                }
+                continue;
+            }
+        };
+        if pinned_identity.is_none() && user != ANONYMOUS_IDENTITY {
+            pinned_identity = Some(user.clone());
+        }
         let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
         match segments.as_slice() {
             ["healthz"] => {
@@ -622,12 +653,20 @@ fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
             }
             ["watch", kind] => {
                 // The stream takes over the connection; never keep-alive.
-                serve_watch(inner, &mut stream, &req, kind, encoding);
+                serve_watch(inner, &mut stream, &req, &user, kind, encoding);
                 break;
             }
             ["api", rest @ ..] => {
-                let done =
-                    serve_unary(inner, &mut stream, &req, rest, encoding, keep_alive, &mut head);
+                let done = serve_unary(
+                    inner,
+                    &mut stream,
+                    &req,
+                    &user,
+                    rest,
+                    encoding,
+                    keep_alive,
+                    &mut head,
+                );
                 if !done || !keep_alive {
                     break;
                 }
@@ -644,12 +683,61 @@ fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
     }
 }
 
+/// Identity assumed when a request carries no `x-vc-user` header.
+const ANONYMOUS_IDENTITY: &str = "anonymous";
+
+/// Upper bound on an `x-vc-user` value. Real identities are short; anything
+/// longer is an abuse vector (stuffing kilobytes into every authorization
+/// check and log line).
+const MAX_IDENTITY_LEN: usize = 128;
+
+/// Validates the request identity before routing.
+///
+/// A missing header inherits the connection's pinned identity (same
+/// principal continuing a keep-alive exchange) or defaults to
+/// [`ANONYMOUS_IDENTITY`]. Malformed values (empty, non-printable, spaces)
+/// and oversized values are rejected as `Invalid`; presenting a different
+/// identity than the one the connection was pinned to is rejected as
+/// `Forbidden` (keep-alive spoofing).
+fn request_identity(req: &http::Request, pinned: Option<&str>) -> Result<String, ApiError> {
+    let Some(raw) = req.header("x-vc-user") else {
+        return Ok(pinned.unwrap_or(ANONYMOUS_IDENTITY).to_string());
+    };
+    if raw.is_empty() || raw.len() > MAX_IDENTITY_LEN {
+        return Err(ApiError::invalid(
+            "wire",
+            "x-vc-user",
+            format!("identity length {} outside 1..={MAX_IDENTITY_LEN}", raw.len()),
+        ));
+    }
+    if !raw.bytes().all(|b| b.is_ascii_graphic()) {
+        return Err(ApiError::invalid(
+            "wire",
+            "x-vc-user",
+            "identity must be printable ASCII without spaces",
+        ));
+    }
+    if let Some(pinned) = pinned {
+        if raw != pinned && raw != ANONYMOUS_IDENTITY {
+            return Err(ApiError::forbidden(
+                raw,
+                req.method.clone(),
+                req.path.clone(),
+                format!("connection is pinned to identity {pinned:?}"),
+            ));
+        }
+    }
+    Ok(raw.to_string())
+}
+
 /// Serves one unary request through the classing queue. Returns `false`
 /// when the connection is broken and should be dropped.
+#[allow(clippy::too_many_arguments)]
 fn serve_unary(
     inner: &Arc<Inner>,
     stream: &mut TcpStream,
     req: &http::Request,
+    user: &str,
     path: &[&str],
     encoding: Encoding,
     keep_alive: bool,
@@ -659,7 +747,7 @@ fn serve_unary(
     if encoding == Encoding::Binary {
         inner.metrics.binary_requests.inc();
     }
-    let user = req.header("x-vc-user").unwrap_or("anonymous").to_string();
+    let user = user.to_string();
     let flow = req.header("x-vc-flow").unwrap_or(&user).to_string();
     let op = match route_unary(req, path) {
         Ok(op) => op,
@@ -838,10 +926,10 @@ fn serve_watch(
     inner: &Arc<Inner>,
     stream: &mut TcpStream,
     req: &http::Request,
+    user: &str,
     kind_str: &str,
     encoding: Encoding,
 ) {
-    let user = req.header("x-vc-user").unwrap_or("anonymous");
     let mut head = Vec::with_capacity(256);
     let Some(kind) = parse_kind(kind_str) else {
         write_error(

@@ -131,6 +131,47 @@ fn registry_exposition_parses_and_covers_the_stack() {
 }
 
 #[test]
+fn admission_rejections_are_exported_per_rule_and_tenant() {
+    let fw = Framework::start(FrameworkConfig::minimal());
+    fw.enforce_tenant_isolation();
+    fw.create_tenant("tenant-1").unwrap();
+
+    // A hostile pod passes the tenant apiserver but is rejected by the
+    // super cluster's TenantIsolation plugin when the syncer pushes it
+    // down; the rejection lands in the unified registry.
+    fw.tenant_client("tenant-1", "mallory")
+        .create(
+            Pod::new("default", "escape")
+                .with_container(Container::new("c", "i"))
+                .with_host_path("/etc")
+                .into(),
+        )
+        .unwrap();
+    assert!(
+        wait_until(Duration::from_secs(30), Duration::from_millis(25), || {
+            fw.syncer.metrics.snapshot().policy_blocked >= 1
+        }),
+        "the hostile pod must be dead-lettered as policy-blocked"
+    );
+
+    let text = fw.obs().registry.render_text();
+    let families = exposition::parse(&text).expect("exposition must parse");
+    let rejections = families
+        .iter()
+        .find(|f| f.name == "vc_admission_rejections_total")
+        .expect("admission rejection family exported");
+    assert_eq!(rejections.kind, "counter");
+    let sample = rejections
+        .sample(
+            "vc_admission_rejections_total",
+            &[("rule", "host-path-mount"), ("tenant", "tenant-1")],
+        )
+        .expect("rejection attributed to the rule and tenant");
+    assert!(sample.value >= 1.0);
+    fw.shutdown();
+}
+
+#[test]
 fn tenant_dashboard_lands_on_the_vc_status() {
     let fw = Framework::start(FrameworkConfig::minimal());
     fw.create_tenant("tenant-1").unwrap();

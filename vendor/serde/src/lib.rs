@@ -262,6 +262,12 @@ impl Serialize for bool {
 
 impl Deserialize for bool {
     fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        // Null decodes as `false` (proto3-style missing-field semantics,
+        // matching `String`/`Vec`): fields added to a struct after payloads
+        // were persisted read back as `Null` and take their default.
+        if matches!(value, Value::Null) {
+            return Ok(false);
+        }
         value.as_bool().ok_or_else(|| Error::custom("expected bool"))
     }
 }
@@ -276,6 +282,11 @@ macro_rules! impl_serde_signed {
             }
             impl Deserialize for $t {
                 fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                    // Null decodes as zero (proto3-style missing-field
+                    // semantics; see the `bool` impl).
+                    if matches!(value, Value::Null) {
+                        return Ok(0);
+                    }
                     let v = value
                         .as_i64()
                         .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
@@ -297,6 +308,11 @@ macro_rules! impl_serde_unsigned {
             }
             impl Deserialize for $t {
                 fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                    // Null decodes as zero (proto3-style missing-field
+                    // semantics; see the `bool` impl).
+                    if matches!(value, Value::Null) {
+                        return Ok(0);
+                    }
                     let v = value
                         .as_u64()
                         .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
